@@ -1,0 +1,89 @@
+// Regenerates Fig. 1: the Proper-Temporal-Embedding timeline.
+//
+// Runs one clean laser tracheotomy session (perfect links, no surgeon
+// cancel — both leases expire) and prints the risky intervals of the
+// ventilator (ξ1) and the laser scalpel (ξ2) together with the four
+// quantities annotated in the figure:
+//   t1 — pause-to-emission spacing  (must be >= T^min_risky:1→2 = 3 s)
+//   t2 — emission-end-to-resume spacing (must be >= T^min_safe:2→1 = 1.5 s)
+//   t3 — ventilator pause duration  (bounded)
+//   t4 — laser emission duration    (bounded)
+//
+// Usage: bench_fig1_timeline [--toff SECONDS] (surgeon cancels after toff)
+#include <cstdio>
+#include <string>
+
+#include "casestudy/trial.hpp"
+#include "core/events.hpp"
+#include "util/cli.hpp"
+#include "util/text.hpp"
+
+using namespace ptecps;
+
+namespace {
+
+std::string ascii_timeline(double begin, double end, double t0, double t1, double scale) {
+  // One row: '.' safe, '#' risky, over [t0, t1] at `scale` seconds/char.
+  std::string row;
+  for (double t = t0; t < t1; t += scale) row += (t >= begin && t < end) ? '#' : '.';
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const double toff = args.get_double("toff", 0.0);  // 0: let the lease expire
+
+  casestudy::TrialOptions opt;
+  opt.seed = 11;
+  opt.duration = 120.0;
+  opt.surgeon.mean_ton = 1e9;
+  opt.surgeon.mean_toff = 1e9;
+  opt.loss_factory = [] { return std::make_unique<net::PerfectLink>(); };
+  casestudy::LaserTracheotomySystem sys(std::move(opt));
+
+  sys.run(14.0);
+  sys.engine().inject(sys.scalpel_index(), core::events::cmd_request(2));
+  if (toff > 0.0) {
+    sys.run(14.0 + 13.0 + toff - sys.engine().now());  // emission starts ~ t=27
+    sys.engine().inject(sys.scalpel_index(), core::events::cmd_cancel(2));
+  }
+  sys.run(120.0 - sys.engine().now());
+  casestudy::TrialResult r = sys.result();
+
+  const auto& cfg = sys.options().config;
+  const auto& vent = sys.monitor().intervals(1);
+  const auto& laser = sys.monitor().intervals(2);
+  std::printf("=== Fig. 1: Proper-Temporal-Embedding timeline (one clean session) ===\n\n");
+  if (vent.empty() || laser.empty()) {
+    std::printf("no risky episode observed — unexpected\n");
+    return 1;
+  }
+  const auto& v = vent[0];
+  const auto& l = laser[0];
+  const double t0 = v.begin - 5.0, t1 = v.end + 5.0, scale = 0.5;
+  std::printf("time axis: [%.1f s, %.1f s], one column = %.1f s\n\n", t0, t1, scale);
+  std::printf("  ventilator pause   %s\n", ascii_timeline(v.begin, v.end, t0, t1, scale).c_str());
+  std::printf("  laser emission     %s\n\n",
+              ascii_timeline(l.begin, l.end, t0, t1, scale).c_str());
+
+  const double meas_t1 = l.begin - v.begin;
+  const double meas_t2 = v.end - l.end;
+  std::printf("  %-42s measured %7.3f s   required >= %.1f s   %s\n",
+              "t1 (pause -> emission spacing):", meas_t1, cfg.t_risky_min_between(1),
+              meas_t1 >= cfg.t_risky_min_between(1) ? "OK" : "VIOLATED");
+  std::printf("  %-42s measured %7.3f s   required >= %.1f s   %s\n",
+              "t2 (emission end -> resume spacing):", meas_t2, cfg.t_safe_min_between(1),
+              meas_t2 >= cfg.t_safe_min_between(1) ? "OK" : "VIOLATED");
+  std::printf("  %-42s measured %7.3f s   bound    <= %.1f s   %s\n",
+              "t3 (ventilator pause duration):", v.duration(), 60.0,
+              v.duration() <= 60.0 ? "OK" : "VIOLATED");
+  std::printf("  %-42s measured %7.3f s   bound    <= %.1f s   %s\n",
+              "t4 (laser emission duration):", l.duration(), 60.0,
+              l.duration() <= 60.0 ? "OK" : "VIOLATED");
+  std::printf("\n  Theorem 1 dwell bound T^max_wait + T^max_LS1 = %.1f s\n",
+              cfg.risky_dwell_bound());
+  std::printf("  PTE violations: %zu\n", r.violations.size());
+  return r.violations.empty() ? 0 : 1;
+}

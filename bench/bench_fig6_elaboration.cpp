@@ -1,0 +1,98 @@
+// Regenerates Fig. 6: the atomic elaboration example.
+//
+// Fig. 6(a): a two-location automaton A (Fall-Back / Risky, one data
+// state variable x).  Fig. 6(b): A'' = E(A, Fall-Back, A'_vent) — the
+// elaboration of A at Fall-Back with the stand-alone ventilator of
+// Fig. 2.  The structural claims visible in the figure are checked:
+// ingress edges land on A'_vent's initial location only (no edge from
+// "Risky" to "PumpIn"), egress edges leave from every child location,
+// and A's variable x keeps Fall-Back's flow inside the child.
+#include <cstdio>
+
+#include "casestudy/ventilator.hpp"
+#include "hybrid/dot_export.hpp"
+#include "hybrid/elaboration.hpp"
+#include "hybrid/independence.hpp"
+#include "util/cli.hpp"
+
+using namespace ptecps;
+using namespace ptecps::hybrid;
+
+namespace {
+
+/// The automaton A of Fig. 6(a): Fall-Back <-> Risky with a data state
+/// variable x that grows in Risky and decays in Fall-Back, guarded by
+/// thresholds (representative stand-ins for the figure's labels).
+Automaton make_fig6a() {
+  Automaton a("A_fig6a");
+  const VarId x = a.add_var("x", 0.0);
+  const LocId fall_back = a.add_location("Fall-Back");
+  const LocId risky = a.add_location("Risky", /*risky=*/true);
+  a.set_flow(fall_back, Flow{}.rate(x, 1.0));
+  a.set_flow(risky, Flow{}.rate(x, -2.0));
+  Edge go;
+  go.src = fall_back;
+  go.dst = risky;
+  go.kind = TriggerKind::kCondition;
+  go.guard = Guard{atleast(x, 10.0)};
+  go.note = "x = 10";
+  a.add_edge(std::move(go));
+  Edge back;
+  back.src = risky;
+  back.dst = fall_back;
+  back.kind = TriggerKind::kCondition;
+  back.guard = Guard{atmost(x, 0.0)};
+  back.note = "x = 0";
+  a.add_edge(std::move(back));
+  a.add_initial_location(fall_back);
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const bool dot = args.has_flag("dot");
+
+  const Automaton a = make_fig6a();
+  const Automaton vent = casestudy::make_standalone_ventilator();
+
+  std::printf("=== Fig. 6(a): hybrid automaton A ===\n%s\n", to_text(a).c_str());
+  std::printf("=== Fig. 2: simple hybrid automaton A'_vent ===\n%s\n",
+              to_text(vent).c_str());
+  std::printf("preconditions: independent=%s, simple=%s\n\n",
+              check_independent(a, vent).ok ? "yes" : "NO",
+              check_simple(vent).ok ? "yes" : "NO");
+
+  const Elaboration e = elaborate(a, "Fall-Back", vent);
+  std::printf("=== Fig. 6(b): A'' = E(A, Fall-Back, A'_vent) ===\n%s\n",
+              to_text(e.automaton).c_str());
+  if (dot) std::printf("--- DOT ---\n%s\n", to_dot(e.automaton).c_str());
+
+  // The figure's structural claims.
+  std::size_t risky_to_pump_in = 0, risky_to_pump_out = 0, pump_egress = 0;
+  const LocId risky = e.automaton.location_id("Risky");
+  const LocId pump_in = e.automaton.location_id("PumpIn");
+  const LocId pump_out = e.automaton.location_id("PumpOut");
+  for (const auto& edge : e.automaton.edges()) {
+    if (edge.src == risky && edge.dst == pump_in) ++risky_to_pump_in;
+    if (edge.src == risky && edge.dst == pump_out) ++risky_to_pump_out;
+    if ((edge.src == pump_in || edge.src == pump_out) && edge.dst == risky) ++pump_egress;
+  }
+  std::printf("structural checks:\n");
+  std::printf("  edges Risky -> PumpIn  (non-initial child location): %zu (figure: none)\n",
+              risky_to_pump_in);
+  std::printf("  edges Risky -> PumpOut (initial child location):     %zu (figure: one)\n",
+              risky_to_pump_out);
+  std::printf("  egress edges PumpIn/PumpOut -> Risky:                %zu (figure: both)\n",
+              pump_egress);
+  std::printf("  verify_elaboration: %s\n",
+              verify_elaboration(e.automaton, a, "Fall-Back", vent).ok ? "PASS" : "FAIL");
+  std::printf("  projection: PumpIn -> %s, Risky -> %s\n",
+              project_location({e.info}, "PumpIn").c_str(),
+              project_location({e.info}, "Risky").c_str());
+  const bool ok = risky_to_pump_in == 0 && risky_to_pump_out == 1 && pump_egress == 2 &&
+                  verify_elaboration(e.automaton, a, "Fall-Back", vent).ok;
+  std::printf("\nFig. 6 reproduction: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

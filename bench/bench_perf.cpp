@@ -1,0 +1,148 @@
+// Extension experiment E11 (DESIGN.md): engine and substrate performance
+// microbenchmarks (google-benchmark).  Not a paper artifact — these keep
+// the simulator's costs visible so the statistical benches stay cheap.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "casestudy/trial.hpp"
+#include "casestudy/ventilator.hpp"
+#include "core/constraints.hpp"
+#include "core/deployment.hpp"
+#include "core/events.hpp"
+#include "core/synthesis.hpp"
+#include "hybrid/elaboration.hpp"
+#include "hybrid/engine.hpp"
+#include "net/bridge.hpp"
+#include "net/star_network.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace ptecps;
+
+namespace {
+
+void BM_SchedulerScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (int i = 0; i < 1000; ++i)
+      sched.schedule_at(static_cast<double>(i % 97), [] {});
+    sched.run();
+    benchmark::DoNotOptimize(sched.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleAndRun);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(1);
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.exponential(10.0);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_EngineVentilatorSawtooth(benchmark::State& state) {
+  // Exact constant-rate crossings: 1000 simulated seconds per iteration
+  // (~333 discrete transitions).
+  for (auto _ : state) {
+    hybrid::Engine engine({casestudy::make_standalone_ventilator()});
+    engine.init();
+    engine.run_until(1000.0);
+    benchmark::DoNotOptimize(engine.transitions_taken());
+  }
+  state.SetItemsProcessed(state.iterations() * 333);
+}
+BENCHMARK(BM_EngineVentilatorSawtooth);
+
+void BM_ChannelSendDeliver(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Rng rng(2);
+  net::Channel channel("bench", sched, rng.fork(1),
+                       std::make_unique<net::BernoulliLoss>(0.2), net::ChannelConfig{});
+  std::uint64_t delivered = 0;
+  channel.set_delivery([&delivered](const net::Packet&) { ++delivered; });
+  net::Packet p;
+  p.event_root = "evt.xi1.to.xi0.LeaseApprove";
+  for (auto _ : state) {
+    channel.send(p);
+    sched.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelSendDeliver);
+
+void BM_PatternSession(benchmark::State& state) {
+  // One full lease session (request -> both risky -> expiry -> Fall-Back)
+  // over perfect links.
+  const auto cfg = core::PatternConfig::laser_tracheotomy();
+  for (auto _ : state) {
+    sim::Rng rng(3);
+    core::BuiltSystem built = core::build_pattern_system(cfg);
+    hybrid::Engine engine(std::move(built.automata));
+    net::StarNetwork network(engine.scheduler(), rng, 2);
+    network.configure_all([] { return std::make_unique<net::PerfectLink>(); },
+                          net::ChannelConfig{});
+    net::NetEventRouter router(network, built.automaton_of_entity);
+    built.install_routes(router);
+    engine.set_router(&router);
+    router.attach(engine);
+    engine.init();
+    engine.run_until(14.0);
+    engine.inject(2, core::events::cmd_request(2));
+    engine.run_until(120.0);
+    benchmark::DoNotOptimize(engine.transitions_taken());
+  }
+}
+BENCHMARK(BM_PatternSession);
+
+void BM_Trial30Minutes(benchmark::State& state) {
+  // A full Table-I row cell: 1800 simulated seconds with physiology,
+  // oximeter, surgeon and lossy links.
+  for (auto _ : state) {
+    casestudy::TrialOptions opt;
+    opt.seed = 12;
+    opt.duration = 1800.0;
+    const casestudy::TrialResult r = casestudy::run_trial(opt);
+    benchmark::DoNotOptimize(r.emissions);
+  }
+}
+BENCHMARK(BM_Trial30Minutes)->Unit(benchmark::kMillisecond);
+
+void BM_ElaborateVentilator(benchmark::State& state) {
+  const auto cfg = core::PatternConfig::laser_tracheotomy();
+  const hybrid::Automaton pattern = core::make_participant(cfg, 1);
+  const hybrid::Automaton vent = casestudy::make_standalone_ventilator();
+  for (auto _ : state) {
+    auto result = hybrid::elaborate(pattern, "Fall-Back", vent);
+    benchmark::DoNotOptimize(result.automaton.num_edges());
+  }
+}
+BENCHMARK(BM_ElaborateVentilator);
+
+void BM_Theorem1Check(benchmark::State& state) {
+  const auto cfg = core::PatternConfig::laser_tracheotomy();
+  for (auto _ : state) {
+    auto report = core::check_theorem1(cfg);
+    benchmark::DoNotOptimize(report.ok);
+  }
+}
+BENCHMARK(BM_Theorem1Check);
+
+void BM_SynthesizeN8(benchmark::State& state) {
+  core::SynthesisRequest req;
+  req.n_remotes = 8;
+  for (std::size_t i = 0; i + 1 < req.n_remotes; ++i) {
+    req.t_risky_min.push_back(1.0);
+    req.t_safe_min.push_back(0.5);
+  }
+  for (auto _ : state) {
+    auto cfg = core::synthesize(req);
+    benchmark::DoNotOptimize(cfg.t_ls1());
+  }
+}
+BENCHMARK(BM_SynthesizeN8);
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Extension experiment E13 (DESIGN.md): scaling the PTE chain length N.
+//
+// The case study has N = 2; the pattern and the synthesizer work for any
+// N.  For N = 2..8 this bench synthesizes a configuration, runs sessions
+// under moderate loss, and reports:
+//   * the synthesized protocol constants (T^max_LS1 grows with the chain
+//     because every lower lease must nest all higher ones — c6 compounds),
+//   * measured worst-case whole-system reset vs. the Theorem 1 bound,
+//   * violations (always 0),
+//   * simulator cost per session.
+//
+// Usage: bench_scaling [--nmax 8] [--loss 0.2] [--sessions 20]
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "core/constraints.hpp"
+#include "core/deployment.hpp"
+#include "core/events.hpp"
+#include "core/monitor.hpp"
+#include "core/synthesis.hpp"
+#include "net/bridge.hpp"
+#include "net/star_network.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/text.hpp"
+
+using namespace ptecps;
+using namespace ptecps::core;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::size_t n_max = static_cast<std::size_t>(args.get_int("nmax", 8));
+  const double loss = args.get_double("loss", 0.2);
+  const int sessions = args.get_int("sessions", 20);
+
+  std::printf("=== Pattern scaling with chain length N (loss p=%.2f, %d requests) ===\n\n",
+              loss, sessions);
+  util::TextTable table({"N", "T^max_LS1 (s)", "reset bound (s)", "measured max reset (s)",
+                         "sessions run", "violations", "wall ms"});
+  for (std::size_t c = 0; c <= 6; ++c) table.set_right_align(c);
+
+  bool all_safe = true;
+  for (std::size_t n = 2; n <= n_max; ++n) {
+    SynthesisRequest req;
+    req.n_remotes = n;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      req.t_risky_min.push_back(1.0);
+      req.t_safe_min.push_back(0.5);
+    }
+    req.initializer_lease = 8.0;
+    req.t_wait_max = 1.0;
+    req.t_fb_min_0 = 2.0;
+    req.delivery_slack = 0.05;
+    const PatternConfig cfg = synthesize(req);
+
+    const auto start = std::chrono::steady_clock::now();
+    sim::Rng rng(n * 101);
+    BuiltSystem built = build_pattern_system(cfg);
+    hybrid::Engine engine(std::move(built.automata));
+    net::StarNetwork network(engine.scheduler(), rng, n);
+    network.configure_all([loss] { return std::make_unique<net::BernoulliLoss>(loss); },
+                          net::ChannelConfig{0.002, 0.004, 0.0, 0.5});
+    net::NetEventRouter router(network, built.automaton_of_entity);
+    built.install_routes(router);
+    engine.set_router(&router);
+    router.attach(engine);
+    PteMonitor monitor(MonitorParams::from_config(cfg));
+    std::vector<std::size_t> entity_of(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) entity_of[i] = i;
+    monitor.attach(engine, entity_of);
+    SessionTracker tracker(engine, SessionTracker::fall_back_sets(engine, {}));
+    engine.init();
+
+    // Spaced requests: one per 2x the reset bound so sessions are isolated.
+    const double spacing = 2.0 * cfg.risky_dwell_bound() + cfg.t_fb_min_0;
+    for (int s = 0; s < sessions; ++s) {
+      engine.scheduler().schedule_at(
+          cfg.t_fb_min_0 + 1.0 + s * spacing,
+          [&engine, n] { engine.inject(n, events::cmd_request(n)); });
+    }
+    const double horizon = cfg.t_fb_min_0 + 1.0 + sessions * spacing + 50.0;
+    engine.run_until(horizon);
+    monitor.finalize(horizon);
+    tracker.finalize(horizon);
+    const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+    const double bound = cfg.risky_dwell_bound() + cfg.delivery_slack;
+    if (!monitor.violations().empty()) all_safe = false;
+    if (!tracker.all_within(bound)) all_safe = false;
+    table.add_row({std::to_string(n), util::fmt_double(cfg.t_ls1(), 1),
+                   util::fmt_double(bound, 1),
+                   util::fmt_double(tracker.max_system_reset(), 1),
+                   std::to_string(tracker.session_count()),
+                   std::to_string(monitor.violations().size()),
+                   std::to_string(wall)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("All chains safe with every reset within the Theorem 1 bound: %s\n",
+              all_safe ? "PASS" : "FAIL");
+  std::printf("\nNote how T^max_LS1 grows with N: c6 nests every higher entity's full\n"
+              "occupancy (plus T^max_wait) inside each lower lease, so each level of\n"
+              "the chain adds its enter/exit/wait overhead to xi1's worst-case risky\n"
+              "dwelling — a quantitative design trade-off the closed forms make\n"
+              "explicit (linear here because the per-level safeguards are equal).\n");
+  return all_safe ? 0 : 1;
+}

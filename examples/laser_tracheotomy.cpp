@@ -1,0 +1,64 @@
+// The paper's §V case study, end to end: wireless laser tracheotomy with
+// a simulated patient, surgeon, oximeter, and a WiFi interferer — printed
+// as a narrated session timeline plus trial statistics.
+//
+// Run:  ./laser_tracheotomy [--duration 1800] [--seed 1] [--no-lease]
+//       [--toff 18]
+#include <cstdio>
+
+#include "casestudy/trial.hpp"
+#include "hybrid/trace.hpp"
+#include "util/cli.hpp"
+#include "util/text.hpp"
+
+using namespace ptecps;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  casestudy::TrialOptions opt;
+  opt.duration = args.get_double("duration", 1800.0);
+  opt.seed = args.get_u64("seed", 1);
+  opt.with_lease = !args.has_flag("no-lease");
+  opt.surgeon.mean_toff = args.get_double("toff", 18.0);
+  opt.record_trace = true;
+
+  std::printf("=== Wireless laser tracheotomy (paper §V) ===\n");
+  std::printf("mode: %s lease, %.0f s, E(Ton)=%.0f s, E(Toff)=%.0f s, seed %llu\n\n",
+              opt.with_lease ? "WITH" : "WITHOUT", opt.duration, opt.surgeon.mean_ton,
+              opt.surgeon.mean_toff, static_cast<unsigned long long>(opt.seed));
+  std::printf("configuration:\n%s\n", opt.config.describe().c_str());
+
+  casestudy::LaserTracheotomySystem sys(std::move(opt));
+  sys.run(sys.options().duration);
+  casestudy::TrialResult r = sys.result();
+
+  // Narrate the first session from the trace.
+  std::printf("--- first ~90 s of the execution trace ---\n");
+  std::vector<const hybrid::Automaton*> automata;
+  for (std::size_t i = 0; i < sys.engine().num_automata(); ++i)
+    automata.push_back(&sys.engine().automaton(i));
+  std::string transcript;
+  for (const auto& record : sys.engine().trace().records()) {
+    if (record.t > 90.0) break;
+    if (record.kind != hybrid::TraceKind::kTransition) continue;
+    transcript += util::cat("  [t=", util::fmt_double(record.t, 2), "s] ",
+                            automata[record.automaton]->name(), ": ",
+                            record.from != hybrid::kNoLoc
+                                ? automata[record.automaton]->location(record.from).name
+                                : "(start)",
+                            " -> ", automata[record.automaton]->location(record.to).name,
+                            "  (", record.detail, ")\n");
+  }
+  std::printf("%s\n", transcript.c_str());
+
+  std::printf("--- trial result ---\n  %s\n\n", r.summary().c_str());
+  std::printf("--- PTE monitor ---\n%s\n", sys.monitor().summary().c_str());
+  std::printf("--- wireless links ---\n%s\n", sys.network().describe().c_str());
+  if (!r.violations.empty()) {
+    std::printf("--- violations ---\n");
+    for (const auto& v : r.violations)
+      std::printf("  [t=%.2f] %s: %s\n", v.t, core::violation_kind_str(v.kind).c_str(),
+                  v.description.c_str());
+  }
+  return 0;
+}

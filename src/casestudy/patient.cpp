@@ -1,0 +1,64 @@
+#include "casestudy/patient.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace ptecps::casestudy {
+
+PatientModel::PatientModel(hybrid::Engine& engine, PatientParams params,
+                           std::function<bool()> is_ventilated, std::function<bool()> laser_on)
+    : engine_(engine), params_(params), is_ventilated_(std::move(is_ventilated)),
+      laser_on_(std::move(laser_on)), lung_(params.lung_init), spo2_(params.spo2_init),
+      trachea_(params.trachea_init), min_spo2_(params.spo2_init) {
+  PTE_REQUIRE(is_ventilated_ != nullptr && laser_on_ != nullptr,
+              "patient model needs ventilation and laser predicates");
+  PTE_REQUIRE(params_.step > 0.0, "patient step must be positive");
+}
+
+void PatientModel::start() {
+  PTE_REQUIRE(!started_, "patient model already started");
+  started_ = true;
+  engine_.scheduler().schedule_in(params_.step, [this] { step(); });
+}
+
+void PatientModel::step() {
+  const double dt = params_.step;
+  const bool ventilated = is_ventilated_();
+  const bool laser = laser_on_();
+
+  // Lung O2 store: first-order recovery while ventilated; linear
+  // consumption (breath-hold) while the pump is halted.
+  if (ventilated) {
+    lung_ += dt * (params_.lung_setpoint - lung_) / params_.lung_recover_tau;
+  } else {
+    lung_ = std::max(params_.lung_floor, lung_ - dt * params_.lung_decay_rate);
+  }
+
+  // SpO2: lag toward the saturation curve of the lung store.
+  const double sat = std::min(0.99, params_.sat_offset + params_.sat_slope * lung_);
+  spo2_ += dt * (sat - spo2_) / params_.spo2_tau;
+  min_spo2_ = std::min(min_spo2_, spo2_);
+
+  // Trachea O2 fraction: near the ventilator gas mix while ventilated,
+  // decaying toward ambient once paused.
+  if (ventilated) {
+    trachea_ += dt * (params_.trachea_vent_setpoint - trachea_) / params_.trachea_vent_tau;
+  } else {
+    trachea_ += dt * (params_.trachea_ambient - trachea_) / params_.trachea_decay_tau;
+  }
+
+  // Fire hazard: laser into an oxygen-rich trachea.
+  if (laser && trachea_ > params_.ignition_threshold) {
+    if (!fire_latched_) {
+      ++fire_events_;
+      fire_latched_ = true;
+    }
+  } else if (!laser) {
+    fire_latched_ = false;
+  }
+
+  engine_.scheduler().schedule_in(dt, [this] { step(); });
+}
+
+}  // namespace ptecps::casestudy

@@ -1,0 +1,88 @@
+// Patient physiology — the simulated human subject of the §V emulation.
+//
+// The paper's emulation used a real human subject (breathing according to
+// the ventilator display) wearing a Nonin 9843 oximeter.  We substitute a
+// first-order physiological model that exercises exactly the code paths
+// the CPS consumes (DESIGN.md §4):
+//   * lung O2 store        — recovers toward a setpoint while ventilated,
+//                            depletes linearly while the pump is halted;
+//   * SpO2                 — first-order lag toward a saturation curve of
+//                            the lung store; sampled by the oximeter and
+//                            compared against Θ_SpO2 by the supervisor;
+//   * trachea O2 fraction  — rises while ventilated, decays within a few
+//                            seconds once paused: the physical reason for
+//                            the enter-risky safeguard T^min_risky:1→2
+//                            (laser + oxygen-rich trachea = airway fire);
+//   * fire hazard          — ignition counter: laser emitting while the
+//                            trachea O2 fraction exceeds the ignition
+//                            threshold.
+// The model is an environment process (scheduler-stepped ODE), not a
+// hybrid automaton: it represents exactly the physical-world dynamics the
+// paper declares outside cyber control (footnote 1).
+#pragma once
+
+#include <functional>
+
+#include "hybrid/engine.hpp"
+#include "sim/time.hpp"
+
+namespace ptecps::casestudy {
+
+struct PatientParams {
+  double step = 0.05;              // integration step (s)
+  double lung_init = 0.95;         // normalized lung O2 store
+  double lung_setpoint = 0.95;
+  double lung_recover_tau = 3.0;   // s, while ventilated
+  double lung_decay_rate = 0.005;  // per s, while paused (breath-hold)
+  double lung_floor = 0.30;
+
+  double spo2_init = 0.98;
+  double spo2_tau = 8.0;           // s, blood saturation lag
+  // saturation curve: sat(lung) = min(0.99, sat_offset + sat_slope*lung)
+  double sat_offset = 0.60;
+  double sat_slope = 0.42;
+
+  double trachea_init = 0.90;      // O2 fraction in the trachea
+  double trachea_vent_setpoint = 0.90;
+  double trachea_vent_tau = 1.0;   // s, while ventilated
+  double trachea_ambient = 0.05;
+  double trachea_decay_tau = 1.5;  // s, while paused
+  double ignition_threshold = 0.30;
+};
+
+class PatientModel {
+ public:
+  /// `is_ventilated` — pump running (cylinder moving); `laser_on` — the
+  /// laser scalpel dwells in risky-locations.  Both are evaluated against
+  /// the live engine each step.
+  PatientModel(hybrid::Engine& engine, PatientParams params,
+               std::function<bool()> is_ventilated, std::function<bool()> laser_on);
+
+  /// Begin the periodic stepping (call once, before or after engine.init).
+  void start();
+
+  double lung_o2() const { return lung_; }
+  double spo2() const { return spo2_; }
+  double trachea_o2() const { return trachea_; }
+  double min_spo2() const { return min_spo2_; }
+  /// Number of distinct ignition events (laser on while trachea O2 above
+  /// the ignition threshold; latched until the laser turns off).
+  std::size_t fire_events() const { return fire_events_; }
+
+ private:
+  void step();
+
+  hybrid::Engine& engine_;
+  PatientParams params_;
+  std::function<bool()> is_ventilated_;
+  std::function<bool()> laser_on_;
+  double lung_;
+  double spo2_;
+  double trachea_;
+  double min_spo2_;
+  bool fire_latched_ = false;
+  std::size_t fire_events_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ptecps::casestudy

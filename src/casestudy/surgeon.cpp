@@ -1,0 +1,50 @@
+#include "casestudy/surgeon.hpp"
+
+#include "core/events.hpp"
+#include "util/require.hpp"
+
+namespace ptecps::casestudy {
+
+SurgeonProcess::SurgeonProcess(hybrid::Engine& engine, std::size_t initializer_automaton,
+                               std::size_t entity_n, sim::Rng rng, SurgeonParams params)
+    : engine_(engine), initializer_(initializer_automaton), entity_n_(entity_n), rng_(rng),
+      params_(params) {
+  PTE_REQUIRE(params_.mean_ton > 0.0 && params_.mean_toff > 0.0,
+              "surgeon timer means must be positive");
+  const auto& aut = engine.automaton(initializer_);
+  fall_back_ = aut.location_id("Fall-Back");
+  risky_core_ = aut.location_id("Risky Core");
+  engine.add_transition_observer(
+      [this](std::size_t a, sim::SimTime, hybrid::LocId from, hybrid::LocId to,
+             const std::string&) {
+        if (a == initializer_) on_transition(from, to);
+      });
+}
+
+void SurgeonProcess::on_transition(hybrid::LocId from, hybrid::LocId to) {
+  // Ton: armed on Fall-Back entry, destroyed on departure.
+  if (to == fall_back_) {
+    engine_.scheduler().cancel(ton_);
+    ton_ = engine_.scheduler().schedule_in(rng_.exponential(params_.mean_ton), [this] {
+      ++requests_;
+      engine_.inject(initializer_, core::events::cmd_request(entity_n_));
+    });
+    // Toff: destroyed whenever the scalpel returns to Fall-Back (§V).
+    engine_.scheduler().cancel(toff_);
+    toff_ = sim::EventHandle{};
+  } else if (from == fall_back_) {
+    engine_.scheduler().cancel(ton_);
+    ton_ = sim::EventHandle{};
+  }
+
+  // Toff: armed when emission starts.
+  if (to == risky_core_) {
+    engine_.scheduler().cancel(toff_);
+    toff_ = engine_.scheduler().schedule_in(rng_.exponential(params_.mean_toff), [this] {
+      ++cancels_;
+      engine_.inject(initializer_, core::events::cmd_cancel(entity_n_));
+    });
+  }
+}
+
+}  // namespace ptecps::casestudy

@@ -1,0 +1,51 @@
+// Surgeon process — the emulated human will of §V.
+//
+// Exactly the paper's emulation protocol:
+//  * whenever the laser scalpel enters "Fall-Back", a random timer
+//    Ton ~ Exp(mean_on) is armed; when it fires, the surgeon requests
+//    laser emission (evtξNToξ0Req via the cmd.request stimulus).  The
+//    timer is destroyed when the scalpel leaves Fall-Back.
+//  * whenever the scalpel is emitting ("Risky Core"), a random timer
+//    Toff ~ Exp(mean_off) is armed; when it fires, the surgeon cancels.
+//    The timer is destroyed when the scalpel returns to Fall-Back.
+#pragma once
+
+#include "hybrid/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ptecps::casestudy {
+
+struct SurgeonParams {
+  double mean_ton = 30.0;   // E(Ton), seconds
+  double mean_toff = 18.0;  // E(Toff), seconds
+};
+
+class SurgeonProcess {
+ public:
+  /// Observes `initializer_automaton` (the laser scalpel) in `engine` and
+  /// injects cmd_request / cmd_cancel stimuli.  Construct BEFORE
+  /// engine.init() so the initial Fall-Back entry arms Ton.
+  SurgeonProcess(hybrid::Engine& engine, std::size_t initializer_automaton,
+                 std::size_t entity_n, sim::Rng rng, SurgeonParams params = {});
+
+  std::size_t requests() const { return requests_; }
+  std::size_t cancels() const { return cancels_; }
+
+ private:
+  void on_transition(hybrid::LocId from, hybrid::LocId to);
+
+  hybrid::Engine& engine_;
+  std::size_t initializer_;
+  std::size_t entity_n_;
+  sim::Rng rng_;
+  SurgeonParams params_;
+  hybrid::LocId fall_back_;
+  hybrid::LocId risky_core_;
+  sim::EventHandle ton_;
+  sim::EventHandle toff_;
+  std::size_t requests_ = 0;
+  std::size_t cancels_ = 0;
+};
+
+}  // namespace ptecps::casestudy

@@ -1,0 +1,137 @@
+// Full laser tracheotomy wireless CPS assembly and trial runner — the
+// programmatic equivalent of the paper's §V emulation (Fig. 7b):
+// supervisor + SpO2 oximeter (ξ0), ventilator (ξ1, Participant elaborated
+// with the Fig. 2 pump), laser scalpel (ξ2, Initializer), a surgeon
+// process, a simulated patient, and a lossy star network standing in for
+// the ZigBee-under-WiFi-interference testbed.
+//
+// One TrialResult corresponds to one row of Table I.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "casestudy/oximeter.hpp"
+#include "casestudy/patient.hpp"
+#include "casestudy/surgeon.hpp"
+#include "core/config.hpp"
+#include "core/deployment.hpp"
+#include "core/monitor.hpp"
+#include "net/bridge.hpp"
+#include "net/star_network.hpp"
+
+namespace ptecps::casestudy {
+
+struct TrialOptions {
+  core::PatternConfig config = core::PatternConfig::laser_tracheotomy();
+  bool with_lease = true;
+  /// Ablation switch: false = supervisor unwinds cancel/abort chains after
+  /// T^max_wait instead of out-waiting the lease deadline D_i (unsound —
+  /// see bench_scenarios).
+  bool supervisor_deadline_wait = true;
+  double duration = 1800.0;  // 30-minute trials (Table I)
+  std::uint64_t seed = 1;
+
+  SurgeonParams surgeon;             // E(Ton)=30 s; E(Toff) per Table I row
+  PatientParams patient;
+  OximeterParams oximeter;
+  double spo2_threshold = 0.92;      // Θ_SpO2 (§V)
+
+  /// Loss model applied to all four wireless links; null = the default
+  /// Gilbert–Elliott interference stand-in (see trial.cpp).
+  net::StarNetwork::LossFactory loss_factory;
+  net::ChannelConfig channel;        // delay/jitter/acceptance window
+
+  /// Elaborate the ventilator with the Fig. 2 pump (true, the paper's
+  /// design) or run the bare Participant pattern automaton.
+  bool elaborate_ventilator = true;
+
+  /// Rule 1 bound used by the monitor: §V "neither ventilator pause nor
+  /// laser emission can last for more than 1 minute".
+  double dwell_bound = 60.0;
+
+  bool record_trace = false;
+};
+
+struct TrialResult {
+  // Table I columns:
+  std::size_t emissions = 0;    // # of laser emissions (Risky Core entries of ξ2)
+  std::size_t failures = 0;     // # of PTE safety rule violations
+  std::size_t evt_to_stop = 0;  // # of lease-expiry forced stops of the laser
+
+  // Additional observables:
+  std::size_t ventilator_pauses = 0;   // risky episodes of ξ1
+  std::size_t vent_to_stop = 0;        // lease expiries of the ventilator
+  std::size_t sessions = 0;            // supervisor departures from Fall-Back
+  std::size_t aborts = 0;              // supervisor abort-chain activations
+  std::size_t surgeon_requests = 0;
+  std::size_t surgeon_cancels = 0;
+  std::size_t fire_events = 0;         // physical ignition hazards
+  double min_spo2 = 1.0;
+  double max_pause = 0.0;              // longest ventilator risky dwelling (s)
+  double max_emission = 0.0;           // longest laser risky dwelling (s)
+  std::vector<core::PteViolation> violations;
+  net::ChannelStats network;
+
+  std::string summary() const;
+};
+
+/// The assembled system; exposed so examples and tests can drive it and
+/// inspect intermediate state.  Construction wires everything; call run()
+/// (or engine().run_until) and then result().
+class LaserTracheotomySystem {
+ public:
+  explicit LaserTracheotomySystem(TrialOptions options);
+
+  hybrid::Engine& engine() { return *engine_; }
+  core::PteMonitor& monitor() { return *monitor_; }
+  PatientModel& patient() { return *patient_; }
+  net::StarNetwork& network() { return *network_; }
+  SurgeonProcess& surgeon() { return *surgeon_; }
+  const TrialOptions& options() const { return options_; }
+
+  std::size_t supervisor_index() const { return 0; }
+  std::size_t ventilator_index() const { return 1; }
+  std::size_t scalpel_index() const { return 2; }
+
+  /// True while the pump is actually running (cylinder moving).
+  bool ventilated() const;
+  /// True while the laser dwells in risky-locations.
+  bool laser_on() const;
+
+  void run(double duration);
+  TrialResult result();
+
+ private:
+  TrialOptions options_;
+  std::unique_ptr<sim::Rng> rng_;
+  std::unique_ptr<hybrid::Engine> engine_;
+  std::unique_ptr<net::StarNetwork> network_;
+  std::unique_ptr<net::NetEventRouter> router_;
+  std::unique_ptr<core::PteMonitor> monitor_;
+  std::unique_ptr<PatientModel> patient_;
+  std::unique_ptr<OximeterProcess> oximeter_;
+  std::unique_ptr<SurgeonProcess> surgeon_;
+
+  hybrid::LocId vent_pump_out_ = hybrid::kNoLoc;
+  hybrid::LocId vent_pump_in_ = hybrid::kNoLoc;
+  hybrid::LocId vent_fall_back_ = hybrid::kNoLoc;
+
+  std::size_t emissions_ = 0;
+  std::size_t evt_to_stop_ = 0;
+  std::size_t vent_to_stop_ = 0;
+  std::size_t sessions_ = 0;
+  std::size_t aborts_ = 0;
+  bool finalized_ = false;
+};
+
+/// Convenience: build, run for options.duration, return the result.
+TrialResult run_trial(const TrialOptions& options);
+
+/// The default interference stand-in used by the Table I bench: a
+/// Gilbert–Elliott channel calibrated to bursty WiFi-on-ZigBee loss
+/// (~25–30 % average loss with multi-packet bursts).
+net::StarNetwork::LossFactory default_interference_loss();
+
+}  // namespace ptecps::casestudy

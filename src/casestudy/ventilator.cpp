@@ -1,0 +1,56 @@
+#include "casestudy/ventilator.hpp"
+
+namespace ptecps::casestudy {
+
+hybrid::Automaton make_standalone_ventilator() {
+  using namespace hybrid;
+  Automaton a("ventilator_pump");
+  const VarId h = a.add_var("Hvent", 0.0);
+
+  const LocId pump_out = a.add_location("PumpOut");
+  const LocId pump_in = a.add_location("PumpIn");
+
+  // Uniform invariant (Definition 3 condition 1): 0 <= Hvent <= 0.3.
+  const Guard invariant{
+      std::vector<LinearConstraint>{atleast(h, 0.0), atmost(h, kCylinderTop)}};
+  a.set_invariant(pump_out, invariant);
+  a.set_invariant(pump_in, invariant);
+
+  a.set_flow(pump_out, Flow{}.rate(h, -kCylinderSpeed));
+  a.set_flow(pump_in, Flow{}.rate(h, kCylinderSpeed));
+
+  {
+    Edge e;
+    e.src = pump_out;
+    e.dst = pump_in;
+    e.kind = TriggerKind::kCondition;
+    e.guard = Guard{atmost(h, 0.0)};
+    e.note = "Hvent = 0";
+    e.emits.push_back(SyncLabel::send("evtVPumpIn"));
+    a.add_edge(std::move(e));
+  }
+  {
+    Edge e;
+    e.src = pump_in;
+    e.dst = pump_out;
+    e.kind = TriggerKind::kCondition;
+    e.guard = Guard{atleast(h, kCylinderTop)};
+    e.note = "Hvent = 0.3";
+    e.emits.push_back(SyncLabel::send("evtVPumpOut"));
+    a.add_edge(std::move(e));
+  }
+
+  a.add_initial_location(pump_out);
+  a.set_initial_data(InitialData::kAnyInInvariant);
+  a.validate();
+  return a;
+}
+
+hybrid::Elaboration make_ventilator_design(const core::PatternConfig& config,
+                                           bool with_lease) {
+  const hybrid::Automaton pattern =
+      core::make_participant(config, 1, core::ParticipationSpec{}, with_lease);
+  return hybrid::elaborate(pattern, "Fall-Back", make_standalone_ventilator());
+}
+
+}  // namespace ptecps::casestudy

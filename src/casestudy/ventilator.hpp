@@ -1,0 +1,31 @@
+// The ventilator of the laser tracheotomy case study (§V).
+//
+// Fig. 2 gives the stand-alone ventilator A'_vent: a simple hybrid
+// automaton whose cylinder height Hvent(t) saws between 0 and 0.3 m at
+// ±0.1 m/s (PumpOut ⇄ PumpIn).  The deployed ventilator is the
+// elaboration of the Participant design pattern automaton A_ptcpnt,1 at
+// its "Fall-Back" location with A'_vent: the pump runs while the entity
+// is in Fall-Back and the cylinder freezes (pump halted) everywhere else
+// — the freeze falls directly out of the elaboration semantics (§IV-C).
+#pragma once
+
+#include "core/config.hpp"
+#include "core/pattern.hpp"
+#include "hybrid/automaton.hpp"
+#include "hybrid/elaboration.hpp"
+
+namespace ptecps::casestudy {
+
+inline constexpr double kCylinderTop = 0.3;     // m   (Fig. 2)
+inline constexpr double kCylinderSpeed = 0.1;   // m/s (Fig. 2)
+
+/// A'_vent of Fig. 2.  Simple (Definition 3): uniform invariant
+/// 0 <= Hvent <= 0.3, initial location PumpOut, any data state in the
+/// invariant may start, including the zero state.
+hybrid::Automaton make_standalone_ventilator();
+
+/// E(A_ptcpnt,1, "Fall-Back", A'_vent) — the deployed ventilator design.
+hybrid::Elaboration make_ventilator_design(const core::PatternConfig& config,
+                                           bool with_lease = true);
+
+}  // namespace ptecps::casestudy

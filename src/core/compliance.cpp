@@ -1,0 +1,69 @@
+#include "core/compliance.hpp"
+
+#include "core/constraints.hpp"
+#include "hybrid/structural.hpp"
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::core {
+
+hybrid::CheckResult check_theorem2(const ComplianceInput& input) {
+  hybrid::CheckResult result;
+  auto fail = [&result](std::string msg) {
+    result.ok = false;
+    result.problems.push_back(std::move(msg));
+  };
+
+  PTE_REQUIRE(input.config != nullptr, "compliance check needs a configuration");
+  const PatternConfig& config = *input.config;
+  const std::size_t n = config.n_remotes;
+  PTE_REQUIRE(input.designs.size() == n + 1, "need N+1 designs (xi0..xiN)");
+  PTE_REQUIRE(input.plans.size() == n + 1, "need N+1 elaboration plans");
+
+  // Condition 5: c1–c7.
+  const ConstraintReport c = check_theorem1(config);
+  if (!c.ok) fail(util::cat("condition 5 (Theorem 1 constraints): ", c.message()));
+
+  // Conditions 1–3: per-entity structural compliance.
+  auto check_entity = [&](std::size_t idx, hybrid::Automaton pattern,
+                          const std::string& role) {
+    PTE_REQUIRE(input.designs[idx] != nullptr, "null design automaton");
+    const ElaborationPlan& plan = input.plans[idx];
+    try {
+      hybrid::Automaton expected = std::move(pattern);
+      for (const auto& [loc, child] : plan.at) {
+        PTE_REQUIRE(child != nullptr, "null child automaton in elaboration plan");
+        expected = hybrid::elaborate(expected, loc, *child).automaton;
+      }
+      if (!hybrid::structurally_equal(*input.designs[idx], expected)) {
+        fail(util::cat(role, " (xi", idx, "): design is not the declared elaboration of the "
+                       "pattern; first difference: ",
+                       hybrid::first_difference(*input.designs[idx], expected)));
+      }
+    } catch (const std::exception& e) {
+      fail(util::cat(role, " (xi", idx, "): elaboration preconditions failed: ", e.what()));
+    }
+  };
+
+  check_entity(0, make_supervisor(config, input.approval, input.with_lease), "Supervisor");
+  for (std::size_t i = 1; i < n; ++i) {
+    const ParticipationSpec spec =
+        i <= input.participation.size() ? input.participation[i - 1] : ParticipationSpec{};
+    check_entity(i, make_participant(config, i, spec, input.with_lease), "Participant");
+  }
+  check_entity(n, make_initializer(config, input.with_lease), "Initializer");
+
+  // Condition 4: mutual independence of all children across all entities.
+  std::vector<const hybrid::Automaton*> children;
+  for (const auto& plan : input.plans)
+    for (const auto& [loc, child] : plan.at) children.push_back(child);
+  if (children.size() >= 2) {
+    const hybrid::CheckResult indep = hybrid::check_mutually_independent(children);
+    if (!indep.ok) fail(util::cat("condition 4 (mutual child independence): ",
+                                  indep.message()));
+  }
+
+  return result;
+}
+
+}  // namespace ptecps::core

@@ -1,0 +1,47 @@
+// Theorem 2 (Design Pattern Compliance): verify that a concrete hybrid
+// system is an elaboration of the lease design pattern, and therefore
+// inherits its PTE safety guarantee.
+//
+// The five conditions of the theorem map to checks as follows:
+//   1–3. each design automaton A'_i structurally equals the parallel
+//        elaboration of its pattern automaton at the declared locations
+//        with the declared simple children (hybrid::elaborate_parallel +
+//        structural equality), with independence and simplicity of the
+//        children verified by the elaboration itself;
+//   4.   all children across all entities are mutually independent;
+//   5.   the configuration constants satisfy c1–c7 (check_theorem1).
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/pattern.hpp"
+#include "hybrid/elaboration.hpp"
+#include "hybrid/independence.hpp"
+
+namespace ptecps::core {
+
+/// Declared elaboration of one entity's pattern automaton: pairs of
+/// (pattern location name, simple child automaton).  An empty plan means
+/// the design uses the pattern automaton as-is (like the §V laser scalpel
+/// and supervisor).
+struct ElaborationPlan {
+  std::vector<std::pair<std::string, const hybrid::Automaton*>> at;
+};
+
+struct ComplianceInput {
+  const PatternConfig* config = nullptr;
+  ApprovalSpec approval;
+  std::vector<ParticipationSpec> participation;  // size N-1 (or empty for defaults)
+  bool with_lease = true;
+
+  /// designs[0] = ξ0's automaton, designs[i] = ξi's (i = 1..N).
+  std::vector<const hybrid::Automaton*> designs;
+  /// plans[i] matches designs[i].
+  std::vector<ElaborationPlan> plans;
+};
+
+/// Run all five Theorem 2 conditions; `problems` explains every failure.
+hybrid::CheckResult check_theorem2(const ComplianceInput& input);
+
+}  // namespace ptecps::core

@@ -1,0 +1,72 @@
+#include "core/config.hpp"
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::core {
+
+const EntityTiming& PatternConfig::entity(std::size_t i) const {
+  PTE_REQUIRE(i >= 1 && i <= entities.size(), util::cat("entity index ", i, " out of 1..N"));
+  return entities[i - 1];
+}
+
+double PatternConfig::t_risky_min_between(std::size_t i) const {
+  PTE_REQUIRE(i >= 1 && i <= t_risky_min.size(),
+              util::cat("enter-risky safeguard index ", i, " out of 1..N-1"));
+  return t_risky_min[i - 1];
+}
+
+double PatternConfig::t_safe_min_between(std::size_t i) const {
+  PTE_REQUIRE(i >= 1 && i <= t_safe_min.size(),
+              util::cat("exit-risky safeguard index ", i, " out of 1..N-1"));
+  return t_safe_min[i - 1];
+}
+
+double PatternConfig::t_ls1() const { return entity(1).occupancy(); }
+
+double PatternConfig::risky_dwell_bound() const { return t_wait_max + t_ls1(); }
+
+double PatternConfig::lease_deadline_offset(std::size_t i) const {
+  return delivery_slack + entity(i).occupancy();
+}
+
+PatternConfig PatternConfig::laser_tracheotomy() {
+  PatternConfig c;
+  c.n_remotes = 2;
+  c.t_fb_min_0 = 13.0;
+  c.t_wait_max = 3.0;
+  c.t_req_max_n = 5.0;
+  c.entities = {
+      EntityTiming{3.0, 35.0, 6.0},    // ξ1: ventilator
+      EntityTiming{10.0, 20.0, 1.5},   // ξ2: laser scalpel
+  };
+  c.t_risky_min = {3.0};   // T^min_risky:1→2
+  c.t_safe_min = {1.5};    // T^min_safe:2→1
+  c.delivery_slack = 0.1;
+  return c;
+}
+
+std::string PatternConfig::describe() const {
+  std::string out = util::cat("PatternConfig: N=", n_remotes,
+                              ", T^min_fb,0=", util::fmt_compact(t_fb_min_0),
+                              "s, T^max_wait=", util::fmt_compact(t_wait_max),
+                              "s, T^max_req,N=", util::fmt_compact(t_req_max_n),
+                              "s, Δ=", util::fmt_compact(delivery_slack), "s\n");
+  for (std::size_t i = 1; i <= entities.size(); ++i) {
+    const auto& e = entity(i);
+    out += util::cat("  xi", i, ": T^max_enter=", util::fmt_compact(e.t_enter_max),
+                     "s, T^max_run=", util::fmt_compact(e.t_run_max), "s, T_exit=",
+                     util::fmt_compact(e.t_exit), "s  (occupancy ",
+                     util::fmt_compact(e.occupancy()), "s)\n");
+  }
+  for (std::size_t i = 1; i + 1 <= entities.size(); ++i) {
+    out += util::cat("  xi", i, " -> xi", i + 1, ": T^min_risky=",
+                     util::fmt_compact(t_risky_min_between(i)), "s;  xi", i + 1, " -> xi", i,
+                     ": T^min_safe=", util::fmt_compact(t_safe_min_between(i)), "s\n");
+  }
+  out += util::cat("  risky dwell bound (Thm 1): ", util::fmt_compact(risky_dwell_bound()),
+                   "s\n");
+  return out;
+}
+
+}  // namespace ptecps::core

@@ -1,0 +1,76 @@
+// Configuration time constants of the lease design pattern (§IV-A) and
+// the PTE safeguard intervals (§III, Definition 1).
+//
+// Index conventions: entities are ξ1..ξN (1-based, like the paper);
+// entity N is the Initializer, 1..N-1 are Participants, ξ0 (the base
+// station / Supervisor) carries no entity timing of its own beyond
+// T^min_fb,0 and T^max_wait.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ptecps::core {
+
+/// Per-entity lease timing (ξi, i = 1..N).
+struct EntityTiming {
+  double t_enter_max = 0.0;  // T^max_enter,i — dwell in "Entering"
+  double t_run_max = 0.0;    // T^max_run,i   — lease length in "Risky Core"
+  double t_exit = 0.0;       // T_exit,i      — dwell in "Exiting 1/2"
+
+  /// Worst-case occupancy of one leased episode (Entering + Risky Core +
+  /// Exiting); for ξ1 this is the paper's T^max_LS1.
+  double occupancy() const { return t_enter_max + t_run_max + t_exit; }
+};
+
+struct PatternConfig {
+  std::size_t n_remotes = 2;  // N (>= 2)
+
+  double t_fb_min_0 = 0.0;   // T^min_fb,0 — supervisor's minimum Fall-Back dwell
+  double t_wait_max = 0.0;   // T^max_wait — supervisor's per-step response timeout
+  double t_req_max_n = 0.0;  // T^max_req,N — initializer's Requesting timeout
+
+  /// entities[i-1] holds ξi's timing (i = 1..N).
+  std::vector<EntityTiming> entities;
+
+  /// t_risky_min[i-1] = T^min_risky:i→i+1 (enter-risky safeguard between
+  /// ξi and ξi+1), i = 1..N-1.
+  std::vector<double> t_risky_min;
+  /// t_safe_min[i-1] = T^min_safe:i+1→i (exit-risky safeguard), i = 1..N-1.
+  std::vector<double> t_safe_min;
+
+  /// Δ — the receiver acceptance window of the wireless links (an
+  /// implementation refinement: the supervisor adds Δ when computing its
+  /// conservative lease deadlines D_i, and soundness additionally needs
+  /// 2Δ <= T^max_wait; see DESIGN.md and constraints.hpp cΔ).
+  double delivery_slack = 0.1;
+
+  // -- accessors (1-based, paper indexing) ---------------------------------
+  const EntityTiming& entity(std::size_t i) const;
+  double t_risky_min_between(std::size_t i) const;  // ξi → ξi+1
+  double t_safe_min_between(std::size_t i) const;   // ξi+1 → ξi
+
+  /// T^max_LS1 (condition c2) = ξ1's occupancy.
+  double t_ls1() const;
+
+  /// Theorem 1's bound on any entity's continuous risky dwelling:
+  /// T^max_wait + T^max_LS1.
+  double risky_dwell_bound() const;
+
+  /// Supervisor-side conservative lease deadline offset for ξi: from the
+  /// moment the lease request (or the initializer's approval) is sent, ξi
+  /// is guaranteed back in Fall-Back after Δ + occupancy(i).
+  double lease_deadline_offset(std::size_t i) const;
+
+  /// The §V laser tracheotomy configuration (N=2; ξ1 = ventilator,
+  /// ξ2 = laser scalpel): T^min_fb,0 = 13 s, T^max_wait = 3 s,
+  /// T^max_req,2 = 5 s, ξ2 = (10, 20, 1.5) s, ξ1 = (3, 35, 6) s,
+  /// T^min_risky:1→2 = 3 s, T^min_safe:2→1 = 1.5 s.
+  static PatternConfig laser_tracheotomy();
+
+  /// Multi-line human-readable dump.
+  std::string describe() const;
+};
+
+}  // namespace ptecps::core

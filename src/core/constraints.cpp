@@ -1,0 +1,140 @@
+#include "core/constraints.hpp"
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::core {
+
+std::string constraint_name(ConstraintId id) {
+  switch (id) {
+    case ConstraintId::kC1: return "c1";
+    case ConstraintId::kC2: return "c2";
+    case ConstraintId::kC3: return "c3";
+    case ConstraintId::kC4: return "c4";
+    case ConstraintId::kC5: return "c5";
+    case ConstraintId::kC6: return "c6";
+    case ConstraintId::kC7: return "c7";
+    case ConstraintId::kCDelta: return "cΔ";
+  }
+  return "?";
+}
+
+std::string ConstraintReport::message() const {
+  if (ok) return "c1–c7 satisfied";
+  std::vector<std::string> parts;
+  parts.reserve(violations.size());
+  for (const auto& v : violations)
+    parts.push_back(util::cat(constraint_name(v.id),
+                              v.entity != 0 ? util::cat("[i=", v.entity, "]") : "", ": ",
+                              v.description, " (lhs=", util::fmt_compact(v.lhs, 4), ", rhs=",
+                              util::fmt_compact(v.rhs, 4), ")"));
+  return util::join(parts, "; ");
+}
+
+ConstraintReport check_theorem1(const PatternConfig& config) {
+  ConstraintReport report;
+  auto fail = [&report](ConstraintId id, std::size_t entity, double lhs, double rhs,
+                        std::string description) {
+    report.ok = false;
+    report.violations.push_back(
+        ConstraintViolation{id, entity, lhs, rhs, std::move(description)});
+  };
+
+  PTE_REQUIRE(config.n_remotes >= 2, "the design pattern requires N >= 2");
+  PTE_REQUIRE(config.entities.size() == config.n_remotes,
+              "config must carry timing for each of xi1..xiN");
+  PTE_REQUIRE(config.t_risky_min.size() == config.n_remotes - 1,
+              "config needs N-1 enter-risky safeguards");
+  PTE_REQUIRE(config.t_safe_min.size() == config.n_remotes - 1,
+              "config needs N-1 exit-risky safeguards");
+
+  const std::size_t n = config.n_remotes;
+  const double t_ls1 = config.t_ls1();
+
+  // c1: all configuration time constants positive.
+  auto require_positive = [&fail](double v, const std::string& what) {
+    if (!(v > 0.0)) fail(ConstraintId::kC1, 0, v, 0.0, what + " must be positive");
+  };
+  require_positive(config.t_wait_max, "T^max_wait");
+  require_positive(config.t_fb_min_0, "T^min_fb,0");
+  require_positive(config.t_req_max_n, "T^max_req,N");
+  require_positive(t_ls1, "T^max_LS1");
+  for (std::size_t i = 1; i <= n; ++i) {
+    const auto& e = config.entity(i);
+    require_positive(e.t_enter_max, util::cat("T^max_enter,", i));
+    require_positive(e.t_run_max, util::cat("T^max_run,", i));
+    require_positive(e.t_exit, util::cat("T_exit,", i));
+  }
+
+  // c2: T^max_LS1 > N * T^max_wait.
+  if (!(t_ls1 > static_cast<double>(n) * config.t_wait_max))
+    fail(ConstraintId::kC2, 0, t_ls1, static_cast<double>(n) * config.t_wait_max,
+         "T^max_LS1 must exceed N * T^max_wait");
+
+  // c3: (N-1) * T^max_wait < T^max_req,N < T^max_LS1.
+  if (!(static_cast<double>(n - 1) * config.t_wait_max < config.t_req_max_n))
+    fail(ConstraintId::kC3, 0, static_cast<double>(n - 1) * config.t_wait_max,
+         config.t_req_max_n, "(N-1) * T^max_wait must be below T^max_req,N");
+  if (!(config.t_req_max_n < t_ls1))
+    fail(ConstraintId::kC3, 0, config.t_req_max_n, t_ls1,
+         "T^max_req,N must be below T^max_LS1");
+
+  // c4: ∀i: (i-1) T^max_wait + occupancy_i <= T^max_LS1.
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double lhs =
+        static_cast<double>(i - 1) * config.t_wait_max + config.entity(i).occupancy();
+    if (!(lhs <= t_ls1))
+      fail(ConstraintId::kC4, i, lhs, t_ls1,
+           "(i-1) T^max_wait + T^max_enter,i + T^max_run,i + T_exit,i must not exceed "
+           "T^max_LS1");
+  }
+
+  // c5: ∀i < N: T^max_enter,i + T^min_risky:i→i+1 < T^max_enter,i+1.
+  for (std::size_t i = 1; i < n; ++i) {
+    const double lhs = config.entity(i).t_enter_max + config.t_risky_min_between(i);
+    const double rhs = config.entity(i + 1).t_enter_max;
+    if (!(lhs < rhs))
+      fail(ConstraintId::kC5, i, lhs, rhs,
+           "T^max_enter,i + T^min_risky:i→i+1 must be below T^max_enter,i+1");
+  }
+
+  // c6: ∀i < N: T^max_enter,i + T^max_run,i >
+  //             T^max_wait + T^max_enter,i+1 + T^max_run,i+1 + T_exit,i+1.
+  for (std::size_t i = 1; i < n; ++i) {
+    const double lhs = config.entity(i).t_enter_max + config.entity(i).t_run_max;
+    const double rhs = config.t_wait_max + config.entity(i + 1).occupancy();
+    if (!(lhs > rhs))
+      fail(ConstraintId::kC6, i, lhs, rhs,
+           "T^max_enter,i + T^max_run,i must exceed T^max_wait + T^max_enter,i+1 + "
+           "T^max_run,i+1 + T_exit,i+1");
+  }
+
+  // c7: ∀i < N: T_exit,i > T^min_safe:i+1→i.
+  for (std::size_t i = 1; i < n; ++i) {
+    const double lhs = config.entity(i).t_exit;
+    const double rhs = config.t_safe_min_between(i);
+    if (!(lhs > rhs))
+      fail(ConstraintId::kC7, i, lhs, rhs, "T_exit,i must exceed T^min_safe:i+1→i");
+  }
+
+  // cΔ (implementation refinement): 2Δ <= T^max_wait.
+  if (!(2.0 * config.delivery_slack <= config.t_wait_max))
+    fail(ConstraintId::kCDelta, 0, 2.0 * config.delivery_slack, config.t_wait_max,
+         "twice the delivery acceptance window must not exceed T^max_wait");
+
+  return report;
+}
+
+PatternBounds compute_bounds(const PatternConfig& config) {
+  PatternBounds b;
+  b.risky_dwell_bound = config.risky_dwell_bound();
+  b.reset_bound = config.t_wait_max + config.t_ls1() + config.delivery_slack;
+  for (std::size_t i = 1; i < config.n_remotes; ++i) {
+    b.enter_spacing_lower.push_back(config.entity(i + 1).t_enter_max -
+                                    config.entity(i).t_enter_max);
+    b.exit_spacing_lower.push_back(config.entity(i).t_exit);
+  }
+  return b;
+}
+
+}  // namespace ptecps::core

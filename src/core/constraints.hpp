@@ -1,0 +1,64 @@
+// Theorem 1 (Design Pattern Validity): the closed-form constraints c1–c7
+// on the configuration time constants.  If a hybrid system follows the
+// Supervisor / Initializer / Participant design pattern and its constants
+// satisfy c1–c7, the PTE safety rules hold under arbitrary packet loss,
+// and every entity's continuous risky dwelling is bounded by
+// T^max_wait + T^max_LS1.
+//
+// We additionally check one implementation-refinement constraint, cΔ
+// (2Δ <= T^max_wait): our channels deliver within a receiver acceptance
+// window Δ rather than instantaneously, so the supervisor's conservative
+// lease deadlines and the worst-case entry skew between consecutive
+// entities each absorb up to Δ.  With Δ = 0 this degenerates to the
+// paper's setting.  See DESIGN.md §2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace ptecps::core {
+
+enum class ConstraintId { kC1, kC2, kC3, kC4, kC5, kC6, kC7, kCDelta };
+
+std::string constraint_name(ConstraintId id);
+
+struct ConstraintViolation {
+  ConstraintId id;
+  std::size_t entity = 0;  // the i of per-entity constraints, 0 otherwise
+  double lhs = 0.0;
+  double rhs = 0.0;
+  std::string description;
+};
+
+struct ConstraintReport {
+  bool ok = true;
+  std::vector<ConstraintViolation> violations;
+
+  explicit operator bool() const { return ok; }
+  std::string message() const;
+};
+
+/// Check c1–c7 (+ cΔ) on `config`.
+ConstraintReport check_theorem1(const PatternConfig& config);
+
+/// Analytical worst-case bounds implied by Theorem 1, used by the bound
+/// analysis bench and asserted against simulation in the property tests.
+struct PatternBounds {
+  /// Upper bound on any entity's continuous risky dwelling (Rule 1).
+  double risky_dwell_bound = 0.0;
+  /// Per-pair lower bound on the achieved enter-risky spacing
+  /// (>= T^min_risky:i→i+1 when c5 holds): t_enter_{i+1} - t_enter_i.
+  std::vector<double> enter_spacing_lower;
+  /// Per-pair lower bound on the achieved exit-risky safeguard
+  /// (>= T^min_safe:i+1→i when c7 holds): t_exit_i.
+  std::vector<double> exit_spacing_lower;
+  /// Time by which the whole system is guaranteed back in Fall-Back after
+  /// a LeaseReq(ξ1): T^max_wait + T^max_LS1 (+ Δ refinement).
+  double reset_bound = 0.0;
+};
+
+PatternBounds compute_bounds(const PatternConfig& config);
+
+}  // namespace ptecps::core

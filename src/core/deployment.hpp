@@ -1,0 +1,46 @@
+// Assembly of a complete PTE wireless CPS from a configuration: the
+// pattern automata for ξ0..ξN plus the wireless routing table for the
+// star network (which event root travels on which uplink/downlink).
+//
+// This is the "turn the design pattern into a running system" entry
+// point used by the examples and the case study.  Participants can be
+// elaborated afterwards (hybrid::elaborate) — elaboration preserves
+// location names, event roots, and risky classification, so the routing
+// table and monitor wiring remain valid (Theorem 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/pattern.hpp"
+#include "net/bridge.hpp"
+
+namespace ptecps::core {
+
+struct BuiltSystem {
+  /// automata[0] = ξ0 (Supervisor), automata[i] = ξi; i = 1..N-1
+  /// Participants, automata[N] = the Initializer.
+  std::vector<hybrid::Automaton> automata;
+  /// Entity e's automaton index in `automata` (identity here, but kept
+  /// explicit for NetEventRouter's constructor).
+  std::vector<std::size_t> automaton_of_entity;
+
+  struct Route {
+    std::string root;
+    net::EntityId src;
+    net::EntityId dst;
+  };
+  std::vector<Route> wireless_routes;
+
+  /// Register every wireless route on `router`.
+  void install_routes(net::NetEventRouter& router) const;
+};
+
+/// Build the N+1 pattern automata and the routing table.  `deadline_wait`
+/// forwards to make_supervisor (false = the unsound ablation).
+BuiltSystem build_pattern_system(const PatternConfig& config,
+                                 const ApprovalSpec& approval = {},
+                                 bool with_lease = true, bool deadline_wait = true);
+
+}  // namespace ptecps::core

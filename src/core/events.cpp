@@ -1,0 +1,33 @@
+#include "core/events.hpp"
+
+#include "util/text.hpp"
+
+namespace ptecps::core::events {
+
+std::string req(std::size_t n) { return util::cat("evt.xi", n, ".to.xi0.Req"); }
+
+std::string cancel_req(std::size_t n) { return util::cat("evt.xi", n, ".to.xi0.Cancel"); }
+
+std::string lease_req(std::size_t i) { return util::cat("evt.xi0.to.xi", i, ".LeaseReq"); }
+
+std::string lease_approve(std::size_t i) {
+  return util::cat("evt.xi", i, ".to.xi0.LeaseApprove");
+}
+
+std::string lease_deny(std::size_t i) { return util::cat("evt.xi", i, ".to.xi0.LeaseDeny"); }
+
+std::string approve(std::size_t n) { return util::cat("evt.xi0.to.xi", n, ".Approve"); }
+
+std::string cancel(std::size_t i) { return util::cat("evt.xi0.to.xi", i, ".Cancel"); }
+
+std::string abort_lease(std::size_t i) { return util::cat("evt.xi0.to.xi", i, ".Abort"); }
+
+std::string exit(std::size_t i) { return util::cat("evt.xi", i, ".to.xi0.Exit"); }
+
+std::string to_stop(std::size_t i) { return util::cat("evt.xi", i, ".ToStop"); }
+
+std::string cmd_request(std::size_t n) { return util::cat("cmd.xi", n, ".request"); }
+
+std::string cmd_cancel(std::size_t n) { return util::cat("cmd.xi", n, ".cancel"); }
+
+}  // namespace ptecps::core::events

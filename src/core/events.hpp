@@ -1,0 +1,53 @@
+// Canonical event-root names of the lease design pattern (§IV-A).
+//
+// The paper writes events as evtξNToξ0Req, evtξ0ToξiLeaseReq, … ; we keep
+// the same structure in dotted form, e.g. "evt.xi2.to.xi0.Req".  Every
+// name is produced by exactly one function here so the pattern builders,
+// the routing table, the trial statistics and the tests can never drift
+// apart on spelling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ptecps::core::events {
+
+/// evtξNToξ0Req — Initializer requests to enter risky-locations.
+std::string req(std::size_t n);
+
+/// evtξNToξ0Cancel — Initializer requests lease cancellation.
+std::string cancel_req(std::size_t n);
+
+/// evtξ0ToξiLeaseReq — Supervisor requests leasing Participant i.
+std::string lease_req(std::size_t i);
+
+/// evtξiToξ0LeaseApprove — Participant i approves its lease.
+std::string lease_approve(std::size_t i);
+
+/// evtξiToξ0LeaseDeny — Participant i denies its lease.
+std::string lease_deny(std::size_t i);
+
+/// evtξ0ToξNApprove — Supervisor approves the Initializer's request.
+std::string approve(std::size_t n);
+
+/// evtξ0ToξiCancel — Supervisor cancels entity i's lease.
+std::string cancel(std::size_t i);
+
+/// evtξ0ToξiAbort — Supervisor aborts entity i's lease
+/// (ApprovalCondition violated).
+std::string abort_lease(std::size_t i);
+
+/// evtξiToξ0Exit — entity i reports completion of its exit (arrival in
+/// Fall-Back), cf. the §V sequence Abort(ξ2) → Exit(ξ2) → Abort(ξ1).
+std::string exit(std::size_t i);
+
+/// evtToStop — internal marker: lease expiry forced entity i out of its
+/// Risky Core (the quantity counted in Table I).
+std::string to_stop(std::size_t i);
+
+/// Environment stimulus roots (human-in-the-loop commands, injected via
+/// Engine::inject — reliable, local to the entity):
+std::string cmd_request(std::size_t n);  // surgeon asks to start
+std::string cmd_cancel(std::size_t n);   // surgeon asks to stop
+
+}  // namespace ptecps::core::events

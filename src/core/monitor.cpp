@@ -1,0 +1,197 @@
+#include "core/monitor.hpp"
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::core {
+
+std::string violation_kind_str(PteViolationKind kind) {
+  switch (kind) {
+    case PteViolationKind::kDwellBound: return "dwell-bound (Rule 1)";
+    case PteViolationKind::kOrderEmbedding: return "order-embedding (p2)";
+    case PteViolationKind::kEnterSafeguard: return "enter-safeguard (p1)";
+    case PteViolationKind::kExitSafeguard: return "exit-safeguard (p3)";
+  }
+  return "?";
+}
+
+MonitorParams MonitorParams::from_config(const PatternConfig& config, double dwell_bound) {
+  MonitorParams p;
+  p.n_entities = config.n_remotes;
+  const double bound = dwell_bound > 0.0 ? dwell_bound : config.risky_dwell_bound();
+  p.dwell_bounds.assign(config.n_remotes, bound);
+  p.t_risky_min = config.t_risky_min;
+  p.t_safe_min = config.t_safe_min;
+  return p;
+}
+
+PteMonitor::PteMonitor(MonitorParams params) : params_(std::move(params)) {
+  PTE_REQUIRE(params_.n_entities >= 2, "the PTE full ordering needs at least two entities");
+  PTE_REQUIRE(params_.dwell_bounds.size() == params_.n_entities,
+              "need one dwell bound per entity");
+  PTE_REQUIRE(params_.t_risky_min.size() == params_.n_entities - 1,
+              "need N-1 enter safeguards");
+  PTE_REQUIRE(params_.t_safe_min.size() == params_.n_entities - 1,
+              "need N-1 exit safeguards");
+  entities_.resize(params_.n_entities + 1);
+}
+
+void PteMonitor::attach(hybrid::Engine& engine,
+                        std::vector<std::size_t> entity_of_automaton) {
+  PTE_REQUIRE(engine_ == nullptr, "monitor already attached");
+  PTE_REQUIRE(entity_of_automaton.size() == engine.num_automata(),
+              "need an entity id (or 0) for every automaton");
+  for (std::size_t e : entity_of_automaton)
+    PTE_REQUIRE(e <= params_.n_entities, "entity id out of range");
+  engine_ = &engine;
+  entity_of_automaton_ = std::move(entity_of_automaton);
+  engine.add_transition_observer(
+      [this](std::size_t a, sim::SimTime t, hybrid::LocId from, hybrid::LocId to,
+             const std::string&) { on_transition(a, t, from, to); });
+}
+
+void PteMonitor::on_transition(std::size_t automaton, sim::SimTime t, hybrid::LocId from,
+                               hybrid::LocId to) {
+  const std::size_t entity = entity_of_automaton_[automaton];
+  if (entity == 0) return;
+  const auto& aut = engine_->automaton(automaton);
+  const bool was_risky = from != hybrid::kNoLoc && aut.location(from).risky;
+  const bool is_risky = aut.location(to).risky;
+  if (!was_risky && is_risky) enter_risky(entity, t);
+  if (was_risky && !is_risky) exit_risky(entity, t);
+}
+
+void PteMonitor::add_violation(PteViolationKind kind, sim::SimTime t, std::size_t entity,
+                               std::size_t other, double measured, double required,
+                               std::string description) {
+  violations_.push_back(
+      PteViolation{kind, t, entity, other, measured, required, std::move(description)});
+}
+
+void PteMonitor::enter_risky(std::size_t entity, sim::SimTime t) {
+  EntityState& self = entities_[entity];
+  self.risky = true;
+  self.risky_since = t;
+  self.intervals.push_back(RiskyInterval{t, t, false});
+
+  // p1 / p2 against the lower neighbor ξ(entity-1): it must already be
+  // risky, and must have been so for at least T^min_risky.
+  if (entity >= 2) {
+    const EntityState& lower = entities_[entity - 1];
+    const double required = params_.t_risky_min[entity - 2];
+    if (!lower.risky) {
+      add_violation(PteViolationKind::kOrderEmbedding, t, entity, entity - 1, 0.0, 0.0,
+                    util::cat("xi", entity, " entered risky while xi", entity - 1,
+                              " was in safe-locations"));
+    } else if (t - lower.risky_since < required - sim::kTimeEps) {
+      add_violation(PteViolationKind::kEnterSafeguard, t, entity, entity - 1,
+                    t - lower.risky_since, required,
+                    util::cat("xi", entity, " entered risky only ",
+                              util::fmt_compact(t - lower.risky_since, 4), "s after xi",
+                              entity - 1, " (required T^min_risky=",
+                              util::fmt_compact(required), "s)"));
+    }
+  }
+  // p2 against the upper neighbor: if ξ(entity+1) is risky right now the
+  // embedding was already broken (flagged at the earlier transition), but
+  // re-entering below a risky upper is itself a fresh order violation.
+  if (entity < params_.n_entities && entities_[entity + 1].risky) {
+    add_violation(PteViolationKind::kOrderEmbedding, t, entity, entity + 1, 0.0, 0.0,
+                  util::cat("xi", entity, " (re)entered risky while xi", entity + 1,
+                            " was already risky — embedding order lost"));
+  }
+}
+
+void PteMonitor::exit_risky(std::size_t entity, sim::SimTime t) {
+  EntityState& self = entities_[entity];
+  self.risky = false;
+  PTE_CHECK(!self.intervals.empty(), "exit without a matching risky entry");
+  RiskyInterval& interval = self.intervals.back();
+  interval.end = t;
+  interval.closed = true;
+  self.last_exit = t;
+
+  // Rule 1: bounded continuous dwelling.
+  const double bound = params_.dwell_bounds[entity - 1];
+  if (interval.duration() > bound + sim::kTimeEps) {
+    add_violation(PteViolationKind::kDwellBound, t, entity, 0, interval.duration(), bound,
+                  util::cat("xi", entity, " dwelt in risky-locations for ",
+                            util::fmt_compact(interval.duration(), 4), "s (bound ",
+                            util::fmt_compact(bound), "s)"));
+  }
+
+  // p2: the upper neighbor must not be risky when this entity leaves.
+  if (entity < params_.n_entities && entities_[entity + 1].risky) {
+    add_violation(PteViolationKind::kOrderEmbedding, t, entity, entity + 1, 0.0, 0.0,
+                  util::cat("xi", entity, " exited risky while xi", entity + 1,
+                            " was still risky"));
+  }
+
+  // p3: this entity must have stayed risky for T^min_safe after the upper
+  // neighbor's exit.
+  if (entity < params_.n_entities) {
+    const EntityState& upper = entities_[entity + 1];
+    const double required = params_.t_safe_min[entity - 1];
+    if (upper.last_exit >= 0.0 && upper.last_exit >= self.intervals.back().begin &&
+        t - upper.last_exit < required - sim::kTimeEps) {
+      add_violation(PteViolationKind::kExitSafeguard, t, entity, entity + 1,
+                    t - upper.last_exit, required,
+                    util::cat("xi", entity, " exited risky only ",
+                              util::fmt_compact(t - upper.last_exit, 4), "s after xi",
+                              entity + 1, " (required T^min_safe=",
+                              util::fmt_compact(required), "s)"));
+    }
+  }
+}
+
+void PteMonitor::finalize(sim::SimTime end) {
+  if (finalized_) return;
+  finalized_ = true;
+  for (std::size_t e = 1; e <= params_.n_entities; ++e) {
+    EntityState& st = entities_[e];
+    if (!st.risky) continue;
+    RiskyInterval& interval = st.intervals.back();
+    interval.end = end;
+    const double bound = params_.dwell_bounds[e - 1];
+    if (interval.duration() > bound + sim::kTimeEps) {
+      add_violation(PteViolationKind::kDwellBound, end, e, 0, interval.duration(), bound,
+                    util::cat("xi", e, " still in risky-locations after ",
+                              util::fmt_compact(interval.duration(), 4), "s (bound ",
+                              util::fmt_compact(bound), "s) at end of run"));
+    }
+  }
+}
+
+std::size_t PteMonitor::violation_count(PteViolationKind kind) const {
+  std::size_t n = 0;
+  for (const auto& v : violations_) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+const std::vector<RiskyInterval>& PteMonitor::intervals(std::size_t entity) const {
+  PTE_REQUIRE(entity >= 1 && entity <= params_.n_entities, "entity index out of range");
+  return entities_[entity].intervals;
+}
+
+std::size_t PteMonitor::episodes(std::size_t entity) const { return intervals(entity).size(); }
+
+sim::SimTime PteMonitor::max_dwell(std::size_t entity) const {
+  sim::SimTime best = 0.0;
+  for (const auto& iv : intervals(entity)) best = std::max(best, iv.duration());
+  return best;
+}
+
+std::string PteMonitor::summary() const {
+  std::string out = util::cat("PTE monitor: ", violations_.size(), " violation(s)\n");
+  for (const auto& v : violations_)
+    out += util::cat("  [t=", util::fmt_double(v.t, 3), "] ", violation_kind_str(v.kind),
+                     ": ", v.description, "\n");
+  for (std::size_t e = 1; e <= params_.n_entities; ++e)
+    out += util::cat("  xi", e, ": ", episodes(e), " risky episode(s), max dwell ",
+                     util::fmt_compact(max_dwell(e), 3), "s\n");
+  return out;
+}
+
+}  // namespace ptecps::core

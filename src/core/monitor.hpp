@@ -1,0 +1,113 @@
+// Runtime PTE safety monitor: checks PTE Safety Rule 1 (Bounded Dwelling)
+// and Rule 2 (Proper-Temporal-Embedding, properties p1–p3 of Definition 1)
+// against a live execution, via the engine's transition observers.
+//
+// The monitor classifies locations safe/risky directly from the automata
+// (elaborated automata inherit their pattern location's classification),
+// so the same monitor validates both pattern systems and elaborated
+// specific designs — this is precisely the projection argument in the
+// proof of Theorem 2.
+//
+// Violation taxonomy:
+//   kDwellBound      — Rule 1: a continuous risky dwelling exceeded its bound
+//   kOrderEmbedding  — p2: ξi+1 risky while ξi safe (either side's fault)
+//   kEnterSafeguard  — p1: ξi+1 entered risky less than T^min_risky:i→i+1
+//                      after ξi entered risky
+//   kExitSafeguard   — p3: ξi exited risky less than T^min_safe:i+1→i
+//                      after ξi+1 exited risky
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "hybrid/engine.hpp"
+#include "sim/time.hpp"
+
+namespace ptecps::core {
+
+enum class PteViolationKind { kDwellBound, kOrderEmbedding, kEnterSafeguard, kExitSafeguard };
+
+std::string violation_kind_str(PteViolationKind kind);
+
+struct PteViolation {
+  PteViolationKind kind;
+  sim::SimTime t = 0.0;
+  std::size_t entity = 0;        // the entity whose transition exposed it
+  std::size_t other_entity = 0;  // the partner of pairwise rules (0 if n/a)
+  double measured = 0.0;
+  double required = 0.0;
+  std::string description;
+};
+
+/// One maximal continuous risky dwelling of an entity.
+struct RiskyInterval {
+  sim::SimTime begin = 0.0;
+  sim::SimTime end = 0.0;
+  bool closed = false;  // false: still risky at finalize time
+  sim::SimTime duration() const { return end - begin; }
+};
+
+struct MonitorParams {
+  std::size_t n_entities = 0;        // N
+  std::vector<double> dwell_bounds;  // size N: Rule 1 bound per entity
+  std::vector<double> t_risky_min;   // size N-1
+  std::vector<double> t_safe_min;    // size N-1
+
+  /// Derive from a pattern config: safeguards from the config, dwell
+  /// bounds all equal to `dwell_bound` (e.g. the case study's 60 s rule),
+  /// or to config.risky_dwell_bound() if `dwell_bound` <= 0.
+  static MonitorParams from_config(const PatternConfig& config, double dwell_bound = 0.0);
+};
+
+class PteMonitor {
+ public:
+  explicit PteMonitor(MonitorParams params);
+
+  /// Subscribe to `engine`.  `entity_of_automaton[a]` gives the PTE entity
+  /// index (1..N) of engine automaton a, or 0 for non-entities (the
+  /// supervisor, environment automata).  Must be called before
+  /// engine.init() so the initial locations are observed.
+  void attach(hybrid::Engine& engine, std::vector<std::size_t> entity_of_automaton);
+
+  /// Close open intervals at `end` and apply the final Rule 1 checks.
+  /// Idempotent per run.
+  void finalize(sim::SimTime end);
+
+  const std::vector<PteViolation>& violations() const { return violations_; }
+  std::size_t violation_count(PteViolationKind kind) const;
+
+  /// Risky dwelling episodes of entity i (1-based).
+  const std::vector<RiskyInterval>& intervals(std::size_t entity) const;
+  /// Number of risky entries of entity i.
+  std::size_t episodes(std::size_t entity) const;
+  /// Longest risky dwelling observed for entity i (0 if none).
+  sim::SimTime max_dwell(std::size_t entity) const;
+
+  std::string summary() const;
+
+ private:
+  void on_transition(std::size_t automaton, sim::SimTime t, hybrid::LocId from,
+                     hybrid::LocId to);
+  void enter_risky(std::size_t entity, sim::SimTime t);
+  void exit_risky(std::size_t entity, sim::SimTime t);
+  void add_violation(PteViolationKind kind, sim::SimTime t, std::size_t entity,
+                     std::size_t other, double measured, double required,
+                     std::string description);
+
+  MonitorParams params_;
+  hybrid::Engine* engine_ = nullptr;
+  std::vector<std::size_t> entity_of_automaton_;
+
+  struct EntityState {
+    bool risky = false;
+    sim::SimTime risky_since = 0.0;
+    sim::SimTime last_exit = -1.0;  // < 0: never exited
+    std::vector<RiskyInterval> intervals;
+  };
+  std::vector<EntityState> entities_;  // index 1..N (0 unused)
+  std::vector<PteViolation> violations_;
+  bool finalized_ = false;
+};
+
+}  // namespace ptecps::core

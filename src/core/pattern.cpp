@@ -1,0 +1,325 @@
+#include "core/pattern.hpp"
+
+#include "core/constraints.hpp"
+#include "core/events.hpp"
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::core {
+
+namespace {
+
+using hybrid::Automaton;
+using hybrid::Edge;
+using hybrid::Flow;
+using hybrid::Guard;
+using hybrid::LinearExpr;
+using hybrid::LocId;
+using hybrid::Reset;
+using hybrid::SyncLabel;
+using hybrid::TriggerKind;
+using hybrid::VarId;
+
+Edge event_edge(LocId src, LocId dst, const std::string& root, bool wireless) {
+  Edge e;
+  e.src = src;
+  e.dst = dst;
+  e.kind = TriggerKind::kEvent;
+  e.trigger = wireless ? SyncLabel::recv_unreliable(root) : SyncLabel::recv(root);
+  return e;
+}
+
+Edge timed_edge(LocId src, LocId dst, double dwell) {
+  Edge e;
+  e.src = src;
+  e.dst = dst;
+  e.kind = TriggerKind::kTimed;
+  e.dwell = dwell;
+  return e;
+}
+
+Edge condition_edge(LocId src, LocId dst, Guard guard, std::string note) {
+  Edge e;
+  e.src = src;
+  e.dst = dst;
+  e.kind = TriggerKind::kCondition;
+  e.guard = std::move(guard);
+  e.note = std::move(note);
+  return e;
+}
+
+}  // namespace
+
+std::string supervisor_clock_var() { return "clock0"; }
+
+std::string supervisor_deadline_var(std::size_t i) { return util::cat("D_xi", i); }
+
+hybrid::Automaton make_supervisor(const PatternConfig& config, const ApprovalSpec& approval,
+                                  bool with_lease, bool deadline_wait) {
+  const std::size_t n = config.n_remotes;
+  PTE_REQUIRE(n >= 2, "the design pattern requires N >= 2");
+
+  Automaton a("supervisor_xi0");
+
+  // Variables: a never-reset global clock (rate 1 in every location), the
+  // per-entity lease deadlines D_i, and the ApprovalCondition input.
+  const VarId clock = a.add_var(supervisor_clock_var(), 0.0);
+  std::vector<VarId> deadline(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i)
+    deadline[i] = a.add_var(supervisor_deadline_var(i), 0.0);
+  const VarId approval_var = a.add_var(approval.var_name, approval.init);
+
+  const LocId fall_back = a.add_location("Fall-Back");
+  std::vector<LocId> lease(n + 1), cancel(n + 1), abort(n + 1);
+  for (std::size_t i = 1; i <= n; ++i) {
+    lease[i] = a.add_location(util::cat("Lease xi", i));
+    cancel[i] = a.add_location(util::cat("Cancel Lease xi", i));
+    abort[i] = a.add_location(util::cat("Abort Lease xi", i));
+  }
+  for (LocId l = 0; l < a.num_locations(); ++l) a.set_flow(l, Flow{}.rate(clock, 1.0));
+  a.add_initial_location(fall_back);
+
+  // ApprovalCondition guards.  The "holds" guard is used on the Fall-Back
+  // egress; the "violated" guard drives condition edges into Abort.  A
+  // tiny hysteresis epsilon keeps the two disjoint at exactly the
+  // threshold.
+  const Guard approval_holds{hybrid::atleast(approval_var, approval.threshold)};
+  const Guard approval_violated{
+      hybrid::atmost(approval_var, approval.threshold - 1e-9)};
+
+  // Deadline guard: clock - D_i >= 0.
+  auto deadline_passed = [&](std::size_t i) {
+    LinearExpr expr = LinearExpr::var(clock);
+    expr.add_term(deadline[i], -1.0);
+    return Guard{hybrid::LinearConstraint{expr, hybrid::Cmp::kGe}};
+  };
+
+  // Emissions attached to "lease the next entity": the lease request for
+  // a participant, or the approval for the initializer; both record D.
+  auto lease_next = [&](Edge& e, std::size_t next) {
+    if (next < n) {
+      e.emits.push_back(SyncLabel::send(events::lease_req(next)));
+    } else {
+      e.emits.push_back(SyncLabel::send(events::approve(n)));
+    }
+    e.reset.set_now_plus(deadline[next], config.lease_deadline_offset(next));
+  };
+
+  // Fall-Back --(??Req, dwell >= T^min_fb,0, ApprovalCondition)--> Lease ξ1.
+  {
+    Edge e = event_edge(fall_back, lease[1], events::req(n), /*wireless=*/true);
+    e.guard = approval_holds;
+    e.guard.min_dwell(config.t_fb_min_0);
+    lease_next(e, 1);
+    a.add_edge(std::move(e));
+  }
+
+  // The reverse-order unwinding targets: from Cancel/Abort Lease ξi step
+  // down to ξi-1 (emitting its Cancel/Abort), or to Fall-Back at i = 1.
+  auto add_down_edges = [&](Edge base, std::size_t i, bool aborting) {
+    if (i == 1) {
+      base.dst = fall_back;
+    } else {
+      base.dst = aborting ? abort[i - 1] : cancel[i - 1];
+      base.emits.push_back(SyncLabel::send(
+          aborting ? events::abort_lease(i - 1) : events::cancel(i - 1)));
+    }
+    a.add_edge(std::move(base));
+  };
+
+  for (std::size_t i = 1; i < n; ++i) {
+    // Lease ξi (participant): Fig. 4 (a).
+    {
+      Edge e = event_edge(lease[i], lease[i + 1], events::lease_approve(i), true);
+      lease_next(e, i + 1);
+      a.add_edge(std::move(e));
+    }
+    add_down_edges(event_edge(lease[i], 0, events::lease_deny(i), true), i,
+                   /*aborting=*/false);
+    {
+      Edge e = timed_edge(lease[i], cancel[i], config.t_wait_max);
+      e.emits.push_back(SyncLabel::send(events::cancel(i)));
+      a.add_edge(std::move(e));
+    }
+    {
+      Edge e = event_edge(lease[i], cancel[i], events::cancel_req(n), true);
+      e.emits.push_back(SyncLabel::send(events::cancel(i)));
+      a.add_edge(std::move(e));
+    }
+    {
+      Edge e = condition_edge(lease[i], abort[i], approval_violated,
+                              "ApprovalCondition violated");
+      e.emits.push_back(SyncLabel::send(events::abort_lease(i)));
+      a.add_edge(std::move(e));
+    }
+  }
+
+  // Lease ξN (initializer approved): Fig. 4 (b).
+  add_down_edges(event_edge(lease[n], 0, events::exit(n), true), n, /*aborting=*/false);
+  a.add_edge(event_edge(lease[n], cancel[n], events::cancel_req(n), true));
+  add_down_edges(
+      condition_edge(lease[n], 0, deadline_passed(n), util::cat("D_xi", n, " passed")), n,
+      /*aborting=*/false);
+  {
+    Edge e = condition_edge(lease[n], abort[n], approval_violated,
+                            "ApprovalCondition violated");
+    e.emits.push_back(SyncLabel::send(events::abort_lease(n)));
+    a.add_edge(std::move(e));
+  }
+
+  // Cancel/Abort Lease ξi: Fig. 4 (c).  Wait for Exit/Deny confirmation
+  // or for the conservative lease deadline D_i, then step down.
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (bool aborting : {false, true}) {
+      const LocId here = aborting ? abort[i] : cancel[i];
+      add_down_edges(event_edge(here, 0, events::exit(i), true), i, aborting);
+      if (i < n)  // the initializer has no LeaseDeny
+        add_down_edges(event_edge(here, 0, events::lease_deny(i), true), i, aborting);
+      if (deadline_wait) {
+        add_down_edges(
+            condition_edge(here, 0, deadline_passed(i), util::cat("D_xi", i, " passed")), i,
+            aborting);
+      } else {
+        // Ablation: impatient unwinding after T^max_wait (unsound).
+        add_down_edges(timed_edge(here, 0, config.t_wait_max), i, aborting);
+      }
+      if (!with_lease) {
+        // Baseline: periodic retransmission while waiting for confirmation
+        // (a conventional implementation's recovery strategy).
+        Edge e = timed_edge(here, here, config.t_wait_max);
+        e.emits.push_back(SyncLabel::send(aborting ? events::abort_lease(i)
+                                                   : events::cancel(i)));
+        e.note = "retransmit";
+        a.add_edge(std::move(e));
+      }
+    }
+  }
+
+  a.validate();
+  return a;
+}
+
+hybrid::Automaton make_initializer(const PatternConfig& config, bool with_lease) {
+  const std::size_t n = config.n_remotes;
+  const EntityTiming& timing = config.entity(n);
+
+  Automaton a(util::cat("initializer_xi", n));
+  const LocId fall_back = a.add_location("Fall-Back");
+  const LocId requesting = a.add_location("Requesting");
+  const LocId entering = a.add_location("Entering");
+  const LocId risky_core = a.add_location("Risky Core", /*risky=*/true);
+  const LocId exiting1 = a.add_location("Exiting 1", /*risky=*/true);
+  const LocId exiting2 = a.add_location("Exiting 2");
+  a.add_initial_location(fall_back);
+
+  // Fall-Back --(surgeon/operator request)--> Requesting, sending ξN→ξ0 Req.
+  {
+    Edge e = event_edge(fall_back, requesting, events::cmd_request(n), /*wireless=*/false);
+    e.emits.push_back(SyncLabel::send(events::req(n)));
+    a.add_edge(std::move(e));
+  }
+  // Requesting: give up after T^max_req,N; operator may cancel; approval
+  // moves to Entering.
+  a.add_edge(timed_edge(requesting, fall_back, config.t_req_max_n));
+  {
+    Edge e = event_edge(requesting, fall_back, events::cmd_cancel(n), false);
+    e.emits.push_back(SyncLabel::send(events::cancel_req(n)));
+    a.add_edge(std::move(e));
+  }
+  a.add_edge(event_edge(requesting, entering, events::approve(n), /*wireless=*/true));
+
+  // Entering: T^max_enter,N to Risky Core; cancel/abort to Exiting 2.
+  a.add_edge(timed_edge(entering, risky_core, timing.t_enter_max));
+  {
+    Edge e = event_edge(entering, exiting2, events::cmd_cancel(n), false);
+    e.emits.push_back(SyncLabel::send(events::cancel_req(n)));
+    a.add_edge(std::move(e));
+  }
+  a.add_edge(event_edge(entering, exiting2, events::abort_lease(n), /*wireless=*/true));
+
+  // Risky Core: lease expiry (evtToStop), cancel, abort — all to Exiting 1.
+  if (with_lease) {
+    Edge e = timed_edge(risky_core, exiting1, timing.t_run_max);
+    e.emits.push_back(SyncLabel::internal(events::to_stop(n)));
+    e.note = "lease expired";
+    a.add_edge(std::move(e));
+  }
+  {
+    Edge e = event_edge(risky_core, exiting1, events::cmd_cancel(n), false);
+    e.emits.push_back(SyncLabel::send(events::cancel_req(n)));
+    a.add_edge(std::move(e));
+  }
+  a.add_edge(event_edge(risky_core, exiting1, events::abort_lease(n), /*wireless=*/true));
+
+  // Exiting 1/2: dwell T_exit,N, then report Exit.
+  for (LocId exiting : {exiting1, exiting2}) {
+    Edge e = timed_edge(exiting, fall_back, timing.t_exit);
+    e.emits.push_back(SyncLabel::send(events::exit(n)));
+    a.add_edge(std::move(e));
+  }
+
+  a.validate();
+  return a;
+}
+
+hybrid::Automaton make_participant(const PatternConfig& config, std::size_t i,
+                                   const ParticipationSpec& participation, bool with_lease) {
+  PTE_REQUIRE(i >= 1 && i < config.n_remotes,
+              util::cat("participant index ", i, " must be in 1..N-1"));
+  const EntityTiming& timing = config.entity(i);
+
+  Automaton a(util::cat("participant_xi", i));
+  const VarId pc = a.add_var(participation.var_name, participation.init);
+
+  const LocId fall_back = a.add_location("Fall-Back");
+  const LocId l0 = a.add_location("L0");
+  const LocId entering = a.add_location("Entering");
+  const LocId risky_core = a.add_location("Risky Core", /*risky=*/true);
+  const LocId exiting1 = a.add_location("Exiting 1", /*risky=*/true);
+  const LocId exiting2 = a.add_location("Exiting 2");
+  a.add_initial_location(fall_back);
+
+  a.add_edge(event_edge(fall_back, l0, events::lease_req(i), /*wireless=*/true));
+
+  // L0 is the paper's temporary location: both condition edges are
+  // checked at entry, so its dwelling time is 0.  ParticipationCondition
+  // first (it wins at exactly the threshold).
+  {
+    Edge e = condition_edge(l0, entering,
+                            Guard{hybrid::atleast(pc, participation.threshold)},
+                            "ParticipationCondition holds");
+    e.emits.push_back(SyncLabel::send(events::lease_approve(i)));
+    a.add_edge(std::move(e));
+  }
+  {
+    Edge e = condition_edge(l0, fall_back,
+                            Guard{hybrid::atmost(pc, participation.threshold)},
+                            "ParticipationCondition violated");
+    e.emits.push_back(SyncLabel::send(events::lease_deny(i)));
+    a.add_edge(std::move(e));
+  }
+
+  a.add_edge(timed_edge(entering, risky_core, timing.t_enter_max));
+  a.add_edge(event_edge(entering, exiting2, events::cancel(i), /*wireless=*/true));
+  a.add_edge(event_edge(entering, exiting2, events::abort_lease(i), /*wireless=*/true));
+
+  if (with_lease) {
+    Edge e = timed_edge(risky_core, exiting1, timing.t_run_max);
+    e.emits.push_back(SyncLabel::internal(events::to_stop(i)));
+    e.note = "lease expired";
+    a.add_edge(std::move(e));
+  }
+  a.add_edge(event_edge(risky_core, exiting1, events::cancel(i), /*wireless=*/true));
+  a.add_edge(event_edge(risky_core, exiting1, events::abort_lease(i), /*wireless=*/true));
+
+  for (LocId exiting : {exiting1, exiting2}) {
+    Edge e = timed_edge(exiting, fall_back, timing.t_exit);
+    e.emits.push_back(SyncLabel::send(events::exit(i)));
+    a.add_edge(std::move(e));
+  }
+
+  a.validate();
+  return a;
+}
+
+}  // namespace ptecps::core

@@ -1,0 +1,72 @@
+// Builders for the lease design pattern hybrid automata of §IV-A:
+// A_supvsr (Fig. 3 / Fig. 4), A_initzr (Fig. 5a), A_ptcpnt,i (Fig. 5b).
+//
+// The paper gives the Supervisor's per-location behavior (Fig. 4 a–c) in
+// prose; DESIGN.md §2 documents our reconstruction.  The load-bearing
+// choice is the supervisor-side lease deadline D_i: when the supervisor
+// sends the lease request for ξi (or the approval for ξN) it records
+//     D_i := now + Δ + T^max_enter,i + T^max_run,i + T_exit,i
+// and, while cancelling/aborting, refuses to release ξi-1 before either
+// receiving ξi's Exit/Deny confirmation or passing D_i.  This is what
+// preserves the reverse exit order (p2/p3) when confirmations are lost —
+// cf. the §V scenario where evtξ2Toξ0Exit is lost.
+//
+// Location names follow the paper: "Fall-Back", "Lease xi<i>",
+// "Cancel Lease xi<i>", "Abort Lease xi<i>", "Requesting", "Entering",
+// "Risky Core", "Exiting 1", "Exiting 2", "L0".  Risky-locations are
+// {"Risky Core", "Exiting 1"} (§IV-A).
+//
+// `with_lease = false` builds the paper's §V baseline: remote entities
+// lose their Risky-Core expiry edge (no lease timer), and the supervisor
+// compensates with periodic retransmission of Cancel/Abort — the
+// behavior a conventional (non-lease) implementation would exhibit.
+#pragma once
+
+#include "core/config.hpp"
+#include "hybrid/automaton.hpp"
+
+namespace ptecps::core {
+
+/// The supervisor's application-dependent ApprovalCondition is modelled
+/// as a data state variable compared against a threshold: the condition
+/// holds iff  var >= threshold.  The environment (e.g. the oximeter)
+/// writes the variable via Engine::set_var.  For laser tracheotomy the
+/// variable is the measured SpO2 and the threshold Θ_SpO2 = 0.92.
+struct ApprovalSpec {
+  std::string var_name = "approval_val";
+  double init = 1.0;
+  double threshold = 0.5;
+};
+
+/// A Participant's ParticipationCondition, same encoding.
+struct ParticipationSpec {
+  std::string var_name = "participation_val";
+  double init = 1.0;
+  double threshold = 0.5;
+};
+
+/// A_supvsr for entity ξ0.  Locations: Fall-Back, and Lease/Cancel/Abort
+/// Lease ξi for i = 1..N (3N + 1 locations).
+///
+/// `deadline_wait = false` is an ABLATION, not part of the paper's
+/// pattern: the supervisor steps down the cancel/abort chain after a mere
+/// T^max_wait instead of out-waiting the conservative lease deadline D_i.
+/// Under exit-confirmation loss this releases ξi-1 while ξi may still be
+/// risky and breaks the reverse exit order (see bench_scenarios).
+hybrid::Automaton make_supervisor(const PatternConfig& config,
+                                  const ApprovalSpec& approval = {},
+                                  bool with_lease = true, bool deadline_wait = true);
+
+/// A_initzr for entity ξN.
+hybrid::Automaton make_initializer(const PatternConfig& config, bool with_lease = true);
+
+/// A_ptcpnt,i for Participant ξi (1 <= i <= N-1).
+hybrid::Automaton make_participant(const PatternConfig& config, std::size_t i,
+                                   const ParticipationSpec& participation = {},
+                                   bool with_lease = true);
+
+/// Names of the supervisor's bookkeeping variables (for tests/examples).
+std::string supervisor_clock_var();
+std::string supervisor_deadline_var(std::size_t i);
+
+}  // namespace ptecps::core

@@ -1,0 +1,87 @@
+#include "core/rules.hpp"
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::core {
+
+std::vector<PteViolation> check_pte_offline(const OfflineInput& input) {
+  const MonitorParams& p = input.params;
+  PTE_REQUIRE(input.intervals.size() == p.n_entities,
+              "need one interval list per entity");
+  PTE_REQUIRE(p.dwell_bounds.size() == p.n_entities, "need one dwell bound per entity");
+
+  std::vector<PteViolation> out;
+  auto close = [&input](const RiskyInterval& iv) {
+    return iv.closed ? iv.end : input.end;
+  };
+
+  // Rule 1: bounded continuous dwelling.
+  for (std::size_t e = 1; e <= p.n_entities; ++e) {
+    for (const auto& iv : input.intervals[e - 1]) {
+      const double duration = close(iv) - iv.begin;
+      if (duration > p.dwell_bounds[e - 1] + sim::kTimeEps) {
+        out.push_back(PteViolation{
+            PteViolationKind::kDwellBound, close(iv), e, 0, duration, p.dwell_bounds[e - 1],
+            util::cat("xi", e, " risky for ", util::fmt_compact(duration, 4), "s (bound ",
+                      util::fmt_compact(p.dwell_bounds[e - 1]), "s)", iv.closed ? "" :
+                      " [interval still open at horizon]")});
+      }
+    }
+  }
+
+  // Rule 2 via containment, pairwise along the full ordering.
+  for (std::size_t i = 1; i < p.n_entities; ++i) {
+    const auto& lower = input.intervals[i - 1];
+    const auto& upper = input.intervals[i];
+    const double t_risky = p.t_risky_min[i - 1];
+    const double t_safe = p.t_safe_min[i - 1];
+
+    for (const auto& u : upper) {
+      // The covering lower interval must contain u's begin (p2 at entry).
+      const RiskyInterval* cover = nullptr;
+      for (const auto& l : lower) {
+        if (l.begin <= u.begin + sim::kTimeEps && close(l) >= u.begin - sim::kTimeEps) {
+          cover = &l;
+          break;
+        }
+      }
+      if (cover == nullptr) {
+        out.push_back(PteViolation{
+            PteViolationKind::kOrderEmbedding, u.begin, i + 1, i, 0.0, 0.0,
+            util::cat("xi", i + 1, " risky at t=", util::fmt_compact(u.begin, 4),
+                      " with no covering risky interval of xi", i)});
+        continue;
+      }
+      // p1: entered at least T^min_risky after the cover began.
+      if (u.begin - cover->begin < t_risky - sim::kTimeEps) {
+        out.push_back(PteViolation{
+            PteViolationKind::kEnterSafeguard, u.begin, i + 1, i, u.begin - cover->begin,
+            t_risky,
+            util::cat("xi", i + 1, " entered ", util::fmt_compact(u.begin - cover->begin, 4),
+                      "s after xi", i, " (required ", util::fmt_compact(t_risky), "s)")});
+      }
+      // p2 for the whole of u: the cover must outlast it.
+      if (close(*cover) < close(u) - sim::kTimeEps) {
+        out.push_back(PteViolation{
+            PteViolationKind::kOrderEmbedding, close(*cover), i, i + 1, 0.0, 0.0,
+            util::cat("xi", i, " exited risky at t=", util::fmt_compact(close(*cover), 4),
+                      " while xi", i + 1, " remained risky until ",
+                      util::fmt_compact(close(u), 4))});
+        continue;
+      }
+      // p3: the cover persists T^min_safe past u's end (only judgeable
+      // when u closed; an open u pins the cover open too).
+      if (u.closed && cover->closed && cover->end - u.end < t_safe - sim::kTimeEps) {
+        out.push_back(PteViolation{
+            PteViolationKind::kExitSafeguard, cover->end, i, i + 1, cover->end - u.end,
+            t_safe,
+            util::cat("xi", i, " exited ", util::fmt_compact(cover->end - u.end, 4),
+                      "s after xi", i + 1, " (required ", util::fmt_compact(t_safe), "s)")});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ptecps::core

@@ -1,0 +1,80 @@
+#include "core/synthesis.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::core {
+
+PatternConfig synthesize(const SynthesisRequest& request) {
+  const std::size_t n = request.n_remotes;
+  PTE_REQUIRE(n >= 2, "synthesis needs N >= 2");
+  PTE_REQUIRE(request.t_risky_min.size() == n - 1, "need N-1 enter-risky safeguards");
+  PTE_REQUIRE(request.t_safe_min.size() == n - 1, "need N-1 exit-risky safeguards");
+  PTE_REQUIRE(request.margin > 0.0, "margin must be positive");
+  PTE_REQUIRE(request.t_wait_max > 0.0, "T^max_wait must be positive");
+  PTE_REQUIRE(request.t_fb_min_0 > 0.0, "T^min_fb,0 must be positive");
+  PTE_REQUIRE(request.initializer_lease > 0.0, "initializer lease must be positive");
+  PTE_REQUIRE(2.0 * request.delivery_slack <= request.t_wait_max,
+              "delivery slack too large for T^max_wait (cΔ)");
+  for (double v : request.t_risky_min)
+    PTE_REQUIRE(v >= 0.0, "enter-risky safeguards must be non-negative");
+  for (double v : request.t_safe_min)
+    PTE_REQUIRE(v >= 0.0, "exit-risky safeguards must be non-negative");
+
+  PatternConfig c;
+  c.n_remotes = n;
+  c.t_wait_max = request.t_wait_max;
+  c.t_fb_min_0 = request.t_fb_min_0;
+  c.t_risky_min = request.t_risky_min;
+  c.t_safe_min = request.t_safe_min;
+  c.delivery_slack = request.delivery_slack;
+  c.entities.resize(n);
+
+  const double m = request.margin;
+
+  // T_exit,i = T^min_safe + margin (c7); the initializer only needs a
+  // positive exit dwell (c1).
+  for (std::size_t i = 1; i < n; ++i)
+    c.entities[i - 1].t_exit = request.t_safe_min[i - 1] + m;
+  c.entities[n - 1].t_exit = m;
+
+  // Enter chain upward (c5, strict by margin).
+  c.entities[0].t_enter_max = m;
+  for (std::size_t i = 1; i < n; ++i)
+    c.entities[i].t_enter_max =
+        c.entities[i - 1].t_enter_max + request.t_risky_min[i - 1] + m;
+
+  // Run chain downward (c6, strict by margin).
+  c.entities[n - 1].t_run_max = request.initializer_lease;
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    const double needed = c.t_wait_max + c.entities[i].occupancy() -
+                          c.entities[i - 1].t_enter_max + m;
+    c.entities[i - 1].t_run_max = std::max(needed, m);
+  }
+
+  // c2/c4: T^max_LS1 must dominate N*T^max_wait and every
+  // (i-1)*T^max_wait + occupancy_i.  Bump T^max_run,1 if needed.
+  double required_ls1 = static_cast<double>(n) * c.t_wait_max + m;
+  for (std::size_t i = 2; i <= n; ++i)
+    required_ls1 = std::max(required_ls1, static_cast<double>(i - 1) * c.t_wait_max +
+                                              c.entity(i).occupancy());
+  const double ls1_now = c.t_ls1();
+  if (ls1_now < required_ls1)
+    c.entities[0].t_run_max += required_ls1 - ls1_now;
+
+  // c3: (N-1) T^max_wait < T^max_req,N < T^max_LS1 — center the request
+  // timeout just above its lower bound.
+  c.t_req_max_n = static_cast<double>(n - 1) * c.t_wait_max + m;
+  PTE_REQUIRE(c.t_req_max_n < c.t_ls1(),
+              util::cat("synthesis cannot satisfy c3: T^max_req,N=", c.t_req_max_n,
+                        " >= T^max_LS1=", c.t_ls1(), " — increase margin or lease length"));
+
+  const ConstraintReport report = check_theorem1(c);
+  PTE_CHECK(report.ok, util::cat("synthesized configuration violates Theorem 1: ",
+                                 report.message()));
+  return c;
+}
+
+}  // namespace ptecps::core

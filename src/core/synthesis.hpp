@@ -1,0 +1,40 @@
+// Closed-form parameter synthesis: derive a configuration satisfying the
+// Theorem 1 constraints c1–c7 from the application-given quantities —
+// number of entities, PTE safeguard intervals, and the desired Initializer
+// lease length.  This is the constructive counterpart of the paper's
+// "closed-form configuration constraints" contribution: rather than only
+// *checking* a configuration, the library can *produce* one.
+//
+// Construction (all closed-form, see synthesis.cpp):
+//   * T_exit,i   = T^min_safe:i+1→i + margin            (c7); T_exit,N = margin
+//   * T^max_enter chain upward via c5:
+//       T^max_enter,1 = margin,
+//       T^max_enter,i+1 = T^max_enter,i + T^min_risky:i→i+1 + margin
+//   * T^max_run chain downward via c6:
+//       T^max_run,N = requested initializer lease,
+//       T^max_run,i = T^max_wait + occupancy(i+1) - T^max_enter,i + margin
+//   * T^max_req,N, T^max_run,1 adjusted to satisfy c2–c4.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/constraints.hpp"
+
+namespace ptecps::core {
+
+struct SynthesisRequest {
+  std::size_t n_remotes = 2;            // N >= 2
+  std::vector<double> t_risky_min;      // size N-1
+  std::vector<double> t_safe_min;       // size N-1
+  double initializer_lease = 20.0;      // desired T^max_run,N
+  double t_wait_max = 3.0;              // supervisor response timeout
+  double t_fb_min_0 = 10.0;             // supervisor Fall-Back dwell
+  double margin = 0.5;                  // strictness slack for <, > constraints
+  double delivery_slack = 0.1;          // channel acceptance window Δ
+};
+
+/// Synthesize a PatternConfig from `request`.  The result always satisfies
+/// check_theorem1 (this is asserted internally) — a failure to synthesize
+/// throws std::invalid_argument naming the offending input.
+PatternConfig synthesize(const SynthesisRequest& request);
+
+}  // namespace ptecps::core

@@ -1,0 +1,197 @@
+#include "hybrid/automaton.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::hybrid {
+
+std::string Edge::trigger_str() const {
+  switch (kind) {
+    case TriggerKind::kEvent: return trigger.str();
+    case TriggerKind::kTimed: return util::cat("dwell == ", util::fmt_compact(dwell));
+    case TriggerKind::kCondition: return "when guard";
+  }
+  return "?";
+}
+
+Automaton::Automaton(std::string name) : name_(std::move(name)) {
+  PTE_REQUIRE(!name_.empty(), "automaton needs a name");
+}
+
+VarId Automaton::add_var(std::string name, double init) {
+  PTE_REQUIRE(!name.empty(), "variable needs a name");
+  PTE_REQUIRE(!has_var(name), util::cat("duplicate variable name '", name, "'"));
+  var_names_.push_back(std::move(name));
+  var_inits_.push_back(init);
+  return var_names_.size() - 1;
+}
+
+LocId Automaton::add_location(std::string name, bool risky) {
+  PTE_REQUIRE(!name.empty(), "location needs a name");
+  PTE_REQUIRE(!has_location(name), util::cat("duplicate location name '", name, "'"));
+  locations_.push_back(Location{std::move(name), risky, Guard{}, Flow{}});
+  return locations_.size() - 1;
+}
+
+void Automaton::set_invariant(LocId loc, Guard inv) {
+  location_mut(loc).invariant = std::move(inv);
+}
+
+void Automaton::set_flow(LocId loc, Flow flow) { location_mut(loc).flow = std::move(flow); }
+
+EdgeId Automaton::add_edge(Edge edge) {
+  edges_.push_back(std::move(edge));
+  return edges_.size() - 1;
+}
+
+void Automaton::add_initial_location(LocId loc) {
+  PTE_REQUIRE(loc < locations_.size(), "initial location out of range");
+  if (std::find(initial_locations_.begin(), initial_locations_.end(), loc) ==
+      initial_locations_.end())
+    initial_locations_.push_back(loc);
+}
+
+void Automaton::set_initial_data(InitialData policy) { initial_data_ = policy; }
+
+const std::string& Automaton::var_name(VarId v) const {
+  PTE_REQUIRE(v < var_names_.size(), "variable id out of range");
+  return var_names_[v];
+}
+
+VarId Automaton::var_id(const std::string& name) const {
+  for (VarId v = 0; v < var_names_.size(); ++v) {
+    if (var_names_[v] == name) return v;
+  }
+  PTE_REQUIRE(false, util::cat("automaton '", name_, "' has no variable '", name, "'"));
+  return 0;  // unreachable
+}
+
+bool Automaton::has_var(const std::string& name) const {
+  return std::find(var_names_.begin(), var_names_.end(), name) != var_names_.end();
+}
+
+double Automaton::var_init(VarId v) const {
+  PTE_REQUIRE(v < var_inits_.size(), "variable id out of range");
+  return var_inits_[v];
+}
+
+Valuation Automaton::initial_valuation() const { return var_inits_; }
+
+const Location& Automaton::location(LocId id) const {
+  PTE_REQUIRE(id < locations_.size(), "location id out of range");
+  return locations_[id];
+}
+
+Location& Automaton::location_mut(LocId id) {
+  PTE_REQUIRE(id < locations_.size(), "location id out of range");
+  return locations_[id];
+}
+
+LocId Automaton::location_id(const std::string& name) const {
+  for (LocId i = 0; i < locations_.size(); ++i) {
+    if (locations_[i].name == name) return i;
+  }
+  PTE_REQUIRE(false, util::cat("automaton '", name_, "' has no location '", name, "'"));
+  return 0;  // unreachable
+}
+
+bool Automaton::has_location(const std::string& name) const {
+  for (const auto& l : locations_) {
+    if (l.name == name) return true;
+  }
+  return false;
+}
+
+const Edge& Automaton::edge(EdgeId id) const {
+  PTE_REQUIRE(id < edges_.size(), "edge id out of range");
+  return edges_[id];
+}
+
+std::vector<EdgeId> Automaton::edges_from(LocId src) const {
+  std::vector<EdgeId> out;
+  for (EdgeId i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].src == src) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<SyncLabel> Automaton::labels() const {
+  std::set<SyncLabel> set;
+  for (const auto& e : edges_) {
+    if (e.kind == TriggerKind::kEvent) set.insert(e.trigger);
+    for (const auto& l : e.emits) set.insert(l);
+  }
+  return {set.begin(), set.end()};
+}
+
+std::vector<std::string> Automaton::label_roots() const {
+  std::set<std::string> roots;
+  for (const auto& l : labels()) roots.insert(l.root);
+  return {roots.begin(), roots.end()};
+}
+
+bool Automaton::is_risky(LocId loc) const { return location(loc).risky; }
+
+std::vector<LocId> Automaton::risky_locations() const {
+  std::vector<LocId> out;
+  for (LocId i = 0; i < locations_.size(); ++i) {
+    if (locations_[i].risky) out.push_back(i);
+  }
+  return out;
+}
+
+void Automaton::validate() const {
+  PTE_REQUIRE(!locations_.empty(), util::cat("automaton '", name_, "' has no locations"));
+  PTE_REQUIRE(!initial_locations_.empty(),
+              util::cat("automaton '", name_, "' has no initial location (Φ0 empty)"));
+
+  const std::size_t n = num_vars();
+  auto check_guard = [&](const Guard& g, const std::string& where) {
+    const std::size_t m = g.max_var();
+    PTE_REQUIRE(m == LinearExpr::kNoVar || m < n,
+                util::cat(name_, ": ", where, " references unknown variable x", m));
+  };
+
+  for (LocId i = 0; i < locations_.size(); ++i) {
+    const auto& loc = locations_[i];
+    check_guard(loc.invariant, util::cat("invariant of '", loc.name, "'"));
+    // dense_rates throws if the flow references an out-of-range variable.
+    (void)loc.flow.dense_rates(n);
+  }
+
+  for (EdgeId i = 0; i < edges_.size(); ++i) {
+    const auto& e = edges_[i];
+    PTE_REQUIRE(e.src < locations_.size(),
+                util::cat(name_, ": edge #", i, " has dangling source"));
+    PTE_REQUIRE(e.dst < locations_.size(),
+                util::cat(name_, ": edge #", i, " has dangling destination"));
+    check_guard(e.guard, util::cat("guard of edge #", i));
+    for (VarId w : e.reset.written())
+      PTE_REQUIRE(w < n, util::cat(name_, ": edge #", i, " resets unknown variable x", w));
+    switch (e.kind) {
+      case TriggerKind::kEvent:
+        PTE_REQUIRE(e.trigger.is_reception(),
+                    util::cat(name_, ": event edge #", i,
+                              " must be triggered by a ?/?? reception label, got '",
+                              e.trigger.str(), "'"));
+        break;
+      case TriggerKind::kTimed:
+        PTE_REQUIRE(e.dwell > 0.0,
+                    util::cat(name_, ": timed edge #", i, " needs positive dwell"));
+        break;
+      case TriggerKind::kCondition:
+        PTE_REQUIRE(!e.guard.always_true(),
+                    util::cat(name_, ": condition edge #", i,
+                              " with trivially true guard would fire immediately forever"));
+        break;
+    }
+    for (const auto& l : e.emits)
+      PTE_REQUIRE(!l.is_reception(),
+                  util::cat(name_, ": edge #", i, " emits a reception label '", l.str(), "'"));
+  }
+}
+
+}  // namespace ptecps::hybrid

@@ -1,0 +1,146 @@
+// The hybrid automaton tuple A = (x(t), V, inv, F, E, g, R, L, syn, Φ0)
+// of §II-A, as a value type with a builder-style API.
+//
+// Conventions chosen for executability (each is a restriction or
+// deterministic refinement of the paper's formalism, documented here and
+// in DESIGN.md):
+//  * Variable names and location names are local to the automaton
+//    (§II-B assumes no sharing between member automata).
+//  * Each edge has one trigger:
+//      - event edge:     fires when its label's event is delivered while
+//                        the automaton dwells in src and the guard holds;
+//      - timed edge:     fires when the continuous dwell time in src
+//                        reaches `dwell` (urgent; realizes the paper's
+//                        "dwells continuously for T" transitions together
+//                        with the implied location invariant);
+//      - condition edge: fires as soon as its guard over the data state
+//                        becomes true (urgent; realizes guard sets such as
+//                        Fig. 2's "Hvent = 0" crossing).
+//    An edge may additionally *emit* labels; the paper's intermediate
+//    locations of zero dwelling time (footnote 2) are folded into a single
+//    edge that both receives and emits.
+//  * Φ0 is a set of initial locations plus an initial-data policy; the
+//    default policy is the all-zero data state required by the design
+//    pattern ("all data state variables initial values are zero").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hybrid/expr.hpp"
+#include "hybrid/flow.hpp"
+#include "hybrid/label.hpp"
+#include "hybrid/reset.hpp"
+
+namespace ptecps::hybrid {
+
+using LocId = std::size_t;
+using EdgeId = std::size_t;
+
+inline constexpr std::size_t kNoLoc = static_cast<std::size_t>(-1);
+
+/// One vertex v ∈ V with its invariant set inv(v) and flow map f_v.
+struct Location {
+  std::string name;
+  bool risky = false;  // member of V_risky (§III); false = safe-location
+  Guard invariant;     // empty guard = R^n
+  Flow flow;
+};
+
+enum class TriggerKind { kEvent, kTimed, kCondition };
+
+/// One edge e ∈ E with guard g(e), reset r_e and synchronization label.
+struct Edge {
+  LocId src = kNoLoc;
+  LocId dst = kNoLoc;
+  TriggerKind kind = TriggerKind::kCondition;
+  SyncLabel trigger;            // for kEvent: a ?/?? label
+  sim::SimTime dwell = 0.0;     // for kTimed
+  Guard guard;                  // extra enabling condition (any kind)
+  Reset reset;
+  std::vector<SyncLabel> emits; // !/internal labels sent when firing
+  std::string note;             // free-form annotation for diagrams
+
+  std::string trigger_str() const;
+};
+
+/// Initial-data policy for Φ0 (see Def. 3 "simple hybrid automaton").
+enum class InitialData {
+  kZero,            // data state starts at the zero vector
+  kAnyInInvariant,  // any data state in inv(v) is a legal start (the
+                    // engine still starts from a concrete one: zero, or a
+                    // user-provided valuation)
+};
+
+class Automaton {
+ public:
+  explicit Automaton(std::string name);
+
+  // -- construction -------------------------------------------------------
+  VarId add_var(std::string name, double init = 0.0);
+  LocId add_location(std::string name, bool risky = false);
+  void set_invariant(LocId loc, Guard inv);
+  void set_flow(LocId loc, Flow flow);
+  EdgeId add_edge(Edge edge);
+  void add_initial_location(LocId loc);
+  void set_initial_data(InitialData policy);
+
+  // -- queries -------------------------------------------------------------
+  const std::string& name() const { return name_; }
+  std::size_t num_vars() const { return var_names_.size(); }
+  std::size_t num_locations() const { return locations_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  const std::string& var_name(VarId v) const;
+  /// Id of a variable by name; throws if absent.
+  VarId var_id(const std::string& name) const;
+  bool has_var(const std::string& name) const;
+  double var_init(VarId v) const;
+  /// Initial valuation (the engine's concrete start state).
+  Valuation initial_valuation() const;
+
+  const Location& location(LocId id) const;
+  Location& location_mut(LocId id);
+  const std::vector<Location>& locations() const { return locations_; }
+  LocId location_id(const std::string& name) const;
+  bool has_location(const std::string& name) const;
+
+  const Edge& edge(EdgeId id) const;
+  const std::vector<Edge>& edges() const { return edges_; }
+  /// Ids of edges with the given source location, in insertion order
+  /// (insertion order is the engine's deterministic tie-break).
+  std::vector<EdgeId> edges_from(LocId src) const;
+
+  const std::vector<LocId>& initial_locations() const { return initial_locations_; }
+  InitialData initial_data() const { return initial_data_; }
+
+  /// All synchronization labels used on edges (triggers and emits),
+  /// deduplicated — the automaton's label set L.
+  std::vector<SyncLabel> labels() const;
+  /// Roots of all labels, deduplicated.
+  std::vector<std::string> label_roots() const;
+
+  /// Safe/risky partition helpers (§III).
+  bool is_risky(LocId loc) const;
+  std::vector<LocId> risky_locations() const;
+
+  // -- validation ----------------------------------------------------------
+  /// Throws std::invalid_argument describing the first structural problem:
+  /// dangling edge endpoints, guards/flows/resets referencing unknown
+  /// variables, event edges without reception labels, timed edges with
+  /// non-positive dwell, no initial location, duplicate names.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> var_names_;
+  std::vector<double> var_inits_;
+  std::vector<Location> locations_;
+  std::vector<Edge> edges_;
+  std::vector<LocId> initial_locations_;
+  InitialData initial_data_ = InitialData::kZero;
+};
+
+}  // namespace ptecps::hybrid

@@ -1,0 +1,87 @@
+#include "hybrid/dot_export.hpp"
+
+#include <algorithm>
+
+#include "util/text.hpp"
+
+namespace ptecps::hybrid {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Automaton& a, const DotOptions& options) {
+  std::string out = "digraph \"" + escape(a.name()) + "\" {\n";
+  out += "  rankdir=LR;\n  node [shape=box, style=rounded];\n";
+  out += "  __init [shape=point];\n";
+
+  for (LocId i = 0; i < a.num_locations(); ++i) {
+    const auto& loc = a.location(i);
+    std::string label = loc.name;
+    if (options.show_invariants && !loc.invariant.always_true())
+      label += "\\ninv: " + loc.invariant.str(a.var_names());
+    if (options.show_flows && !loc.flow.is_zero())
+      label += "\\n" + loc.flow.str(a.var_names());
+    std::string attrs = "label=\"" + escape(label) + "\"";
+    if (options.color_risky && loc.risky) attrs += ", color=red, penwidth=2";
+    out += util::cat("  n", i, " [", attrs, "];\n");
+  }
+
+  for (LocId i : a.initial_locations()) out += util::cat("  __init -> n", i, ";\n");
+
+  for (const auto& e : a.edges()) {
+    std::vector<std::string> parts;
+    parts.push_back(e.trigger_str());
+    if (!e.guard.always_true()) parts.push_back("[" + e.guard.str(a.var_names()) + "]");
+    if (options.show_resets && !e.reset.is_identity())
+      parts.push_back("{" + e.reset.str(a.var_names()) + "}");
+    for (const auto& l : e.emits) parts.push_back(l.str());
+    out += util::cat("  n", e.src, " -> n", e.dst, " [label=\"",
+                     escape(util::join(parts, "\\n")), "\"];\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_text(const Automaton& a) {
+  std::string out = util::cat("automaton ", a.name(), "  (", a.num_locations(),
+                              " locations, ", a.num_edges(), " edges, ", a.num_vars(),
+                              " variables)\n");
+  if (a.num_vars() > 0) {
+    std::vector<std::string> vars;
+    for (VarId v = 0; v < a.num_vars(); ++v)
+      vars.push_back(util::cat(a.var_name(v), "(0)=", util::fmt_compact(a.var_init(v))));
+    out += "  vars: " + util::join(vars, ", ") + "\n";
+  }
+  for (LocId i = 0; i < a.num_locations(); ++i) {
+    const auto& loc = a.location(i);
+    const bool initial = std::find(a.initial_locations().begin(), a.initial_locations().end(),
+                                   i) != a.initial_locations().end();
+    out += util::cat("  loc ", loc.name, loc.risky ? " [risky]" : "", initial ? " [initial]" : "");
+    if (!loc.invariant.always_true()) out += "  inv: " + loc.invariant.str(a.var_names());
+    if (!loc.flow.is_zero()) out += "  flow: " + loc.flow.str(a.var_names());
+    out += "\n";
+  }
+  for (const auto& e : a.edges()) {
+    out += util::cat("  ", a.location(e.src).name, " -> ", a.location(e.dst).name, "  on ",
+                     e.trigger_str());
+    if (!e.guard.always_true()) out += " [" + e.guard.str(a.var_names()) + "]";
+    if (!e.reset.is_identity()) out += " {" + e.reset.str(a.var_names()) + "}";
+    if (!e.emits.empty()) {
+      std::vector<std::string> emit_strs;
+      for (const auto& l : e.emits) emit_strs.push_back(l.str());
+      out += "  emits " + util::join(emit_strs, ", ");
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ptecps::hybrid

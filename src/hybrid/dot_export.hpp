@@ -1,0 +1,26 @@
+// Graphviz DOT rendering of hybrid automata — regenerates the paper's
+// automaton diagrams (Figs. 2, 3, 5, 6) from the constructed models.
+#pragma once
+
+#include <string>
+
+#include "hybrid/automaton.hpp"
+
+namespace ptecps::hybrid {
+
+struct DotOptions {
+  bool show_flows = true;
+  bool show_invariants = true;
+  bool show_resets = true;
+  /// Highlight risky locations (dashed red) vs safe (solid).
+  bool color_risky = true;
+};
+
+/// Render `a` as a DOT digraph.
+std::string to_dot(const Automaton& a, const DotOptions& options = {});
+
+/// Compact one-line-per-location / per-edge text listing (for terminal
+/// output in the bench binaries).
+std::string to_text(const Automaton& a);
+
+}  // namespace ptecps::hybrid

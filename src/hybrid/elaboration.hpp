@@ -1,0 +1,83 @@
+// Atomic and parallel elaboration of hybrid automata (§IV-C).
+//
+// E(A, v, A′) replaces location v of A by the *simple* automaton A′
+// (A and A′ independent, Definition 2), with the semantics:
+//   1. location v is replaced by A′'s location graph;
+//   2. former ingress edges to v enter A′ at its initial locations;
+//   3. former egress edges from v leave from every location of A′;
+//   4. inside A′, the variables of A flow as they did in v (the parent's
+//      flow at v is merged into every child location's flow);
+//   5. outside A′, the variables of A′ are frozen (rate 0 — our Flow
+//      defaults every unmentioned variable to rate 0, so this holds by
+//      construction).
+// Additionally (executability refinements, documented in DESIGN.md):
+//   * child locations inherit v's safe/risky classification, so PTE
+//     monitoring of the elaborated automaton is the monitoring of the
+//     pattern automaton under the projection child-location ↦ v;
+//   * child locations' invariants become inv(v) ∧ inv'(w);
+//   * if v has timed egress edges ("dwell in v reaches T"), dwell must
+//     now accumulate across all child locations.  The elaboration adds a
+//     fresh clock variable (rate 1 inside A′, frozen outside, reset to 0
+//     on every ingress into A′) and rewrites those timed edges into
+//     condition edges "clock >= T".  This preserves the timing semantics
+//     exactly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hybrid/automaton.hpp"
+#include "hybrid/independence.hpp"
+
+namespace ptecps::hybrid {
+
+/// Record of one atomic elaboration, sufficient to project locations of
+/// the elaborated automaton back onto the original (Theorem 2's proof
+/// argument) and to re-verify the construction.
+struct ElaborationInfo {
+  std::string parent_name;
+  std::string child_name;
+  std::string elaborated_location;            // v
+  std::vector<std::string> child_locations;   // names of A′'s locations
+  std::vector<std::string> child_initial_locations;
+  std::size_t var_offset = 0;                 // child vars mapped to [offset, offset+count)
+  std::size_t child_var_count = 0;
+  std::optional<std::string> dwell_clock;     // added iff v had timed egress edges
+};
+
+/// Result of E(A, v, A′).
+struct Elaboration {
+  Automaton automaton;
+  ElaborationInfo info;
+};
+
+/// Atomic elaboration E(A, v, A′).  Throws std::invalid_argument if A and
+/// A′ are not independent, A′ is not simple, or v is not a location of A.
+Elaboration elaborate(const Automaton& a, const std::string& location_v,
+                      const Automaton& a_prime);
+
+/// Parallel elaboration E(A, (v1..vk), (A1..Ak)) — repeated atomic
+/// elaboration (the paper's definition).  Locations must be distinct and
+/// {A, A1..Ak} mutually independent.
+struct ParallelElaboration {
+  Automaton automaton;
+  std::vector<ElaborationInfo> steps;
+};
+ParallelElaboration elaborate_parallel(const Automaton& a,
+                                       const std::vector<std::string>& locations,
+                                       const std::vector<const Automaton*>& children);
+
+/// Project a location name of the elaborated automaton back to the
+/// corresponding location of the original automaton: child locations map
+/// to the location they elaborate, parent locations map to themselves.
+std::string project_location(const std::vector<ElaborationInfo>& steps,
+                             const std::string& elaborated_location);
+
+/// Re-verify that `candidate` equals E(a, v, a_prime) structurally —
+/// the checkable core of Theorem 2's compliance conditions.  Returns a
+/// CheckResult whose problems describe the first structural mismatch.
+CheckResult verify_elaboration(const Automaton& candidate, const Automaton& a,
+                               const std::string& location_v, const Automaton& a_prime);
+
+}  // namespace ptecps::hybrid

@@ -1,0 +1,551 @@
+#include "hybrid/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::hybrid {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string trigger_desc(const Edge& e) {
+  switch (e.kind) {
+    case TriggerKind::kEvent: return e.trigger.str();
+    case TriggerKind::kTimed: return util::cat("dwell==", util::fmt_compact(e.dwell));
+    case TriggerKind::kCondition: return e.note.empty() ? "condition" : e.note;
+  }
+  return "?";
+}
+
+/// One RK4 step of width h on valuation x under `flow`.
+void rk4_step(const Flow& flow, Valuation& x, double h) {
+  const std::size_t n = x.size();
+  Valuation k1(n), k2(n), k3(n), k4(n), tmp(n);
+  flow.eval(x, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + 0.5 * h * k1[i];
+  flow.eval(tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + 0.5 * h * k2[i];
+  flow.eval(tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + h * k3[i];
+  flow.eval(tmp, k4);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+}
+
+}  // namespace
+
+void BroadcastRouter::route(Engine& engine, std::size_t src_automaton, const SyncLabel& label) {
+  for (std::size_t i = 0; i < engine.num_automata(); ++i) {
+    if (i == src_automaton) continue;
+    // Deliver to every automaton that declares a reception edge for this
+    // root anywhere; the engine ignores it if no edge is enabled.
+    bool receives = false;
+    for (const auto& e : engine.automaton(i).edges()) {
+      if (e.kind == TriggerKind::kEvent && e.trigger.root == label.root) {
+        receives = true;
+        break;
+      }
+    }
+    if (receives) engine.deliver(i, label.root);
+  }
+}
+
+Engine::Engine(std::vector<Automaton> automata, EngineOptions options)
+    : automata_(std::move(automata)), options_(options) {
+  PTE_REQUIRE(!automata_.empty(), "engine needs at least one automaton");
+  std::set<std::string> names;
+  for (const auto& a : automata_) {
+    a.validate();
+    PTE_REQUIRE(names.insert(a.name()).second,
+                util::cat("duplicate automaton name '", a.name(), "'"));
+  }
+  states_.resize(automata_.size());
+}
+
+void Engine::set_router(EventRouter* router) {
+  PTE_REQUIRE(router != nullptr, "null router");
+  PTE_REQUIRE(!initialized_, "set_router must be called before init()");
+  router_ = router;
+}
+
+void Engine::add_transition_observer(TransitionObserver observer) {
+  PTE_REQUIRE(observer != nullptr, "null observer");
+  transition_observers_.push_back(std::move(observer));
+}
+
+void Engine::add_emit_observer(EmitObserver observer) {
+  PTE_REQUIRE(observer != nullptr, "null observer");
+  emit_observers_.push_back(std::move(observer));
+}
+
+void Engine::init() {
+  PTE_REQUIRE(!initialized_, "init() called twice");
+  initialized_ = true;
+  for (std::size_t a = 0; a < automata_.size(); ++a) {
+    const auto& initial = automata_[a].initial_locations();
+    PTE_CHECK(!initial.empty(), "validated automaton without initial location");
+    states_[a].x = automata_[a].initial_valuation();
+    enter_location(a, initial.front(), "init", kNoLoc);
+  }
+  for (std::size_t a = 0; a < automata_.size(); ++a) settle_conditions(a);
+}
+
+const Automaton& Engine::automaton(std::size_t i) const {
+  PTE_REQUIRE(i < automata_.size(), "automaton index out of range");
+  return automata_[i];
+}
+
+std::size_t Engine::automaton_index(const std::string& name) const {
+  for (std::size_t i = 0; i < automata_.size(); ++i) {
+    if (automata_[i].name() == name) return i;
+  }
+  PTE_REQUIRE(false, util::cat("no automaton named '", name, "'"));
+  return 0;
+}
+
+LocId Engine::current_location(std::size_t automaton) const {
+  PTE_REQUIRE(automaton < states_.size(), "automaton index out of range");
+  return states_[automaton].loc;
+}
+
+const std::string& Engine::current_location_name(std::size_t automaton) const {
+  return automata_[automaton].location(current_location(automaton)).name;
+}
+
+sim::SimTime Engine::location_entry_time(std::size_t automaton) const {
+  PTE_REQUIRE(automaton < states_.size(), "automaton index out of range");
+  return states_[automaton].entry_time;
+}
+
+double Engine::var(std::size_t automaton, VarId v) const {
+  PTE_REQUIRE(automaton < states_.size(), "automaton index out of range");
+  PTE_REQUIRE(v < states_[automaton].x.size(), "variable out of range");
+  return states_[automaton].x[v];
+}
+
+double Engine::var(std::size_t automaton, const std::string& name) const {
+  return var(automaton, automata_[automaton].var_id(name));
+}
+
+void Engine::record(TraceRecord r) {
+  if (options_.record_trace) trace_.append(std::move(r));
+}
+
+void Engine::check_invariant(std::size_t a) {
+  auto& st = states_[a];
+  const auto& inv = automata_[a].location(st.loc).invariant;
+  if (inv.always_true()) return;
+  if (inv.margin(st.x) >= -1e-9) return;
+  TraceRecord r{cont_time_, a, TraceKind::kInvariantViolation, st.loc, st.loc,
+                inv.str(automata_[a].var_names()), inv.margin(st.x)};
+  invariant_violations_.push_back(r);
+  record(r);
+  PTE_REQUIRE(!options_.throw_on_invariant_violation,
+              util::cat(automata_[a].name(), " violated invariant of location '",
+                        automata_[a].location(st.loc).name, "' at t=", cont_time_));
+}
+
+void Engine::rebuild_caches(std::size_t a) {
+  auto& st = states_[a];
+  const auto& aut = automata_[a];
+  const auto& flow = aut.location(st.loc).flow;
+  st.rates = flow.dense_rates(aut.num_vars());
+  st.has_ode = flow.has_ode();
+  st.needs_integration = st.has_ode;
+  for (double r : st.rates) {
+    if (r != 0.0) st.needs_integration = true;
+  }
+  st.condition_edges.clear();
+  st.event_edges.clear();
+  for (EdgeId ei : aut.edges_from(st.loc)) {
+    switch (aut.edge(ei).kind) {
+      case TriggerKind::kCondition: st.condition_edges.push_back(ei); break;
+      case TriggerKind::kEvent: st.event_edges.push_back(ei); break;
+      case TriggerKind::kTimed: break;
+    }
+  }
+}
+
+void Engine::cancel_timed_edges(std::size_t a) {
+  for (auto& h : states_[a].timed_handles) scheduler_.cancel(h);
+  states_[a].timed_handles.clear();
+}
+
+void Engine::schedule_timed_edges(std::size_t a) {
+  auto& st = states_[a];
+  const auto& aut = automata_[a];
+  for (EdgeId ei : aut.edges_from(st.loc)) {
+    const Edge& e = aut.edge(ei);
+    if (e.kind != TriggerKind::kTimed) continue;
+    const std::uint64_t epoch = st.epoch;
+    auto handle = scheduler_.schedule_at(cont_time_ + e.dwell, [this, a, ei, epoch] {
+      auto& state = states_[a];
+      if (state.epoch != epoch) return;  // left the location; stale timeout
+      const Edge& edge = automata_[a].edge(ei);
+      PTE_CHECK(state.loc == edge.src, "timed edge fired from wrong location");
+      const double dwell = cont_time_ - state.entry_time;
+      if (edge.guard.eval(state.x, dwell)) fire_edge(a, ei);
+    });
+    st.timed_handles.push_back(handle);
+  }
+}
+
+void Engine::enter_location(std::size_t a, LocId loc, const std::string& trigger, LocId from) {
+  auto& st = states_[a];
+  ++st.epoch;
+  cancel_timed_edges(a);
+  st.loc = loc;
+  st.entry_time = cont_time_;
+  rebuild_caches(a);
+  ++transitions_taken_;
+  record(TraceRecord{cont_time_, a, TraceKind::kTransition, from, loc, trigger, 0.0});
+  for (const auto& obs : transition_observers_) obs(a, cont_time_, from, loc, trigger);
+  check_invariant(a);
+  schedule_timed_edges(a);
+}
+
+void Engine::fire_edge(std::size_t a, EdgeId ei) {
+  PTE_CHECK(cascade_depth_ < options_.max_cascade,
+            util::cat("non-zeno guard tripped: more than ", options_.max_cascade,
+                      " chained transitions at t=", cont_time_,
+                      " (automaton '", automata_[a].name(), "')"));
+  ++cascade_depth_;
+  auto& st = states_[a];
+  const Edge& e = automata_[a].edge(ei);
+  PTE_CHECK(e.src == st.loc, "firing edge whose source is not the current location");
+  e.reset.apply(cont_time_, st.x);
+  const LocId from = st.loc;
+  enter_location(a, e.dst, trigger_desc(e), from);
+  for (const auto& label : e.emits) {
+    record(TraceRecord{cont_time_, a, TraceKind::kEmit, from, e.dst, label.str(), 0.0});
+    for (const auto& obs : emit_observers_) obs(a, cont_time_, label);
+    router_->route(*this, a, label);
+  }
+  settle_conditions(a);
+  --cascade_depth_;
+}
+
+void Engine::settle_conditions(std::size_t a) {
+  auto& st = states_[a];
+  for (EdgeId ei : st.condition_edges) {
+    const Edge& e = automata_[a].edge(ei);
+    if (e.guard.eval(st.x, cont_time_ - st.entry_time)) {
+      fire_edge(a, ei);  // fire_edge re-settles the destination location
+      return;
+    }
+  }
+}
+
+bool Engine::dispatch_event(std::size_t a, const std::string& root, TraceKind kind) {
+  PTE_REQUIRE(initialized_, "engine not initialized");
+  PTE_REQUIRE(a < states_.size(), "automaton index out of range");
+  auto& st = states_[a];
+  for (EdgeId ei : st.event_edges) {
+    const Edge& e = automata_[a].edge(ei);
+    if (e.trigger.root != root) continue;
+    if (!e.guard.eval(st.x, cont_time_ - st.entry_time)) continue;
+    record(TraceRecord{cont_time_, a, kind, st.loc, e.dst, root, 0.0});
+    fire_edge(a, ei);
+    return true;
+  }
+  record(TraceRecord{cont_time_, a, TraceKind::kIgnoredEvent, st.loc, st.loc, root, 0.0});
+  return false;
+}
+
+bool Engine::deliver(std::size_t automaton, const std::string& root) {
+  return dispatch_event(automaton, root, TraceKind::kDeliver);
+}
+
+bool Engine::inject(std::size_t automaton, const std::string& root) {
+  return dispatch_event(automaton, root, TraceKind::kInject);
+}
+
+void Engine::set_var(std::size_t automaton, VarId v, double value) {
+  PTE_REQUIRE(initialized_, "engine not initialized");
+  PTE_REQUIRE(automaton < states_.size(), "automaton index out of range");
+  auto& st = states_[automaton];
+  PTE_REQUIRE(v < st.x.size(), "variable out of range");
+  st.x[v] = value;
+  record(TraceRecord{cont_time_, automaton, TraceKind::kVarWrite, st.loc, st.loc,
+                     automata_[automaton].var_name(v), value});
+  check_invariant(automaton);
+  settle_conditions(automaton);
+}
+
+void Engine::add_sampler(std::size_t automaton, VarId v, sim::SimTime period) {
+  PTE_REQUIRE(automaton < automata_.size(), "automaton index out of range");
+  PTE_REQUIRE(v < automata_[automaton].num_vars(), "variable out of range");
+  PTE_REQUIRE(period > 0.0, "sampler period must be positive");
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, automaton, v, period, tick] {
+    record(TraceRecord{cont_time_, automaton, TraceKind::kSample, states_[automaton].loc,
+                       states_[automaton].loc, automata_[automaton].var_name(v),
+                       states_[automaton].x[v]});
+    scheduler_.schedule_in(period, *tick);
+  };
+  scheduler_.schedule_at(cont_time_, *tick);
+}
+
+sim::SimTime Engine::next_exact_crossing(std::size_t a) const {
+  const auto& st = states_[a];
+  if (st.has_ode) return kInf;  // handled by the sampling path
+  double best = kInf;
+  for (EdgeId ei : st.condition_edges) {
+    const Edge& e = automata_[a].edge(ei);
+    const double dt_lin = e.guard.time_to_satisfy(st.x, st.rates);
+    if (!std::isfinite(dt_lin)) continue;
+    const double dwell_now = cont_time_ - st.entry_time;
+    const double dt = std::max(dt_lin, std::max(0.0, e.guard.min_dwell() - dwell_now));
+    // If the dwell requirement dominates, re-verify the linear part holds
+    // at that later instant (margins evolve linearly under constant rates).
+    if (dt > dt_lin) {
+      bool still_ok = true;
+      for (const auto& c : e.guard.constraints()) {
+        if (c.margin(st.x) + dt * c.margin_rate(st.rates) < -1e-9) {
+          still_ok = false;
+          break;
+        }
+      }
+      if (!still_ok) continue;
+    }
+    best = std::min(best, cont_time_ + dt);
+  }
+  return best;
+}
+
+void Engine::integrate_automaton(std::size_t a, sim::SimTime from, sim::SimTime to) {
+  auto& st = states_[a];
+  if (!st.needs_integration || to <= from) return;
+  const double h = to - from;
+  if (!st.has_ode) {
+    for (std::size_t i = 0; i < st.x.size(); ++i) st.x[i] += st.rates[i] * h;
+    return;
+  }
+  const Flow& flow = automata_[a].location(st.loc).flow;
+  const int steps = std::max(1, static_cast<int>(std::ceil(h / options_.dt_max)));
+  const double dt = h / steps;
+  for (int s = 0; s < steps; ++s) rk4_step(flow, st.x, dt);
+}
+
+bool Engine::advance_continuous(sim::SimTime target) {
+  while (true) {
+    // 0. Fire anything already enabled (robustness against drift and
+    //    against guards enabled exactly at the current instant).
+    for (std::size_t a = 0; a < automata_.size(); ++a) {
+      auto& st = states_[a];
+      for (EdgeId ei : st.condition_edges) {
+        const Edge& e = automata_[a].edge(ei);
+        if (e.guard.eval(st.x, cont_time_ - st.entry_time)) {
+          scheduler_.run_until(cont_time_);
+          fire_edge(a, ei);
+          return true;
+        }
+      }
+    }
+    if (cont_time_ >= target - sim::kTimeEps) {
+      cont_time_ = std::max(cont_time_, target);
+      return false;
+    }
+
+    // 1. Earliest exact crossing among constant-rate automata.
+    sim::SimTime t_exact = kInf;
+    std::size_t xa = 0;
+    for (std::size_t a = 0; a < automata_.size(); ++a) {
+      const sim::SimTime tc = next_exact_crossing(a);
+      if (tc < t_exact) {
+        t_exact = tc;
+        xa = a;
+      }
+    }
+
+    // 2. Step horizon: ODE automata advance at most dt_max per chunk.
+    bool any_ode = false;
+    for (const auto& st : states_) {
+      if (st.needs_integration && st.has_ode) any_ode = true;
+    }
+    sim::SimTime step_end = target;
+    if (any_ode) step_end = std::min(step_end, cont_time_ + options_.dt_max);
+
+    if (t_exact <= step_end + sim::kTimeEps && t_exact <= target + sim::kTimeEps) {
+      // Advance everything to the exact crossing and fire it.
+      const sim::SimTime tc = std::min(t_exact, target);
+      // Save pre-integration ODE states for bisection if an ODE automaton
+      // crosses first within [cont_time_, tc].
+      // (ODE automata are also checked below after integration.)
+      std::vector<Valuation> saved(automata_.size());
+      for (std::size_t a = 0; a < automata_.size(); ++a) {
+        if (states_[a].has_ode) saved[a] = states_[a].x;
+        integrate_automaton(a, cont_time_, tc);
+      }
+      const sim::SimTime t_from = cont_time_;
+      cont_time_ = tc;
+      // An ODE automaton's guard may have crossed earlier than the exact
+      // crossing; detect and bisect.
+      sim::SimTime t_ode = kInf;
+      std::size_t oa = 0;
+      EdgeId oe = 0;
+      for (std::size_t a = 0; a < automata_.size(); ++a) {
+        auto& st = states_[a];
+        if (!st.has_ode) continue;
+        for (EdgeId ei : st.condition_edges) {
+          const Edge& e = automata_[a].edge(ei);
+          if (e.guard.eval(st.x, cont_time_ - st.entry_time)) {
+            // Bisect within [t_from, tc] using the saved state.
+            double lo = 0.0, hi = tc - t_from;
+            while (hi - lo > options_.crossing_tol) {
+              const double mid = 0.5 * (lo + hi);
+              Valuation probe = saved[a];
+              auto& mut = states_[a];
+              std::swap(mut.x, probe);
+              integrate_automaton(a, t_from, t_from + mid);
+              const bool sat = e.guard.eval(mut.x, t_from + mid - mut.entry_time);
+              std::swap(mut.x, probe);  // restore post-tc state
+              (sat ? hi : lo) = mid;
+            }
+            if (t_from + hi < t_ode) {
+              t_ode = t_from + hi;
+              oa = a;
+              oe = ei;
+            }
+          }
+        }
+      }
+      if (t_ode < tc - sim::kTimeEps) {
+        // Re-integrate every automaton to the earlier ODE crossing.
+        for (std::size_t a = 0; a < automata_.size(); ++a) {
+          auto& st = states_[a];
+          if (st.has_ode) {
+            st.x = saved[a];
+            cont_time_ = t_from;  // for integrate bookkeeping only
+            integrate_automaton(a, t_from, t_ode);
+          } else {
+            const double back = tc - t_ode;
+            for (std::size_t i = 0; i < st.x.size(); ++i) st.x[i] -= st.rates[i] * back;
+          }
+        }
+        cont_time_ = t_ode;
+        scheduler_.run_until(t_ode);
+        const Edge& e = automata_[oa].edge(oe);
+        if (states_[oa].loc == e.src &&
+            e.guard.eval(states_[oa].x, cont_time_ - states_[oa].entry_time))
+          fire_edge(oa, oe);
+        return true;
+      }
+      for (std::size_t a = 0; a < automata_.size(); ++a) {
+        if (states_[a].needs_integration) check_invariant(a);
+      }
+      scheduler_.run_until(tc);
+      // The exact crossing: re-verify (a same-instant event may have moved
+      // the automaton).
+      auto& st = states_[xa];
+      for (EdgeId ei : st.condition_edges) {
+        const Edge& e = automata_[xa].edge(ei);
+        if (e.guard.eval(st.x, cont_time_ - st.entry_time)) {
+          fire_edge(xa, ei);
+          return true;
+        }
+      }
+      return true;  // state changed (time advanced); caller re-evaluates
+    }
+
+    // 3. No exact crossing within the chunk: tentatively integrate to
+    //    step_end and look for ODE guard crossings by sampling.
+    std::vector<Valuation> saved(automata_.size());
+    for (std::size_t a = 0; a < automata_.size(); ++a) {
+      if (states_[a].has_ode) saved[a] = states_[a].x;
+      integrate_automaton(a, cont_time_, step_end);
+    }
+    const sim::SimTime t_from = cont_time_;
+    cont_time_ = step_end;
+
+    sim::SimTime t_ode = kInf;
+    std::size_t oa = 0;
+    EdgeId oe = 0;
+    for (std::size_t a = 0; a < automata_.size(); ++a) {
+      auto& st = states_[a];
+      if (!st.has_ode) continue;
+      for (EdgeId ei : st.condition_edges) {
+        const Edge& e = automata_[a].edge(ei);
+        if (!e.guard.eval(st.x, cont_time_ - st.entry_time)) continue;
+        double lo = 0.0, hi = step_end - t_from;
+        while (hi - lo > options_.crossing_tol) {
+          const double mid = 0.5 * (lo + hi);
+          Valuation probe = saved[a];
+          auto& mut = states_[a];
+          std::swap(mut.x, probe);
+          integrate_automaton(a, t_from, t_from + mid);
+          const bool sat = e.guard.eval(mut.x, t_from + mid - mut.entry_time);
+          std::swap(mut.x, probe);
+          (sat ? hi : lo) = mid;
+        }
+        if (t_from + hi < t_ode) {
+          t_ode = t_from + hi;
+          oa = a;
+          oe = ei;
+        }
+      }
+    }
+    if (std::isfinite(t_ode)) {
+      for (std::size_t a = 0; a < automata_.size(); ++a) {
+        auto& st = states_[a];
+        if (st.has_ode) {
+          st.x = saved[a];
+          integrate_automaton(a, t_from, t_ode);
+        } else {
+          const double back = step_end - t_ode;
+          for (std::size_t i = 0; i < st.x.size(); ++i) st.x[i] -= st.rates[i] * back;
+        }
+      }
+      cont_time_ = t_ode;
+      scheduler_.run_until(t_ode);
+      const Edge& e = automata_[oa].edge(oe);
+      if (states_[oa].loc == e.src &&
+          e.guard.eval(states_[oa].x, cont_time_ - states_[oa].entry_time))
+        fire_edge(oa, oe);
+      return true;
+    }
+    for (std::size_t a = 0; a < automata_.size(); ++a) {
+      if (states_[a].needs_integration) check_invariant(a);
+    }
+    // Chunk completed without crossings; loop continues toward target.
+  }
+}
+
+void Engine::run_until(sim::SimTime t) {
+  PTE_REQUIRE(initialized_, "init() must be called before run_until()");
+  PTE_REQUIRE(t >= cont_time_ - sim::kTimeEps, "run_until into the past");
+  std::uint64_t same_instant_steps = 0;
+  sim::SimTime last_instant = -1.0;
+  while (true) {
+    const sim::SimTime t_next = scheduler_.next_time();
+    if (t_next <= cont_time_ + sim::kTimeEps && t_next <= t + sim::kTimeEps) {
+      // Discrete events due at the current instant.
+      if (sim::time_eq(t_next, last_instant)) {
+        PTE_CHECK(++same_instant_steps < 10'000'000ULL,
+                  "runaway same-instant event loop (zeno system?)");
+      } else {
+        last_instant = t_next;
+        same_instant_steps = 0;
+      }
+      scheduler_.step();
+      continue;
+    }
+    const sim::SimTime target = std::min(t_next, t);
+    if (target > cont_time_ + sim::kTimeEps) {
+      if (advance_continuous(target)) continue;  // a crossing fired; re-evaluate
+    }
+    if (t_next <= t + sim::kTimeEps) continue;  // event due at cont_time_ now
+    break;
+  }
+  scheduler_.run_until(t);
+  cont_time_ = std::max(cont_time_, t);
+}
+
+}  // namespace ptecps::hybrid

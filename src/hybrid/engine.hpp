@@ -1,0 +1,183 @@
+// Execution engine for hybrid systems (§II-B): a collection of hybrid
+// automata executing concurrently over dense time, coordinating through
+// event communication.
+//
+// Semantics implemented (deterministic refinement of the formalism):
+//  * Timed edges fire exactly when the continuous dwell time in their
+//    source location reaches `dwell` (urgent), realized as scheduled
+//    events guarded by a per-automaton epoch counter so stale timeouts
+//    are ignored.
+//  * Condition edges are urgent: they fire at the earliest time their
+//    guard becomes true.  For locations whose flows are constant-rate the
+//    crossing time is solved in closed form (exact — this covers clocks
+//    and the ventilator cylinder).  For ODE flows, the engine integrates
+//    with RK4 in steps of `dt_max` and bisects the crossing to
+//    `crossing_tol`.
+//  * Event edges fire when the event (label root) is delivered to the
+//    automaton while an enabled receiving edge exists; otherwise the
+//    delivery is ignored (recorded in the trace).  Deliveries are routed
+//    by an EventRouter: the default router broadcasts reliably at the
+//    same instant (suitable for wired/intra-entity events); the wireless
+//    substrate installs a router that forwards through lossy channels.
+//  * Ties at one instant execute in deterministic FIFO order; chained
+//    zero-time transitions are bounded by `max_cascade` (non-zeno guard).
+//  * Automata never share variables (§II-B), so continuous integration is
+//    per-automaton; interaction happens only through events.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hybrid/automaton.hpp"
+#include "hybrid/trace.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ptecps::hybrid {
+
+class Engine;
+
+/// Routes emitted synchronization labels to receiving automata.
+class EventRouter {
+ public:
+  virtual ~EventRouter() = default;
+  /// Called at emission time.  Implementations deliver now via
+  /// Engine::deliver(), or later / never (lossy links) via the scheduler.
+  virtual void route(Engine& engine, std::size_t src_automaton, const SyncLabel& label) = 0;
+};
+
+/// Default router: reliable zero-delay broadcast to every automaton that
+/// declares a reception edge (? or ??) for the label's root.
+class BroadcastRouter final : public EventRouter {
+ public:
+  void route(Engine& engine, std::size_t src_automaton, const SyncLabel& label) override;
+};
+
+struct EngineOptions {
+  double dt_max = 0.01;         // max RK4 step for ODE locations (s)
+  double crossing_tol = 1e-7;   // bisection tolerance for guard crossings (s)
+  unsigned max_cascade = 4096;  // same-instant transition bound (non-zeno)
+  bool record_trace = true;
+  bool throw_on_invariant_violation = false;
+};
+
+class Engine {
+ public:
+  /// The engine owns its scheduler; automata are moved in and fixed for
+  /// the engine's lifetime.  Call init() before run_until().
+  Engine(std::vector<Automaton> automata, EngineOptions options = {});
+
+  // -- wiring --------------------------------------------------------------
+  /// Replace the default BroadcastRouter.  The router must outlive the
+  /// engine.  Call before init().
+  void set_router(EventRouter* router);
+
+  /// Observer of every location change:
+  /// (automaton, time, from (kNoLoc at init), to, trigger description).
+  using TransitionObserver = std::function<void(std::size_t, sim::SimTime, LocId, LocId,
+                                                const std::string&)>;
+  void add_transition_observer(TransitionObserver observer);
+
+  /// Observer of every label emission (after routing).
+  using EmitObserver = std::function<void(std::size_t, sim::SimTime, const SyncLabel&)>;
+  void add_emit_observer(EmitObserver observer);
+
+  /// Enter all initial locations at t = 0 (schedules initial timeouts and
+  /// fires any immediately-enabled condition edges).
+  void init();
+
+  // -- execution -----------------------------------------------------------
+  /// Advance simulated time to `t`, executing all discrete events,
+  /// crossings and timeouts on the way.
+  void run_until(sim::SimTime t);
+
+  /// Deliver event `root` to one automaton (called by routers and by the
+  /// wireless bridge at packet arrival).  Returns true if consumed.
+  bool deliver(std::size_t automaton, const std::string& root);
+
+  /// Inject an external stimulus (environment / human-in-the-loop): same
+  /// consumption rule as deliver, recorded distinctly in the trace.
+  bool inject(std::size_t automaton, const std::string& root);
+
+  /// Write an input variable from the environment (sensor sample); fires
+  /// any condition edges the write enables.
+  void set_var(std::size_t automaton, VarId var, double value);
+
+  /// Schedule a periodic sampler of (automaton, var) every `period`
+  /// seconds into the trace — regenerates time-series figures.
+  void add_sampler(std::size_t automaton, VarId var, sim::SimTime period);
+
+  // -- state access ---------------------------------------------------------
+  sim::SimTime now() const { return cont_time_; }
+  std::size_t num_automata() const { return automata_.size(); }
+  const Automaton& automaton(std::size_t i) const;
+  std::size_t automaton_index(const std::string& name) const;
+
+  LocId current_location(std::size_t automaton) const;
+  const std::string& current_location_name(std::size_t automaton) const;
+  sim::SimTime location_entry_time(std::size_t automaton) const;
+  double var(std::size_t automaton, VarId v) const;
+  double var(std::size_t automaton, const std::string& name) const;
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+  const std::vector<TraceRecord>& invariant_violations() const {
+    return invariant_violations_;
+  }
+  std::uint64_t transitions_taken() const { return transitions_taken_; }
+
+ private:
+  struct AutomatonState {
+    LocId loc = kNoLoc;
+    Valuation x;
+    sim::SimTime entry_time = 0.0;
+    std::uint64_t epoch = 0;
+    std::vector<sim::EventHandle> timed_handles;
+    // Per-location caches, rebuilt on entry:
+    std::vector<double> rates;          // dense constant rates
+    bool has_ode = false;
+    bool needs_integration = false;     // any nonzero rate or ODE
+    std::vector<EdgeId> condition_edges;
+    std::vector<EdgeId> event_edges;
+  };
+
+  void enter_location(std::size_t a, LocId loc, const std::string& trigger_desc, LocId from);
+  void fire_edge(std::size_t a, EdgeId e);
+  void rebuild_caches(std::size_t a);
+  void schedule_timed_edges(std::size_t a);
+  void cancel_timed_edges(std::size_t a);
+  /// Fire condition edges enabled right now (entry eagerness); loops until
+  /// quiescent, bounded by max_cascade.
+  void settle_conditions(std::size_t a);
+  bool dispatch_event(std::size_t a, const std::string& root, TraceKind kind);
+
+  /// Integrate all automata from cont_time_ to `target`; if a condition
+  /// edge crossing occurs earlier, stop there, fire it (+ cascades) and
+  /// return true.  Otherwise advance to target and return false.
+  bool advance_continuous(sim::SimTime target);
+  /// Earliest exact crossing time (constant-rate automata), or +inf.
+  sim::SimTime next_exact_crossing(std::size_t a) const;
+  void integrate_automaton(std::size_t a, sim::SimTime from, sim::SimTime to);
+  void record(TraceRecord r);
+  void check_invariant(std::size_t a);
+
+  std::vector<Automaton> automata_;
+  EngineOptions options_;
+  sim::Scheduler scheduler_;
+  BroadcastRouter default_router_;
+  EventRouter* router_ = &default_router_;
+  std::vector<AutomatonState> states_;
+  Trace trace_;
+  std::vector<TraceRecord> invariant_violations_;
+  std::vector<TransitionObserver> transition_observers_;
+  std::vector<EmitObserver> emit_observers_;
+  sim::SimTime cont_time_ = 0.0;
+  unsigned cascade_depth_ = 0;
+  std::uint64_t transitions_taken_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace ptecps::hybrid

@@ -1,0 +1,267 @@
+#include "hybrid/expr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::hybrid {
+
+LinearExpr LinearExpr::var(VarId v, double coef) {
+  LinearExpr e;
+  e.add_term(v, coef);
+  return e;
+}
+
+LinearExpr& LinearExpr::add_term(VarId v, double coef) {
+  for (auto& [tv, tc] : terms_) {
+    if (tv == v) {
+      tc += coef;
+      return *this;
+    }
+  }
+  terms_.emplace_back(v, coef);
+  return *this;
+}
+
+LinearExpr& LinearExpr::add_constant(double c) {
+  constant_ += c;
+  return *this;
+}
+
+double LinearExpr::eval(const Valuation& x) const {
+  double acc = constant_;
+  for (const auto& [v, c] : terms_) {
+    PTE_REQUIRE(v < x.size(), "expression references variable outside valuation");
+    acc += c * x[v];
+  }
+  return acc;
+}
+
+double LinearExpr::rate(const std::vector<double>& var_rates) const {
+  double acc = 0.0;
+  for (const auto& [v, c] : terms_) {
+    if (v < var_rates.size()) acc += c * var_rates[v];
+  }
+  return acc;
+}
+
+std::size_t LinearExpr::max_var() const {
+  std::size_t m = kNoVar;
+  for (const auto& [v, c] : terms_) {
+    (void)c;
+    if (m == kNoVar || v > m) m = v;
+  }
+  return m;
+}
+
+LinearExpr LinearExpr::shifted(std::size_t offset) const {
+  LinearExpr e;
+  e.constant_ = constant_;
+  for (const auto& [v, c] : terms_) e.terms_.emplace_back(v + offset, c);
+  return e;
+}
+
+std::string LinearExpr::str(const std::vector<std::string>& var_names) const {
+  std::string out;
+  bool first = true;
+  for (const auto& [v, c] : terms_) {
+    if (c == 0.0) continue;
+    std::string name = v < var_names.size() ? var_names[v] : util::cat("x", v);
+    if (first) {
+      if (c == 1.0)
+        out += name;
+      else if (c == -1.0)
+        out += "-" + name;
+      else
+        out += util::fmt_compact(c) + "*" + name;
+      first = false;
+    } else {
+      out += c >= 0.0 ? " + " : " - ";
+      const double a = std::fabs(c);
+      out += (a == 1.0) ? name : util::fmt_compact(a) + "*" + name;
+    }
+  }
+  if (first) return util::fmt_compact(constant_);
+  if (constant_ != 0.0) {
+    out += constant_ > 0.0 ? " + " : " - ";
+    out += util::fmt_compact(std::fabs(constant_));
+  }
+  return out;
+}
+
+std::string LinearExpr::canonical() const {
+  auto sorted = terms_;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [v, c] : sorted) {
+    if (c == 0.0) continue;
+    out += util::cat("+", util::fmt_compact(c), "*x", v);
+  }
+  out += util::cat("+", util::fmt_compact(constant_));
+  return out;
+}
+
+std::string cmp_str(Cmp c) {
+  switch (c) {
+    case Cmp::kLe: return "<=";
+    case Cmp::kLt: return "<";
+    case Cmp::kGe: return ">=";
+    case Cmp::kGt: return ">";
+  }
+  return "?";
+}
+
+bool LinearConstraint::eval(const Valuation& x) const { return margin(x) >= 0.0; }
+
+double LinearConstraint::margin(const Valuation& x) const {
+  const double v = expr.eval(x);
+  switch (cmp) {
+    case Cmp::kLe:
+    case Cmp::kLt:
+      return -v;
+    case Cmp::kGe:
+    case Cmp::kGt:
+      return v;
+  }
+  return 0.0;
+}
+
+double LinearConstraint::margin_rate(const std::vector<double>& var_rates) const {
+  const double r = expr.rate(var_rates);
+  switch (cmp) {
+    case Cmp::kLe:
+    case Cmp::kLt:
+      return -r;
+    case Cmp::kGe:
+    case Cmp::kGt:
+      return r;
+  }
+  return 0.0;
+}
+
+LinearConstraint LinearConstraint::shifted(std::size_t offset) const {
+  return LinearConstraint{expr.shifted(offset), cmp};
+}
+
+std::string LinearConstraint::str(const std::vector<std::string>& var_names) const {
+  return expr.str(var_names) + " " + cmp_str(cmp) + " 0";
+}
+
+std::string LinearConstraint::canonical() const {
+  return expr.canonical() + cmp_str(cmp) + "0";
+}
+
+LinearConstraint atleast(VarId v, double bound) {
+  return LinearConstraint{LinearExpr::var(v).add_constant(-bound), Cmp::kGe};
+}
+
+LinearConstraint atmost(VarId v, double bound) {
+  return LinearConstraint{LinearExpr::var(v).add_constant(-bound), Cmp::kLe};
+}
+
+namespace {
+LinearExpr subtract(LinearExpr lhs, const LinearExpr& rhs) {
+  for (const auto& [v, c] : rhs.terms()) lhs.add_term(v, -c);
+  lhs.add_constant(-rhs.constant());
+  return lhs;
+}
+}  // namespace
+
+LinearConstraint ge(LinearExpr lhs, LinearExpr rhs) {
+  return LinearConstraint{subtract(std::move(lhs), rhs), Cmp::kGe};
+}
+
+LinearConstraint le(LinearExpr lhs, LinearExpr rhs) {
+  return LinearConstraint{subtract(std::move(lhs), rhs), Cmp::kLe};
+}
+
+Guard& Guard::also(LinearConstraint c) {
+  constraints_.push_back(std::move(c));
+  return *this;
+}
+
+Guard& Guard::min_dwell(sim::SimTime d) {
+  PTE_REQUIRE(d >= 0.0, "negative minimum dwell");
+  min_dwell_ = d;
+  return *this;
+}
+
+bool Guard::eval(const Valuation& x, sim::SimTime dwell) const {
+  if (dwell + sim::kTimeEps < min_dwell_) return false;
+  for (const auto& c : constraints_) {
+    if (c.margin(x) < -sim::kTimeEps) return false;
+  }
+  return true;
+}
+
+double Guard::margin(const Valuation& x) const {
+  double m = std::numeric_limits<double>::infinity();
+  for (const auto& c : constraints_) m = std::min(m, c.margin(x));
+  return m;
+}
+
+double Guard::time_to_satisfy(const Valuation& x, const std::vector<double>& var_rates) const {
+  double t = 0.0;
+  for (const auto& c : constraints_) {
+    const double m = c.margin(x);
+    if (m >= 0.0) continue;  // already satisfied; assumes it stays satisfied
+    const double r = c.margin_rate(var_rates);
+    if (r <= 0.0) return std::numeric_limits<double>::infinity();
+    t = std::max(t, -m / r);
+  }
+  // Verify satisfaction is simultaneous at t (a constraint satisfied now
+  // could become unsatisfied by then under a negative rate).
+  if (t > 0.0) {
+    for (const auto& c : constraints_) {
+      const double at_t = c.margin(x) + t * c.margin_rate(var_rates);
+      if (at_t < -1e-9) return std::numeric_limits<double>::infinity();
+    }
+  }
+  return t;
+}
+
+Guard Guard::shifted(std::size_t offset) const {
+  Guard g;
+  g.min_dwell_ = min_dwell_;
+  for (const auto& c : constraints_) g.constraints_.push_back(c.shifted(offset));
+  return g;
+}
+
+std::size_t Guard::max_var() const {
+  std::size_t m = LinearExpr::kNoVar;
+  for (const auto& c : constraints_) {
+    const std::size_t cm = c.expr.max_var();
+    if (cm == LinearExpr::kNoVar) continue;
+    if (m == LinearExpr::kNoVar || cm > m) m = cm;
+  }
+  return m;
+}
+
+std::string Guard::str(const std::vector<std::string>& var_names) const {
+  std::vector<std::string> parts;
+  if (min_dwell_ > 0.0) parts.push_back(util::cat("dwell >= ", util::fmt_compact(min_dwell_)));
+  for (const auto& c : constraints_) parts.push_back(c.str(var_names));
+  if (parts.empty()) return "true";
+  return util::join(parts, " && ");
+}
+
+std::string Guard::canonical() const {
+  std::vector<std::string> parts;
+  parts.reserve(constraints_.size());
+  for (const auto& c : constraints_) parts.push_back(c.canonical());
+  std::sort(parts.begin(), parts.end());
+  return util::cat("dwell>=", util::fmt_compact(min_dwell_), ";", util::join(parts, "&"));
+}
+
+Guard Guard::conjunction(const Guard& a, const Guard& b) {
+  Guard g;
+  g.min_dwell_ = std::max(a.min_dwell_, b.min_dwell_);
+  g.constraints_ = a.constraints_;
+  g.constraints_.insert(g.constraints_.end(), b.constraints_.begin(), b.constraints_.end());
+  return g;
+}
+
+}  // namespace ptecps::hybrid

@@ -1,0 +1,134 @@
+// Linear expressions, constraints and guards over an automaton's data
+// state variables (§II-A.6: guard sets; §II-A.3: invariant sets).
+//
+// Guards are kept semi-symbolic — conjunctions of linear constraints —
+// so that they can be (a) evaluated, (b) printed into DOT diagrams,
+// (c) compared structurally (needed by the simple-automaton check and by
+// elaboration verification), and (d) solved exactly for crossing times
+// under constant-rate flows, which is how the execution engine fires
+// urgent condition edges without numerical drift.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ptecps::hybrid {
+
+/// Index of a data state variable, local to its automaton.
+using VarId = std::size_t;
+
+/// Dense valuation of an automaton's data state variables vector.
+using Valuation = std::vector<double>;
+
+/// sum(coef_k * x_{var_k}) + constant
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+  /*implicit*/ LinearExpr(double constant) : constant_(constant) {}
+
+  static LinearExpr var(VarId v, double coef = 1.0);
+
+  LinearExpr& add_term(VarId v, double coef);
+  LinearExpr& add_constant(double c);
+
+  double eval(const Valuation& x) const;
+
+  /// d(expr)/dt given per-variable rates — used for exact crossing times.
+  double rate(const std::vector<double>& var_rates) const;
+
+  /// Largest variable index referenced (or npos if constant-only).
+  static constexpr std::size_t kNoVar = static_cast<std::size_t>(-1);
+  std::size_t max_var() const;
+
+  /// Return a copy with every variable index shifted by `offset`
+  /// (elaboration embeds a child automaton's variables after the parent's).
+  LinearExpr shifted(std::size_t offset) const;
+
+  std::string str(const std::vector<std::string>& var_names) const;
+
+  /// Canonical text used for structural comparison.
+  std::string canonical() const;
+
+  double constant() const { return constant_; }
+  const std::vector<std::pair<VarId, double>>& terms() const { return terms_; }
+
+ private:
+  std::vector<std::pair<VarId, double>> terms_;
+  double constant_ = 0.0;
+};
+
+enum class Cmp { kLe, kLt, kGe, kGt };
+
+std::string cmp_str(Cmp c);
+
+/// A single linear constraint `expr cmp 0`.
+struct LinearConstraint {
+  LinearExpr expr;
+  Cmp cmp = Cmp::kGe;
+
+  bool eval(const Valuation& x) const;
+
+  /// Signed satisfaction margin: >= 0 iff satisfied (strictness of kLt/kGt
+  /// is a modeling annotation; numerically they behave like kLe/kGe).
+  double margin(const Valuation& x) const;
+
+  /// d(margin)/dt under the given constant variable rates.
+  double margin_rate(const std::vector<double>& var_rates) const;
+
+  LinearConstraint shifted(std::size_t offset) const;
+  std::string str(const std::vector<std::string>& var_names) const;
+  std::string canonical() const;
+};
+
+/// Convenience constructors mirroring the way guards read in the paper,
+/// e.g. `atleast(clock, 3.0)` for "clock >= 3".
+LinearConstraint atleast(VarId v, double bound);   // x_v >= bound
+LinearConstraint atmost(VarId v, double bound);    // x_v <= bound
+LinearConstraint ge(LinearExpr lhs, LinearExpr rhs);
+LinearConstraint le(LinearExpr lhs, LinearExpr rhs);
+
+/// Conjunction of linear constraints plus an optional minimum-dwell
+/// requirement (time continuously spent in the current location).  An
+/// empty guard is `true`.
+class Guard {
+ public:
+  Guard() = default;
+  /*implicit*/ Guard(LinearConstraint c) { constraints_.push_back(std::move(c)); }
+  /*implicit*/ Guard(std::vector<LinearConstraint> cs) : constraints_(std::move(cs)) {}
+
+  Guard& also(LinearConstraint c);
+  Guard& min_dwell(sim::SimTime d);
+
+  bool always_true() const { return constraints_.empty() && min_dwell_ <= 0.0; }
+
+  bool eval(const Valuation& x, sim::SimTime dwell) const;
+
+  /// Margin over the linear constraints only (dwell handled separately by
+  /// the engine); empty-constraint guards have margin +inf.
+  double margin(const Valuation& x) const;
+
+  /// Exact time until all linear constraints become satisfied under
+  /// constant rates, from valuation x; returns +inf if never (within this
+  /// flow), 0 if already satisfied.  Only sound for constant-rate flows.
+  double time_to_satisfy(const Valuation& x, const std::vector<double>& var_rates) const;
+
+  const std::vector<LinearConstraint>& constraints() const { return constraints_; }
+  sim::SimTime min_dwell() const { return min_dwell_; }
+
+  Guard shifted(std::size_t offset) const;
+  std::size_t max_var() const;
+  std::string str(const std::vector<std::string>& var_names) const;
+  std::string canonical() const;
+
+  /// Conjunction of two guards (used by elaboration for invariants).
+  static Guard conjunction(const Guard& a, const Guard& b);
+
+ private:
+  std::vector<LinearConstraint> constraints_;
+  sim::SimTime min_dwell_ = 0.0;
+};
+
+}  // namespace ptecps::hybrid

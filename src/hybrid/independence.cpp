@@ -1,0 +1,107 @@
+#include "hybrid/independence.hpp"
+
+#include <set>
+
+#include "util/text.hpp"
+
+namespace ptecps::hybrid {
+
+std::string CheckResult::message() const {
+  if (ok) return "ok";
+  return util::join(problems, "; ");
+}
+
+CheckResult check_independent(const Automaton& a, const Automaton& b, bool compare_roots) {
+  CheckResult r;
+  auto fail = [&r](std::string msg) {
+    r.ok = false;
+    r.problems.push_back(std::move(msg));
+  };
+
+  // 1. elements(x) ∩ elements(x') = ∅ (variable names are the identities
+  //    of variables across automata).
+  std::set<std::string> vars_a(a.var_names().begin(), a.var_names().end());
+  for (const auto& v : b.var_names()) {
+    if (vars_a.count(v))
+      fail(util::cat("shared data state variable '", v, "' between '", a.name(), "' and '",
+                     b.name(), "'"));
+  }
+
+  // 2. V ∩ V' = ∅.
+  for (const auto& loc : b.locations()) {
+    if (a.has_location(loc.name))
+      fail(util::cat("shared location '", loc.name, "' between '", a.name(), "' and '",
+                     b.name(), "'"));
+  }
+
+  // 3. L ∩ L' = ∅.
+  if (compare_roots) {
+    const auto roots_a_vec = a.label_roots();
+    std::set<std::string> roots_a(roots_a_vec.begin(), roots_a_vec.end());
+    for (const auto& root : b.label_roots()) {
+      if (roots_a.count(root))
+        fail(util::cat("shared event root '", root, "' between '", a.name(), "' and '",
+                       b.name(), "'"));
+    }
+  } else {
+    const auto labels_a_vec = a.labels();
+    std::set<SyncLabel> labels_a(labels_a_vec.begin(), labels_a_vec.end());
+    for (const auto& l : b.labels()) {
+      if (labels_a.count(l))
+        fail(util::cat("shared synchronization label '", l.str(), "' between '", a.name(),
+                       "' and '", b.name(), "'"));
+    }
+  }
+  return r;
+}
+
+CheckResult check_mutually_independent(const std::vector<const Automaton*>& automata,
+                                       bool compare_roots) {
+  CheckResult r;
+  for (std::size_t i = 0; i < automata.size(); ++i) {
+    for (std::size_t j = i + 1; j < automata.size(); ++j) {
+      CheckResult pair = check_independent(*automata[i], *automata[j], compare_roots);
+      if (!pair.ok) {
+        r.ok = false;
+        r.problems.insert(r.problems.end(), pair.problems.begin(), pair.problems.end());
+      }
+    }
+  }
+  return r;
+}
+
+CheckResult check_simple(const Automaton& a) {
+  CheckResult r;
+  auto fail = [&r](std::string msg) {
+    r.ok = false;
+    r.problems.push_back(std::move(msg));
+  };
+
+  // 1. ∀v1,v2 ∈ V: inv(v1) = inv(v2), compared structurally.
+  if (!a.locations().empty()) {
+    const std::string inv0 = a.location(0).invariant.canonical();
+    for (LocId i = 1; i < a.num_locations(); ++i) {
+      if (a.location(i).invariant.canonical() != inv0)
+        fail(util::cat("'", a.name(), "': invariant of '", a.location(i).name,
+                       "' differs from invariant of '", a.location(0).name,
+                       "' — not a simple hybrid automaton"));
+    }
+  }
+
+  // 2. every data state in inv(v) is initial for initial locations.
+  if (a.initial_data() != InitialData::kAnyInInvariant)
+    fail(util::cat("'", a.name(),
+                   "': Φ0 must admit any data state in the invariant "
+                   "(InitialData::kAnyInInvariant) to be simple"));
+
+  // 3. the zero data state is initial: check 0 ∈ inv(v).
+  if (!a.locations().empty()) {
+    const Valuation zero(a.num_vars(), 0.0);
+    if (!a.location(0).invariant.eval(zero, 0.0))
+      fail(util::cat("'", a.name(), "': the zero data state violates the invariant, so (v, 0) "
+                     "∉ Φ0 — not a simple hybrid automaton"));
+  }
+  return r;
+}
+
+}  // namespace ptecps::hybrid

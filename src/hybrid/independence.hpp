@@ -1,0 +1,46 @@
+// Hybrid automata independence (Definition 2) and simple hybrid automata
+// (Definition 3) — the preconditions of the elaboration methodology and of
+// Theorem 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hybrid/automaton.hpp"
+
+namespace ptecps::hybrid {
+
+/// Outcome of an independence / simplicity check with human-readable
+/// reasons for failure (used in error messages and tests).
+struct CheckResult {
+  bool ok = true;
+  std::vector<std::string> problems;
+
+  explicit operator bool() const { return ok; }
+  std::string message() const;
+};
+
+/// Definition 2: A and A' are independent iff their data state variable
+/// names, location names and synchronization labels are disjoint.
+///
+/// The paper compares full labels (prefix+root).  By default we compare
+/// label *roots*, which is strictly stronger: it also rules out a child
+/// automaton receiving events the parent sends, which would couple the
+/// two and break the orthogonality argument of Theorem 2.  Pass
+/// `compare_roots = false` for the literal Definition 2.
+CheckResult check_independent(const Automaton& a, const Automaton& b,
+                              bool compare_roots = true);
+
+/// Mutual independence of a whole set (pairwise Definition 2).
+CheckResult check_mutually_independent(const std::vector<const Automaton*>& automata,
+                                       bool compare_roots = true);
+
+/// Definition 3: a hybrid automaton is *simple* iff
+///  1. all locations share one invariant set,
+///  2. every data state in inv(v) is a legal initial state for every
+///     initial location v (InitialData::kAnyInInvariant), and
+///  3. the zero data state is a legal initial state (we verify the zero
+///     vector satisfies the common invariant).
+CheckResult check_simple(const Automaton& a);
+
+}  // namespace ptecps::hybrid

@@ -1,0 +1,38 @@
+#include "hybrid/label.hpp"
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::hybrid {
+
+SyncLabel SyncLabel::internal(std::string root) {
+  return SyncLabel{SyncPrefix::kInternal, std::move(root)};
+}
+
+SyncLabel SyncLabel::send(std::string root) { return SyncLabel{SyncPrefix::kSend, std::move(root)}; }
+
+SyncLabel SyncLabel::recv(std::string root) { return SyncLabel{SyncPrefix::kRecv, std::move(root)}; }
+
+SyncLabel SyncLabel::recv_unreliable(std::string root) {
+  return SyncLabel{SyncPrefix::kRecvUnreliable, std::move(root)};
+}
+
+SyncLabel SyncLabel::parse(const std::string& text) {
+  PTE_REQUIRE(!text.empty(), "empty synchronization label");
+  if (util::starts_with(text, "??")) return recv_unreliable(text.substr(2));
+  if (util::starts_with(text, "?")) return recv(text.substr(1));
+  if (util::starts_with(text, "!")) return send(text.substr(1));
+  return internal(text);
+}
+
+std::string SyncLabel::str() const {
+  switch (prefix) {
+    case SyncPrefix::kInternal: return root;
+    case SyncPrefix::kSend: return "!" + root;
+    case SyncPrefix::kRecv: return "?" + root;
+    case SyncPrefix::kRecvUnreliable: return "??" + root;
+  }
+  return root;
+}
+
+}  // namespace ptecps::hybrid

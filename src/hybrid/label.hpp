@@ -1,0 +1,47 @@
+// Synchronization labels (§II-A.8 of the paper).
+//
+// A label is a root (the event name) plus a prefix giving the automaton's
+// role for that event:
+//   "evt"    — internal event, no receiver (prefix omitted in the paper)
+//   "!evt"   — sender of event evt
+//   "?evt"   — reliable receiver (wired / intra-entity)
+//   "??evt"  — unreliable receiver (wireless; deliveries may be lost)
+// Labels with different prefixes or roots are distinct labels, but relate
+// to the same event through the shared root.
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace ptecps::hybrid {
+
+enum class SyncPrefix {
+  kInternal,         // no prefix: internal event without receivers
+  kSend,             // "!"
+  kRecv,             // "?"  (reliable reception)
+  kRecvUnreliable,   // "??" (lossy reception)
+};
+
+struct SyncLabel {
+  SyncPrefix prefix = SyncPrefix::kInternal;
+  std::string root;
+
+  static SyncLabel internal(std::string root);
+  static SyncLabel send(std::string root);
+  static SyncLabel recv(std::string root);
+  static SyncLabel recv_unreliable(std::string root);
+
+  /// Parse from the paper's notation: "evt", "!evt", "?evt", "??evt".
+  static SyncLabel parse(const std::string& text);
+
+  /// Back to the paper's notation.
+  std::string str() const;
+
+  bool is_reception() const {
+    return prefix == SyncPrefix::kRecv || prefix == SyncPrefix::kRecvUnreliable;
+  }
+
+  auto operator<=>(const SyncLabel&) const = default;
+};
+
+}  // namespace ptecps::hybrid

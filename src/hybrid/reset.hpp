@@ -1,0 +1,57 @@
+// Reset functions (§II-A.7): applied to the data state vector when a
+// discrete transition is taken.  A reset is a list of assignments; every
+// variable not assigned keeps its value (the identity reset of Fig. 2 is
+// an empty list).  Assignments may depend on the pre-transition valuation
+// and on the current simulated time — the lease design pattern records
+// supervisor-side lease deadlines as `D_i := now + constant`.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hybrid/expr.hpp"
+#include "sim/time.hpp"
+
+namespace ptecps::hybrid {
+
+class Reset {
+ public:
+  using ValueFn = std::function<double(sim::SimTime now, const Valuation& before)>;
+
+  Reset() = default;
+
+  /// x_v := value
+  Reset& set(VarId v, double value);
+
+  /// x_v := now + offset   (lease deadline bookkeeping)
+  Reset& set_now_plus(VarId v, double offset);
+
+  /// x_v := fn(now, pre-transition valuation)
+  Reset& set_fn(VarId v, ValueFn fn, std::string description);
+
+  bool is_identity() const { return assignments_.empty(); }
+
+  void apply(sim::SimTime now, Valuation& x) const;
+
+  Reset shifted(std::size_t offset) const;
+
+  std::string str(const std::vector<std::string>& var_names) const;
+  std::string canonical() const;
+
+  /// Variables written by this reset (for validation).
+  std::vector<VarId> written() const;
+
+ private:
+  enum class Kind { kConstant, kNowPlus, kFn };
+  struct Assignment {
+    VarId var;
+    Kind kind;
+    double value;  // constant or now-offset
+    ValueFn fn;
+    std::string description;
+  };
+  std::vector<Assignment> assignments_;
+};
+
+}  // namespace ptecps::hybrid

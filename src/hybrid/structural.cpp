@@ -1,0 +1,72 @@
+#include "hybrid/structural.hpp"
+
+#include <algorithm>
+
+#include "util/text.hpp"
+
+namespace ptecps::hybrid {
+
+std::string canonical_text(const Automaton& a) {
+  std::string out;
+  out += "automaton " + a.name() + "\n";
+
+  for (VarId v = 0; v < a.num_vars(); ++v)
+    out += util::cat("  var ", a.var_name(v), " init ", util::fmt_compact(a.var_init(v)), "\n");
+
+  // Locations sorted by name for order-insensitivity.
+  std::vector<LocId> locs(a.num_locations());
+  for (LocId i = 0; i < locs.size(); ++i) locs[i] = i;
+  std::sort(locs.begin(), locs.end(),
+            [&](LocId x, LocId y) { return a.location(x).name < a.location(y).name; });
+
+  for (LocId i : locs) {
+    const auto& loc = a.location(i);
+    out += util::cat("  loc ", loc.name, loc.risky ? " [risky]" : " [safe]",
+                     " inv{", loc.invariant.canonical(), "} flow{", loc.flow.canonical(),
+                     "}\n");
+  }
+
+  // Edges as text lines, sorted.
+  std::vector<std::string> edge_lines;
+  for (const auto& e : a.edges()) {
+    std::string trig;
+    switch (e.kind) {
+      case TriggerKind::kEvent: trig = "on " + e.trigger.str(); break;
+      case TriggerKind::kTimed: trig = util::cat("dwell==", util::fmt_compact(e.dwell)); break;
+      case TriggerKind::kCondition: trig = "when"; break;
+    }
+    std::vector<std::string> emit_strs;
+    emit_strs.reserve(e.emits.size());
+    for (const auto& l : e.emits) emit_strs.push_back(l.str());
+    edge_lines.push_back(util::cat("  edge ", a.location(e.src).name, " -> ",
+                                   a.location(e.dst).name, " [", trig, "] guard{",
+                                   e.guard.canonical(), "} reset{", e.reset.canonical(),
+                                   "} emits{", util::join(emit_strs, ","), "}\n"));
+  }
+  std::sort(edge_lines.begin(), edge_lines.end());
+  for (const auto& l : edge_lines) out += l;
+
+  std::vector<std::string> initial_names;
+  for (LocId i : a.initial_locations()) initial_names.push_back(a.location(i).name);
+  std::sort(initial_names.begin(), initial_names.end());
+  out += util::cat("  initial {", util::join(initial_names, ","), "} data ",
+                   a.initial_data() == InitialData::kZero ? "zero" : "any-in-invariant", "\n");
+  return out;
+}
+
+bool structurally_equal(const Automaton& a, const Automaton& b) {
+  return canonical_text(a) == canonical_text(b);
+}
+
+std::string first_difference(const Automaton& a, const Automaton& b) {
+  const auto la = util::split(canonical_text(a), '\n');
+  const auto lb = util::split(canonical_text(b), '\n');
+  for (std::size_t i = 0; i < std::max(la.size(), lb.size()); ++i) {
+    const std::string& sa = i < la.size() ? la[i] : "<missing>";
+    const std::string& sb = i < lb.size() ? lb[i] : "<missing>";
+    if (sa != sb) return util::cat("line ", i, ":\n  a: ", sa, "\n  b: ", sb);
+  }
+  return "";
+}
+
+}  // namespace ptecps::hybrid

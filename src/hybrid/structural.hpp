@@ -1,0 +1,25 @@
+// Canonical serialization and structural equality of hybrid automata.
+// Used by the Theorem 2 compliance checker (does this automaton really
+// elaborate that design pattern?) and by tests.
+#pragma once
+
+#include <string>
+
+#include "hybrid/automaton.hpp"
+
+namespace ptecps::hybrid {
+
+/// Stable, human-diffable text rendering of an automaton's structure:
+/// variables, locations (invariants, flows, risky flags), edges (trigger,
+/// guard, reset, emits), initial states.  Two automata with equal
+/// canonical text are structurally identical up to internal ids.
+std::string canonical_text(const Automaton& a);
+
+/// Structural equality via canonical text.
+bool structurally_equal(const Automaton& a, const Automaton& b);
+
+/// First line of difference between the canonical texts ("" if equal) —
+/// for diagnostics in tests and the compliance checker.
+std::string first_difference(const Automaton& a, const Automaton& b);
+
+}  // namespace ptecps::hybrid

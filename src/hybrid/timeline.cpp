@@ -1,0 +1,98 @@
+#include "hybrid/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::hybrid {
+
+std::vector<LocationInterval> risky_intervals(const Trace& trace, std::size_t automaton,
+                                              const Automaton& definition,
+                                              sim::SimTime end_time) {
+  std::vector<LocationInterval> out;
+  bool open = false;
+  LocationInterval current;
+  for (const auto& iv : location_intervals(trace, automaton, end_time)) {
+    const bool risky = iv.loc != kNoLoc && definition.location(iv.loc).risky;
+    if (risky && !open) {
+      current = LocationInterval{iv.loc, iv.begin, iv.end};
+      open = true;
+    } else if (risky && open) {
+      current.end = iv.end;  // contiguous risky locations merge
+    } else if (!risky && open) {
+      out.push_back(current);
+      open = false;
+    }
+  }
+  if (open) out.push_back(current);
+  return out;
+}
+
+std::string render_timeline(const Trace& trace,
+                            const std::vector<const Automaton*>& automata,
+                            const std::vector<std::size_t>& indices,
+                            const TimelineOptions& options) {
+  PTE_REQUIRE(options.seconds_per_column > 0.0, "column width must be positive");
+  sim::SimTime end = options.end;
+  if (end <= 0.0) {
+    end = options.begin;
+    for (const auto& r : trace.records()) end = std::max(end, r.t);
+  }
+  PTE_REQUIRE(end > options.begin, "empty timeline window");
+  const std::size_t columns = static_cast<std::size_t>(
+      std::max(1.0, (end - options.begin) / options.seconds_per_column));
+
+  std::string out;
+  // Header: time ruler with a tick every 10 columns.
+  out += util::pad("", options.label_width);
+  for (std::size_t c = 0; c < columns; ++c) {
+    if (c % 10 == 0) {
+      const std::string tick =
+          util::fmt_compact(options.begin + static_cast<double>(c) *
+                                                options.seconds_per_column, 0);
+      out += tick;
+      c += tick.size() - 1;
+    } else {
+      out += ' ';
+    }
+  }
+  out += "\n";
+
+  for (std::size_t idx : indices) {
+    PTE_REQUIRE(idx < automata.size() && automata[idx] != nullptr,
+                "timeline index out of range");
+    const Automaton& aut = *automata[idx];
+    const auto intervals = location_intervals(trace, idx, end);
+
+    std::string row(columns, '.');
+    for (const auto& iv : intervals) {
+      if (iv.loc == kNoLoc || !aut.location(iv.loc).risky) continue;
+      const double b = std::max(iv.begin, options.begin);
+      const double e = std::min(iv.end, end);
+      if (e <= b) continue;
+      const std::size_t c0 = static_cast<std::size_t>((b - options.begin) /
+                                                      options.seconds_per_column);
+      // End column exclusive: ceil, so an interval ending exactly on a
+      // column boundary does not bleed into the next column.
+      const std::size_t c1 = std::min(
+          columns, static_cast<std::size_t>(
+                       std::ceil((e - options.begin) / options.seconds_per_column - 1e-9)));
+      for (std::size_t c = c0; c < c1; ++c) row[c] = '#';
+    }
+    if (options.mark_transitions) {
+      for (const auto& r : trace.records()) {
+        if (r.automaton != idx || r.kind != TraceKind::kTransition) continue;
+        if (r.t < options.begin || r.t >= end) continue;
+        const std::size_t c = static_cast<std::size_t>((r.t - options.begin) /
+                                                       options.seconds_per_column);
+        if (c < columns && row[c] == '.') row[c] = '|';
+      }
+    }
+    out += util::pad(aut.name(), options.label_width) + row + "\n";
+  }
+  return out;
+}
+
+}  // namespace ptecps::hybrid

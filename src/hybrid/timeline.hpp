@@ -1,0 +1,41 @@
+// ASCII timeline (Gantt) rendering of execution traces — the textual
+// equivalent of the paper's Fig. 1.  One row per automaton; each column
+// is a time slice rendered as:
+//   '#'  dwelling in a risky-location
+//   '.'  dwelling in a safe-location
+//   '|'  a discrete transition happened inside the slice
+// Used by the figure benches and the examples; also handy in tests to
+// eyeball counterexamples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hybrid/automaton.hpp"
+#include "hybrid/trace.hpp"
+
+namespace ptecps::hybrid {
+
+struct TimelineOptions {
+  sim::SimTime begin = 0.0;
+  sim::SimTime end = 0.0;          // 0: use the last trace record's time
+  double seconds_per_column = 0.5;
+  bool mark_transitions = true;
+  std::size_t label_width = 18;
+};
+
+/// Render the location timeline of the given automata (by engine index)
+/// from `trace`.  `automata[i]` must be the automaton the index refers
+/// to (for names and risky classification).
+std::string render_timeline(const Trace& trace,
+                            const std::vector<const Automaton*>& automata,
+                            const std::vector<std::size_t>& indices,
+                            const TimelineOptions& options = {});
+
+/// Risky-dwelling intervals of one automaton extracted from a trace
+/// (closed at `end_time`) — the data behind a timeline row.
+std::vector<LocationInterval> risky_intervals(const Trace& trace, std::size_t automaton,
+                                              const Automaton& definition,
+                                              sim::SimTime end_time);
+
+}  // namespace ptecps::hybrid

@@ -1,0 +1,97 @@
+#include "hybrid/trace.hpp"
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::hybrid {
+
+std::string trace_kind_str(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kTransition: return "transition";
+    case TraceKind::kEmit: return "emit";
+    case TraceKind::kDeliver: return "deliver";
+    case TraceKind::kIgnoredEvent: return "ignored";
+    case TraceKind::kInject: return "inject";
+    case TraceKind::kVarWrite: return "var-write";
+    case TraceKind::kInvariantViolation: return "INVARIANT-VIOLATION";
+    case TraceKind::kSample: return "sample";
+  }
+  return "?";
+}
+
+void Trace::append(TraceRecord record) { records_.push_back(std::move(record)); }
+
+std::vector<TraceRecord> Trace::filter(TraceKind kind, std::size_t automaton) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.kind != kind) continue;
+    if (automaton != static_cast<std::size_t>(-1) && r.automaton != automaton) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string Trace::format(const std::vector<const Automaton*>& automata, sim::SimTime t_begin,
+                          sim::SimTime t_end) const {
+  std::string out;
+  for (const auto& r : records_) {
+    if (r.t < t_begin || r.t >= t_end) continue;
+    const Automaton* a = r.automaton < automata.size() ? automata[r.automaton] : nullptr;
+    const std::string who = a ? a->name() : util::cat("automaton#", r.automaton);
+    out += util::pad(util::cat("[t=", util::fmt_double(r.t, 3), "]"), 14) + " " +
+           util::pad(who, 16) + " ";
+    switch (r.kind) {
+      case TraceKind::kTransition: {
+        const std::string from =
+            a && r.from != kNoLoc ? a->location(r.from).name : std::string("(start)");
+        const std::string to = a && r.to != kNoLoc ? a->location(r.to).name : "?";
+        out += from + " -> " + to;
+        if (!r.detail.empty()) out += "  (" + r.detail + ")";
+        break;
+      }
+      default:
+        out += trace_kind_str(r.kind);
+        if (!r.detail.empty()) out += " " + r.detail;
+        if (r.kind == TraceKind::kSample || r.kind == TraceKind::kVarWrite)
+          out += " = " + util::fmt_compact(r.value, 4);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<LocationInterval> location_intervals(const Trace& trace, std::size_t automaton,
+                                                 sim::SimTime end_time) {
+  std::vector<LocationInterval> out;
+  bool open = false;
+  LocationInterval current;
+  for (const auto& r : trace.records()) {
+    if (r.automaton != automaton || r.kind != TraceKind::kTransition) continue;
+    if (open) {
+      current.end = r.t;
+      out.push_back(current);
+    }
+    current = LocationInterval{r.to, r.t, r.t};
+    open = true;
+  }
+  if (open) {
+    current.end = end_time;
+    PTE_CHECK(current.end >= current.begin, "trace interval ends before it begins");
+    out.push_back(current);
+  }
+  return out;
+}
+
+std::vector<Sample> sample_series(const Trace& trace, std::size_t automaton,
+                                  const std::string& var_name) {
+  std::vector<Sample> out;
+  for (const auto& r : trace.records()) {
+    if (r.automaton != automaton || r.kind != TraceKind::kSample || r.detail != var_name)
+      continue;
+    out.push_back(Sample{r.t, r.value});
+  }
+  return out;
+}
+
+}  // namespace ptecps::hybrid

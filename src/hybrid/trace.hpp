@@ -1,0 +1,83 @@
+// Execution traces (the φ(t) trajectories of §II/§IV-C): a flat record of
+// everything observable the engine did — transitions, emissions,
+// deliveries, injections, variable writes, invariant violations, samples.
+// The PTE safety monitor works online via engine observers; traces are for
+// debugging, examples, and the figure-regeneration benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hybrid/automaton.hpp"
+#include "sim/time.hpp"
+
+namespace ptecps::hybrid {
+
+enum class TraceKind {
+  kTransition,          // location change (from, to; detail = trigger)
+  kEmit,                // label emitted (detail = label)
+  kDeliver,             // event delivered and consumed (detail = root)
+  kIgnoredEvent,        // event delivered but no enabled receiving edge
+  kInject,              // environment stimulus (detail = root)
+  kVarWrite,            // external variable write (detail = var name)
+  kInvariantViolation,  // state left the location's invariant set
+  kSample,              // periodic variable sample (detail = var, value)
+};
+
+std::string trace_kind_str(TraceKind kind);
+
+struct TraceRecord {
+  sim::SimTime t = 0.0;
+  std::size_t automaton = 0;
+  TraceKind kind = TraceKind::kTransition;
+  LocId from = kNoLoc;
+  LocId to = kNoLoc;
+  std::string detail;
+  double value = 0.0;
+};
+
+class Trace {
+ public:
+  void append(TraceRecord record);
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+  std::size_t size() const { return records_.size(); }
+
+  /// All records of one kind (optionally restricted to one automaton).
+  std::vector<TraceRecord> filter(TraceKind kind,
+                                  std::size_t automaton = static_cast<std::size_t>(-1)) const;
+
+  /// Render records in [t_begin, t_end) as a human-readable timeline.
+  std::string format(const std::vector<const Automaton*>& automata,
+                     sim::SimTime t_begin = 0.0,
+                     sim::SimTime t_end = sim::kSimTimeInfinity) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Maximal interval during which an automaton dwelt in one location.
+struct LocationInterval {
+  LocId loc = kNoLoc;
+  sim::SimTime begin = 0.0;
+  sim::SimTime end = 0.0;
+  sim::SimTime duration() const { return end - begin; }
+};
+
+/// Reconstruct the location intervals of `automaton` from a trace,
+/// closing the last interval at `end_time`.
+std::vector<LocationInterval> location_intervals(const Trace& trace, std::size_t automaton,
+                                                 sim::SimTime end_time);
+
+/// Time series sample (for figure benches, e.g. Hvent(t) of Fig. 2).
+struct Sample {
+  sim::SimTime t;
+  double value;
+};
+
+/// Extract the kSample series of (automaton, var name).
+std::vector<Sample> sample_series(const Trace& trace, std::size_t automaton,
+                                  const std::string& var_name);
+
+}  // namespace ptecps::hybrid

@@ -1,0 +1,30 @@
+// Static well-formedness diagnostics approximating the time-block-free /
+// non-zeno assumptions of §IV-C (the paper assumes these hold for every
+// automaton; footnote 3).  These are heuristics: they catch the common
+// modeling mistakes, not a complete decision procedure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hybrid/automaton.hpp"
+
+namespace ptecps::hybrid {
+
+struct WellformedReport {
+  bool ok = true;
+  /// Locations not reachable from any initial location via edges.
+  std::vector<std::string> unreachable_locations;
+  /// Non-risky sink locations with no egress edge at all (dead ends).
+  std::vector<std::string> sink_locations;
+  /// Cycles whose edges could all fire without time passing (potential
+  /// zeno behavior): every edge is a condition edge whose guard has no
+  /// minimum dwell.  Rendered as "a -> b -> a".
+  std::vector<std::string> zero_time_cycles;
+
+  std::string message() const;
+};
+
+WellformedReport check_wellformed(const Automaton& a);
+
+}  // namespace ptecps::hybrid

@@ -1,0 +1,55 @@
+#include "net/bridge.hpp"
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::net {
+
+NetEventRouter::NetEventRouter(StarNetwork& network,
+                               std::vector<std::size_t> automaton_of_entity)
+    : network_(network), automaton_of_entity_(std::move(automaton_of_entity)) {
+  PTE_REQUIRE(automaton_of_entity_.size() == network.n_remotes() + 1,
+              "need one automaton per entity (base station + remotes)");
+}
+
+void NetEventRouter::add_route(const std::string& event_root, EntityId src, EntityId dst,
+                               Transport transport) {
+  PTE_REQUIRE(routes_.emplace(event_root, EventRoute{src, dst, transport}).second,
+              util::cat("duplicate route for event root '", event_root, "'"));
+  if (transport == Transport::kWireless) {
+    // Validate the topology early: throws on remote→remote.
+    network_.channel_for(src, dst);
+  }
+}
+
+void NetEventRouter::attach(hybrid::Engine& engine) {
+  PTE_REQUIRE(engine_ == nullptr, "attach() called twice");
+  engine_ = &engine;
+  for (EntityId r = 1; r <= network_.n_remotes(); ++r) {
+    auto deliver = [this](const Packet& p) {
+      PTE_CHECK(p.dst < automaton_of_entity_.size(), "packet for unknown entity");
+      engine_->deliver(automaton_of_entity_[p.dst], p.event_root);
+    };
+    network_.uplink(r).set_delivery(deliver);
+    network_.downlink(r).set_delivery(deliver);
+  }
+}
+
+void NetEventRouter::route(hybrid::Engine& engine, std::size_t src_automaton,
+                           const hybrid::SyncLabel& label) {
+  const auto it = routes_.find(label.root);
+  if (it == routes_.end()) return;  // internal event, no receivers
+  const EventRoute& r = it->second;
+  PTE_CHECK(r.src < automaton_of_entity_.size() &&
+                automaton_of_entity_[r.src] == src_automaton,
+            util::cat("event '", label.root, "' emitted by automaton #", src_automaton,
+                      " but routed from entity xi", r.src));
+  if (r.transport == Transport::kWired) {
+    engine.deliver(automaton_of_entity_[r.dst], label.root);
+    return;
+  }
+  ++wireless_sends_;
+  network_.send_event(r.src, r.dst, label.root);
+}
+
+}  // namespace ptecps::net

@@ -1,0 +1,57 @@
+// Bridge between the hybrid-automata engine and the wireless substrate.
+//
+// The formalism communicates through synchronization labels; the wireless
+// CPS communicates through packets on the star network.  NetEventRouter
+// implements hybrid::EventRouter with a routing table
+//     event root  ->  (source entity, destination entity, transport)
+// Emissions whose root routes over kWireless become packets on the proper
+// uplink/downlink (and may be lost); kWired routes deliver reliably at the
+// same instant (intra-entity / cabled connections, e.g. the SpO2 sensor
+// wired to the supervisor).  Unrouted roots are internal events without
+// receivers (the paper's prefixless labels) and are dropped silently.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hybrid/engine.hpp"
+#include "net/star_network.hpp"
+
+namespace ptecps::net {
+
+enum class Transport { kWireless, kWired };
+
+struct EventRoute {
+  EntityId src = 0;
+  EntityId dst = 0;
+  Transport transport = Transport::kWireless;
+};
+
+class NetEventRouter final : public hybrid::EventRouter {
+ public:
+  /// `automaton_of_entity[e]` is the engine index of entity e's automaton.
+  NetEventRouter(StarNetwork& network, std::vector<std::size_t> automaton_of_entity);
+
+  void add_route(const std::string& event_root, EntityId src, EntityId dst,
+                 Transport transport);
+
+  /// Install delivery callbacks on every network channel and remember the
+  /// engine.  Must be called once, after the engine exists, before run.
+  void attach(hybrid::Engine& engine);
+
+  void route(hybrid::Engine& engine, std::size_t src_automaton,
+             const hybrid::SyncLabel& label) override;
+
+  /// Number of wireless packets pushed through the network by this router.
+  std::uint64_t wireless_sends() const { return wireless_sends_; }
+
+ private:
+  StarNetwork& network_;
+  std::vector<std::size_t> automaton_of_entity_;
+  std::map<std::string, EventRoute> routes_;
+  hybrid::Engine* engine_ = nullptr;
+  std::uint64_t wireless_sends_ = 0;
+};
+
+}  // namespace ptecps::net

@@ -1,0 +1,81 @@
+// A unidirectional wireless link: loss model + propagation delay +
+// bit-error injection (caught by the CRC) + receiver acceptance window
+// (§II-B: "for the downlink, the remote entities locally specify delays
+// as acceptable or as lost-messages"; uplink delays are handled the same
+// way by the base station).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/loss_model.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ptecps::net {
+
+struct ChannelConfig {
+  sim::SimTime delay = 0.005;        // fixed propagation + MAC delay (s)
+  sim::SimTime delay_jitter = 0.0;   // uniform extra delay in [0, jitter)
+  double bit_error_prob = 0.0;       // P(flip one random bit) per packet
+  /// Maximum age a packet may have on arrival before the receiver treats
+  /// it as lost; 0 disables the check.
+  sim::SimTime acceptance_window = 0.5;
+  /// P(a surviving packet is delivered twice) — at-least-once middleware
+  /// and MAC-level retransmissions duplicate events in practice.  This is
+  /// an EXTENSION beyond the paper's loss-only fault model; the design
+  /// pattern's receivers are state-gated and tolerate duplicates (see
+  /// test_pattern.cpp / test_adversarial.cpp).
+  double duplicate_prob = 0.0;
+  /// Extra delay of the duplicate copy (s).
+  sim::SimTime duplicate_lag = 0.02;
+};
+
+struct ChannelStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;           // dropped by the loss model
+  std::uint64_t corrupted = 0;      // CRC mismatch at receiver
+  std::uint64_t rejected_late = 0;  // outside the acceptance window
+  std::uint64_t duplicated = 0;     // extra copies delivered
+
+  double delivery_ratio() const {
+    return sent == 0 ? 1.0 : static_cast<double>(delivered) / static_cast<double>(sent);
+  }
+};
+
+class Channel {
+ public:
+  using DeliveryFn = std::function<void(const Packet&)>;
+
+  Channel(std::string name, sim::Scheduler& scheduler, sim::Rng rng,
+          std::unique_ptr<LossModel> loss, ChannelConfig config);
+
+  void set_delivery(DeliveryFn fn);
+
+  /// Transmit `packet`.  Loss, corruption and late rejection are decided
+  /// here; survivors arrive at the delivery callback after the delay.
+  void send(Packet packet);
+
+  const std::string& name() const { return name_; }
+  const ChannelStats& stats() const { return stats_; }
+  const LossModel& loss_model() const { return *loss_; }
+  LossModel& loss_model_mut() { return *loss_; }
+  /// Swap the loss model at runtime (scenario scripting).
+  void set_loss_model(std::unique_ptr<LossModel> loss);
+
+ private:
+  std::string name_;
+  sim::Scheduler& scheduler_;
+  sim::Rng rng_;
+  std::unique_ptr<LossModel> loss_;
+  ChannelConfig config_;
+  DeliveryFn delivery_;
+  ChannelStats stats_;
+  std::uint32_t next_seq_ = 0;
+};
+
+}  // namespace ptecps::net

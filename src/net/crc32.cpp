@@ -1,0 +1,26 @@
+#include "net/crc32.hpp"
+
+#include <array>
+
+namespace ptecps::net {
+
+namespace {
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::uint8_t b : data) crc = table[(crc ^ b) & 0xFFU] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFU;
+}
+
+}  // namespace ptecps::net

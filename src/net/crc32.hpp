@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) — the packet checksum of the
+// fault model in §II-B: "each packet's checksum is strong enough to detect
+// any bit error(s); a packet with bit error(s) is discarded".
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ptecps::net {
+
+/// CRC-32 of `data` (init 0xFFFFFFFF, final xor 0xFFFFFFFF).
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace ptecps::net

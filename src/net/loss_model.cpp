@@ -1,0 +1,93 @@
+#include "net/loss_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::net {
+
+BernoulliLoss::BernoulliLoss(double p) : p_(p) {
+  PTE_REQUIRE(p >= 0.0 && p <= 1.0, "loss probability must be in [0,1]");
+}
+
+bool BernoulliLoss::lose(sim::SimTime, sim::Rng& rng) { return rng.bernoulli(p_); }
+
+std::string BernoulliLoss::describe() const {
+  return util::cat("bernoulli(p=", util::fmt_compact(p_), ")");
+}
+
+GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good,
+                                       double loss_good, double loss_bad)
+    : p_gb_(p_good_to_bad), p_bg_(p_bad_to_good), loss_good_(loss_good), loss_bad_(loss_bad) {
+  for (double p : {p_gb_, p_bg_, loss_good_, loss_bad_})
+    PTE_REQUIRE(p >= 0.0 && p <= 1.0, "Gilbert-Elliott probabilities must be in [0,1]");
+}
+
+bool GilbertElliottLoss::lose(sim::SimTime, sim::Rng& rng) {
+  // Advance the channel state, then draw the per-state loss.
+  if (bad_) {
+    if (rng.bernoulli(p_bg_)) bad_ = false;
+  } else {
+    if (rng.bernoulli(p_gb_)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? loss_bad_ : loss_good_);
+}
+
+std::string GilbertElliottLoss::describe() const {
+  return util::cat("gilbert-elliott(gb=", util::fmt_compact(p_gb_), ", bg=",
+                   util::fmt_compact(p_bg_), ", loss_g=", util::fmt_compact(loss_good_),
+                   ", loss_b=", util::fmt_compact(loss_bad_), ")");
+}
+
+InterferenceLoss::InterferenceLoss(double period, double burst, double loss_during_burst,
+                                   double loss_idle, double phase)
+    : period_(period), burst_(burst), loss_burst_(loss_during_burst), loss_idle_(loss_idle),
+      phase_(phase) {
+  PTE_REQUIRE(period > 0.0, "interference period must be positive");
+  PTE_REQUIRE(burst >= 0.0 && burst <= period, "burst must fit within the period");
+  for (double p : {loss_burst_, loss_idle_})
+    PTE_REQUIRE(p >= 0.0 && p <= 1.0, "loss probabilities must be in [0,1]");
+}
+
+bool InterferenceLoss::burst_active(sim::SimTime now) const {
+  double offset = std::fmod(now + phase_, period_);
+  if (offset < 0.0) offset += period_;
+  return offset < burst_;
+}
+
+bool InterferenceLoss::lose(sim::SimTime now, sim::Rng& rng) {
+  return rng.bernoulli(burst_active(now) ? loss_burst_ : loss_idle_);
+}
+
+std::string InterferenceLoss::describe() const {
+  return util::cat("interference(period=", util::fmt_compact(period_), "s, burst=",
+                   util::fmt_compact(burst_), "s, loss_burst=", util::fmt_compact(loss_burst_),
+                   ", loss_idle=", util::fmt_compact(loss_idle_), ")");
+}
+
+ScriptedLoss::ScriptedLoss(std::vector<bool> lose_nth) : lose_nth_(std::move(lose_nth)) {}
+
+std::unique_ptr<ScriptedLoss> ScriptedLoss::lose_indices(
+    const std::vector<std::size_t>& indices, std::size_t horizon) {
+  std::vector<bool> script(horizon, false);
+  for (std::size_t i : indices) {
+    PTE_REQUIRE(i < horizon, "scripted loss index beyond horizon");
+    script[i] = true;
+  }
+  return std::make_unique<ScriptedLoss>(std::move(script));
+}
+
+bool ScriptedLoss::lose(sim::SimTime, sim::Rng&) {
+  const std::size_t i = next_++;
+  return i < lose_nth_.size() ? lose_nth_[i] : false;
+}
+
+std::string ScriptedLoss::describe() const {
+  const std::size_t losses =
+      static_cast<std::size_t>(std::count(lose_nth_.begin(), lose_nth_.end(), true));
+  return util::cat("scripted(", losses, "/", lose_nth_.size(), " lost)");
+}
+
+}  // namespace ptecps::net

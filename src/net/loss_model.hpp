@@ -1,0 +1,101 @@
+// Packet-loss models for the wireless channels.
+//
+// The paper's fault model (§II-B) admits *arbitrary* loss; the emulation
+// in §V produced loss through an 802.11g interferer 2 m from ZigBee
+// motes.  We provide:
+//   * PerfectLink       — no loss (baseline / wired links);
+//   * BernoulliLoss     — i.i.d. loss with probability p;
+//   * GilbertElliottLoss— two-state Markov burst loss, the standard model
+//                         for interference-driven wireless channels;
+//   * InterferenceLoss  — deterministic duty-cycled interferer: while a
+//                         WiFi burst is on the air, packets are lost with
+//                         a high probability, otherwise a low one —
+//                         a time-explicit stand-in for the paper's setup;
+//   * ScriptedLoss      — an explicit per-packet verdict list, used by the
+//                         directed §V scenarios and by the adversarial
+//                         exhaustive-schedule bench (E10 in DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace ptecps::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// Decide the fate of one packet sent at `now`.  Returns true to LOSE it.
+  virtual bool lose(sim::SimTime now, sim::Rng& rng) = 0;
+  virtual std::string describe() const = 0;
+};
+
+class PerfectLink final : public LossModel {
+ public:
+  bool lose(sim::SimTime, sim::Rng&) override { return false; }
+  std::string describe() const override { return "perfect"; }
+};
+
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p);
+  bool lose(sim::SimTime, sim::Rng& rng) override;
+  std::string describe() const override;
+
+ private:
+  double p_;
+};
+
+/// Two-state Markov chain advanced per packet: in Good state packets are
+/// lost with `loss_good`, in Bad state with `loss_bad`; transitions occur
+/// with probability `p_good_to_bad` / `p_bad_to_good` per packet.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good, double loss_good,
+                     double loss_bad);
+  bool lose(sim::SimTime, sim::Rng& rng) override;
+  std::string describe() const override;
+  bool in_bad_state() const { return bad_; }
+
+ private:
+  double p_gb_, p_bg_, loss_good_, loss_bad_;
+  bool bad_ = false;
+};
+
+/// Duty-cycled interferer: bursts of length `burst` every `period`
+/// seconds (phase-shiftable); loss probability is `loss_during_burst`
+/// inside a burst and `loss_idle` outside.
+class InterferenceLoss final : public LossModel {
+ public:
+  InterferenceLoss(double period, double burst, double loss_during_burst, double loss_idle,
+                   double phase = 0.0);
+  bool lose(sim::SimTime now, sim::Rng& rng) override;
+  std::string describe() const override;
+  bool burst_active(sim::SimTime now) const;
+
+ private:
+  double period_, burst_, loss_burst_, loss_idle_, phase_;
+};
+
+/// Explicit verdict per packet index (in send order); packets beyond the
+/// script are delivered.  `losses()` reports how many verdicts were loss.
+class ScriptedLoss final : public LossModel {
+ public:
+  explicit ScriptedLoss(std::vector<bool> lose_nth);
+  /// Convenience: lose exactly the packets whose 0-based send index is in
+  /// `indices`.
+  static std::unique_ptr<ScriptedLoss> lose_indices(const std::vector<std::size_t>& indices,
+                                                    std::size_t horizon);
+  bool lose(sim::SimTime, sim::Rng&) override;
+  std::string describe() const override;
+  std::size_t packets_seen() const { return next_; }
+
+ private:
+  std::vector<bool> lose_nth_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace ptecps::net

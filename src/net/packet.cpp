@@ -1,0 +1,69 @@
+#include "net/packet.hpp"
+
+#include <cstring>
+
+#include "net/crc32.hpp"
+#include "util/require.hpp"
+
+namespace ptecps::net {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'P', 'T', 'E', 'C'};
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  std::uint8_t buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.insert(out.end(), buf, buf + sizeof(T));
+}
+
+template <typename T>
+bool get(const std::vector<std::uint8_t>& in, std::size_t& pos, T& value) {
+  if (pos + sizeof(T) > in.size()) return false;
+  std::memcpy(&value, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Packet::serialize() const {
+  PTE_REQUIRE(event_root.size() <= 0xFFFF, "event root too long for packet");
+  std::vector<std::uint8_t> out;
+  out.reserve(26 + event_root.size() + 4);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  put(out, seq);
+  put(out, src);
+  put(out, dst);
+  put(out, send_time);
+  put(out, static_cast<std::uint16_t>(event_root.size()));
+  out.insert(out.end(), event_root.begin(), event_root.end());
+  put(out, crc32(out));
+  return out;
+}
+
+std::optional<Packet> Packet::parse(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 4 + 4 + 2 + 2 + 8 + 2 + 4) return std::nullopt;
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) return std::nullopt;
+
+  // Verify the trailing CRC over everything before it.
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, 4);
+  const std::uint32_t computed =
+      crc32(std::span<const std::uint8_t>(bytes.data(), bytes.size() - 4));
+  if (stored_crc != computed) return std::nullopt;
+
+  Packet p;
+  std::size_t pos = 4;
+  std::uint16_t root_len = 0;
+  if (!get(bytes, pos, p.seq) || !get(bytes, pos, p.src) || !get(bytes, pos, p.dst) ||
+      !get(bytes, pos, p.send_time) || !get(bytes, pos, root_len))
+    return std::nullopt;
+  if (pos + root_len + 4 != bytes.size()) return std::nullopt;
+  p.event_root.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(pos + root_len));
+  return p;
+}
+
+}  // namespace ptecps::net

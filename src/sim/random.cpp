@@ -1,0 +1,99 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace ptecps::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits — the standard uniform-double construction.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  PTE_REQUIRE(hi >= lo, "uniform range inverted");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  PTE_REQUIRE(n > 0, "uniform_int needs n > 0");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~0ULL - ~0ULL % n;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  PTE_REQUIRE(mean > 0.0, "exponential mean must be positive");
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+Rng Rng::fork(std::uint64_t stream) {
+  // Mix the parent's state with the stream id through splitmix so sibling
+  // streams are decorrelated regardless of how much the parent was used.
+  std::uint64_t mix = next_u64() ^ (0xA0761D6478BD642FULL * (stream + 1));
+  return Rng(mix);
+}
+
+}  // namespace ptecps::sim

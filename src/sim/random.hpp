@@ -1,0 +1,49 @@
+// Deterministic random number generation for simulations.
+//
+// xoshiro256** seeded via splitmix64: fast, high-quality, and — critically
+// for reproducing experiments — stable across platforms and standard
+// library versions (std::mt19937's distributions are not portable).
+// Every trial in the benchmark harness names its seed so any row of any
+// table can be regenerated exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace ptecps::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (= 1/rate).
+  double exponential(double mean);
+
+  /// Normally distributed value (Box–Muller; caches the paired deviate).
+  double normal(double mean, double stddev);
+
+  /// Derive an independent child generator; `stream` distinguishes children
+  /// of the same parent deterministically.
+  Rng fork(std::uint64_t stream);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace ptecps::sim

@@ -1,0 +1,89 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::sim {
+
+EventHandle Scheduler::schedule_at(SimTime at, Callback cb) {
+  PTE_REQUIRE(cb != nullptr, "null callback");
+  PTE_REQUIRE(at >= now_ - kTimeEps,
+              util::cat("scheduling into the past: at=", at, " now=", now_));
+  // Clamp tiny negative drift so queue order stays consistent with now().
+  if (at < now_) at = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return EventHandle{id};
+}
+
+EventHandle Scheduler::schedule_in(SimTime delay, Callback cb) {
+  PTE_REQUIRE(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  const auto it = callbacks_.find(handle.id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(handle.id);
+  return true;
+}
+
+void Scheduler::pop_cancelled() {
+  while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+    cancelled_.erase(queue_.top().id);
+    queue_.pop();
+  }
+}
+
+bool Scheduler::empty() const {
+  // Cheap check: pending_events walks nothing, it just compares sizes.
+  return callbacks_.empty();
+}
+
+SimTime Scheduler::next_time() const {
+  auto* self = const_cast<Scheduler*>(this);
+  self->pop_cancelled();
+  return queue_.empty() ? kSimTimeInfinity : queue_.top().at;
+}
+
+bool Scheduler::step() {
+  pop_cancelled();
+  if (queue_.empty()) return false;
+  const Entry entry = queue_.top();
+  queue_.pop();
+  const auto it = callbacks_.find(entry.id);
+  PTE_CHECK(it != callbacks_.end(), "live queue entry without callback");
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  PTE_CHECK(entry.at >= now_ - kTimeEps, "event queue went backwards in time");
+  now_ = std::max(now_, entry.at);
+  ++executed_;
+  cb();
+  return true;
+}
+
+void Scheduler::run_until(SimTime until) {
+  PTE_REQUIRE(until >= now_ - kTimeEps, "run_until into the past");
+  while (true) {
+    pop_cancelled();
+    if (queue_.empty() || queue_.top().at > until + kTimeEps) break;
+    step();
+  }
+  now_ = std::max(now_, until);
+}
+
+void Scheduler::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    PTE_CHECK(++n <= max_events, "scheduler exceeded max_events — runaway event chain?");
+  }
+}
+
+std::uint64_t Scheduler::pending_events() const { return callbacks_.size(); }
+
+}  // namespace ptecps::sim

@@ -1,0 +1,89 @@
+// Discrete-event scheduler: the time base for every simulation in ptecps.
+//
+// Events are (time, callback) pairs executed in nondecreasing time order;
+// ties execute in scheduling order (FIFO), which makes zero-delay event
+// cascades — ubiquitous in hybrid automata with chained transitions —
+// deterministic.  Scheduled events can be cancelled through their handle
+// (lazy deletion), which the hybrid engine uses to retract location-dwell
+// timeouts when a location is left early.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ptecps::sim {
+
+/// Opaque handle to a scheduled event; value-semantic and cheap to copy.
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `at` (>= now). Returns a cancellable handle.
+  EventHandle schedule_at(SimTime at, Callback cb);
+
+  /// Schedule `cb` after `delay` (>= 0) from now.
+  EventHandle schedule_in(SimTime delay, Callback cb);
+
+  /// Cancel a pending event.  Returns false if it already ran, was already
+  /// cancelled, or the handle is empty.
+  bool cancel(EventHandle handle);
+
+  /// Current simulated time (the time of the event being executed, or of
+  /// the last executed event between events).
+  SimTime now() const { return now_; }
+
+  bool empty() const;
+
+  /// Time of the next pending event (kSimTimeInfinity if none).
+  SimTime next_time() const;
+
+  /// Execute the single next event.  Returns false if the queue is empty.
+  bool step();
+
+  /// Run events until the queue is exhausted or the next event is later
+  /// than `until`; finally advances now() to `until` if it is larger.
+  void run_until(SimTime until);
+
+  /// Run everything (until empty).  Guarded by `max_events` against
+  /// accidental infinite event chains.
+  void run(std::uint64_t max_events = 100'000'000ULL);
+
+  std::uint64_t executed_events() const { return executed_; }
+  std::uint64_t pending_events() const;
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    std::uint64_t id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_cancelled();
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace ptecps::sim

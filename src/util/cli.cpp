@@ -1,0 +1,57 @@
+#include "util/cli.hpp"
+
+#include <cstdint>
+
+#include "util/text.hpp"
+
+namespace ptecps::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--name value" unless the next token is itself an option or absent,
+    // in which case "--name" is a bare flag.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      options_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      options_[arg] = "";
+    }
+  }
+}
+
+bool ArgParser::has_flag(const std::string& name) const { return options_.count(name) > 0; }
+
+std::string ArgParser::get_string(const std::string& name, const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() || it->second.empty() ? fallback : std::stod(it->second);
+}
+
+int ArgParser::get_int(const std::string& name, int fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() || it->second.empty() ? fallback : std::stoi(it->second);
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& name, std::uint64_t fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() || it->second.empty()
+             ? fallback
+             : static_cast<std::uint64_t>(std::stoull(it->second));
+}
+
+}  // namespace ptecps::util

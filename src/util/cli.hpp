@@ -1,0 +1,33 @@
+// Tiny command-line option parser for the example and benchmark binaries:
+//   ArgParser args(argc, argv);
+//   double loss = args.get_double("loss", 0.3);
+//   int trials  = args.get_int("trials", 4);
+//   if (args.has_flag("verbose")) ...;
+// Options are written as --name value or --name=value; flags as --name.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ptecps::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+
+  /// Positional (non --option) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ptecps::util

@@ -1,0 +1,29 @@
+#include "util/logging.hpp"
+
+namespace ptecps::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::cerr << "[" << tag(level) << "] " << msg << "\n";
+}
+
+}  // namespace ptecps::util

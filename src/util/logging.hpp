@@ -1,0 +1,25 @@
+// Minimal leveled logger.  The simulator is single-threaded and
+// deterministic; logging exists for debugging traces and verbose example
+// output, never for program logic.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace ptecps::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are suppressed.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit `msg` at `level` to stderr with a level tag.
+void log(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& msg) { log(LogLevel::kDebug, msg); }
+inline void log_info(const std::string& msg) { log(LogLevel::kInfo, msg); }
+inline void log_warn(const std::string& msg) { log(LogLevel::kWarn, msg); }
+inline void log_error(const std::string& msg) { log(LogLevel::kError, msg); }
+
+}  // namespace ptecps::util

@@ -1,0 +1,38 @@
+// Lightweight precondition / invariant checking for the ptecps library.
+//
+// PTE_REQUIRE is used for caller-facing preconditions (I.5/I.6 of the C++
+// Core Guidelines): violations throw std::invalid_argument with a message
+// naming the failed condition.  PTE_CHECK is used for internal invariants
+// and throws std::logic_error.  Both are always on — this library models
+// safety-critical systems and silently continuing after a broken invariant
+// would defeat its purpose.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ptecps {
+
+[[noreturn]] inline void require_failed(const char* cond, const std::string& msg,
+                                        const char* file, int line) {
+  throw std::invalid_argument(std::string("requirement failed: ") + cond + " — " + msg +
+                              " (" + file + ":" + std::to_string(line) + ")");
+}
+
+[[noreturn]] inline void check_failed(const char* cond, const std::string& msg,
+                                      const char* file, int line) {
+  throw std::logic_error(std::string("internal invariant failed: ") + cond + " — " + msg +
+                         " (" + file + ":" + std::to_string(line) + ")");
+}
+
+}  // namespace ptecps
+
+#define PTE_REQUIRE(cond, msg)                                    \
+  do {                                                            \
+    if (!(cond)) ::ptecps::require_failed(#cond, (msg), __FILE__, __LINE__); \
+  } while (false)
+
+#define PTE_CHECK(cond, msg)                                      \
+  do {                                                            \
+    if (!(cond)) ::ptecps::check_failed(#cond, (msg), __FILE__, __LINE__); \
+  } while (false)

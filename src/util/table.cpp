@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), right_align_(headers_.size(), false) {
+  PTE_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  PTE_REQUIRE(cells.size() == headers_.size(),
+              cat("row has ", cells.size(), " cells, table has ", headers_.size(), " columns"));
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_right_align(std::size_t column, bool right) {
+  PTE_REQUIRE(column < headers_.size(), "column out of range");
+  right_align_[column] = right;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+      cells.push_back(pad(row[c], widths[c], right_align_[c]));
+    return join(cells, " | ") + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) rule.push_back(std::string(widths[c], '-'));
+  out += join(rule, "-+-") + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::render_markdown() const {
+  auto render_row = [](const std::vector<std::string>& row) {
+    return "| " + join(row, " | ") + " |\n";
+  };
+  std::string out = render_row(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    rule.push_back(right_align_[c] ? "---:" : "---");
+  out += render_row(rule);
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace ptecps::util

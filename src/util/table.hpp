@@ -1,0 +1,38 @@
+// Plain-text table renderer used by the benchmark binaries to print the
+// paper's tables (Table I etc.) in an aligned, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptecps::util {
+
+/// Column-aligned text table.  Columns are sized from content; numeric
+/// columns can be right-aligned per column.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Right-align the given column (default: left).
+  void set_right_align(std::size_t column, bool right = true);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a header rule, e.g.
+  ///   Trial Mode   | E(Toff) | ...
+  ///   -------------+---------+----
+  std::string render() const;
+
+  /// Render as a GitHub-flavoured Markdown table.
+  std::string render_markdown() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> right_align_;
+};
+
+}  // namespace ptecps::util

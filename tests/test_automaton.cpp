@@ -1,0 +1,244 @@
+// Unit tests for the hybrid automaton structure: builder invariants,
+// validation diagnostics, label sets, risky partition, well-formedness.
+#include <gtest/gtest.h>
+
+#include "hybrid/automaton.hpp"
+#include "hybrid/dot_export.hpp"
+#include "hybrid/structural.hpp"
+#include "hybrid/wellformed.hpp"
+
+namespace ptecps::hybrid {
+namespace {
+
+Automaton minimal() {
+  Automaton a("m");
+  const LocId s = a.add_location("s");
+  a.add_initial_location(s);
+  return a;
+}
+
+TEST(Automaton, DuplicateNamesRejected) {
+  Automaton a("dup");
+  a.add_var("x");
+  EXPECT_THROW(a.add_var("x"), std::invalid_argument);
+  a.add_location("s");
+  EXPECT_THROW(a.add_location("s"), std::invalid_argument);
+}
+
+TEST(Automaton, LookupByName) {
+  Automaton a("look");
+  const VarId x = a.add_var("x", 1.5);
+  const LocId s = a.add_location("s", true);
+  EXPECT_EQ(a.var_id("x"), x);
+  EXPECT_EQ(a.location_id("s"), s);
+  EXPECT_DOUBLE_EQ(a.var_init(x), 1.5);
+  EXPECT_TRUE(a.is_risky(s));
+  EXPECT_THROW(a.var_id("nope"), std::invalid_argument);
+  EXPECT_THROW(a.location_id("nope"), std::invalid_argument);
+}
+
+TEST(Automaton, ValidateRequiresInitialLocation) {
+  Automaton a("noinit");
+  a.add_location("s");
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+}
+
+TEST(Automaton, ValidateCatchesDanglingEdge) {
+  Automaton a = minimal();
+  Edge e;
+  e.src = 0;
+  e.dst = 99;
+  e.kind = TriggerKind::kTimed;
+  e.dwell = 1.0;
+  a.add_edge(std::move(e));
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+}
+
+TEST(Automaton, ValidateCatchesUnknownVariableInGuard) {
+  Automaton a = minimal();
+  Edge e;
+  e.src = 0;
+  e.dst = 0;
+  e.kind = TriggerKind::kCondition;
+  e.guard = Guard{atleast(7, 1.0)};  // variable 7 does not exist
+  a.add_edge(std::move(e));
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+}
+
+TEST(Automaton, ValidateCatchesBadEventTrigger) {
+  Automaton a = minimal();
+  Edge e;
+  e.src = 0;
+  e.dst = 0;
+  e.kind = TriggerKind::kEvent;
+  e.trigger = SyncLabel::send("oops");  // must be a reception label
+  a.add_edge(std::move(e));
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+}
+
+TEST(Automaton, ValidateCatchesNonPositiveTimedDwell) {
+  Automaton a = minimal();
+  Edge e;
+  e.src = 0;
+  e.dst = 0;
+  e.kind = TriggerKind::kTimed;
+  e.dwell = 0.0;
+  a.add_edge(std::move(e));
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+}
+
+TEST(Automaton, ValidateCatchesTrivialConditionGuard) {
+  Automaton a = minimal();
+  Edge e;
+  e.src = 0;
+  e.dst = 0;
+  e.kind = TriggerKind::kCondition;  // guard left empty
+  a.add_edge(std::move(e));
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+}
+
+TEST(Automaton, ValidateCatchesReceptionEmit) {
+  Automaton a = minimal();
+  Edge e;
+  e.src = 0;
+  e.dst = 0;
+  e.kind = TriggerKind::kTimed;
+  e.dwell = 1.0;
+  e.emits.push_back(SyncLabel::recv("nope"));
+  a.add_edge(std::move(e));
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+}
+
+TEST(Automaton, LabelSetDeduplicated) {
+  Automaton a("labels");
+  const LocId s0 = a.add_location("s0");
+  const LocId s1 = a.add_location("s1");
+  a.add_initial_location(s0);
+  for (int i = 0; i < 2; ++i) {
+    Edge e;
+    e.src = i == 0 ? s0 : s1;
+    e.dst = i == 0 ? s1 : s0;
+    e.kind = TriggerKind::kEvent;
+    e.trigger = SyncLabel::recv_unreliable("ping");
+    e.emits.push_back(SyncLabel::send("pong"));
+    a.add_edge(std::move(e));
+  }
+  EXPECT_EQ(a.labels().size(), 2u);  // ??ping and !pong
+  EXPECT_EQ(a.label_roots().size(), 2u);
+}
+
+TEST(Automaton, RiskyPartition) {
+  Automaton a("risk");
+  a.add_location("safe1");
+  const LocId r = a.add_location("risky1", true);
+  a.add_location("safe2");
+  a.add_initial_location(0);
+  EXPECT_EQ(a.risky_locations(), std::vector<LocId>{r});
+}
+
+TEST(Automaton, EdgesFromInInsertionOrder) {
+  Automaton a("order");
+  const LocId s0 = a.add_location("s0");
+  const LocId s1 = a.add_location("s1");
+  a.add_initial_location(s0);
+  for (int i = 0; i < 3; ++i) {
+    Edge e;
+    e.src = s0;
+    e.dst = s1;
+    e.kind = TriggerKind::kTimed;
+    e.dwell = static_cast<double>(i + 1);
+    a.add_edge(std::move(e));
+  }
+  const auto from = a.edges_from(s0);
+  ASSERT_EQ(from.size(), 3u);
+  EXPECT_LT(from[0], from[1]);
+  EXPECT_LT(from[1], from[2]);
+}
+
+TEST(Structural, CanonicalTextInsensitiveToDeclarationOrder) {
+  auto build = [](bool reversed) {
+    Automaton a("c");
+    const LocId x = a.add_location(reversed ? "beta" : "alpha");
+    const LocId y = a.add_location(reversed ? "alpha" : "beta");
+    a.add_initial_location(reversed ? y : x);
+    Edge e;
+    e.src = a.location_id("alpha");
+    e.dst = a.location_id("beta");
+    e.kind = TriggerKind::kTimed;
+    e.dwell = 1.0;
+    a.add_edge(std::move(e));
+    return a;
+  };
+  EXPECT_TRUE(structurally_equal(build(false), build(true)));
+}
+
+TEST(Structural, DetectsDifferences) {
+  Automaton a("d");
+  a.add_location("s");
+  a.add_initial_location(0);
+  Automaton b("d");
+  b.add_location("s", /*risky=*/true);
+  b.add_initial_location(0);
+  EXPECT_FALSE(structurally_equal(a, b));
+  EXPECT_FALSE(first_difference(a, b).empty());
+}
+
+TEST(Wellformed, FlagsUnreachableAndSink) {
+  Automaton a("wf");
+  const LocId s0 = a.add_location("s0");
+  a.add_location("orphan");
+  const LocId sink = a.add_location("sink");
+  a.add_initial_location(s0);
+  Edge e;
+  e.src = s0;
+  e.dst = sink;
+  e.kind = TriggerKind::kTimed;
+  e.dwell = 1.0;
+  a.add_edge(std::move(e));
+  const WellformedReport r = check_wellformed(a);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.unreachable_locations.size(), 1u);
+  EXPECT_EQ(r.unreachable_locations[0], "orphan");
+  ASSERT_GE(r.sink_locations.size(), 1u);
+}
+
+TEST(Wellformed, FlagsInstantaneousSelfLoop) {
+  Automaton a("zeno");
+  a.add_var("x", 1.0);
+  const LocId s = a.add_location("s");
+  a.add_initial_location(s);
+  Edge e;
+  e.src = s;
+  e.dst = s;
+  e.kind = TriggerKind::kCondition;
+  e.guard = Guard{atleast(0, 0.5)};
+  a.add_edge(std::move(e));
+  const WellformedReport r = check_wellformed(a);
+  EXPECT_FALSE(r.zero_time_cycles.empty());
+}
+
+TEST(Dot, ExportContainsLocationsAndEdges) {
+  Automaton a("dot");
+  const VarId x = a.add_var("x");
+  const LocId s0 = a.add_location("start");
+  const LocId s1 = a.add_location("danger", true);
+  a.set_flow(s0, Flow{}.rate(x, 1.0));
+  a.add_initial_location(s0);
+  Edge e;
+  e.src = s0;
+  e.dst = s1;
+  e.kind = TriggerKind::kCondition;
+  e.guard = Guard{atleast(x, 2.0)};
+  e.emits.push_back(SyncLabel::send("alarm"));
+  a.add_edge(std::move(e));
+  const std::string dot = to_dot(a);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("start"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);  // risky highlight
+  EXPECT_NE(dot.find("!alarm"), std::string::npos);
+  const std::string text = to_text(a);
+  EXPECT_NE(text.find("danger [risky]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptecps::hybrid

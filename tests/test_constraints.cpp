@@ -1,0 +1,180 @@
+// Unit + property tests for the Theorem 1 constraint checker (c1–c7) and
+// the closed-form parameter synthesizer.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/constraints.hpp"
+#include "core/monitor.hpp"
+#include "core/synthesis.hpp"
+
+namespace ptecps::core {
+namespace {
+
+bool has_violation(const ConstraintReport& r, ConstraintId id) {
+  for (const auto& v : r.violations) {
+    if (v.id == id) return true;
+  }
+  return false;
+}
+
+TEST(Constraints, PaperConfigurationSatisfiesAll) {
+  const PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  const ConstraintReport r = check_theorem1(cfg);
+  EXPECT_TRUE(r.ok) << r.message();
+  // The paper's derived quantities.
+  EXPECT_DOUBLE_EQ(cfg.t_ls1(), 44.0);             // 3 + 35 + 6
+  EXPECT_DOUBLE_EQ(cfg.risky_dwell_bound(), 47.0);  // T^max_wait + T^max_LS1
+}
+
+TEST(Constraints, C1NonPositiveConstantCaught) {
+  PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  cfg.t_fb_min_0 = 0.0;
+  const ConstraintReport r = check_theorem1(cfg);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(has_violation(r, ConstraintId::kC1));
+}
+
+TEST(Constraints, C2LeaseWindowVsWait) {
+  PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  cfg.t_wait_max = 23.0;  // N * 23 = 46 > 44; also breaks c3/c4/c6/cΔ? (Δ=0.1 ok)
+  const ConstraintReport r = check_theorem1(cfg);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(has_violation(r, ConstraintId::kC2));
+}
+
+TEST(Constraints, C3RequestTimeoutWindow) {
+  PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  cfg.t_req_max_n = 2.0;  // below (N-1)*T^max_wait = 3
+  EXPECT_TRUE(has_violation(check_theorem1(cfg), ConstraintId::kC3));
+  cfg.t_req_max_n = 45.0;  // above T^max_LS1 = 44
+  EXPECT_TRUE(has_violation(check_theorem1(cfg), ConstraintId::kC3));
+}
+
+TEST(Constraints, C4OccupancyWindows) {
+  PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  cfg.entities[1].t_run_max = 40.0;  // 3 + (10+40+1.5) = 54.5 > 44
+  EXPECT_TRUE(has_violation(check_theorem1(cfg), ConstraintId::kC4));
+}
+
+TEST(Constraints, C5EnterSpacing) {
+  PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  cfg.entities[1].t_enter_max = 5.9;  // 3 + 3 = 6 > 5.9
+  EXPECT_TRUE(has_violation(check_theorem1(cfg), ConstraintId::kC5));
+}
+
+TEST(Constraints, C6LeaseNesting) {
+  PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  cfg.entities[0].t_run_max = 30.0;  // 3+30=33 <= 3+31.5=34.5
+  EXPECT_TRUE(has_violation(check_theorem1(cfg), ConstraintId::kC6));
+}
+
+TEST(Constraints, C7ExitSafeguard) {
+  PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  cfg.entities[0].t_exit = 1.5;  // strict inequality required
+  EXPECT_TRUE(has_violation(check_theorem1(cfg), ConstraintId::kC7));
+}
+
+TEST(Constraints, DeltaRefinement) {
+  PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  cfg.delivery_slack = 2.0;  // 2Δ = 4 > T^max_wait = 3
+  EXPECT_TRUE(has_violation(check_theorem1(cfg), ConstraintId::kCDelta));
+}
+
+TEST(Constraints, BoundsComputation) {
+  const PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  const PatternBounds b = compute_bounds(cfg);
+  EXPECT_DOUBLE_EQ(b.risky_dwell_bound, 47.0);
+  ASSERT_EQ(b.enter_spacing_lower.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.enter_spacing_lower[0], 7.0);  // 10 - 3 >= 3 required
+  EXPECT_DOUBLE_EQ(b.exit_spacing_lower[0], 6.0);   // T_exit,1
+}
+
+TEST(MonitorParams, FromConfigDefaultsToTheoremBound) {
+  const PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  const MonitorParams p = MonitorParams::from_config(cfg);
+  ASSERT_EQ(p.dwell_bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.dwell_bounds[0], 47.0);
+  const MonitorParams q = MonitorParams::from_config(cfg, 60.0);
+  EXPECT_DOUBLE_EQ(q.dwell_bounds[1], 60.0);
+}
+
+TEST(Synthesis, ReproducesValidConfigForPaperLikeInput) {
+  SynthesisRequest req;
+  req.n_remotes = 2;
+  req.t_risky_min = {3.0};
+  req.t_safe_min = {1.5};
+  req.initializer_lease = 20.0;
+  req.t_wait_max = 3.0;
+  const PatternConfig cfg = synthesize(req);
+  EXPECT_TRUE(check_theorem1(cfg).ok) << check_theorem1(cfg).message();
+  EXPECT_GT(cfg.entity(2).t_enter_max - cfg.entity(1).t_enter_max, 3.0 - 1e-9);
+  EXPECT_GT(cfg.entity(1).t_exit, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.entity(2).t_run_max, 20.0);
+}
+
+TEST(Synthesis, RejectsBadInputs) {
+  SynthesisRequest req;
+  req.n_remotes = 1;
+  EXPECT_THROW(synthesize(req), std::invalid_argument);
+  req.n_remotes = 2;
+  req.t_risky_min = {1.0};
+  req.t_safe_min = {1.0};
+  req.margin = 0.0;
+  EXPECT_THROW(synthesize(req), std::invalid_argument);
+}
+
+// Property: for a grid of (N, lease, wait, safeguard scale) the
+// synthesizer always produces a Theorem-1-satisfying configuration.
+struct SynthesisCase {
+  std::size_t n;
+  double lease;
+  double wait;
+  double scale;
+};
+
+class SynthesisProperty : public ::testing::TestWithParam<SynthesisCase> {};
+
+TEST_P(SynthesisProperty, AlwaysSatisfiesTheorem1) {
+  const SynthesisCase c = GetParam();
+  SynthesisRequest req;
+  req.n_remotes = c.n;
+  for (std::size_t i = 0; i + 1 < c.n; ++i) {
+    req.t_risky_min.push_back(c.scale * (1.0 + 0.5 * static_cast<double>(i)));
+    req.t_safe_min.push_back(c.scale * (0.5 + 0.25 * static_cast<double>(i)));
+  }
+  req.initializer_lease = c.lease;
+  req.t_wait_max = c.wait;
+  req.delivery_slack = c.wait / 4.0;
+  const PatternConfig cfg = synthesize(req);
+  const ConstraintReport r = check_theorem1(cfg);
+  EXPECT_TRUE(r.ok) << r.message();
+  // The synthesized enter chain respects every safeguard with margin.
+  for (std::size_t i = 1; i < c.n; ++i)
+    EXPECT_GT(cfg.entity(i + 1).t_enter_max - cfg.entity(i).t_enter_max,
+              cfg.t_risky_min_between(i) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SynthesisProperty,
+    ::testing::Values(SynthesisCase{2, 10.0, 1.0, 0.5}, SynthesisCase{2, 60.0, 3.0, 2.0},
+                      SynthesisCase{3, 20.0, 2.0, 1.0}, SynthesisCase{4, 15.0, 0.5, 0.25},
+                      SynthesisCase{5, 30.0, 1.5, 1.0}, SynthesisCase{6, 45.0, 1.0, 0.5},
+                      SynthesisCase{8, 25.0, 0.75, 0.3}));
+
+TEST(Config, DescribeMentionsEveryEntity) {
+  const PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  const std::string d = cfg.describe();
+  EXPECT_NE(d.find("xi1"), std::string::npos);
+  EXPECT_NE(d.find("xi2"), std::string::npos);
+  EXPECT_NE(d.find("T^min_risky"), std::string::npos);
+}
+
+TEST(Config, AccessorsValidateRange) {
+  const PatternConfig cfg = PatternConfig::laser_tracheotomy();
+  EXPECT_THROW(cfg.entity(0), std::invalid_argument);
+  EXPECT_THROW(cfg.entity(3), std::invalid_argument);
+  EXPECT_THROW(cfg.t_risky_min_between(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ptecps::core

@@ -1,0 +1,192 @@
+// Unit tests for the PTE safety monitor, driven by scripted two-location
+// entity automata so each violation class is produced deterministically.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/monitor.hpp"
+#include "hybrid/engine.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::core {
+namespace {
+
+/// Entity stub: Safe --(?go.<i>)--> Risky --(?stop.<i>)--> Safe.
+hybrid::Automaton make_entity_stub(std::size_t i) {
+  using namespace hybrid;
+  Automaton a(util::cat("entity", i));
+  const LocId safe = a.add_location("Safe");
+  const LocId risky = a.add_location("Risky", true);
+  a.add_initial_location(safe);
+  Edge go;
+  go.src = safe;
+  go.dst = risky;
+  go.kind = TriggerKind::kEvent;
+  go.trigger = SyncLabel::recv(util::cat("go.", i));
+  a.add_edge(std::move(go));
+  Edge stop;
+  stop.src = risky;
+  stop.dst = safe;
+  stop.kind = TriggerKind::kEvent;
+  stop.trigger = SyncLabel::recv(util::cat("stop.", i));
+  a.add_edge(std::move(stop));
+  return a;
+}
+
+struct MonitorHarness {
+  hybrid::Engine engine;
+  PteMonitor monitor;
+
+  explicit MonitorHarness(MonitorParams params = default_params())
+      : engine({make_entity_stub(1), make_entity_stub(2)}), monitor(std::move(params)) {
+    monitor.attach(engine, {1, 2});
+    engine.init();
+  }
+
+  static MonitorParams default_params() {
+    MonitorParams p;
+    p.n_entities = 2;
+    p.dwell_bounds = {10.0, 10.0};
+    p.t_risky_min = {2.0};
+    p.t_safe_min = {1.0};
+    return p;
+  }
+
+  void at(double t, std::size_t entity, const char* action) {
+    engine.run_until(t);
+    engine.inject(entity - 1, util::cat(action, ".", entity));
+  }
+};
+
+TEST(Monitor, CleanNestingProducesNoViolations) {
+  MonitorHarness h;
+  h.at(1.0, 1, "go");
+  h.at(4.0, 2, "go");    // 3 s after xi1: >= 2 s OK
+  h.at(6.0, 2, "stop");
+  h.at(8.0, 1, "stop");  // 2 s after xi2: >= 1 s OK
+  h.engine.run_until(9.0);
+  h.monitor.finalize(9.0);
+  EXPECT_TRUE(h.monitor.violations().empty()) << h.monitor.summary();
+  EXPECT_EQ(h.monitor.episodes(1), 1u);
+  EXPECT_EQ(h.monitor.episodes(2), 1u);
+  EXPECT_DOUBLE_EQ(h.monitor.max_dwell(1), 7.0);
+}
+
+TEST(Monitor, DwellBoundViolationOnExit) {
+  MonitorHarness h;
+  h.at(1.0, 1, "go");
+  h.at(15.0, 1, "stop");  // 14 s > 10 s bound
+  h.monitor.finalize(16.0);
+  ASSERT_EQ(h.monitor.violations().size(), 1u);
+  const PteViolation& v = h.monitor.violations()[0];
+  EXPECT_EQ(v.kind, PteViolationKind::kDwellBound);
+  EXPECT_EQ(v.entity, 1u);
+  EXPECT_DOUBLE_EQ(v.measured, 14.0);
+  EXPECT_DOUBLE_EQ(v.required, 10.0);
+}
+
+TEST(Monitor, DwellBoundViolationAtFinalize) {
+  MonitorHarness h;
+  h.at(1.0, 1, "go");
+  h.engine.run_until(20.0);
+  h.monitor.finalize(20.0);  // still risky after 19 s
+  EXPECT_EQ(h.monitor.violation_count(PteViolationKind::kDwellBound), 1u);
+  // Finalize is idempotent.
+  h.monitor.finalize(20.0);
+  EXPECT_EQ(h.monitor.violations().size(), 1u);
+}
+
+TEST(Monitor, OrderViolationUpperEntersFirst) {
+  MonitorHarness h;
+  h.at(1.0, 2, "go");  // xi2 risky while xi1 safe: p2 broken
+  h.monitor.finalize(2.0);
+  EXPECT_GE(h.monitor.violation_count(PteViolationKind::kOrderEmbedding), 1u);
+}
+
+TEST(Monitor, OrderViolationLowerExitsFirst) {
+  MonitorHarness h;
+  h.at(1.0, 1, "go");
+  h.at(4.0, 2, "go");
+  h.at(5.0, 1, "stop");  // xi1 leaves while xi2 still risky
+  h.monitor.finalize(6.0);
+  EXPECT_GE(h.monitor.violation_count(PteViolationKind::kOrderEmbedding), 1u);
+}
+
+TEST(Monitor, EnterSafeguardViolation) {
+  MonitorHarness h;
+  h.at(1.0, 1, "go");
+  h.at(2.0, 2, "go");  // only 1 s after xi1; requires 2 s
+  h.monitor.finalize(3.0);
+  ASSERT_EQ(h.monitor.violation_count(PteViolationKind::kEnterSafeguard), 1u);
+  const PteViolation& v = h.monitor.violations()[0];
+  EXPECT_DOUBLE_EQ(v.measured, 1.0);
+  EXPECT_DOUBLE_EQ(v.required, 2.0);
+}
+
+TEST(Monitor, ExitSafeguardViolation) {
+  MonitorHarness h;
+  h.at(1.0, 1, "go");
+  h.at(4.0, 2, "go");
+  h.at(6.0, 2, "stop");
+  h.at(6.5, 1, "stop");  // only 0.5 s after xi2; requires 1 s
+  h.monitor.finalize(7.0);
+  ASSERT_EQ(h.monitor.violation_count(PteViolationKind::kExitSafeguard), 1u);
+  const PteViolation& v = h.monitor.violations()[0];
+  EXPECT_DOUBLE_EQ(v.measured, 0.5);
+  EXPECT_DOUBLE_EQ(v.required, 1.0);
+}
+
+TEST(Monitor, MultipleEpisodesTracked) {
+  MonitorHarness h;
+  for (int k = 0; k < 3; ++k) {
+    const double base = 1.0 + 10.0 * k;
+    h.at(base, 1, "go");
+    h.at(base + 3.0, 2, "go");
+    h.at(base + 5.0, 2, "stop");
+    h.at(base + 7.0, 1, "stop");
+  }
+  h.monitor.finalize(40.0);
+  EXPECT_TRUE(h.monitor.violations().empty()) << h.monitor.summary();
+  EXPECT_EQ(h.monitor.episodes(1), 3u);
+  EXPECT_EQ(h.monitor.episodes(2), 3u);
+  for (const auto& iv : h.monitor.intervals(1)) {
+    EXPECT_TRUE(iv.closed);
+    EXPECT_DOUBLE_EQ(iv.duration(), 7.0);  // go at base, stop at base+7
+  }
+}
+
+TEST(Monitor, ReEnterBelowRiskyUpperFlagged) {
+  MonitorHarness h;
+  h.at(1.0, 1, "go");
+  h.at(4.0, 2, "go");
+  h.at(5.0, 1, "stop");  // order violation #1
+  h.at(6.0, 1, "go");    // re-enter below risky upper: order violation #2
+  h.monitor.finalize(7.0);
+  EXPECT_GE(h.monitor.violation_count(PteViolationKind::kOrderEmbedding), 2u);
+}
+
+TEST(Monitor, RejectsBadWiring) {
+  MonitorParams p = MonitorHarness::default_params();
+  PteMonitor monitor(p);
+  hybrid::Engine engine({make_entity_stub(1)});
+  // Wrong mapping size.
+  EXPECT_THROW(monitor.attach(engine, {1, 2}), std::invalid_argument);
+  // Entity id out of range.
+  EXPECT_THROW(monitor.attach(engine, {5}), std::invalid_argument);
+  // Params shape checks.
+  MonitorParams bad = p;
+  bad.t_risky_min.clear();
+  EXPECT_THROW(PteMonitor{bad}, std::invalid_argument);
+}
+
+TEST(Monitor, SummaryMentionsViolationsAndEpisodes) {
+  MonitorHarness h;
+  h.at(1.0, 2, "go");
+  h.monitor.finalize(2.0);
+  const std::string s = h.monitor.summary();
+  EXPECT_NE(s.find("violation"), std::string::npos);
+  EXPECT_NE(s.find("xi2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptecps::core

@@ -1,0 +1,332 @@
+// Unit tests for the wireless substrate: CRC, packet codec, loss models
+// (with statistical checks as parameterized sweeps), channels, the star
+// topology and the label-to-packet bridge.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/bridge.hpp"
+#include "net/channel.hpp"
+#include "net/crc32.hpp"
+#include "net/loss_model.hpp"
+#include "net/packet.hpp"
+#include "net/star_network.hpp"
+
+namespace ptecps::net {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (standard check value).
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(data, 9)), 0xCBF43926u);
+}
+
+TEST(Packet, SerializeParseRoundTrip) {
+  Packet p;
+  p.seq = 42;
+  p.src = 2;
+  p.dst = 0;
+  p.send_time = 123.456;
+  p.event_root = "evt.xi2.to.xi0.Req";
+  const auto bytes = p.serialize();
+  const auto parsed = Packet::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seq, 42u);
+  EXPECT_EQ(parsed->src, 2);
+  EXPECT_EQ(parsed->dst, 0);
+  EXPECT_DOUBLE_EQ(parsed->send_time, 123.456);
+  EXPECT_EQ(parsed->event_root, p.event_root);
+}
+
+TEST(Packet, SingleBitFlipDetected) {
+  Packet p;
+  p.event_root = "evt.xi1.to.xi0.LeaseApprove";
+  auto bytes = p.serialize();
+  // Flip every bit position in turn; the CRC must catch each.
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto corrupted = bytes;
+    corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(Packet::parse(corrupted).has_value()) << "bit " << bit << " undetected";
+  }
+}
+
+TEST(Packet, TruncationAndBadMagicRejected) {
+  Packet p;
+  p.event_root = "e";
+  auto bytes = p.serialize();
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_FALSE(Packet::parse(truncated).has_value());
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(Packet::parse(bad_magic).has_value());
+  EXPECT_FALSE(Packet::parse({}).has_value());
+}
+
+// Parameterized statistical check: the empirical loss rate of
+// BernoulliLoss matches its parameter.
+class BernoulliLossRate : public ::testing::TestWithParam<double> {};
+
+TEST_P(BernoulliLossRate, EmpiricalRateMatches) {
+  const double p = GetParam();
+  BernoulliLoss model(p);
+  sim::Rng rng(99);
+  int lost = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) lost += model.lose(0.0, rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(lost) / n, p, 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BernoulliLossRate,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.9, 1.0));
+
+TEST(GilbertElliott, StationaryLossMatchesTheory) {
+  // p_gb = 0.1, p_bg = 0.3 -> stationary bad fraction = 0.1/0.4 = 0.25;
+  // loss = 0.75*0.05 + 0.25*0.8 = 0.2375.
+  GilbertElliottLoss model(0.1, 0.3, 0.05, 0.8);
+  sim::Rng rng(7);
+  int lost = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) lost += model.lose(0.0, rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.2375, 0.01);
+}
+
+TEST(GilbertElliott, ProducesBursts) {
+  GilbertElliottLoss model(0.05, 0.2, 0.0, 1.0);
+  sim::Rng rng(3);
+  // Mean burst length = 1/p_bg = 5 consecutive losses.
+  int bursts = 0, losses = 0;
+  bool in_burst = false;
+  for (int i = 0; i < 100000; ++i) {
+    const bool lost = model.lose(0.0, rng);
+    losses += lost ? 1 : 0;
+    if (lost && !in_burst) ++bursts;
+    in_burst = lost;
+  }
+  const double mean_burst = static_cast<double>(losses) / bursts;
+  EXPECT_NEAR(mean_burst, 5.0, 0.5);
+}
+
+TEST(Interference, DutyCycleRespected) {
+  InterferenceLoss model(10.0, 2.0, 1.0, 0.0);  // deterministic: lose iff in burst
+  sim::Rng rng(1);
+  EXPECT_TRUE(model.burst_active(0.5));
+  EXPECT_TRUE(model.burst_active(11.9));
+  EXPECT_FALSE(model.burst_active(5.0));
+  EXPECT_TRUE(model.lose(1.0, rng));
+  EXPECT_FALSE(model.lose(3.0, rng));
+}
+
+TEST(Scripted, VerdictsFollowScript) {
+  auto model = ScriptedLoss::lose_indices({1, 3}, 5);
+  sim::Rng rng(1);
+  EXPECT_FALSE(model->lose(0.0, rng));
+  EXPECT_TRUE(model->lose(0.0, rng));
+  EXPECT_FALSE(model->lose(0.0, rng));
+  EXPECT_TRUE(model->lose(0.0, rng));
+  EXPECT_FALSE(model->lose(0.0, rng));
+  EXPECT_FALSE(model->lose(0.0, rng));  // beyond script: deliver
+  EXPECT_EQ(model->packets_seen(), 6u);
+}
+
+TEST(Channel, DeliversAfterDelayAndCountsStats) {
+  sim::Scheduler sched;
+  sim::Rng rng(5);
+  ChannelConfig cfg;
+  cfg.delay = 0.25;
+  Channel ch("test", sched, rng.fork(1), std::make_unique<PerfectLink>(), cfg);
+  std::vector<double> arrivals;
+  ch.set_delivery([&](const Packet& p) {
+    arrivals.push_back(sched.now());
+    EXPECT_EQ(p.event_root, "hello");
+  });
+  Packet p;
+  p.event_root = "hello";
+  sched.schedule_at(1.0, [&] { ch.send(p); });
+  sched.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_NEAR(arrivals[0], 1.25, 1e-9);
+  EXPECT_EQ(ch.stats().sent, 1u);
+  EXPECT_EQ(ch.stats().delivered, 1u);
+}
+
+TEST(Channel, BitErrorsCaughtByCrc) {
+  sim::Scheduler sched;
+  sim::Rng rng(6);
+  ChannelConfig cfg;
+  cfg.delay = 0.0;
+  cfg.bit_error_prob = 1.0;  // corrupt every packet
+  Channel ch("noisy", sched, rng.fork(1), std::make_unique<PerfectLink>(), cfg);
+  int delivered = 0;
+  ch.set_delivery([&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 50; ++i) {
+    Packet p;
+    p.event_root = "x";
+    ch.send(p);
+  }
+  sched.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(ch.stats().corrupted, 50u);
+}
+
+TEST(Channel, LatePacketsRejectedByAcceptanceWindow) {
+  sim::Scheduler sched;
+  sim::Rng rng(8);
+  ChannelConfig cfg;
+  cfg.delay = 1.0;              // longer than the window
+  cfg.acceptance_window = 0.5;  // §II-B: delays classified as lost
+  Channel ch("slow", sched, rng.fork(1), std::make_unique<PerfectLink>(), cfg);
+  int delivered = 0;
+  ch.set_delivery([&](const Packet&) { ++delivered; });
+  Packet p;
+  p.event_root = "x";
+  ch.send(p);
+  sched.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(ch.stats().rejected_late, 1u);
+}
+
+TEST(Channel, LossModelDropsBeforeTransmission) {
+  sim::Scheduler sched;
+  sim::Rng rng(9);
+  Channel ch("dead", sched, rng.fork(1), std::make_unique<BernoulliLoss>(1.0),
+             ChannelConfig{});
+  int delivered = 0;
+  ch.set_delivery([&](const Packet&) { ++delivered; });
+  Packet p;
+  ch.send(p);
+  sched.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(ch.stats().lost, 1u);
+  EXPECT_DOUBLE_EQ(ch.stats().delivery_ratio(), 0.0);
+}
+
+// Property sweep: with delay jitter straddling the acceptance window,
+// the rejected-late fraction matches the fraction of the jitter range
+// beyond the window.
+class JitterWindow : public ::testing::TestWithParam<double> {};
+
+TEST_P(JitterWindow, LateRejectionRateMatchesGeometry) {
+  const double window = GetParam();
+  sim::Scheduler sched;
+  sim::Rng rng(41);
+  ChannelConfig cfg;
+  cfg.delay = 0.0;
+  cfg.delay_jitter = 1.0;  // uniform in [0, 1)
+  cfg.acceptance_window = window;
+  Channel ch("jitter", sched, rng.fork(1), std::make_unique<PerfectLink>(), cfg);
+  int delivered = 0;
+  ch.set_delivery([&](const Packet&) { ++delivered; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Packet p;
+    p.event_root = "x";
+    ch.send(p);
+  }
+  sched.run();
+  const double expected_late = window >= 1.0 ? 0.0 : 1.0 - window;
+  EXPECT_NEAR(static_cast<double>(ch.stats().rejected_late) / n, expected_late, 0.02);
+  EXPECT_EQ(ch.stats().delivered, static_cast<std::uint64_t>(delivered));
+  EXPECT_EQ(ch.stats().sent, static_cast<std::uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, JitterWindow,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0));
+
+TEST(Channel, DuplicateDeliveryCountedAndLagged) {
+  sim::Scheduler sched;
+  sim::Rng rng(43);
+  ChannelConfig cfg;
+  cfg.delay = 0.1;
+  cfg.duplicate_prob = 1.0;
+  cfg.duplicate_lag = 0.05;
+  Channel ch("dup", sched, rng.fork(1), std::make_unique<PerfectLink>(), cfg);
+  std::vector<double> arrivals;
+  ch.set_delivery([&](const Packet&) { arrivals.push_back(sched.now()); });
+  Packet p;
+  p.event_root = "x";
+  sched.schedule_at(1.0, [&] { ch.send(p); });
+  sched.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 1.1, 1e-9);
+  EXPECT_NEAR(arrivals[1], 1.15, 1e-9);
+  EXPECT_EQ(ch.stats().duplicated, 1u);
+  EXPECT_EQ(ch.stats().delivered, 2u);
+}
+
+TEST(StarNetwork, TopologyForbidsRemoteToRemote) {
+  sim::Scheduler sched;
+  sim::Rng rng(10);
+  StarNetwork net(sched, rng, 3);
+  EXPECT_NO_THROW(net.channel_for(0, 2));
+  EXPECT_NO_THROW(net.channel_for(2, 0));
+  EXPECT_THROW(net.channel_for(1, 2), std::invalid_argument);  // §II-B
+  EXPECT_THROW(net.channel_for(1, 1), std::invalid_argument);
+  EXPECT_THROW(net.uplink(0), std::invalid_argument);
+  EXPECT_THROW(net.downlink(4), std::invalid_argument);
+}
+
+TEST(StarNetwork, SendEventRoutesToProperLink) {
+  sim::Scheduler sched;
+  sim::Rng rng(11);
+  StarNetwork net(sched, rng, 2);
+  std::string got;
+  net.uplink(2).set_delivery([&](const Packet& p) { got = p.event_root; });
+  net.downlink(1).set_delivery([](const Packet&) {});
+  net.downlink(2).set_delivery([](const Packet&) {});
+  net.uplink(1).set_delivery([](const Packet&) {});
+  net.send_event(2, 0, "evt.xi2.to.xi0.Req");
+  sched.run();
+  EXPECT_EQ(got, "evt.xi2.to.xi0.Req");
+  EXPECT_EQ(net.total_stats().sent, 1u);
+  EXPECT_EQ(net.total_stats().delivered, 1u);
+  EXPECT_FALSE(net.describe().empty());
+}
+
+TEST(Bridge, RoutesWirelessAndRejectsWrongSource) {
+  // Two automata: 0 emits "up" (entity 0... actually entity mapping below),
+  // 1 receives it.
+  using namespace hybrid;
+  Automaton sender("sender");
+  {
+    sender.add_location("s0");
+    sender.add_location("s1");
+    sender.add_initial_location(0);
+    Edge e;
+    e.src = 0;
+    e.dst = 1;
+    e.kind = TriggerKind::kTimed;
+    e.dwell = 1.0;
+    e.emits.push_back(SyncLabel::send("ping"));
+    sender.add_edge(std::move(e));
+  }
+  Automaton receiver("receiver");
+  {
+    receiver.add_location("r0");
+    receiver.add_location("r1");
+    receiver.add_initial_location(0);
+    Edge e;
+    e.src = 0;
+    e.dst = 1;
+    e.kind = TriggerKind::kEvent;
+    e.trigger = SyncLabel::recv_unreliable("ping");
+    receiver.add_edge(std::move(e));
+  }
+  Engine engine({std::move(receiver), std::move(sender)});
+  sim::Rng rng(12);
+  StarNetwork net(engine.scheduler(), rng, 1);
+  // entity 0 (base) -> automaton 0 (receiver); entity 1 -> automaton 1.
+  NetEventRouter router(net, {0, 1});
+  router.add_route("ping", 1, 0, Transport::kWireless);
+  EXPECT_THROW(router.add_route("ping", 0, 1, Transport::kWireless),
+               std::invalid_argument);  // duplicate root
+  engine.set_router(&router);
+  router.attach(engine);
+  engine.init();
+  engine.run_until(2.0);
+  EXPECT_EQ(engine.current_location_name(0), "r1");
+  EXPECT_EQ(router.wireless_sends(), 1u);
+}
+
+}  // namespace
+}  // namespace ptecps::net

@@ -1,0 +1,157 @@
+// Unit tests for the simulation kernel: scheduler ordering/cancellation
+// and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ptecps::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Scheduler, TiesAreFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  int fired = 0;
+  const EventHandle h = s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(h));  // double cancel
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.cancel(EventHandle{}));  // empty handle
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesNow) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(5.0, [&] { ++fired; });
+  s.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, CallbacksMayScheduleMore) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.schedule_in(1.0, chain);
+  };
+  s.schedule_at(0.0, chain);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 4.0);
+}
+
+TEST(Scheduler, RejectsPastScheduling) {
+  Scheduler s;
+  s.schedule_at(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, NextTimeSkipsCancelled) {
+  Scheduler s;
+  const EventHandle h = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  s.cancel(h);
+  EXPECT_DOUBLE_EQ(s.next_time(), 2.0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next_u64(), vb = b.next_u64(), vc = c.next_u64();
+    all_equal = all_equal && va == vb;
+    any_diff = any_diff || va != vc;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(30.0);
+  EXPECT_NEAR(sum / n, 30.0, 0.5);
+}
+
+TEST(Rng, BernoulliRateMatches) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.1);
+}
+
+TEST(Rng, UniformIntUnbiasedSmallRange) {
+  Rng r(19);
+  int counts[5] = {0, 0, 0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_int(5)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+}
+
+TEST(Rng, ForkedStreamsDecorrelated) {
+  Rng parent(23);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace ptecps::sim

@@ -1,0 +1,142 @@
+// Unit tests for the util substrate: text helpers, statistics, tables,
+// CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/cli.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::util {
+namespace {
+
+TEST(Text, CatConcatenatesStreamables) {
+  EXPECT_EQ(cat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(cat(), "");
+}
+
+TEST(Text, FmtDoubleFixedPrecision) {
+  EXPECT_EQ(fmt_double(1.5, 2), "1.50");
+  EXPECT_EQ(fmt_double(-0.125, 3), "-0.125");
+}
+
+TEST(Text, FmtCompactStripsTrailingZeros) {
+  EXPECT_EQ(fmt_compact(3.0), "3");
+  EXPECT_EQ(fmt_compact(3.5), "3.5");
+  EXPECT_EQ(fmt_compact(0.125), "0.125");
+  EXPECT_EQ(fmt_compact(-0.0), "0");
+}
+
+TEST(Text, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> parts = {"a", "", "c"};
+  EXPECT_EQ(join(parts, ","), "a,,c");
+  EXPECT_EQ(split("a,,c", ','), parts);
+  EXPECT_EQ(split("", ','), std::vector<std::string>{""});
+}
+
+TEST(Text, PadAligns) {
+  EXPECT_EQ(pad("ab", 4), "ab  ");
+  EXPECT_EQ(pad("ab", 4, true), "  ab");
+  EXPECT_EQ(pad("abcde", 4), "abcde");  // never truncates
+}
+
+TEST(Text, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("x", "", "y"), "x");
+}
+
+TEST(Stats, RunningStatsMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, HistogramBinsAndSaturation) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(9.9);
+  h.add(-3.0);   // below range -> first bin
+  h.add(100.0);  // above range -> last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Table, RenderAlignsColumns) {
+  TextTable t({"name", "value"});
+  t.set_right_align(1);
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha | "), std::string::npos);
+  EXPECT_NE(out.find("------+"), std::string::npos);
+  EXPECT_NE(out.find("   22"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, MarkdownMode) {
+  TextTable t({"a", "b"});
+  t.set_right_align(1);
+  t.add_row({"x", "1"});
+  const std::string md = t.render_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("| --- | ---: |"), std::string::npos);
+}
+
+TEST(Cli, ParsesOptionsFlagsAndPositional) {
+  const char* argv[] = {"prog", "--loss", "0.3", "--verbose", "--n=5", "input.txt"};
+  ArgParser args(6, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("loss", 0.0), 0.3);
+  EXPECT_TRUE(args.has_flag("verbose"));
+  EXPECT_EQ(args.get_int("n", 0), 5);
+  EXPECT_EQ(args.get_int("absent", 7), 7);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+}
+
+TEST(Require, MacrosThrowWithContext) {
+  try {
+    PTE_REQUIRE(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+  EXPECT_THROW(PTE_CHECK(false, "internal"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ptecps::util
