@@ -5,29 +5,31 @@
 //
 //  1. Exhaustive: one surgeon session; every subset of the first K
 //     wireless packets (across all four links, in global send order) is
-//     lost — 2^K schedules, every one checked for PTE violations.
+//     lost — 2^K schedules, every one checked for PTE violations.  The
+//     schedule mask IS the run seed: one ScenarioSpec, 2^K seeds.
 //  2. Randomized: synthesized configurations (N = 2..4, random
 //     safeguards) fuzzed with random Bernoulli loss and random
-//     surgeon-like stimulus timing.
+//     surgeon-like stimulus timing.  All per-run randomness forks off the
+//     run seed (meta / network / stimulus streams), so any failing run
+//     replays from its seed alone.
 //
 // Expected: ZERO violations across everything.
 //
-// Usage: bench_adversarial [--k BITS] [--fuzz RUNS]
+// Usage: bench_adversarial [--k BITS] [--fuzz RUNS] [--threads N]
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "core/config.hpp"
-#include "core/deployment.hpp"
+#include "campaign/context.hpp"
+#include "campaign/runner.hpp"
 #include "core/events.hpp"
-#include "core/monitor.hpp"
 #include "core/synthesis.hpp"
-#include "net/bridge.hpp"
-#include "net/star_network.hpp"
 #include "util/cli.hpp"
 
 using namespace ptecps;
 using namespace ptecps::core;
+using campaign::ScenarioSpec;
+using campaign::SimulationContext;
 
 namespace {
 
@@ -54,55 +56,44 @@ class SharedScheduleLoss final : public net::LossModel {
   std::shared_ptr<SharedSchedule> state_;
 };
 
-struct SessionStats {
-  std::size_t violations = 0;
-  bool emitted = false;
-  bool all_fell_back = false;
-};
-
-SessionStats run_scheduled_session(std::uint64_t mask, std::size_t bits, double toff) {
-  auto state = std::make_shared<SharedSchedule>();
-  state->mask = mask;
-  state->bits = bits;
-
-  const PatternConfig cfg = PatternConfig::laser_tracheotomy();
-  sim::Rng rng(1);
-  BuiltSystem built = build_pattern_system(cfg);
-  hybrid::Engine engine(std::move(built.automata));
-  net::StarNetwork network(engine.scheduler(), rng, 2);
-  network.configure_all([&state] { return std::make_unique<SharedScheduleLoss>(state); },
-                        net::ChannelConfig{0.0, 0.0, 0.0, 0.5});
-  net::NetEventRouter router(network, built.automaton_of_entity);
-  built.install_routes(router);
-  engine.set_router(&router);
-  router.attach(engine);
-  PteMonitor monitor(MonitorParams::from_config(cfg));
-  monitor.attach(engine, {0, 1, 2});
-  engine.init();
-
-  engine.run_until(14.0);
-  engine.inject(2, events::cmd_request(2));
-  if (toff > 0.0) {
-    engine.run_until(25.0 + toff);
-    engine.inject(2, events::cmd_cancel(2));
-  }
-  engine.run_until(220.0);
-  monitor.finalize(220.0);
-
-  SessionStats s;
-  s.violations = monitor.violations().size();
-  s.emitted = monitor.episodes(2) > 0;
-  s.all_fell_back = true;
-  for (std::size_t a = 0; a <= 2; ++a) {
-    const auto& name = engine.current_location_name(a);
-    if (name != "Fall-Back" && name != "PumpIn" && name != "PumpOut")
-      s.all_fell_back = false;
-  }
-  return s;
+/// Part 1 spec: the run seed is the loss-schedule mask.
+ScenarioSpec scheduled_session_spec(std::size_t k, double toff) {
+  ScenarioSpec spec;
+  spec.name = "exhaustive-schedules";
+  spec.config = PatternConfig::laser_tracheotomy();
+  spec.loss = [k](std::uint64_t run_seed) -> net::StarNetwork::LossFactory {
+    auto state = std::make_shared<SharedSchedule>();
+    state->mask = run_seed;
+    state->bits = k;
+    return [state] { return std::make_unique<SharedScheduleLoss>(state); };
+  };
+  spec.drive = [toff](SimulationContext& ctx) {
+    ctx.run_until(14.0);
+    ctx.inject(2, events::cmd_request(2));
+    if (toff > 0.0) {
+      ctx.run_until(25.0 + toff);
+      ctx.inject(2, events::cmd_cancel(2));
+    }
+    ctx.run_until(220.0);
+  };
+  // metrics[0] = fully recovered to Fall-Back (pattern or pump locations).
+  spec.annotate = [](SimulationContext& ctx, campaign::RunResult& r) {
+    bool all_fell_back = true;
+    for (std::size_t a = 0; a <= 2; ++a) {
+      const auto& name = ctx.engine().current_location_name(a);
+      if (name != "Fall-Back" && name != "PumpIn" && name != "PumpOut")
+        all_fell_back = false;
+    }
+    r.metrics = {all_fell_back ? 1.0 : 0.0};
+  };
+  spec.seed_range(0, std::size_t{1} << k);  // seed = schedule mask
+  return spec;
 }
 
-std::size_t fuzz_run(std::uint64_t seed) {
-  sim::Rng meta(seed);
+/// Part 2: one fuzz run, fully derived from its seed via forked streams.
+campaign::RunResult fuzz_run(const ScenarioSpec&, std::uint64_t seed) {
+  sim::Rng master(seed);
+  sim::Rng meta = master.fork(0);
   SynthesisRequest req;
   req.n_remotes = 2 + meta.uniform_int(3);  // N in 2..4
   for (std::size_t i = 0; i + 1 < req.n_remotes; ++i) {
@@ -116,38 +107,36 @@ std::size_t fuzz_run(std::uint64_t seed) {
   req.delivery_slack = 0.1;
   const PatternConfig cfg = synthesize(req);
   const double p = meta.uniform(0.0, 0.9);
+  const std::uint64_t network_seed = master.fork(1).next_u64();
+  const std::uint64_t stimulus_seed = master.fork(2).next_u64();
 
-  sim::Rng rng(seed ^ 0xABCDEF);
-  BuiltSystem built = build_pattern_system(cfg);
-  hybrid::Engine engine(std::move(built.automata));
-  net::StarNetwork network(engine.scheduler(), rng, cfg.n_remotes);
-  network.configure_all([p] { return std::make_unique<net::BernoulliLoss>(p); },
-                        net::ChannelConfig{0.002, 0.01, 0.001, 0.5});
-  net::NetEventRouter router(network, built.automaton_of_entity);
-  built.install_routes(router);
-  engine.set_router(&router);
-  router.attach(engine);
-  PteMonitor monitor(MonitorParams::from_config(cfg));
-  std::vector<std::size_t> entity_of(cfg.n_remotes + 1);
-  for (std::size_t i = 0; i <= cfg.n_remotes; ++i) entity_of[i] = i;
-  monitor.attach(engine, entity_of);
-  engine.init();
-
-  // Random surgeon-like stimulus storm.
+  ScenarioSpec spec;
+  spec.name = "fuzz";
+  spec.config = cfg;
+  spec.channel = net::ChannelConfig{0.002, 0.01, 0.001, 0.5};
+  spec.loss = [p](std::uint64_t) -> net::StarNetwork::LossFactory {
+    return [p] { return std::make_unique<net::BernoulliLoss>(p); };
+  };
   const std::size_t n = cfg.n_remotes;
-  sim::Rng stim(seed ^ 0x5EED);
-  double t = 0.0;
-  const double horizon = 900.0;
-  while (t < horizon) {
-    t += stim.exponential(8.0);
-    const std::string root =
-        stim.bernoulli(0.6) ? events::cmd_request(n) : events::cmd_cancel(n);
-    const double at = t;
-    engine.scheduler().schedule_at(at, [&engine, n, root] { engine.inject(n, root); });
-  }
-  engine.run_until(horizon + 200.0);
-  monitor.finalize(horizon + 200.0);
-  return monitor.violations().size();
+  spec.drive = [stimulus_seed, n](SimulationContext& ctx) {
+    // Random surgeon-like stimulus storm.
+    sim::Rng stim(stimulus_seed);
+    hybrid::Engine& engine = ctx.engine();
+    double t = 0.0;
+    const double horizon = 900.0;
+    while (t < horizon) {
+      t += stim.exponential(8.0);
+      const std::string root =
+          stim.bernoulli(0.6) ? events::cmd_request(n) : events::cmd_cancel(n);
+      engine.scheduler().schedule_at(t, [&engine, n, root] { engine.inject(n, root); });
+    }
+    ctx.run_until(horizon + 200.0);
+  };
+
+  SimulationContext ctx(spec, network_seed);
+  campaign::RunResult result = ctx.execute();
+  result.seed = seed;
+  return result;
 }
 
 }  // namespace
@@ -156,33 +145,45 @@ int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   const std::size_t k = static_cast<std::size_t>(args.get_int("k", 12));
   const int fuzz_runs = args.get_int("fuzz", 60);
+  const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
   std::printf("=== Adversarial loss schedules (Theorem 1 under ARBITRARY loss) ===\n\n");
 
+  ScenarioSpec fuzz;
+  fuzz.name = "fuzz";
+  fuzz.seed_range(1000, static_cast<std::size_t>(fuzz_runs));
+  fuzz.custom_run = fuzz_run;
+
+  campaign::CampaignOptions options;
+  options.threads = threads;
+  options.keep_violations = false;
+  const campaign::CampaignReport rep =
+      campaign::CampaignRunner(options).run({scheduled_session_spec(k, /*toff=*/4.0), fuzz});
+
   // Part 1: exhaustive subsets of the first K wireless packets.
-  std::size_t total_violations = 0, emitted = 0, recovered = 0;
-  const std::size_t schedules = 1ULL << k;
-  for (std::uint64_t mask = 0; mask < schedules; ++mask) {
-    const SessionStats s = run_scheduled_session(mask, k, /*toff=*/4.0);
-    total_violations += s.violations;
-    emitted += s.emitted ? 1 : 0;
-    recovered += s.all_fell_back ? 1 : 0;
+  const auto& exhaustive = rep.scenarios[0];
+  const std::size_t schedules = std::size_t{1} << k;
+  std::size_t emitted = 0, recovered = 0;
+  for (const auto& r : exhaustive.runs) {
+    emitted += r.session.episodes[2] > 0 ? 1 : 0;
+    recovered += !r.metrics.empty() && r.metrics[0] > 0.0 ? 1 : 0;
   }
   std::printf("exhaustive: 2^%zu = %zu schedules over one session\n", k, schedules);
-  std::printf("  PTE violations:            %zu (expected 0)\n", total_violations);
+  std::printf("  PTE violations:            %zu (expected 0)\n",
+              exhaustive.total_violations);
   std::printf("  schedules with an emission:%6zu (%4.1f%%)\n", emitted,
               100.0 * static_cast<double>(emitted) / static_cast<double>(schedules));
   std::printf("  fully recovered to Fall-Back by t=220 s: %zu / %zu\n\n", recovered,
               schedules);
 
   // Part 2: randomized configurations + loss + stimuli.
-  std::size_t fuzz_violations = 0;
-  for (int i = 0; i < fuzz_runs; ++i) fuzz_violations += fuzz_run(1000 + i);
+  const auto& fuzz_outcome = rep.scenarios[1];
   std::printf("fuzz: %d synthesized configs (N=2..4), random loss p in [0,0.9], "
               "random stimulus storms\n", fuzz_runs);
-  std::printf("  PTE violations: %zu (expected 0)\n\n", fuzz_violations);
+  std::printf("  PTE violations: %zu (expected 0)\n\n", fuzz_outcome.total_violations);
 
-  const bool pass = total_violations == 0 && fuzz_violations == 0;
+  const bool pass = exhaustive.total_violations == 0 && fuzz_outcome.total_violations == 0 &&
+                    rep.failed_runs == 0;
   std::printf("Adversarial check: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

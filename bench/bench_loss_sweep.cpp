@@ -6,51 +6,108 @@
 // baseline degrades.  Also shows throughput (completed emissions) and
 // lease interventions (evtToStop) as loss increases.
 //
-// Usage: bench_loss_sweep [--seeds N] [--duration SECONDS]
+// Each (p, lease-mode) cell is one ScenarioSpec over the full §V
+// case-study trial (physiology + surgeon + oximeter), fanned out over
+// seeds by the campaign runner.
+//
+// Usage: bench_loss_sweep [--seeds N] [--duration SECONDS] [--threads N]
 #include <cstdio>
 #include <memory>
+#include <vector>
 
+#include "campaign/runner.hpp"
 #include "casestudy/trial.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/text.hpp"
 
 using namespace ptecps;
+using campaign::ScenarioSpec;
+
+namespace {
+
+/// Adapt one §V case-study trial (Table I machinery) to a campaign run.
+campaign::RunResult run_trial_cell(bool with_lease, double duration, double p,
+                                   std::uint64_t seed) {
+  casestudy::TrialOptions opt;
+  opt.with_lease = with_lease;
+  opt.duration = duration;
+  opt.seed = seed;
+  opt.loss_factory = [p] { return std::make_unique<net::BernoulliLoss>(p); };
+  const casestudy::TrialResult r = casestudy::run_trial(opt);
+
+  campaign::RunResult out;
+  out.seed = seed;
+  out.violations = r.failures;
+  out.violation_list = r.violations;
+  out.session.episodes = {0, r.ventilator_pauses, r.emissions};
+  out.session.max_dwell = {0.0, r.max_pause, r.max_emission};
+  out.session.lease_stops = {0, r.vent_to_stop, r.evt_to_stop};
+  out.session.sessions = r.sessions;
+  out.network = r.network;
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   const int seeds = args.get_int("seeds", 3);
   const double duration = args.get_double("duration", 1800.0);
+  const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
   std::printf("=== Loss sweep: failures vs. packet loss probability ===\n");
   std::printf("%.0f s trials, E(Ton)=30 s, E(Toff)=18 s, mean over %d seed(s)\n\n",
               duration, seeds);
+
+  // One spec per (loss rate, lease mode) cell, seeds 100, 101, … per the
+  // historical bench convention.
+  std::vector<ScenarioSpec> specs;
+  std::vector<double> loss_rates;
+  for (double p = 0.0; p <= 0.901; p += 0.1) loss_rates.push_back(p);
+  for (double p : loss_rates) {
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool with_lease = mode == 0;
+      ScenarioSpec spec;
+      spec.name = util::cat(with_lease ? "lease" : "no-lease", "/p=",
+                            util::fmt_double(p, 1));
+      spec.seed_range(100, static_cast<std::size_t>(seeds));
+      spec.custom_run = [with_lease, duration, p](const ScenarioSpec&,
+                                                  std::uint64_t seed) {
+        return run_trial_cell(with_lease, duration, p, seed);
+      };
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  campaign::CampaignOptions options;
+  options.threads = threads;
+  const campaign::CampaignReport rep = campaign::CampaignRunner(options).run(specs);
+  if (rep.failed_runs != 0) {
+    for (const auto& e : rep.errors) std::fprintf(stderr, "run failed: %s\n", e.c_str());
+    return 1;
+  }
 
   util::TextTable table({"loss p", "lease: emissions", "lease: failures", "lease: evtToStop",
                          "no-lease: emissions", "no-lease: failures"});
   for (std::size_t c = 0; c <= 5; ++c) table.set_right_align(c);
 
   bool lease_always_safe = true;
-  for (double p = 0.0; p <= 0.901; p += 0.1) {
+  for (std::size_t pi = 0; pi < loss_rates.size(); ++pi) {
     double em[2] = {0, 0}, fail[2] = {0, 0}, stop[2] = {0, 0};
     for (int mode = 0; mode < 2; ++mode) {
-      for (int s = 0; s < seeds; ++s) {
-        casestudy::TrialOptions opt;
-        opt.with_lease = mode == 0;
-        opt.duration = duration;
-        opt.seed = 100 + static_cast<std::uint64_t>(s);
-        opt.loss_factory = [p] { return std::make_unique<net::BernoulliLoss>(p); };
-        const casestudy::TrialResult r = casestudy::run_trial(opt);
-        em[mode] += static_cast<double>(r.emissions);
-        fail[mode] += static_cast<double>(r.failures);
-        stop[mode] += static_cast<double>(r.evt_to_stop);
+      const auto& outcome = rep.scenarios[2 * pi + static_cast<std::size_t>(mode)];
+      for (const auto& r : outcome.runs) {
+        em[mode] += static_cast<double>(r.session.episodes[2]);
+        fail[mode] += static_cast<double>(r.violations);
+        stop[mode] += static_cast<double>(r.session.lease_stops[2]);
       }
       em[mode] /= seeds;
       fail[mode] /= seeds;
       stop[mode] /= seeds;
     }
     if (fail[0] > 0.0) lease_always_safe = false;
-    table.add_row({util::fmt_double(p, 1), util::fmt_double(em[0], 1),
+    table.add_row({util::fmt_double(loss_rates[pi], 1), util::fmt_double(em[0], 1),
                    util::fmt_double(fail[0], 1), util::fmt_double(stop[0], 1),
                    util::fmt_double(em[1], 1), util::fmt_double(fail[1], 1)});
   }

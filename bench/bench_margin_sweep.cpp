@@ -18,54 +18,49 @@
 //   * a documented conservatism margin in between (c6 also covers
 //     deployments whose delivery skew genuinely reaches T^max_wait).
 //
-// Usage: bench_margin_sweep [--from 18] [--to 37] [--step 1]
+// The sweep is one campaign: every T^max_run,1 value is a ScenarioSpec
+// and the constraint-ablation adversary is the shared drive script.
+//
+// Usage: bench_margin_sweep [--from 18] [--to 37] [--step 1] [--threads N]
 #include <cstdio>
-#include <memory>
+#include <vector>
 
-#include "core/config.hpp"
+#include "campaign/context.hpp"
+#include "campaign/runner.hpp"
 #include "core/constraints.hpp"
-#include "core/deployment.hpp"
 #include "core/events.hpp"
-#include "core/monitor.hpp"
-#include "net/bridge.hpp"
-#include "net/star_network.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/text.hpp"
 
 using namespace ptecps;
 using namespace ptecps::core;
+using campaign::ScenarioSpec;
+using campaign::SimulationContext;
 
 namespace {
 
 /// One session; after both entities are risky every wireless packet is
 /// lost, so only the leases order the exits.
-std::size_t order_violations(const PatternConfig& cfg) {
-  sim::Rng rng(3);
-  BuiltSystem built = build_pattern_system(cfg);
-  hybrid::Engine engine(std::move(built.automata));
-  net::StarNetwork network(engine.scheduler(), rng, 2);
-  network.configure_all([] { return std::make_unique<net::PerfectLink>(); },
-                        net::ChannelConfig{0.0, 0.0, 0.0, 0.5});
-  net::NetEventRouter router(network, built.automaton_of_entity);
-  built.install_routes(router);
-  engine.set_router(&router);
-  router.attach(engine);
-  PteMonitor monitor(MonitorParams::from_config(PatternConfig::laser_tracheotomy(), 60.0));
-  monitor.attach(engine, {0, 1, 2});
-  engine.init();
-
-  engine.run_until(14.0);
-  engine.inject(2, events::cmd_request(2));
-  engine.run_until(26.0);  // both leases active (laser risky at t ≈ 24)
+void worst_case_drive(SimulationContext& ctx) {
+  ctx.run_until(14.0);
+  ctx.inject(2, events::cmd_request(2));
+  ctx.run_until(26.0);  // both leases active (laser risky at t ≈ 24)
   for (net::EntityId r = 1; r <= 2; ++r) {
-    network.uplink(r).set_loss_model(std::make_unique<net::BernoulliLoss>(1.0));
-    network.downlink(r).set_loss_model(std::make_unique<net::BernoulliLoss>(1.0));
+    ctx.kill_uplink(r);
+    ctx.kill_downlink(r);
   }
-  engine.run_until(200.0);
-  monitor.finalize(200.0);
-  return monitor.violation_count(PteViolationKind::kOrderEmbedding) +
-         monitor.violation_count(PteViolationKind::kExitSafeguard);
+  ctx.run_until(200.0);
+}
+
+std::size_t order_violations(const campaign::RunResult& r) {
+  std::size_t n = 0;
+  for (const auto& v : r.violation_list) {
+    if (v.kind == PteViolationKind::kOrderEmbedding ||
+        v.kind == PteViolationKind::kExitSafeguard)
+      ++n;
+  }
+  return n;
 }
 
 }  // namespace
@@ -75,6 +70,7 @@ int main(int argc, char** argv) {
   const double from = args.get_double("from", 18.0);
   const double to = args.get_double("to", 37.0);
   const double step = args.get_double("step", 1.0);
+  const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
   const PatternConfig base = PatternConfig::laser_tracheotomy();
   // Closed-form c6 boundary.
@@ -96,19 +92,41 @@ int main(int argc, char** argv) {
   std::printf("(worst case probed: all cancel/exit messages lost after the session "
               "forms)\n\n");
 
+  std::vector<double> run1_values;
+  std::vector<ScenarioSpec> specs;
+  for (double run1 = from; run1 <= to + 1e-9; run1 += step) {
+    ScenarioSpec spec;
+    spec.name = util::cat("margin/run1=", util::fmt_double(run1, 1));
+    spec.config = base;
+    spec.config.entities[0].t_run_max = run1;
+    spec.monitor_config = PatternConfig::laser_tracheotomy();
+    spec.dwell_bound = 60.0;
+    spec.seeds = {3};
+    spec.drive = worst_case_drive;
+    specs.push_back(std::move(spec));
+    run1_values.push_back(run1);
+  }
+
+  campaign::CampaignOptions options;
+  options.threads = threads;
+  const campaign::CampaignReport rep = campaign::CampaignRunner(options).run(specs);
+  if (rep.failed_runs != 0) {
+    for (const auto& e : rep.errors) std::fprintf(stderr, "run failed: %s\n", e.c_str());
+    return 1;
+  }
+
   util::TextTable table({"T^max_run,1 (s)", "c6 satisfied", "order/exit violations",
                          "region"});
   table.set_right_align(0);
   table.set_right_align(2);
   bool sound = true;       // c6-satisfying rows must have 0 violations
   bool necessary = true;   // rows below the empirical boundary must violate
-  for (double run1 = from; run1 <= to + 1e-9; run1 += step) {
-    PatternConfig cfg = base;
-    cfg.entities[0].t_run_max = run1;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const double run1 = run1_values[i];
     bool c6_ok = true;
-    for (const auto& v : check_theorem1(cfg).violations)
+    for (const auto& v : check_theorem1(specs[i].config).violations)
       if (v.id == ConstraintId::kC6) c6_ok = false;
-    const std::size_t violations = order_violations(cfg);
+    const std::size_t violations = order_violations(rep.scenarios[i].runs[0]);
     const char* region = c6_ok ? "safe (c6 holds)"
                          : run1 > empirical_boundary
                              ? "c6 margin (covers protocol-max skew)"

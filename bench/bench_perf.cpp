@@ -1,10 +1,24 @@
 // Extension experiment E11 (DESIGN.md): engine and substrate performance
-// microbenchmarks (google-benchmark).  Not a paper artifact — these keep
-// the simulator's costs visible so the statistical benches stay cheap.
+// microbenchmarks (google-benchmark) plus the campaign throughput report.
+// Not a paper artifact — these keep the simulator's costs visible so the
+// statistical benches stay cheap, and BENCH_campaign.json records the
+// perf trajectory (runs/sec, p50/p99 per scenario, allocations per run)
+// that future scaling PRs must beat.
+//
+// Usage: bench_perf [--benchmark_* flags]
+//   Runs the microbenchmarks, then measures the campaign runtime and
+//   writes BENCH_campaign.json to the current directory.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <new>
+#include <thread>
 
+#include "campaign/context.hpp"
+#include "campaign/runner.hpp"
 #include "casestudy/trial.hpp"
 #include "casestudy/ventilator.hpp"
 #include "core/constraints.hpp"
@@ -20,6 +34,29 @@
 
 using namespace ptecps;
 
+// ---------------------------------------------------------------------------
+// Global allocation counter: lets the campaign section report allocations
+// per run (the slab scheduler / interned routing work was about exactly
+// this churn).  The override covers the whole binary, library included.
+// ---------------------------------------------------------------------------
+// GCC pairs `new` expressions it inlined before seeing the replacement
+// with the replaced `delete` and warns spuriously; the replacement pair
+// below is the standard malloc/free-backed form and is self-consistent.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+static std::atomic<std::uint64_t> g_allocs{0};
+static void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 void BM_SchedulerScheduleAndRun(benchmark::State& state) {
@@ -33,6 +70,22 @@ void BM_SchedulerScheduleAndRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerScheduleAndRun);
+
+void BM_SchedulerCancelChurn(benchmark::State& state) {
+  // The dwell-timeout hot path: schedule a timeout, cancel it, repeat —
+  // slab slot reuse means this loop stops allocating after warm-up.  The
+  // next_time() call drains the lazily-deleted queue entry each round
+  // (as the engine's event loop does), keeping the queue bounded.
+  sim::Scheduler sched;
+  for (auto _ : state) {
+    const sim::EventHandle h = sched.schedule_in(1.0, [] {});
+    sched.cancel(h);
+    benchmark::DoNotOptimize(sched.next_time());
+  }
+  benchmark::DoNotOptimize(sched.pending_events());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerCancelChurn);
 
 void BM_RngExponential(benchmark::State& state) {
   sim::Rng rng(1);
@@ -76,7 +129,7 @@ BENCHMARK(BM_ChannelSendDeliver);
 
 void BM_PatternSession(benchmark::State& state) {
   // One full lease session (request -> both risky -> expiry -> Fall-Back)
-  // over perfect links.
+  // over perfect links, hand-wired (the historical single-run path).
   const auto cfg = core::PatternConfig::laser_tracheotomy();
   for (auto _ : state) {
     sim::Rng rng(3);
@@ -97,6 +150,26 @@ void BM_PatternSession(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PatternSession);
+
+void BM_CampaignSession(benchmark::State& state) {
+  // The same session through the campaign runtime: prototype copy +
+  // validation skip + trace off — the per-run cost a campaign pays.
+  campaign::ScenarioSpec spec;
+  spec.name = "bm";
+  spec.channel = net::ChannelConfig{};
+  spec.drive = [](campaign::SimulationContext& ctx) {
+    ctx.run_until(14.0);
+    ctx.inject(2, core::events::cmd_request(2));
+    ctx.run_until(120.0);
+  };
+  const auto proto = campaign::ScenarioPrototype::build(spec);
+  for (auto _ : state) {
+    campaign::SimulationContext ctx(spec, 3, proto);
+    spec.drive(ctx);
+    benchmark::DoNotOptimize(ctx.engine().transitions_taken());
+  }
+}
+BENCHMARK(BM_CampaignSession);
 
 void BM_Trial30Minutes(benchmark::State& state) {
   // A full Table-I row cell: 1800 simulated seconds with physiology,
@@ -145,4 +218,113 @@ void BM_SynthesizeN8(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizeN8);
 
+// ---------------------------------------------------------------------------
+// Campaign throughput section -> BENCH_campaign.json
+// ---------------------------------------------------------------------------
+
+/// The reference single-run scenario: one lossy surgeon session over the
+/// §V configuration, 200 simulated seconds — the same workload measured
+/// hand-wired against the seed tree (the "before" constants below).
+campaign::ScenarioSpec reference_spec(std::size_t runs) {
+  campaign::ScenarioSpec spec;
+  spec.name = "single-run/lossy-session";
+  spec.dwell_bound = 60.0;
+  spec.loss = [](std::uint64_t) -> net::StarNetwork::LossFactory {
+    return [] { return std::make_unique<net::BernoulliLoss>(0.3); };
+  };
+  spec.drive = [](campaign::SimulationContext& ctx) {
+    ctx.run_until(14.0);
+    ctx.inject(2, core::events::cmd_request(2));
+    ctx.run_until(200.0);
+  };
+  spec.seed_range(100, runs);
+  return spec;
+}
+
+struct CampaignMeasurement {
+  double runs_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double allocs_per_run = 0.0;
+};
+
+CampaignMeasurement measure(std::size_t runs, std::size_t threads) {
+  campaign::CampaignOptions options;
+  options.threads = threads;
+  options.keep_violations = false;
+  const std::uint64_t a0 = g_allocs.load();
+  const campaign::CampaignReport rep =
+      campaign::CampaignRunner(options).run(reference_spec(runs));
+  const std::uint64_t a1 = g_allocs.load();
+  CampaignMeasurement m;
+  m.runs_per_sec = rep.runs_per_second;
+  m.p50_us = rep.scenarios[0].wall_p50_s * 1e6;
+  m.p99_us = rep.scenarios[0].wall_p99_s * 1e6;
+  m.allocs_per_run = static_cast<double>(a1 - a0) / static_cast<double>(runs);
+  return m;
+}
+
+// Seed-tree reference for the identical workload, hand-wired (measured on
+// this container before the slab-scheduler / interned-routing / campaign
+// refactor; see CHANGES.md).  Future PRs compare against "after".
+constexpr double kSeedRunsPerSec = 8835.0;
+constexpr double kSeedP50Us = 107.2;
+constexpr double kSeedP99Us = 183.9;
+constexpr double kSeedAllocsPerRun = 750.0;
+
+void write_campaign_json() {
+  const std::size_t runs = 400;
+  // Warm-up (page faults, slab growth) then the recorded measurement.
+  measure(50, 1);
+  const CampaignMeasurement single = measure(runs, 1);
+
+  std::FILE* f = std::fopen("BENCH_campaign.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_campaign.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workload\": \"laser-tracheotomy session, Bernoulli 30%% loss, "
+                  "200 simulated s per run\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"seed_baseline\": {\n");
+  std::fprintf(f, "    \"runs_per_sec\": %.1f,\n", kSeedRunsPerSec);
+  std::fprintf(f, "    \"p50_us\": %.1f,\n", kSeedP50Us);
+  std::fprintf(f, "    \"p99_us\": %.1f,\n", kSeedP99Us);
+  std::fprintf(f, "    \"allocs_per_run\": %.1f\n", kSeedAllocsPerRun);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"single_thread\": {\n");
+  std::fprintf(f, "    \"runs\": %zu,\n", runs);
+  std::fprintf(f, "    \"runs_per_sec\": %.1f,\n", single.runs_per_sec);
+  std::fprintf(f, "    \"p50_us\": %.1f,\n", single.p50_us);
+  std::fprintf(f, "    \"p99_us\": %.1f,\n", single.p99_us);
+  std::fprintf(f, "    \"allocs_per_run\": %.1f\n", single.allocs_per_run);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"throughput_improvement_x\": %.2f,\n",
+               single.runs_per_sec / kSeedRunsPerSec);
+  std::fprintf(f, "  \"alloc_reduction_x\": %.2f,\n",
+               kSeedAllocsPerRun / single.allocs_per_run);
+  std::fprintf(f, "  \"scaling\": [\n");
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const CampaignMeasurement m = measure(runs, thread_counts[i]);
+    std::fprintf(f, "    {\"threads\": %zu, \"runs_per_sec\": %.1f}%s\n", thread_counts[i],
+                 m.runs_per_sec, i + 1 < 4 ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_campaign.json (single-thread: %.0f runs/s, %.2fx over seed "
+              "baseline %.0f runs/s)\n",
+              single.runs_per_sec, single.runs_per_sec / kSeedRunsPerSec, kSeedRunsPerSec);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_campaign_json();
+  return 0;
+}

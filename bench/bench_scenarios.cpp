@@ -17,132 +17,139 @@
 //       the lease deadline D_i releases the ventilator while the laser
 //       is still emitting — exactly the ordering bug the D_i mechanism
 //       exists to prevent.
+//
+// Each walk-through is one declarative ScenarioSpec driven through the
+// campaign runtime; the whole suite executes as one campaign.
 #include <cstdio>
-#include <memory>
+#include <vector>
 
-#include "core/config.hpp"
+#include "campaign/context.hpp"
+#include "campaign/runner.hpp"
 #include "core/constraints.hpp"
-#include "core/deployment.hpp"
 #include "core/events.hpp"
-#include "core/monitor.hpp"
-#include "net/bridge.hpp"
-#include "net/star_network.hpp"
 
 using namespace ptecps;
 using namespace ptecps::core;
+using campaign::ScenarioSpec;
+using campaign::SimulationContext;
 
 namespace {
 
-struct Harness {
-  PatternConfig config;
-  sim::Rng rng{2024};
-  std::unique_ptr<hybrid::Engine> engine;
-  std::unique_ptr<net::StarNetwork> network;
-  std::unique_ptr<net::NetEventRouter> router;
-  std::unique_ptr<PteMonitor> monitor;
-
-  Harness(PatternConfig cfg, bool with_lease, bool deadline_wait = true)
-      : config(std::move(cfg)) {
-    BuiltSystem built =
-        build_pattern_system(config, ApprovalSpec{}, with_lease, deadline_wait);
-    engine = std::make_unique<hybrid::Engine>(std::move(built.automata));
-    network = std::make_unique<net::StarNetwork>(engine->scheduler(), rng, 2);
-    network->configure_all([] { return std::make_unique<net::PerfectLink>(); },
-                           net::ChannelConfig{0.0, 0.0, 0.0, 0.5});
-    router = std::make_unique<net::NetEventRouter>(*network, built.automaton_of_entity);
-    built.install_routes(*router);
-    engine->set_router(router.get());
-    router->attach(*engine);
-    monitor = std::make_unique<PteMonitor>(MonitorParams::from_config(config, 60.0));
-    monitor->attach(*engine, {0, 1, 2});
-    engine->init();
-  }
-
-  void kill(net::Channel& ch) { ch.set_loss_model(std::make_unique<net::BernoulliLoss>(1.0)); }
-  void report(const char* label, double end) {
-    monitor->finalize(end);
-    std::printf("  %-22s pause(max) %6.1f s, emission(max) %6.1f s, violations %zu\n",
-                label, monitor->max_dwell(1), monitor->max_dwell(2),
-                monitor->violations().size());
-    for (const auto& v : monitor->violations())
-      std::printf("      [t=%.2f] %s: %s\n", v.t, violation_kind_str(v.kind).c_str(),
-                  v.description.c_str());
-  }
-};
-
-void scenario1() {
-  std::printf("S1: surgeon forgets to cancel (Toff = 1 h)\n");
-  for (bool lease : {true, false}) {
-    Harness h(PatternConfig::laser_tracheotomy(), lease);
-    h.engine->run_until(15.0);
-    h.engine->inject(2, events::cmd_request(2));
-    h.engine->run_until(200.0);  // nobody cancels
-    h.report(lease ? "with lease:" : "without lease:", 200.0);
-  }
-  std::printf("  -> with leases both risky dwellings self-terminate "
-              "(T^max_run,2 = 20 s, T^max_run,1 = 35 s).\n\n");
+ScenarioSpec base_spec(const char* name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.config = PatternConfig::laser_tracheotomy();
+  spec.dwell_bound = 60.0;
+  spec.seeds = {2024};
+  return spec;
 }
 
-void scenario2() {
-  std::printf("S2: surgeon cancels, but the wireless dies as the emission starts\n");
-  for (bool lease : {true, false}) {
-    Harness h(PatternConfig::laser_tracheotomy(), lease);
-    h.engine->run_until(15.0);
-    h.engine->inject(2, events::cmd_request(2));
-    h.engine->run_until(27.0);  // laser emitting (since t = 25)
-    h.kill(h.network->uplink(2));    // CancelReq(2)/Exit(2) lost
-    h.kill(h.network->downlink(1));  // Cancel(1)/Abort(1) lost
-    h.engine->inject(2, events::cmd_cancel(2));  // laser stops locally
-    h.engine->run_until(400.0);
-    h.report(lease ? "with lease:" : "without lease:", 400.0);
-  }
-  std::printf("  -> the paper's point: losing evtXi2ToXi0Cancel must not leave the "
-              "patient unventilated;\n     the ventilator lease (35 s) restores "
-              "breathing autonomously.\n\n");
-}
-
-void scenario3() {
-  std::printf("S3: configuration violating c5 (T^max_enter,2 = T^max_enter,1 = 3 s)\n");
-  PatternConfig bad = PatternConfig::laser_tracheotomy();
-  bad.entities[1].t_enter_max = bad.entities[0].t_enter_max;  // = 3 s
-  const ConstraintReport rep = check_theorem1(bad);
-  std::printf("  check_theorem1: %s\n", rep.message().c_str());
-  Harness h(bad, /*with_lease=*/true);
-  h.engine->run_until(15.0);
-  h.engine->inject(2, events::cmd_request(2));
-  h.engine->run_until(120.0);
-  h.report("perfect links:", 120.0);
-  std::printf("  -> the laser fires the instant the ventilator pauses: the 3 s "
-              "oxygen-washout safeguard is gone.\n\n");
-}
-
-void scenario4() {
-  std::printf("S4 (ablation): impatient supervisor — unwinds the abort chain after "
-              "T^max_wait instead of D_i\n");
-  for (bool deadline_wait : {true, false}) {
-    Harness h(PatternConfig::laser_tracheotomy(), /*with_lease=*/true, deadline_wait);
-    h.engine->run_until(15.0);
-    h.engine->inject(2, events::cmd_request(2));
-    h.engine->run_until(27.0);  // laser emitting
-    h.kill(h.network->downlink(2));  // Abort(2) will be lost
-    h.kill(h.network->uplink(2));    // and no Exit(2) confirmation either
-    // ApprovalCondition collapses (e.g. SpO2 below threshold).
-    h.engine->set_var(0, h.engine->automaton(0).var_id("approval_val"), 0.0);
-    h.engine->run_until(150.0);
-    h.report(deadline_wait ? "deadline wait (paper):" : "impatient (ablated):", 150.0);
-  }
-  std::printf("  -> without the conservative D_i wait, Abort(xi1) releases the "
-              "ventilator while the laser is still emitting: the embedding order "
-              "breaks.\n\n");
+void report(const campaign::RunResult& r, const char* label) {
+  std::printf("  %-22s pause(max) %6.1f s, emission(max) %6.1f s, violations %zu\n",
+              label, r.session.max_dwell[1], r.session.max_dwell[2], r.violations);
+  for (const auto& v : r.violation_list)
+    std::printf("      [t=%.2f] %s: %s\n", v.t, violation_kind_str(v.kind).c_str(),
+                v.description.c_str());
 }
 
 }  // namespace
 
 int main() {
   std::printf("=== §V scenario walk-throughs ===\n\n");
-  scenario1();
-  scenario2();
-  scenario3();
-  scenario4();
+
+  std::vector<ScenarioSpec> specs;
+
+  // S1: nobody cancels; only the leases bound the risky dwellings.
+  for (bool lease : {true, false}) {
+    ScenarioSpec s = base_spec(lease ? "S1/lease" : "S1/no-lease");
+    s.with_lease = lease;
+    s.drive = [](SimulationContext& ctx) {
+      ctx.run_until(15.0);
+      ctx.inject(2, events::cmd_request(2));
+      ctx.run_until(200.0);  // nobody cancels
+    };
+    specs.push_back(std::move(s));
+  }
+
+  // S2: the surgeon cancels, but the wireless dies as the emission starts.
+  for (bool lease : {true, false}) {
+    ScenarioSpec s = base_spec(lease ? "S2/lease" : "S2/no-lease");
+    s.with_lease = lease;
+    s.drive = [](SimulationContext& ctx) {
+      ctx.run_until(15.0);
+      ctx.inject(2, events::cmd_request(2));
+      ctx.run_until(27.0);    // laser emitting (since t = 25)
+      ctx.kill_uplink(2);     // CancelReq(2)/Exit(2) lost
+      ctx.kill_downlink(1);   // Cancel(1)/Abort(1) lost
+      ctx.inject(2, events::cmd_cancel(2));  // laser stops locally
+      ctx.run_until(400.0);
+    };
+    specs.push_back(std::move(s));
+  }
+
+  // S3: configuration violating c5.
+  PatternConfig bad = PatternConfig::laser_tracheotomy();
+  bad.entities[1].t_enter_max = bad.entities[0].t_enter_max;  // = 3 s
+  {
+    ScenarioSpec s = base_spec("S3/c5-violated");
+    s.config = bad;
+    s.drive = [](SimulationContext& ctx) {
+      ctx.run_until(15.0);
+      ctx.inject(2, events::cmd_request(2));
+      ctx.run_until(120.0);
+    };
+    specs.push_back(std::move(s));
+  }
+
+  // S4: impatient-supervisor ablation.
+  for (bool deadline_wait : {true, false}) {
+    ScenarioSpec s = base_spec(deadline_wait ? "S4/deadline-wait" : "S4/impatient");
+    s.deadline_wait = deadline_wait;
+    s.drive = [](SimulationContext& ctx) {
+      ctx.run_until(15.0);
+      ctx.inject(2, events::cmd_request(2));
+      ctx.run_until(27.0);   // laser emitting
+      ctx.kill_downlink(2);  // Abort(2) will be lost
+      ctx.kill_uplink(2);    // and no Exit(2) confirmation either
+      // ApprovalCondition collapses (e.g. SpO2 below threshold).
+      ctx.set_entity_var(0, "approval_val", 0.0);
+      ctx.run_until(150.0);
+    };
+    specs.push_back(std::move(s));
+  }
+
+  const campaign::CampaignReport rep = campaign::CampaignRunner().run(specs);
+  if (rep.failed_runs != 0) {
+    for (const auto& e : rep.errors) std::fprintf(stderr, "run failed: %s\n", e.c_str());
+    return 1;
+  }
+  const auto& runs = rep.scenarios;  // spec order, deterministic
+
+  std::printf("S1: surgeon forgets to cancel (Toff = 1 h)\n");
+  report(runs[0].runs[0], "with lease:");
+  report(runs[1].runs[0], "without lease:");
+  std::printf("  -> with leases both risky dwellings self-terminate "
+              "(T^max_run,2 = 20 s, T^max_run,1 = 35 s).\n\n");
+
+  std::printf("S2: surgeon cancels, but the wireless dies as the emission starts\n");
+  report(runs[2].runs[0], "with lease:");
+  report(runs[3].runs[0], "without lease:");
+  std::printf("  -> the paper's point: losing evtXi2ToXi0Cancel must not leave the "
+              "patient unventilated;\n     the ventilator lease (35 s) restores "
+              "breathing autonomously.\n\n");
+
+  std::printf("S3: configuration violating c5 (T^max_enter,2 = T^max_enter,1 = 3 s)\n");
+  std::printf("  check_theorem1: %s\n", check_theorem1(bad).message().c_str());
+  report(runs[4].runs[0], "perfect links:");
+  std::printf("  -> the laser fires the instant the ventilator pauses: the 3 s "
+              "oxygen-washout safeguard is gone.\n\n");
+
+  std::printf("S4 (ablation): impatient supervisor — unwinds the abort chain after "
+              "T^max_wait instead of D_i\n");
+  report(runs[5].runs[0], "deadline wait (paper):");
+  report(runs[6].runs[0], "impatient (ablated):");
+  std::printf("  -> without the conservative D_i wait, Abort(xi1) releases the "
+              "ventilator while the laser is still emitting: the embedding order "
+              "breaks.\n\n");
   return 0;
 }

@@ -1,0 +1,162 @@
+#include "campaign/context.hpp"
+
+#include <set>
+
+#include "core/events.hpp"
+#include "net/loss_model.hpp"
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::campaign {
+
+std::shared_ptr<const ScenarioPrototype> ScenarioPrototype::build(const ScenarioSpec& spec) {
+  PTE_REQUIRE(spec.custom_run == nullptr,
+              "custom_run scenarios bypass the prototype machinery");
+  auto proto = std::make_shared<ScenarioPrototype>();
+  proto->built = core::build_pattern_system(spec.config, spec.approval, spec.with_lease,
+                                            spec.deadline_wait);
+  // Validate once here — the same checks Engine construction would run —
+  // so engines built from copies can skip re-validation.
+  std::set<std::string> names;
+  for (const auto& a : proto->built.automata) {
+    a.validate();
+    PTE_REQUIRE(names.insert(a.name()).second,
+                util::cat("duplicate automaton name '", a.name(), "'"));
+  }
+  return proto;
+}
+
+SimulationContext::SimulationContext(const ScenarioSpec& spec, std::uint64_t seed,
+                                     std::shared_ptr<const ScenarioPrototype> prototype)
+    : spec_(spec), seed_(seed), rng_(seed) {
+  // Construction order mirrors the historical hand-wired benches so a
+  // context run is event-for-event identical for the same seed.
+  core::BuiltSystem built;
+  hybrid::EngineOptions engine_options;
+  engine_options.record_trace = spec.record_trace;
+  if (prototype) {
+    built = prototype->built;  // copy; prototype already validated
+    engine_options.validate_automata = false;
+  } else {
+    built = core::build_pattern_system(spec.config, spec.approval, spec.with_lease,
+                                       spec.deadline_wait);
+  }
+  automaton_of_entity_ = built.automaton_of_entity;
+  engine_ = std::make_unique<hybrid::Engine>(std::move(built.automata), engine_options);
+
+  network_ = std::make_unique<net::StarNetwork>(engine_->scheduler(), rng_,
+                                                spec.config.n_remotes);
+  const net::StarNetwork::LossFactory factory =
+      spec.loss ? spec.loss(seed)
+                : net::StarNetwork::LossFactory(
+                      [] { return std::make_unique<net::PerfectLink>(); });
+  network_->configure_all(factory, spec.channel);
+
+  router_ = std::make_unique<net::NetEventRouter>(*network_, automaton_of_entity_);
+  built.install_routes(*router_);
+  engine_->set_router(router_.get());
+  router_->attach(*engine_);
+
+  const core::PatternConfig& monitor_config =
+      spec.monitor_config ? *spec.monitor_config : spec.config;
+  monitor_ = std::make_unique<core::PteMonitor>(
+      core::MonitorParams::from_config(monitor_config, spec.dwell_bound));
+  std::vector<std::size_t> entity_of(spec.config.n_remotes + 1);
+  for (std::size_t i = 0; i <= spec.config.n_remotes; ++i) entity_of[i] = i;
+  monitor_->attach(*engine_, std::move(entity_of));
+
+  // Session counting: supervisor departures from Fall-Back (when present).
+  const auto& supervisor = engine_->automaton(0);
+  if (supervisor.has_location("Fall-Back")) {
+    const hybrid::LocId fb = supervisor.location_id("Fall-Back");
+    engine_->add_transition_observer([this, fb](std::size_t a, sim::SimTime, hybrid::LocId from,
+                                                hybrid::LocId to, const std::string&) {
+      if (a == 0 && from == fb && to != from) ++sessions_;
+    });
+  }
+
+  // Lease-expiry forced stops (evtToStop emissions) per entity.  Match by
+  // interned id — one integer compare per candidate instead of string
+  // compares on every emission.
+  lease_stops_.assign(spec.config.n_remotes + 1, 0);
+  std::vector<std::pair<hybrid::LabelId, std::size_t>> stop_ids;
+  for (std::size_t i = 1; i <= spec.config.n_remotes; ++i) {
+    const hybrid::LabelId id = engine_->label_id(core::events::to_stop(i));
+    if (id != hybrid::kNoLabel) stop_ids.emplace_back(id, i);
+  }
+  if (!stop_ids.empty()) {
+    engine_->add_emit_observer([this, stop_ids = std::move(stop_ids)](
+                                   std::size_t, sim::SimTime, const hybrid::SyncLabel& label) {
+      const hybrid::LabelId id = engine_->label_id(label.root);
+      for (const auto& [stop_id, entity] : stop_ids) {
+        if (id == stop_id) {
+          ++lease_stops_[entity];
+          return;
+        }
+      }
+    });
+  }
+
+  engine_->init();
+}
+
+std::size_t SimulationContext::automaton_of(net::EntityId entity) const {
+  PTE_REQUIRE(entity < automaton_of_entity_.size(), "entity id out of range");
+  return automaton_of_entity_[entity];
+}
+
+void SimulationContext::inject(net::EntityId entity, const std::string& root) {
+  engine_->inject(automaton_of(entity), root);
+}
+
+void SimulationContext::run_until(double t) { engine_->run_until(t); }
+
+void SimulationContext::kill_uplink(net::EntityId remote) {
+  network_->uplink(remote).set_loss_model(std::make_unique<net::BernoulliLoss>(1.0));
+}
+
+void SimulationContext::kill_downlink(net::EntityId remote) {
+  network_->downlink(remote).set_loss_model(std::make_unique<net::BernoulliLoss>(1.0));
+}
+
+void SimulationContext::set_entity_var(net::EntityId entity, const std::string& var,
+                                       double value) {
+  const std::size_t a = automaton_of(entity);
+  engine_->set_var(a, engine_->automaton(a).var_id(var), value);
+}
+
+RunResult SimulationContext::execute() {
+  if (spec_.drive) {
+    spec_.drive(*this);
+  } else {
+    run_until(spec_.horizon);
+  }
+  return collect();
+}
+
+RunResult SimulationContext::collect() {
+  if (collected_) return result_;
+  collected_ = true;
+  monitor_->finalize(engine_->now());
+
+  result_.seed = seed_;
+  result_.violations = monitor_->violations().size();
+  result_.violation_list = monitor_->violations();
+
+  const std::size_t n = spec_.config.n_remotes;
+  result_.session.episodes.assign(n + 1, 0);
+  result_.session.max_dwell.assign(n + 1, 0.0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    result_.session.episodes[i] = monitor_->episodes(i);
+    result_.session.max_dwell[i] = monitor_->max_dwell(i);
+  }
+  result_.session.lease_stops = lease_stops_;
+  result_.session.sessions = sessions_;
+  result_.session.transitions = engine_->transitions_taken();
+  result_.session.wireless_sends = router_->wireless_sends();
+  result_.network = network_->total_stats();
+  if (spec_.annotate) spec_.annotate(*this, result_);
+  return result_;
+}
+
+}  // namespace ptecps::campaign

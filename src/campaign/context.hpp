@@ -1,0 +1,87 @@
+// SimulationContext: the scheduler/rng/network/engine/monitor wiring that
+// every bench and example used to duplicate, assembled once, correctly,
+// from a ScenarioSpec.
+//
+// One context is one run.  Construction follows the canonical order the
+// original benches used (rng → system → engine → network → router →
+// monitor → init), so a context-driven run is event-for-event identical
+// to the historical hand-wired code for the same seed.
+//
+// For campaigns the per-run construction cost matters: a ScenarioPrototype
+// caches the built-and-validated automata/routing table of a spec once,
+// and every run's engine is constructed from a copy with re-validation
+// switched off — copying automata is an order of magnitude cheaper than
+// rebuilding them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "campaign/scenario.hpp"
+#include "core/deployment.hpp"
+#include "hybrid/engine.hpp"
+#include "net/bridge.hpp"
+#include "net/star_network.hpp"
+
+namespace ptecps::campaign {
+
+/// The spec's system, built and validated once, shared (read-only) by all
+/// of the spec's runs — including runs on different campaign threads.
+struct ScenarioPrototype {
+  core::BuiltSystem built;
+
+  static std::shared_ptr<const ScenarioPrototype> build(const ScenarioSpec& spec);
+};
+
+class SimulationContext {
+ public:
+  /// Wire one run of `spec` with `seed`.  Without a prototype the system
+  /// is built (and validated) from scratch — the standalone/one-shot path.
+  /// The context keeps a reference to `spec`, which must outlive it (the
+  /// rvalue overload is deleted so a temporary can't bind).
+  SimulationContext(const ScenarioSpec& spec, std::uint64_t seed,
+                    std::shared_ptr<const ScenarioPrototype> prototype = nullptr);
+  SimulationContext(ScenarioSpec&&, std::uint64_t,
+                    std::shared_ptr<const ScenarioPrototype> = nullptr) = delete;
+
+  hybrid::Engine& engine() { return *engine_; }
+  net::StarNetwork& network() { return *network_; }
+  net::NetEventRouter& router() { return *router_; }
+  core::PteMonitor& monitor() { return *monitor_; }
+  sim::Rng& rng() { return rng_; }
+  const ScenarioSpec& spec() const { return spec_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // -- scripting helpers (the vocabulary of the §V scenario scripts) -------
+  /// Inject a stimulus to entity `e`'s automaton (reliable, local).
+  void inject(net::EntityId entity, const std::string& root);
+  void run_until(double t);
+  /// Kill one link for the rest of the run (BernoulliLoss(1.0)).
+  void kill_uplink(net::EntityId remote);
+  void kill_downlink(net::EntityId remote);
+  /// Write a variable of entity `e`'s automaton (sensor spoofing etc.).
+  void set_entity_var(net::EntityId entity, const std::string& var, double value);
+
+  /// Run spec.drive (default: straight to the horizon) and collect.
+  RunResult execute();
+  /// Finalize the monitor and gather statistics (idempotent).
+  RunResult collect();
+
+ private:
+  std::size_t automaton_of(net::EntityId entity) const;
+
+  const ScenarioSpec& spec_;
+  std::uint64_t seed_;
+  sim::Rng rng_;
+  std::vector<std::size_t> automaton_of_entity_;
+  std::unique_ptr<hybrid::Engine> engine_;
+  std::unique_ptr<net::StarNetwork> network_;
+  std::unique_ptr<net::NetEventRouter> router_;
+  std::unique_ptr<core::PteMonitor> monitor_;
+  std::vector<std::size_t> lease_stops_;
+  std::size_t sessions_ = 0;
+  bool collected_ = false;
+  RunResult result_;
+};
+
+}  // namespace ptecps::campaign

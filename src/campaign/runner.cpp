@@ -1,0 +1,207 @@
+#include "campaign/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "campaign/context.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::campaign {
+
+namespace {
+
+using steady_clock = std::chrono::steady_clock;
+
+double seconds_since(steady_clock::time_point t0) {
+  return std::chrono::duration<double>(steady_clock::now() - t0).count();
+}
+
+struct RunSlot {
+  RunResult result;
+  bool ok = false;
+  std::string error;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignOptions options) : options_(options) {}
+
+CampaignReport CampaignRunner::run(const ScenarioSpec& spec) {
+  return run(std::vector<ScenarioSpec>{spec});
+}
+
+CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) {
+  PTE_REQUIRE(!specs.empty(), "campaign needs at least one scenario");
+  for (const auto& s : specs)
+    PTE_REQUIRE(!s.seeds.empty(), util::cat("scenario '", s.name, "' has no seeds"));
+
+  // Flatten to (spec, seed) work items; slot index = deterministic merge
+  // position, independent of which worker finishes when.
+  struct WorkItem {
+    std::size_t spec;
+    std::size_t seed_index;
+  };
+  std::vector<WorkItem> items;
+  for (std::size_t si = 0; si < specs.size(); ++si)
+    for (std::size_t k = 0; k < specs[si].seeds.size(); ++k) items.push_back({si, k});
+
+  // One validated prototype per pattern-system spec, shared read-only by
+  // every worker (custom_run specs manage their own construction).
+  std::vector<std::shared_ptr<const ScenarioPrototype>> prototypes(specs.size());
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    if (!specs[si].custom_run) prototypes[si] = ScenarioPrototype::build(specs[si]);
+  }
+
+  std::vector<RunSlot> slots(items.size());
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= items.size()) return;
+      const ScenarioSpec& spec = specs[items[i].spec];
+      const std::uint64_t seed = spec.seeds[items[i].seed_index];
+      RunSlot& slot = slots[i];
+      const auto t0 = steady_clock::now();
+      try {
+        if (spec.custom_run) {
+          slot.result = spec.custom_run(spec, seed);
+        } else {
+          SimulationContext ctx(spec, seed, prototypes[items[i].spec]);
+          slot.result = ctx.execute();
+        }
+        slot.result.seed = seed;
+        slot.result.wall_seconds = seconds_since(t0);
+        slot.ok = true;
+      } catch (const std::exception& e) {
+        slot.error = e.what();
+      }
+    }
+  };
+
+  std::size_t threads = options_.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, items.size());
+
+  const auto campaign_t0 = steady_clock::now();
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  // Sequential aggregation in slot order — the deterministic merge.
+  CampaignReport report;
+  report.threads = threads;
+  report.wall_seconds = seconds_since(campaign_t0);
+  report.total_runs = items.size();
+  report.scenarios.resize(specs.size());
+  for (std::size_t si = 0; si < specs.size(); ++si)
+    report.scenarios[si].name = specs[si].name;
+
+  std::vector<std::vector<double>> walls(specs.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ScenarioOutcome& out = report.scenarios[items[i].spec];
+    RunSlot& slot = slots[i];
+    if (!slot.ok) {
+      ++out.failed_runs;
+      ++report.failed_runs;
+      report.errors.push_back(util::cat(out.name, "[", specs[items[i].spec].seeds[items[i].seed_index],
+                                        "]: ", slot.error));
+      continue;
+    }
+    RunResult& r = slot.result;
+    out.total_violations += r.violations;
+    out.total_sessions += r.session.sessions;
+    out.network.sent += r.network.sent;
+    out.network.delivered += r.network.delivered;
+    out.network.lost += r.network.lost;
+    out.network.corrupted += r.network.corrupted;
+    out.network.rejected_late += r.network.rejected_late;
+    out.network.duplicated += r.network.duplicated;
+    walls[items[i].spec].push_back(r.wall_seconds);
+    if (!options_.keep_violations) r.violation_list.clear();
+    out.runs.push_back(std::move(r));
+  }
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    ScenarioOutcome& out = report.scenarios[si];
+    report.total_violations += out.total_violations;
+    if (walls[si].empty()) continue;
+    util::RunningStats stats;
+    for (double w : walls[si]) stats.add(w);
+    out.wall_mean_s = stats.mean();
+    out.wall_p50_s = util::quantile(walls[si], 0.5);
+    out.wall_p99_s = util::quantile(walls[si], 0.99);
+  }
+  if (report.wall_seconds > 0.0)
+    report.runs_per_second = static_cast<double>(report.total_runs) / report.wall_seconds;
+  return report;
+}
+
+std::string CampaignReport::json() const {
+  std::string out = "{\n";
+  out += util::cat("  \"threads\": ", threads, ",\n");
+  out += util::cat("  \"total_runs\": ", total_runs, ",\n");
+  out += util::cat("  \"total_violations\": ", total_violations, ",\n");
+  out += util::cat("  \"failed_runs\": ", failed_runs, ",\n");
+  out += util::cat("  \"wall_seconds\": ", wall_seconds, ",\n");
+  out += util::cat("  \"runs_per_second\": ", runs_per_second, ",\n");
+  out += "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioOutcome& s = scenarios[i];
+    out += "    {\n";
+    out += util::cat("      \"name\": \"", json_escape(s.name), "\",\n");
+    out += util::cat("      \"runs\": ", s.runs.size(), ",\n");
+    out += util::cat("      \"violations\": ", s.total_violations, ",\n");
+    out += util::cat("      \"sessions\": ", s.total_sessions, ",\n");
+    out += util::cat("      \"failed_runs\": ", s.failed_runs, ",\n");
+    out += util::cat("      \"packets_sent\": ", s.network.sent, ",\n");
+    out += util::cat("      \"packets_delivered\": ", s.network.delivered, ",\n");
+    out += util::cat("      \"wall_mean_s\": ", s.wall_mean_s, ",\n");
+    out += util::cat("      \"wall_p50_s\": ", s.wall_p50_s, ",\n");
+    out += util::cat("      \"wall_p99_s\": ", s.wall_p99_s, "\n");
+    out += (i + 1 < scenarios.size()) ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string CampaignReport::summary() const {
+  return util::cat("campaign: ", total_runs, " runs over ", scenarios.size(),
+                   " scenario(s) on ", threads, " thread(s) in ",
+                   util::fmt_double(wall_seconds, 3), " s (",
+                   util::fmt_double(runs_per_second, 1), " runs/s); violations=",
+                   total_violations, " failed_runs=", failed_runs);
+}
+
+}  // namespace ptecps::campaign

@@ -1,0 +1,70 @@
+// CampaignRunner: fan a list of ScenarioSpecs × seeds out over a thread
+// pool and merge the results deterministically.
+//
+// Each run is fully self-contained (its own scheduler, engine, network,
+// rng — all derived from the run's seed), so runs execute on any thread
+// in any order; results land in a pre-sized slot table indexed by
+// (spec, seed) and aggregation walks that table sequentially.  The report
+// is therefore bit-identical whether the campaign ran on 1 thread or 16.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+
+namespace ptecps::campaign {
+
+struct CampaignOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Keep every run's full violation list in the report (the aggregate
+  /// counts survive either way).
+  bool keep_violations = true;
+};
+
+/// All runs of one ScenarioSpec, in seed order, plus aggregates.
+struct ScenarioOutcome {
+  std::string name;
+  std::vector<RunResult> runs;  // seed order — the deterministic merge
+  std::size_t total_violations = 0;
+  std::size_t total_sessions = 0;
+  std::size_t failed_runs = 0;  // runs that threw (see RunResult-less slot)
+  net::ChannelStats network;    // summed over runs
+  double wall_mean_s = 0.0;
+  double wall_p50_s = 0.0;
+  double wall_p99_s = 0.0;
+};
+
+struct CampaignReport {
+  std::vector<ScenarioOutcome> scenarios;
+  std::size_t threads = 1;
+  std::size_t total_runs = 0;
+  std::size_t total_violations = 0;
+  std::size_t failed_runs = 0;
+  double wall_seconds = 0.0;   // whole campaign
+  double runs_per_second = 0.0;
+
+  /// Errors from runs that threw: "scenario[seed]: what()".
+  std::vector<std::string> errors;
+
+  /// Machine-readable report (BENCH_*.json convention).
+  std::string json() const;
+  /// One-paragraph human summary.
+  std::string summary() const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {});
+
+  /// Execute every spec × seed; blocks until done.
+  CampaignReport run(const std::vector<ScenarioSpec>& specs);
+  CampaignReport run(const ScenarioSpec& spec);
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace ptecps::campaign

@@ -1,0 +1,18 @@
+#include "campaign/scenario.hpp"
+
+namespace ptecps::campaign {
+
+ScenarioSpec& ScenarioSpec::seed_range(std::uint64_t base, std::size_t count) {
+  seeds.clear();
+  for (std::size_t i = 0; i < count; ++i) seeds.push_back(base + i);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::forked_seeds(std::uint64_t master_seed, std::size_t count) {
+  sim::Rng master(master_seed);
+  seeds.clear();
+  for (std::size_t i = 0; i < count; ++i) seeds.push_back(master.fork(i).next_u64());
+  return *this;
+}
+
+}  // namespace ptecps::campaign

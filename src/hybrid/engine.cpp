@@ -41,32 +41,66 @@ void rk4_step(const Flow& flow, Valuation& x, double h) {
 
 }  // namespace
 
-void BroadcastRouter::route(Engine& engine, std::size_t src_automaton, const SyncLabel& label) {
-  for (std::size_t i = 0; i < engine.num_automata(); ++i) {
-    if (i == src_automaton) continue;
-    // Deliver to every automaton that declares a reception edge for this
-    // root anywhere; the engine ignores it if no edge is enabled.
-    bool receives = false;
-    for (const auto& e : engine.automaton(i).edges()) {
-      if (e.kind == TriggerKind::kEvent && e.trigger.root == label.root) {
-        receives = true;
-        break;
-      }
-    }
-    if (receives) engine.deliver(i, label.root);
+void BroadcastRouter::route(Engine& engine, std::size_t src_automaton, const SyncLabel&,
+                            LabelId label_id) {
+  // Deliver to every automaton that declares a reception edge for this
+  // root anywhere; the engine ignores it if no edge is enabled.
+  for (std::size_t i : engine.receivers(label_id)) {
+    if (i != src_automaton) engine.deliver(i, label_id);
   }
 }
 
 Engine::Engine(std::vector<Automaton> automata, EngineOptions options)
     : automata_(std::move(automata)), options_(options) {
   PTE_REQUIRE(!automata_.empty(), "engine needs at least one automaton");
-  std::set<std::string> names;
-  for (const auto& a : automata_) {
-    a.validate();
-    PTE_REQUIRE(names.insert(a.name()).second,
-                util::cat("duplicate automaton name '", a.name(), "'"));
+  if (options_.validate_automata) {
+    std::set<std::string> names;
+    for (const auto& a : automata_) {
+      a.validate();
+      PTE_REQUIRE(names.insert(a.name()).second,
+                  util::cat("duplicate automaton name '", a.name(), "'"));
+    }
   }
   states_.resize(automata_.size());
+  build_label_tables();
+}
+
+void Engine::build_label_tables() {
+  edge_trigger_label_.resize(automata_.size());
+  edge_emit_labels_.resize(automata_.size());
+  edge_trigger_desc_.resize(automata_.size());
+  for (std::size_t a = 0; a < automata_.size(); ++a) {
+    const auto& edges = automata_[a].edges();
+    edge_trigger_label_[a].assign(edges.size(), kNoLabel);
+    edge_emit_labels_[a].resize(edges.size());
+    edge_trigger_desc_[a].resize(edges.size());
+    for (EdgeId ei = 0; ei < edges.size(); ++ei) {
+      const Edge& e = edges[ei];
+      if (e.kind == TriggerKind::kEvent)
+        edge_trigger_label_[a][ei] = labels_.intern(e.trigger.root);
+      for (const auto& emit : e.emits)
+        edge_emit_labels_[a][ei].push_back(labels_.intern(emit.root));
+      edge_trigger_desc_[a][ei] = trigger_desc(e);
+    }
+  }
+  // Broadcast receiver lists: automaton index order = the deterministic
+  // delivery order of the old string-scanning broadcast.
+  receivers_.resize(labels_.size());
+  for (std::size_t a = 0; a < automata_.size(); ++a) {
+    std::vector<bool> seen(labels_.size(), false);
+    for (EdgeId ei = 0; ei < automata_[a].edges().size(); ++ei) {
+      const LabelId id = edge_trigger_label_[a][ei];
+      if (id != kNoLabel && !seen[id]) {
+        seen[id] = true;
+        receivers_[id].push_back(a);
+      }
+    }
+  }
+}
+
+const std::vector<std::size_t>& Engine::receivers(LabelId label) const {
+  static const std::vector<std::size_t> kEmpty;
+  return label < receivers_.size() ? receivers_[label] : kEmpty;
 }
 
 void Engine::set_router(EventRouter* router) {
@@ -167,7 +201,9 @@ void Engine::rebuild_caches(std::size_t a) {
   for (EdgeId ei : aut.edges_from(st.loc)) {
     switch (aut.edge(ei).kind) {
       case TriggerKind::kCondition: st.condition_edges.push_back(ei); break;
-      case TriggerKind::kEvent: st.event_edges.push_back(ei); break;
+      case TriggerKind::kEvent:
+        st.event_edges.emplace_back(ei, edge_trigger_label_[a][ei]);
+        break;
       case TriggerKind::kTimed: break;
     }
   }
@@ -205,7 +241,8 @@ void Engine::enter_location(std::size_t a, LocId loc, const std::string& trigger
   st.entry_time = cont_time_;
   rebuild_caches(a);
   ++transitions_taken_;
-  record(TraceRecord{cont_time_, a, TraceKind::kTransition, from, loc, trigger, 0.0});
+  if (options_.record_trace)
+    record(TraceRecord{cont_time_, a, TraceKind::kTransition, from, loc, trigger, 0.0});
   for (const auto& obs : transition_observers_) obs(a, cont_time_, from, loc, trigger);
   check_invariant(a);
   schedule_timed_edges(a);
@@ -222,11 +259,14 @@ void Engine::fire_edge(std::size_t a, EdgeId ei) {
   PTE_CHECK(e.src == st.loc, "firing edge whose source is not the current location");
   e.reset.apply(cont_time_, st.x);
   const LocId from = st.loc;
-  enter_location(a, e.dst, trigger_desc(e), from);
-  for (const auto& label : e.emits) {
-    record(TraceRecord{cont_time_, a, TraceKind::kEmit, from, e.dst, label.str(), 0.0});
+  enter_location(a, e.dst, edge_trigger_desc_[a][ei], from);
+  const std::vector<LabelId>& emit_ids = edge_emit_labels_[a][ei];
+  for (std::size_t k = 0; k < e.emits.size(); ++k) {
+    const SyncLabel& label = e.emits[k];
+    if (options_.record_trace)
+      record(TraceRecord{cont_time_, a, TraceKind::kEmit, from, e.dst, label.str(), 0.0});
     for (const auto& obs : emit_observers_) obs(a, cont_time_, label);
-    router_->route(*this, a, label);
+    router_->route(*this, a, label, emit_ids[k]);
   }
   settle_conditions(a);
   --cascade_depth_;
@@ -243,28 +283,55 @@ void Engine::settle_conditions(std::size_t a) {
   }
 }
 
-bool Engine::dispatch_event(std::size_t a, const std::string& root, TraceKind kind) {
+bool Engine::dispatch_event(std::size_t a, LabelId label, TraceKind kind) {
   PTE_REQUIRE(initialized_, "engine not initialized");
   PTE_REQUIRE(a < states_.size(), "automaton index out of range");
   auto& st = states_[a];
-  for (EdgeId ei : st.event_edges) {
+  for (const auto& [ei, trigger] : st.event_edges) {
+    if (trigger != label) continue;
     const Edge& e = automata_[a].edge(ei);
-    if (e.trigger.root != root) continue;
     if (!e.guard.eval(st.x, cont_time_ - st.entry_time)) continue;
-    record(TraceRecord{cont_time_, a, kind, st.loc, e.dst, root, 0.0});
+    if (options_.record_trace)
+      record(TraceRecord{cont_time_, a, kind, st.loc, e.dst, labels_.root_of(label), 0.0});
     fire_edge(a, ei);
     return true;
   }
-  record(TraceRecord{cont_time_, a, TraceKind::kIgnoredEvent, st.loc, st.loc, root, 0.0});
+  if (options_.record_trace)
+    record(TraceRecord{cont_time_, a, TraceKind::kIgnoredEvent, st.loc, st.loc,
+                       labels_.root_of(label), 0.0});
+  return false;
+}
+
+bool Engine::dispatch_unknown(std::size_t a, const std::string& root, TraceKind kind) {
+  // Root used by no automaton: by construction no reception edge exists,
+  // so the delivery is ignored (still recorded, like any unconsumed event).
+  PTE_REQUIRE(initialized_, "engine not initialized");
+  PTE_REQUIRE(a < states_.size(), "automaton index out of range");
+  (void)kind;
+  if (options_.record_trace)
+    record(TraceRecord{cont_time_, a, TraceKind::kIgnoredEvent, states_[a].loc,
+                       states_[a].loc, root, 0.0});
   return false;
 }
 
 bool Engine::deliver(std::size_t automaton, const std::string& root) {
-  return dispatch_event(automaton, root, TraceKind::kDeliver);
+  const LabelId id = labels_.find(root);
+  if (id == kNoLabel) return dispatch_unknown(automaton, root, TraceKind::kDeliver);
+  return dispatch_event(automaton, id, TraceKind::kDeliver);
+}
+
+bool Engine::deliver(std::size_t automaton, LabelId label) {
+  return dispatch_event(automaton, label, TraceKind::kDeliver);
 }
 
 bool Engine::inject(std::size_t automaton, const std::string& root) {
-  return dispatch_event(automaton, root, TraceKind::kInject);
+  const LabelId id = labels_.find(root);
+  if (id == kNoLabel) return dispatch_unknown(automaton, root, TraceKind::kInject);
+  return dispatch_event(automaton, id, TraceKind::kInject);
+}
+
+bool Engine::inject(std::size_t automaton, LabelId label) {
+  return dispatch_event(automaton, label, TraceKind::kInject);
 }
 
 void Engine::set_var(std::size_t automaton, VarId v, double value) {
@@ -273,8 +340,9 @@ void Engine::set_var(std::size_t automaton, VarId v, double value) {
   auto& st = states_[automaton];
   PTE_REQUIRE(v < st.x.size(), "variable out of range");
   st.x[v] = value;
-  record(TraceRecord{cont_time_, automaton, TraceKind::kVarWrite, st.loc, st.loc,
-                     automata_[automaton].var_name(v), value});
+  if (options_.record_trace)
+    record(TraceRecord{cont_time_, automaton, TraceKind::kVarWrite, st.loc, st.loc,
+                       automata_[automaton].var_name(v), value});
   check_invariant(automaton);
   settle_conditions(automaton);
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "hybrid/automaton.hpp"
+#include "hybrid/label_table.hpp"
 #include "hybrid/trace.hpp"
 #include "sim/scheduler.hpp"
 
@@ -42,16 +43,20 @@ class Engine;
 class EventRouter {
  public:
   virtual ~EventRouter() = default;
-  /// Called at emission time.  Implementations deliver now via
-  /// Engine::deliver(), or later / never (lossy links) via the scheduler.
-  virtual void route(Engine& engine, std::size_t src_automaton, const SyncLabel& label) = 0;
+  /// Called at emission time.  `label_id` is the engine's interned id of
+  /// label.root (never kNoLabel for engine emissions).  Implementations
+  /// deliver now via Engine::deliver(), or later / never (lossy links)
+  /// via the scheduler.
+  virtual void route(Engine& engine, std::size_t src_automaton, const SyncLabel& label,
+                     LabelId label_id) = 0;
 };
 
 /// Default router: reliable zero-delay broadcast to every automaton that
 /// declares a reception edge (? or ??) for the label's root.
 class BroadcastRouter final : public EventRouter {
  public:
-  void route(Engine& engine, std::size_t src_automaton, const SyncLabel& label) override;
+  void route(Engine& engine, std::size_t src_automaton, const SyncLabel& label,
+             LabelId label_id) override;
 };
 
 struct EngineOptions {
@@ -60,6 +65,10 @@ struct EngineOptions {
   unsigned max_cascade = 4096;  // same-instant transition bound (non-zeno)
   bool record_trace = true;
   bool throw_on_invariant_violation = false;
+  /// Structural validation of every automaton at engine construction.
+  /// The campaign runtime validates a scenario's prototype system once
+  /// and then constructs engines from copies with this switched off.
+  bool validate_automata = true;
 };
 
 class Engine {
@@ -95,10 +104,13 @@ class Engine {
   /// Deliver event `root` to one automaton (called by routers and by the
   /// wireless bridge at packet arrival).  Returns true if consumed.
   bool deliver(std::size_t automaton, const std::string& root);
+  /// Interned-id fast path (intra-engine routing).
+  bool deliver(std::size_t automaton, LabelId label);
 
   /// Inject an external stimulus (environment / human-in-the-loop): same
   /// consumption rule as deliver, recorded distinctly in the trace.
   bool inject(std::size_t automaton, const std::string& root);
+  bool inject(std::size_t automaton, LabelId label);
 
   /// Write an input variable from the environment (sensor sample); fires
   /// any condition edges the write enables.
@@ -124,6 +136,14 @@ class Engine {
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }
 
+  /// Interned sync-label roots of every automaton (built at construction).
+  const LabelTable& labels() const { return labels_; }
+  /// Id of `root`, or kNoLabel if no automaton uses it.
+  LabelId label_id(const std::string& root) const { return labels_.find(root); }
+  /// Automata declaring a reception edge for `label` anywhere, in index
+  /// order — the precomputed broadcast receiver list.
+  const std::vector<std::size_t>& receivers(LabelId label) const;
+
   const std::vector<TraceRecord>& invariant_violations() const {
     return invariant_violations_;
   }
@@ -141,7 +161,7 @@ class Engine {
     bool has_ode = false;
     bool needs_integration = false;     // any nonzero rate or ODE
     std::vector<EdgeId> condition_edges;
-    std::vector<EdgeId> event_edges;
+    std::vector<std::pair<EdgeId, LabelId>> event_edges;  // edge + trigger id
   };
 
   void enter_location(std::size_t a, LocId loc, const std::string& trigger_desc, LocId from);
@@ -152,7 +172,11 @@ class Engine {
   /// Fire condition edges enabled right now (entry eagerness); loops until
   /// quiescent, bounded by max_cascade.
   void settle_conditions(std::size_t a);
-  bool dispatch_event(std::size_t a, const std::string& root, TraceKind kind);
+  bool dispatch_event(std::size_t a, LabelId label, TraceKind kind);
+  bool dispatch_unknown(std::size_t a, const std::string& root, TraceKind kind);
+  /// Build labels_/receivers_ and the per-edge id + trigger-description
+  /// caches (construction time; the run loop only touches dense ids).
+  void build_label_tables();
 
   /// Integrate all automata from cont_time_ to `target`; if a condition
   /// edge crossing occurs earlier, stop there, fire it (+ cascades) and
@@ -167,6 +191,11 @@ class Engine {
   std::vector<Automaton> automata_;
   EngineOptions options_;
   sim::Scheduler scheduler_;
+  LabelTable labels_;
+  std::vector<std::vector<std::size_t>> receivers_;          // [label] -> automata
+  std::vector<std::vector<LabelId>> edge_trigger_label_;     // [a][edge]
+  std::vector<std::vector<std::vector<LabelId>>> edge_emit_labels_;  // [a][edge][emit]
+  std::vector<std::vector<std::string>> edge_trigger_desc_;  // [a][edge]
   BroadcastRouter default_router_;
   EventRouter* router_ = &default_router_;
   std::vector<AutomatonState> states_;

@@ -1,0 +1,28 @@
+#include "hybrid/label_table.hpp"
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::hybrid {
+
+LabelId LabelTable::intern(const std::string& root) {
+  const auto it = index_.find(root);
+  if (it != index_.end()) return it->second;
+  PTE_CHECK(roots_.size() < kNoLabel, "label table exhausted");
+  const LabelId id = static_cast<LabelId>(roots_.size());
+  roots_.push_back(root);
+  index_.emplace(root, id);
+  return id;
+}
+
+LabelId LabelTable::find(const std::string& root) const {
+  const auto it = index_.find(root);
+  return it == index_.end() ? kNoLabel : it->second;
+}
+
+const std::string& LabelTable::root_of(LabelId id) const {
+  PTE_REQUIRE(id < roots_.size(), util::cat("unknown label id ", id));
+  return roots_[id];
+}
+
+}  // namespace ptecps::hybrid

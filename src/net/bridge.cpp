@@ -20,14 +20,32 @@ void NetEventRouter::add_route(const std::string& event_root, EntityId src, Enti
     // Validate the topology early: throws on remote→remote.
     network_.channel_for(src, dst);
   }
+  // Routes may be registered after attach(); keep the dense table in sync.
+  if (engine_ != nullptr) {
+    const hybrid::LabelId id = engine_->label_id(event_root);
+    if (id != hybrid::kNoLabel) {
+      if (id >= dense_routes_.size()) dense_routes_.resize(id + 1);
+      dense_routes_[id] = DenseRoute{EventRoute{src, dst, transport}, true};
+    }
+  }
 }
 
 void NetEventRouter::attach(hybrid::Engine& engine) {
   PTE_REQUIRE(engine_ == nullptr, "attach() called twice");
   engine_ = &engine;
+  // Re-index the routing table by the engine's interned label ids.  Roots
+  // the engine never interned can never be emitted, so dropping them from
+  // the dense table is safe.
+  dense_routes_.assign(engine.labels().size(), DenseRoute{});
+  for (const auto& [root, route] : routes_) {
+    const hybrid::LabelId id = engine.label_id(root);
+    if (id != hybrid::kNoLabel) dense_routes_[id] = DenseRoute{route, true};
+  }
   for (EntityId r = 1; r <= network_.n_remotes(); ++r) {
     auto deliver = [this](const Packet& p) {
       PTE_CHECK(p.dst < automaton_of_entity_.size(), "packet for unknown entity");
+      // The wire carries the root string (nodes built independently must
+      // agree on meaning, not table order); intern once per arrival.
       engine_->deliver(automaton_of_entity_[p.dst], p.event_root);
     };
     network_.uplink(r).set_delivery(deliver);
@@ -36,20 +54,27 @@ void NetEventRouter::attach(hybrid::Engine& engine) {
 }
 
 void NetEventRouter::route(hybrid::Engine& engine, std::size_t src_automaton,
-                           const hybrid::SyncLabel& label) {
-  const auto it = routes_.find(label.root);
-  if (it == routes_.end()) return;  // internal event, no receivers
-  const EventRoute& r = it->second;
-  PTE_CHECK(r.src < automaton_of_entity_.size() &&
-                automaton_of_entity_[r.src] == src_automaton,
+                           const hybrid::SyncLabel& label, hybrid::LabelId label_id) {
+  const EventRoute* r = nullptr;
+  if (label_id != hybrid::kNoLabel && label_id < dense_routes_.size()) {
+    if (!dense_routes_[label_id].active) return;  // internal event, no receivers
+    r = &dense_routes_[label_id].route;
+  } else {
+    // attach() not called yet (or a foreign label id): string fallback.
+    const auto it = routes_.find(label.root);
+    if (it == routes_.end()) return;
+    r = &it->second;
+  }
+  PTE_CHECK(r->src < automaton_of_entity_.size() &&
+                automaton_of_entity_[r->src] == src_automaton,
             util::cat("event '", label.root, "' emitted by automaton #", src_automaton,
-                      " but routed from entity xi", r.src));
-  if (r.transport == Transport::kWired) {
-    engine.deliver(automaton_of_entity_[r.dst], label.root);
+                      " but routed from entity xi", r->src));
+  if (r->transport == Transport::kWired) {
+    engine.deliver(automaton_of_entity_[r->dst], label_id);
     return;
   }
   ++wireless_sends_;
-  network_.send_event(r.src, r.dst, label.root);
+  network_.send_event(r->src, r->dst, label.root);
 }
 
 }  // namespace ptecps::net

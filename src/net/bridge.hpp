@@ -41,15 +41,24 @@ class NetEventRouter final : public hybrid::EventRouter {
   void attach(hybrid::Engine& engine);
 
   void route(hybrid::Engine& engine, std::size_t src_automaton,
-             const hybrid::SyncLabel& label) override;
+             const hybrid::SyncLabel& label, hybrid::LabelId label_id) override;
 
   /// Number of wireless packets pushed through the network by this router.
   std::uint64_t wireless_sends() const { return wireless_sends_; }
 
  private:
+  struct DenseRoute {
+    EventRoute route;
+    bool active = false;
+  };
+
   StarNetwork& network_;
   std::vector<std::size_t> automaton_of_entity_;
   std::map<std::string, EventRoute> routes_;
+  /// routes_ re-indexed by the engine's interned LabelId (built in
+  /// attach()): the per-emission lookup is an array index, not a
+  /// string-keyed tree walk.
+  std::vector<DenseRoute> dense_routes_;
   hybrid::Engine* engine_ = nullptr;
   std::uint64_t wireless_sends_ = 0;
 };

@@ -83,6 +83,84 @@ TEST(Scheduler, NextTimeSkipsCancelled) {
   EXPECT_DOUBLE_EQ(s.next_time(), 2.0);
 }
 
+TEST(Scheduler, SlabReusesSlotsAfterCancel) {
+  // The dwell-timeout hot path: schedule/cancel churn must reuse slab
+  // slots instead of growing storage.
+  Scheduler s;
+  for (int i = 0; i < 10000; ++i) {
+    const EventHandle h = s.schedule_in(1.0, [] {});
+    ASSERT_TRUE(s.cancel(h));
+  }
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_LE(s.slab_slots(), 2u);  // one slot reused throughout
+}
+
+TEST(Scheduler, SlabReusesSlotsAfterExecution) {
+  Scheduler s;
+  std::uint64_t fired = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 8; ++i) s.schedule_in(0.5, [&] { ++fired; });
+    s.run();
+  }
+  EXPECT_EQ(fired, 800u);
+  EXPECT_LE(s.slab_slots(), 8u);
+}
+
+TEST(Scheduler, StaleHandleCannotCancelSlotReuser) {
+  // Generation safety: a handle whose event already ran (or was
+  // cancelled) must stay dead even when its slot is reused.
+  Scheduler s;
+  const EventHandle stale = s.schedule_at(1.0, [] {});
+  ASSERT_TRUE(s.cancel(stale));  // slot goes back to the free list
+  int fired = 0;
+  const EventHandle fresh = s.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_EQ(fresh.slot, stale.slot);  // slab reused the slot...
+  EXPECT_NE(fresh.gen, stale.gen);    // ...under a new generation
+  EXPECT_FALSE(s.cancel(stale));      // stale handle is inert
+  s.run();
+  EXPECT_EQ(fired, 1);  // the reuser ran
+
+  // Same for a handle that was consumed by execution.
+  const EventHandle ran = s.schedule_at(3.0, [] {});
+  s.run();
+  s.schedule_at(4.0, [&] { ++fired; });  // reuses ran's slot
+  EXPECT_FALSE(s.cancel(ran));
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, FifoTieBreakSurvivesInterleavedCancel) {
+  // Cancelling events between same-instant schedules must not disturb the
+  // FIFO order of the survivors — cancellation is lazy, so stale queue
+  // entries sit in front of live ones at the same timestamp.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 50; ++i) {
+    doomed.push_back(s.schedule_at(1.0, [&order] { order.push_back(-1); }));
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  for (const EventHandle h : doomed) ASSERT_TRUE(s.cancel(h));
+  s.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, CancelDuringExecutionOfSameInstantBatch) {
+  // An event may cancel a later event scheduled at the same instant.
+  Scheduler s;
+  int fired = 0;
+  EventHandle second;
+  s.schedule_at(1.0, [&] {
+    ++fired;
+    EXPECT_TRUE(s.cancel(second));
+  });
+  second = s.schedule_at(1.0, [&] { fired += 100; });
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
 TEST(Rng, DeterministicForSeed) {
   Rng a(42), b(42), c(43);
   bool all_equal = true, any_diff = false;
