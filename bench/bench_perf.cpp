@@ -31,6 +31,7 @@
 #include "net/star_network.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "util/stats.hpp"
 
 using namespace ptecps;
 
@@ -246,6 +247,11 @@ struct CampaignMeasurement {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double allocs_per_run = 0.0;
+  std::size_t failed_runs = 0;
+  /// Per-run wall-time distribution; out-of-range runs are counted as
+  /// underflow/overflow instead of silently fattening the edge bins, so
+  /// a slow host shows up as overflow mass in BENCH_campaign.json.
+  util::Histogram wall_us{0.0, 500.0, 10};
 };
 
 CampaignMeasurement measure(std::size_t runs, std::size_t threads) {
@@ -261,6 +267,9 @@ CampaignMeasurement measure(std::size_t runs, std::size_t threads) {
   m.p50_us = rep.scenarios[0].wall_p50_s * 1e6;
   m.p99_us = rep.scenarios[0].wall_p99_s * 1e6;
   m.allocs_per_run = static_cast<double>(a1 - a0) / static_cast<double>(runs);
+  m.failed_runs = rep.failed_runs;
+  for (const auto& e : rep.errors) std::fprintf(stderr, "run failed: %s\n", e.c_str());
+  for (const auto& r : rep.scenarios[0].runs) m.wall_us.add(r.wall_seconds * 1e6);
   return m;
 }
 
@@ -272,16 +281,17 @@ constexpr double kSeedP50Us = 107.2;
 constexpr double kSeedP99Us = 183.9;
 constexpr double kSeedAllocsPerRun = 750.0;
 
-void write_campaign_json() {
+bool write_campaign_json() {
   const std::size_t runs = 400;
   // Warm-up (page faults, slab growth) then the recorded measurement.
   measure(50, 1);
   const CampaignMeasurement single = measure(runs, 1);
+  std::size_t failed = single.failed_runs;
 
   std::FILE* f = std::fopen("BENCH_campaign.json", "w");
   if (!f) {
     std::fprintf(stderr, "cannot write BENCH_campaign.json\n");
-    return;
+    return false;
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"workload\": \"laser-tracheotomy session, Bernoulli 30%% loss, "
@@ -298,24 +308,40 @@ void write_campaign_json() {
   std::fprintf(f, "    \"runs_per_sec\": %.1f,\n", single.runs_per_sec);
   std::fprintf(f, "    \"p50_us\": %.1f,\n", single.p50_us);
   std::fprintf(f, "    \"p99_us\": %.1f,\n", single.p99_us);
-  std::fprintf(f, "    \"allocs_per_run\": %.1f\n", single.allocs_per_run);
+  std::fprintf(f, "    \"allocs_per_run\": %.1f,\n", single.allocs_per_run);
+  std::fprintf(f, "    \"failed_runs\": %zu\n", single.failed_runs);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"throughput_improvement_x\": %.2f,\n",
                single.runs_per_sec / kSeedRunsPerSec);
   std::fprintf(f, "  \"alloc_reduction_x\": %.2f,\n",
                kSeedAllocsPerRun / single.allocs_per_run);
+  // Wall-time distribution with explicit out-of-range mass: overflow
+  // counts are runs slower than the histogram range (they used to be
+  // clamped into the last bin, flattening the visible tail).
+  std::fprintf(f, "  \"wall_us_histogram\": {\n");
+  std::fprintf(f, "    \"lo_us\": 0, \"hi_us\": 500, \"counts\": [");
+  for (std::size_t b = 0; b < single.wall_us.bins(); ++b)
+    std::fprintf(f, "%s%zu", b == 0 ? "" : ", ", single.wall_us.bin_count(b));
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "    \"underflow\": %zu, \"overflow\": %zu\n", single.wall_us.underflow(),
+               single.wall_us.overflow());
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"scaling\": [\n");
   const std::size_t thread_counts[] = {1, 2, 4, 8};
   for (std::size_t i = 0; i < 4; ++i) {
     const CampaignMeasurement m = measure(runs, thread_counts[i]);
+    failed += m.failed_runs;
     std::fprintf(f, "    {\"threads\": %zu, \"runs_per_sec\": %.1f}%s\n", thread_counts[i],
                  m.runs_per_sec, i + 1 < 4 ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote BENCH_campaign.json (single-thread: %.0f runs/s, %.2fx over seed "
-              "baseline %.0f runs/s)\n",
-              single.runs_per_sec, single.runs_per_sec / kSeedRunsPerSec, kSeedRunsPerSec);
+              "baseline %.0f runs/s; wall histogram %s)\n",
+              single.runs_per_sec, single.runs_per_sec / kSeedRunsPerSec, kSeedRunsPerSec,
+              single.wall_us.summary().c_str());
+  if (failed != 0) std::fprintf(stderr, "bench_perf: %zu campaign run(s) failed\n", failed);
+  return failed == 0;
 }
 
 }  // namespace
@@ -325,6 +351,5 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_campaign_json();
-  return 0;
+  return write_campaign_json() ? 0 : 1;
 }

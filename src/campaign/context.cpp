@@ -75,6 +75,18 @@ SimulationContext::SimulationContext(const ScenarioSpec& spec, std::uint64_t see
     });
   }
 
+  // Whole-system reset measurement (Theorem 1's empirical counterpart),
+  // including right-censoring of sessions cut by the horizon.  Needs a
+  // (projected) Fall-Back on every automaton — true for pattern systems.
+  bool all_have_fall_back = true;
+  for (std::size_t a = 0; a < engine_->num_automata(); ++a) {
+    if (!engine_->automaton(a).has_location("Fall-Back")) all_have_fall_back = false;
+  }
+  if (all_have_fall_back) {
+    session_tracker_ = std::make_unique<core::SessionTracker>(
+        *engine_, core::SessionTracker::fall_back_sets(*engine_, {}));
+  }
+
   // Lease-expiry forced stops (evtToStop emissions) per entity.  Match by
   // interned id — one integer compare per candidate instead of string
   // compares on every emission.
@@ -152,6 +164,11 @@ RunResult SimulationContext::collect() {
   }
   result_.session.lease_stops = lease_stops_;
   result_.session.sessions = sessions_;
+  if (session_tracker_) {
+    session_tracker_->finalize(engine_->now());
+    result_.session.censored_sessions = session_tracker_->censored_count();
+    result_.session.max_system_reset = session_tracker_->max_system_reset();
+  }
   result_.session.transitions = engine_->transitions_taken();
   result_.session.wireless_sends = router_->wireless_sends();
   result_.network = network_->total_stats();

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "campaign/scenario.hpp"
+#include "core/analysis.hpp"
 #include "core/deployment.hpp"
 #include "hybrid/engine.hpp"
 #include "net/bridge.hpp"
@@ -48,6 +49,8 @@ class SimulationContext {
   net::StarNetwork& network() { return *network_; }
   net::NetEventRouter& router() { return *router_; }
   core::PteMonitor& monitor() { return *monitor_; }
+  /// Null for systems without per-automaton Fall-Back locations.
+  core::SessionTracker* session_tracker() { return session_tracker_.get(); }
   sim::Rng& rng() { return rng_; }
   const ScenarioSpec& spec() const { return spec_; }
   std::uint64_t seed() const { return seed_; }
@@ -78,6 +81,10 @@ class SimulationContext {
   std::unique_ptr<net::StarNetwork> network_;
   std::unique_ptr<net::NetEventRouter> router_;
   std::unique_ptr<core::PteMonitor> monitor_;
+  /// Present when every automaton has a Fall-Back location (pattern
+  /// systems): measures whole-system reset times and right-censors
+  /// sessions still open at the horizon (Theorem 1 statistics).
+  std::unique_ptr<core::SessionTracker> session_tracker_;
   std::vector<std::size_t> lease_stops_;
   std::size_t sessions_ = 0;
   bool collected_ = false;

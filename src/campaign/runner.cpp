@@ -10,6 +10,7 @@
 #include "util/require.hpp"
 #include "util/stats.hpp"
 #include "util/text.hpp"
+#include "verify/replay.hpp"
 
 namespace ptecps::campaign {
 
@@ -59,24 +60,30 @@ CampaignReport CampaignRunner::run(const ScenarioSpec& spec) {
 
 CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) {
   PTE_REQUIRE(!specs.empty(), "campaign needs at least one scenario");
-  for (const auto& s : specs)
-    PTE_REQUIRE(!s.seeds.empty(), util::cat("scenario '", s.name, "' has no seeds"));
+  for (const auto& s : specs) {
+    PTE_REQUIRE(s.mode == RunMode::kVerify || !s.seeds.empty(),
+                util::cat("scenario '", s.name, "' has no seeds"));
+  }
 
   // Flatten to (spec, seed) work items; slot index = deterministic merge
-  // position, independent of which worker finishes when.
+  // position, independent of which worker finishes when.  kVerify specs
+  // contribute no Monte-Carlo items (their seeds are unused).
   struct WorkItem {
     std::size_t spec;
     std::size_t seed_index;
   };
   std::vector<WorkItem> items;
-  for (std::size_t si = 0; si < specs.size(); ++si)
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    if (specs[si].mode == RunMode::kVerify) continue;
     for (std::size_t k = 0; k < specs[si].seeds.size(); ++k) items.push_back({si, k});
+  }
 
   // One validated prototype per pattern-system spec, shared read-only by
   // every worker (custom_run specs manage their own construction).
   std::vector<std::shared_ptr<const ScenarioPrototype>> prototypes(specs.size());
   for (std::size_t si = 0; si < specs.size(); ++si) {
-    if (!specs[si].custom_run) prototypes[si] = ScenarioPrototype::build(specs[si]);
+    if (!specs[si].custom_run && specs[si].mode != RunMode::kVerify)
+      prototypes[si] = ScenarioPrototype::build(specs[si]);
   }
 
   std::vector<RunSlot> slots(items.size());
@@ -108,7 +115,7 @@ CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) {
 
   std::size_t threads = options_.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min(threads, items.size());
+  threads = std::max<std::size_t>(1, std::min(threads, items.size()));
 
   const auto campaign_t0 = steady_clock::now();
   if (threads <= 1) {
@@ -118,6 +125,43 @@ CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) {
     pool.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
+  }
+  // Monte-Carlo throughput is judged on the Monte-Carlo phase alone;
+  // exhaustive verification below has its own per-spec wall_seconds.
+  const double monte_carlo_wall = seconds_since(campaign_t0);
+
+  // Exhaustive verification of kVerify / kBoth specs (one check per
+  // spec, not per seed — the adversary quantifies over every execution).
+  std::vector<std::optional<VerificationOutcome>> verifications(specs.size());
+  std::vector<std::string> verify_errors;
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    const ScenarioSpec& spec = specs[si];
+    if (spec.mode == RunMode::kMonteCarlo) continue;
+    const auto t0 = steady_clock::now();
+    VerificationOutcome vo;
+    try {
+      const verify::VerifyInput input = spec.verify_input();
+      const verify::CompiledModel model = verify::compile_model(input);
+      verify::VerifyOptions vopt;
+      vopt.max_losses = spec.verify.max_losses;
+      vopt.max_injections = spec.verify.max_injections;
+      vopt.max_input_changes = spec.verify.max_input_changes;
+      vopt.max_states = spec.verify.max_states;
+      const verify::VerifyResult vr = verify::verify_pte(model, vopt);
+      vo.status = vr.status;
+      vo.states_explored = vr.states_explored;
+      vo.transitions = vr.transitions;
+      vo.counterexample = vr.counterexample;
+      if (vo.counterexample.has_value() && spec.verify.replay) {
+        vo.replay_reproduced =
+            verify::replay_counterexample(input, *vo.counterexample).reproduced;
+      }
+    } catch (const std::exception& e) {
+      verify_errors.push_back(util::cat(spec.name, "[verify]: ", e.what()));
+      vo.status = verify::VerifyStatus::kOutOfBudget;
+    }
+    vo.wall_seconds = seconds_since(t0);
+    verifications[si] = std::move(vo);
   }
 
   // Sequential aggregation in slot order — the deterministic merge.
@@ -143,6 +187,7 @@ CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) {
     RunResult& r = slot.result;
     out.total_violations += r.violations;
     out.total_sessions += r.session.sessions;
+    out.censored_sessions += r.session.censored_sessions;
     out.network.sent += r.network.sent;
     out.network.delivered += r.network.delivered;
     out.network.lost += r.network.lost;
@@ -155,7 +200,14 @@ CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) {
   }
   for (std::size_t si = 0; si < specs.size(); ++si) {
     ScenarioOutcome& out = report.scenarios[si];
+    out.verification = std::move(verifications[si]);
     report.total_violations += out.total_violations;
+    report.censored_sessions += out.censored_sessions;
+    if (out.verification.has_value()) {
+      if (out.verification->status == verify::VerifyStatus::kProved) ++report.specs_proved;
+      if (out.verification->counterexample.has_value())
+        ++report.specs_with_counterexample;
+    }
     if (walls[si].empty()) continue;
     util::RunningStats stats;
     for (double w : walls[si]) stats.add(w);
@@ -163,9 +215,20 @@ CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) {
     out.wall_p50_s = util::quantile(walls[si], 0.5);
     out.wall_p99_s = util::quantile(walls[si], 0.99);
   }
-  if (report.wall_seconds > 0.0)
-    report.runs_per_second = static_cast<double>(report.total_runs) / report.wall_seconds;
+  for (std::string& e : verify_errors) report.errors.push_back(std::move(e));
+  if (monte_carlo_wall > 0.0)
+    report.runs_per_second = static_cast<double>(report.total_runs) / monte_carlo_wall;
   return report;
+}
+
+bool CampaignReport::ok() const {
+  if (failed_runs != 0 || !errors.empty()) return false;
+  for (const ScenarioOutcome& s : scenarios) {
+    if (s.verification.has_value() &&
+        s.verification->status == verify::VerifyStatus::kOutOfBudget)
+      return false;
+  }
+  return true;
 }
 
 std::string CampaignReport::json() const {
@@ -184,24 +247,51 @@ std::string CampaignReport::json() const {
     out += util::cat("      \"runs\": ", s.runs.size(), ",\n");
     out += util::cat("      \"violations\": ", s.total_violations, ",\n");
     out += util::cat("      \"sessions\": ", s.total_sessions, ",\n");
+    out += util::cat("      \"censored_sessions\": ", s.censored_sessions, ",\n");
     out += util::cat("      \"failed_runs\": ", s.failed_runs, ",\n");
     out += util::cat("      \"packets_sent\": ", s.network.sent, ",\n");
     out += util::cat("      \"packets_delivered\": ", s.network.delivered, ",\n");
     out += util::cat("      \"wall_mean_s\": ", s.wall_mean_s, ",\n");
     out += util::cat("      \"wall_p50_s\": ", s.wall_p50_s, ",\n");
-    out += util::cat("      \"wall_p99_s\": ", s.wall_p99_s, "\n");
+    out += util::cat("      \"wall_p99_s\": ", s.wall_p99_s);
+    if (s.verification.has_value()) {
+      const VerificationOutcome& v = *s.verification;
+      out += ",\n      \"verification\": {\n";
+      out += util::cat("        \"status\": \"", verify::verify_status_str(v.status),
+                       "\",\n");
+      out += util::cat("        \"states_explored\": ", v.states_explored, ",\n");
+      out += util::cat("        \"transitions\": ", v.transitions, ",\n");
+      out += util::cat("        \"replay_reproduced\": ",
+                       v.replay_reproduced ? "true" : "false", ",\n");
+      out += util::cat("        \"wall_seconds\": ", v.wall_seconds, "\n");
+      out += "      }";
+    }
+    out += "\n";
     out += (i + 1 < scenarios.size()) ? "    },\n" : "    }\n";
   }
-  out += "  ]\n}\n";
+  out += "  ],\n";
+  out += util::cat("  \"censored_sessions\": ", censored_sessions, ",\n");
+  out += util::cat("  \"specs_proved\": ", specs_proved, ",\n");
+  out += util::cat("  \"specs_with_counterexample\": ", specs_with_counterexample, ",\n");
+  out += "  \"errors\": [";
+  for (std::size_t i = 0; i < errors.size(); ++i)
+    out += util::cat(i == 0 ? "" : ", ", "\"", json_escape(errors[i]), "\"");
+  out += "]\n}\n";
   return out;
 }
 
 std::string CampaignReport::summary() const {
-  return util::cat("campaign: ", total_runs, " runs over ", scenarios.size(),
-                   " scenario(s) on ", threads, " thread(s) in ",
-                   util::fmt_double(wall_seconds, 3), " s (",
-                   util::fmt_double(runs_per_second, 1), " runs/s); violations=",
-                   total_violations, " failed_runs=", failed_runs);
+  std::string out =
+      util::cat("campaign: ", total_runs, " runs over ", scenarios.size(),
+                " scenario(s) on ", threads, " thread(s) in ",
+                util::fmt_double(wall_seconds, 3), " s (",
+                util::fmt_double(runs_per_second, 1), " runs/s); violations=",
+                total_violations, " failed_runs=", failed_runs,
+                " censored_sessions=", censored_sessions);
+  if (specs_proved + specs_with_counterexample > 0)
+    out += util::cat("; verified: ", specs_proved, " proved, ",
+                     specs_with_counterexample, " with counterexample");
+  return out;
 }
 
 }  // namespace ptecps::campaign

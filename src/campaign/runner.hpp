@@ -9,12 +9,25 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "campaign/scenario.hpp"
+#include "verify/checker.hpp"
 
 namespace ptecps::campaign {
+
+/// Result of a spec's exhaustive `verify` / `both` mode.
+struct VerificationOutcome {
+  verify::VerifyStatus status = verify::VerifyStatus::kOutOfBudget;
+  std::size_t states_explored = 0;
+  std::size_t transitions = 0;
+  std::optional<verify::Counterexample> counterexample;
+  /// Counterexample replayed through hybrid::Engine and reproduced.
+  bool replay_reproduced = false;
+  double wall_seconds = 0.0;
+};
 
 struct CampaignOptions {
   /// Worker threads; 0 = hardware concurrency.
@@ -30,11 +43,14 @@ struct ScenarioOutcome {
   std::vector<RunResult> runs;  // seed order — the deterministic merge
   std::size_t total_violations = 0;
   std::size_t total_sessions = 0;
+  std::size_t censored_sessions = 0;  // right-censored at the horizon
   std::size_t failed_runs = 0;  // runs that threw (see RunResult-less slot)
   net::ChannelStats network;    // summed over runs
   double wall_mean_s = 0.0;
   double wall_p50_s = 0.0;
   double wall_p99_s = 0.0;
+  /// Present when the spec ran in kVerify / kBoth mode.
+  std::optional<VerificationOutcome> verification;
 };
 
 struct CampaignReport {
@@ -43,11 +59,19 @@ struct CampaignReport {
   std::size_t total_runs = 0;
   std::size_t total_violations = 0;
   std::size_t failed_runs = 0;
+  std::size_t censored_sessions = 0;
+  /// Verification tallies over kVerify / kBoth specs.
+  std::size_t specs_proved = 0;
+  std::size_t specs_with_counterexample = 0;
   double wall_seconds = 0.0;   // whole campaign
   double runs_per_second = 0.0;
 
   /// Errors from runs that threw: "scenario[seed]: what()".
   std::vector<std::string> errors;
+
+  /// True iff nothing failed: no run threw and no verification ran out
+  /// of budget (bench mains turn this into their exit code).
+  bool ok() const;
 
   /// Machine-readable report (BENCH_*.json convention).
   std::string json() const;

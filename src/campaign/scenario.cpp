@@ -1,5 +1,11 @@
 #include "campaign/scenario.hpp"
 
+#include <algorithm>
+
+#include "core/deployment.hpp"
+#include "core/events.hpp"
+#include "util/require.hpp"
+
 namespace ptecps::campaign {
 
 ScenarioSpec& ScenarioSpec::seed_range(std::uint64_t base, std::size_t count) {
@@ -13,6 +19,66 @@ ScenarioSpec& ScenarioSpec::forked_seeds(std::uint64_t master_seed, std::size_t 
   seeds.clear();
   for (std::size_t i = 0; i < count; ++i) seeds.push_back(master.fork(i).next_u64());
   return *this;
+}
+
+verify::VerifyInput ScenarioSpec::verify_input() const {
+  PTE_REQUIRE(custom_run == nullptr, "verify mode needs a pattern-system spec");
+  core::BuiltSystem built =
+      core::build_pattern_system(config, approval, with_lease, deadline_wait);
+
+  verify::VerifyInput input;
+  // Routes first (the BuiltSystem's table is entity-indexed; the verifier
+  // wants automaton indices).
+  for (const auto& r : built.wireless_routes) {
+    input.routes.push_back(verify::VerifyInput::Route{
+        r.root, built.automaton_of_entity[r.src], built.automaton_of_entity[r.dst], true});
+  }
+  input.automata = std::move(built.automata);
+
+  const core::PatternConfig& mon_config = monitor_config ? *monitor_config : config;
+  input.monitor = core::MonitorParams::from_config(mon_config, dwell_bound);
+  input.entity_of_automaton.resize(input.automata.size());
+  for (std::size_t e = 0; e < built.automaton_of_entity.size(); ++e)
+    input.entity_of_automaton[built.automaton_of_entity[e]] = e;
+
+  // Adversary stimuli: the initializer's human commands by default.
+  const std::size_t n = config.n_remotes;
+  const std::size_t initializer = built.automaton_of_entity[n];
+  if (verify.stimuli_roots.empty()) {
+    input.stimuli.push_back({initializer, core::events::cmd_request(n)});
+    input.stimuli.push_back({initializer, core::events::cmd_cancel(n)});
+  } else {
+    for (const std::string& root : verify.stimuli_roots)
+      input.stimuli.push_back({initializer, root});
+  }
+
+  // Adversarial environment writes: the supervisor's ApprovalCondition
+  // and every participant's ParticipationCondition may collapse below
+  // their thresholds (and the approval may recover) at any instant —
+  // this is what reaches the Abort / LeaseDeny paths exhaustively.
+  const std::size_t supervisor = built.automaton_of_entity[0];
+  input.toggles.push_back({supervisor, approval.var_name, approval.threshold - 1.0});
+  input.toggles.push_back({supervisor, approval.var_name, approval.init});
+  const core::ParticipationSpec participation;
+  for (std::size_t i = 1; i < n; ++i) {
+    input.toggles.push_back({built.automaton_of_entity[i], participation.var_name,
+                             participation.threshold - 1.0});
+  }
+
+  // Delivery window: explicit, or derived from the channel (any delay
+  // from the base propagation up to the acceptance window Δ; jitter and
+  // late rejection are subsumed by that worst case).
+  if (verify.delivery_max > 0.0) {
+    input.delivery_min = verify.delivery_min;
+    input.delivery_max = verify.delivery_max;
+  } else {
+    input.delivery_min = channel.delay;
+    input.delivery_max =
+        channel.acceptance_window > 0.0
+            ? std::max(channel.acceptance_window, channel.delay)
+            : channel.delay + channel.delay_jitter;
+  }
+  return input;
 }
 
 }  // namespace ptecps::campaign

@@ -21,10 +21,37 @@
 #include "net/channel.hpp"
 #include "net/star_network.hpp"
 #include "sim/random.hpp"
+#include "verify/model.hpp"
 
 namespace ptecps::campaign {
 
 class SimulationContext;
+
+/// How a scenario's claims are established: sampled (Monte-Carlo over the
+/// seeds), proved (exhaustive zone reachability under the bounded
+/// adversary — see src/verify/), or both.
+enum class RunMode { kMonteCarlo, kVerify, kBoth };
+
+/// Parameters of a scenario's `verify` / `both` mode.
+struct VerifySpec {
+  /// Adversary budgets (see verify::VerifyOptions).
+  std::size_t max_losses = 2;
+  std::size_t max_injections = 2;
+  /// Environment writes (ApprovalCondition / ParticipationCondition
+  /// collapse or recovery) the adversary may perform.
+  std::size_t max_input_changes = 1;
+  std::size_t max_states = 1'000'000;
+  /// Delivery-delay window; max <= 0 derives [delay, acceptance_window]
+  /// from the scenario's channel config.
+  double delivery_min = 0.0;
+  double delivery_max = 0.0;
+  /// Stimuli the adversary may inject (event roots on the initializer's
+  /// automaton); empty = surgeon request + cancel commands.
+  std::vector<std::string> stimuli_roots;
+  /// Replay a found counterexample through hybrid::Engine + PteMonitor
+  /// and record whether it reproduced.
+  bool replay = true;
+};
 
 /// Per-run session statistics collected from the engine and monitor —
 /// the campaign-level analogue of one Table I row cell.
@@ -39,6 +66,13 @@ struct SessionRecord {
   /// Supervisor departures from Fall-Back (0 when the supervisor has no
   /// Fall-Back location, e.g. fully custom systems).
   std::size_t sessions = 0;
+  /// Sessions still open at the horizon — right-censored: their true
+  /// reset duration is unknown but at least what `max_system_reset`
+  /// reports for them (core::SessionTracker semantics).
+  std::size_t censored_sessions = 0;
+  /// Worst whole-system reset observed (censored sessions contribute
+  /// their elapsed time as a lower bound); 0 without a tracker.
+  double max_system_reset = 0.0;
   std::uint64_t transitions = 0;
   std::uint64_t wireless_sends = 0;
 };
@@ -64,6 +98,12 @@ struct ScenarioSpec {
   core::ApprovalSpec approval;
   bool with_lease = true;
   bool deadline_wait = true;
+
+  // -- mode ----------------------------------------------------------------
+  /// kMonteCarlo: seeds × runs.  kVerify: exhaustive check only (seeds
+  /// unused).  kBoth: seeds × runs plus the exhaustive check.
+  RunMode mode = RunMode::kMonteCarlo;
+  VerifySpec verify;
 
   // -- monitoring ----------------------------------------------------------
   /// Rule 1 dwell bound; <= 0 uses config.risky_dwell_bound().
@@ -103,6 +143,11 @@ struct ScenarioSpec {
   /// seeds derived through Rng::fork(i) from one master — decorrelated
   /// streams whose derivation is independent of thread interleaving.
   ScenarioSpec& forked_seeds(std::uint64_t master_seed, std::size_t count);
+
+  /// Build the verifier's input for this spec (pattern system + routing
+  /// table + monitor parameters + adversary stimuli).  Requires a
+  /// pattern-system spec (no custom_run).
+  verify::VerifyInput verify_input() const;
 };
 
 }  // namespace ptecps::campaign

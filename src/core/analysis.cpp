@@ -130,14 +130,35 @@ void SessionTracker::on_transition(std::size_t automaton, sim::SimTime t, hybrid
 void SessionTracker::finalize(sim::SimTime end) {
   if (finalized_) return;
   finalized_ = true;
-  (void)end;  // open sessions stay open (reported as unclosed)
+  for (auto& s : sessions_) {
+    if (!s.closed()) s.censored_at = end;
+  }
+  // A closed session whose entities have not all settled is censored
+  // too: the supervisor is home but the whole-system reset is still in
+  // progress (e.g. an unwound abort chain left an entity leased past
+  // the horizon).  Only the most recent session can be in this state —
+  // an entity still out when a later session opens is re-attributed to
+  // that session.
+  bool session_entity_out = false;
+  for (std::size_t a = 1; a < entity_out_.size(); ++a) {
+    if (entity_out_[a] && !entity_stray_[a]) session_entity_out = true;
+  }
+  if (session_entity_out && !sessions_.empty()) {
+    SessionRecord& last = sessions_.back();
+    if (last.closed() && last.entities_settled < 0.0) last.censored_at = end;
+  }
+}
+
+std::size_t SessionTracker::censored_count() const {
+  std::size_t n = 0;
+  for (const auto& s : sessions_) n += s.censored() ? 1 : 0;
+  return n;
 }
 
 sim::SimTime SessionTracker::max_system_reset() const {
   sim::SimTime best = 0.0;
   for (const auto& s : sessions_) {
-    if (!s.closed()) continue;
-    const sim::SimTime d = s.system_reset_duration();
+    const sim::SimTime d = s.censored() ? s.censored_elapsed() : s.system_reset_duration();
     if (d >= 0.0) best = std::max(best, d);
   }
   return best;
@@ -145,7 +166,14 @@ sim::SimTime SessionTracker::max_system_reset() const {
 
 bool SessionTracker::all_within(sim::SimTime bound) const {
   for (const auto& s : sessions_) {
-    if (!s.closed()) return false;
+    if (s.censored()) {
+      // Censored (supervisor or an entity still out at the horizon):
+      // indeterminate unless the elapsed time alone already proves the
+      // bound broken.
+      if (s.censored_elapsed() > bound + sim::kTimeEps) return false;
+      continue;
+    }
+    if (!s.closed()) return false;  // open and un-finalized: cannot judge
     const sim::SimTime d = s.system_reset_duration();
     if (d < 0.0 || d > bound + sim::kTimeEps) return false;
   }
@@ -155,7 +183,8 @@ bool SessionTracker::all_within(sim::SimTime bound) const {
 std::string SessionTracker::summary() const {
   std::size_t closed = 0;
   for (const auto& s : sessions_) closed += s.closed() ? 1 : 0;
-  return util::cat("sessions: ", sessions_.size(), " (", closed, " closed), max system reset ",
+  return util::cat("sessions: ", sessions_.size(), " (", closed, " closed, ",
+                   censored_count(), " censored), max system reset ",
                    util::fmt_compact(max_system_reset(), 3), "s");
 }
 

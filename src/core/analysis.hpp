@@ -26,13 +26,30 @@ struct SessionRecord {
   sim::SimTime entities_settled = -1.0;   // last entity's return to Fall-Back
                                           // within this session (-1: none left
                                           // or still out)
+  /// Simulation horizon recorded by finalize() when the session's reset
+  /// is still incomplete there (-1: fully reset before the horizon).  A
+  /// session is *right-censored* either because the supervisor is still
+  /// out (supervisor_back == -1) or because the supervisor returned but
+  /// a session entity is still outside its (projected) Fall-Back: in
+  /// both cases the true whole-system reset duration is unknown but at
+  /// least `censored_elapsed()`.  Dropping these sessions (the old
+  /// behavior of max_system_reset) censored exactly the longest
+  /// excursions out of the worst-case statistics.
+  sim::SimTime censored_at = -1.0;
+
   bool closed() const { return supervisor_back >= 0.0; }
+  bool censored() const { return censored_at >= 0.0; }
 
   /// Supervisor excursion length.
   sim::SimTime supervisor_duration() const { return supervisor_back - supervisor_left; }
   /// Time until supervisor AND every entity are back in (projected)
   /// Fall-Back.
   sim::SimTime system_reset_duration() const;
+  /// Lower bound on the reset duration of a censored session (elapsed at
+  /// the horizon); -1 for non-censored sessions.
+  sim::SimTime censored_elapsed() const {
+    return censored() ? censored_at - supervisor_left : -1.0;
+  }
 };
 
 class SessionTracker {
@@ -58,13 +75,23 @@ class SessionTracker {
   /// Convenience: every location named "Requesting".
   static std::vector<std::vector<hybrid::LocId>> waiting_sets(const hybrid::Engine& engine);
 
+  /// Record the horizon: sessions still open become right-censored at
+  /// `end` (they enter the worst-case statistics as lower bounds instead
+  /// of being dropped).  Idempotent.
   void finalize(sim::SimTime end);
 
   const std::vector<SessionRecord>& sessions() const { return sessions_; }
   std::size_t session_count() const { return sessions_.size(); }
-  /// Longest observed whole-system reset over closed sessions (0 if none).
+  /// Sessions still open at the finalize() horizon.
+  std::size_t censored_count() const;
+  /// Longest observed whole-system reset (0 if none).  Censored sessions
+  /// contribute their elapsed time at the horizon — a lower bound on the
+  /// true reset, so this statistic never under-reports the worst case.
   sim::SimTime max_system_reset() const;
-  /// True iff every closed session reset within `bound`.
+  /// True iff no session is known to have exceeded `bound`: every closed
+  /// session reset within it AND no censored session had already
+  /// exceeded it at the horizon.  A censored session still within the
+  /// bound is indeterminate and does not fail the check.
   bool all_within(sim::SimTime bound) const;
 
   std::string summary() const;

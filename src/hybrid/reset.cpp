@@ -85,6 +85,14 @@ std::string Reset::canonical() const {
   return out;
 }
 
+std::vector<Reset::AssignmentView> Reset::assignments() const {
+  std::vector<AssignmentView> out;
+  out.reserve(assignments_.size());
+  for (const auto& a : assignments_)
+    out.push_back(AssignmentView{a.var, a.kind, a.kind == Kind::kFn ? 0.0 : a.value});
+  return out;
+}
+
 std::vector<VarId> Reset::written() const {
   std::vector<VarId> out;
   out.reserve(assignments_.size());

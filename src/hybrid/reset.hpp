@@ -42,8 +42,18 @@ class Reset {
   /// Variables written by this reset (for validation).
   std::vector<VarId> written() const;
 
- private:
   enum class Kind { kConstant, kNowPlus, kFn };
+
+  /// Structural view of one assignment (verification front-ends compile
+  /// resets symbolically; kFn assignments are opaque to them).
+  struct AssignmentView {
+    VarId var;
+    Kind kind;
+    double value;  // constant (kConstant) or now-offset (kNowPlus); 0 for kFn
+  };
+  std::vector<AssignmentView> assignments() const;
+
+ private:
   struct Assignment {
     VarId var;
     Kind kind;

@@ -63,17 +63,18 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
-  std::size_t bin;
-  if (x < lo_) {
-    bin = 0;
-  } else if (x >= hi_) {
-    bin = counts_.size() - 1;
-  } else {
-    bin = static_cast<std::size_t>((x - lo_) / width_);
-    bin = std::min(bin, counts_.size() - 1);
-  }
-  ++counts_[bin];
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  std::size_t bin = static_cast<std::size_t>((x - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
 }
 
 std::size_t Histogram::bin_count(std::size_t bin) const {
@@ -85,6 +86,11 @@ double Histogram::bin_lo(std::size_t bin) const { return lo_ + width_ * static_c
 
 double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
 
+std::string Histogram::summary() const {
+  return cat("n=", total_, ", in-range=", total_ - underflow_ - overflow_,
+             ", underflow=", underflow_, ", overflow=", overflow_);
+}
+
 std::string Histogram::render(std::size_t max_width) const {
   std::size_t peak = 1;
   for (std::size_t c : counts_) peak = std::max(peak, c);
@@ -95,6 +101,8 @@ std::string Histogram::render(std::size_t max_width) const {
                true);
     out += " | " + std::string(w, '#') + " " + std::to_string(counts_[b]) + "\n";
   }
+  if (underflow_ > 0 || overflow_ > 0)
+    out += cat("out-of-range: ", underflow_, " below, ", overflow_, " above\n");
   return out;
 }
 

@@ -1,0 +1,877 @@
+#include "verify/checker.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+#include "verify/zone.hpp"
+
+namespace ptecps::verify {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+struct MsgSlot {
+  bool active = false;
+  hybrid::LabelId label = hybrid::kNoLabel;
+  std::uint32_t dst = 0;
+
+  bool operator==(const MsgSlot&) const = default;
+};
+
+/// Discrete half of a search state.
+struct DState {
+  std::vector<hybrid::LocId> loc;        // per automaton
+  std::vector<double> offsets;           // per deadline var: current now-offset
+  std::vector<MsgSlot> slots;            // in-flight messages
+  std::vector<std::uint8_t> risky;       // [entity-1]: currently risky
+  std::vector<std::uint8_t> ever_exited; // [entity-1]: has a recorded risky exit
+  std::vector<std::uint8_t> input_val;   // per input var: value index
+  std::uint32_t losses = 0;
+  std::uint32_t injections = 0;
+  std::uint32_t input_changes = 0;
+
+  std::vector<std::uint64_t> key() const {
+    std::vector<std::uint64_t> k;
+    k.reserve(loc.size() + offsets.size() + slots.size() + 4);
+    for (hybrid::LocId l : loc) k.push_back(l);
+    for (double o : offsets) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &o, sizeof bits);
+      k.push_back(bits);
+    }
+    for (const MsgSlot& s : slots)
+      k.push_back((s.active ? 1ULL << 63 : 0) | (static_cast<std::uint64_t>(s.dst) << 32) |
+                  s.label);
+    std::uint64_t flags = 0;
+    for (std::size_t e = 0; e < risky.size(); ++e)
+      flags |= (static_cast<std::uint64_t>(risky[e]) << (2 * e)) |
+               (static_cast<std::uint64_t>(ever_exited[e]) << (2 * e + 1));
+    k.push_back(flags);
+    for (std::uint8_t v : input_val) k.push_back(v);
+    k.push_back((static_cast<std::uint64_t>(losses) << 40) |
+                (static_cast<std::uint64_t>(input_changes) << 20) | injections);
+    return k;
+  }
+};
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t v : k) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One zone operation applied at a step's instant, recorded so the
+/// counterexample concretizer can re-execute the abstract path exactly
+/// (without extrapolation) and invert it.
+struct Op {
+  enum class Kind { kConstrain, kReset } kind = Kind::kConstrain;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  Bound b{};
+
+  static Op constrain(std::size_t i, std::size_t j, Bound b) {
+    return Op{Kind::kConstrain, i, j, b};
+  }
+  static Op reset(std::size_t clock) { return Op{Kind::kReset, clock, 0, Bound{}}; }
+};
+
+struct Step {
+  enum class Kind { kInit, kTimed, kCondition, kDeliver, kInject, kToggle, kViolation } kind =
+      Kind::kInit;
+  std::size_t automaton = 0;
+  std::size_t slot = 0;
+  std::string root;          // deliver / inject event root
+  bool consumed = false;     // deliver / inject: did an edge fire?
+  std::vector<Op> ops;       // invariants + guards + resets, in order
+  struct Send {
+    std::size_t slot = 0;
+    bool lost = false;
+    std::size_t dst = 0;
+    std::string root;
+  };
+  std::vector<Send> sends;   // wireless emissions of this instant, in order
+  std::vector<std::string> notes;
+};
+
+struct Node {
+  DState d;
+  Zone z;  // settled, extrapolated
+  std::int64_t parent = -1;
+  Step step;
+};
+
+struct Outcome {
+  DState d;
+  Zone z = Zone(0);  // exact (extrapolation happens at enqueue)
+  Step step;
+};
+
+/// Thrown when a violation is reachable; unwinds the search.
+struct FoundViolation {
+  core::PteViolationKind kind;
+  std::size_t entity = 0;
+  std::size_t other = 0;
+  std::string description;
+  std::int64_t parent = -1;  // node the violating step starts from
+  Step step;                 // the violating step (ops include the check)
+};
+
+class Checker {
+ public:
+  Checker(const CompiledModel& model, const VerifyOptions& options)
+      : m_(model), opt_(options) {}
+
+  VerifyResult run();
+
+ private:
+  // -- zone-op helpers ------------------------------------------------------
+  bool apply_constrain(Outcome& o, std::size_t i, std::size_t j, Bound b) {
+    o.step.ops.push_back(Op::constrain(i, j, b));
+    o.z.constrain(i, j, b);
+    return !o.z.is_empty();
+  }
+  void apply_reset(Outcome& o, std::size_t clock) {
+    o.step.ops.push_back(Op::reset(clock));
+    o.z.reset(clock);
+  }
+
+  /// Edge enabledness over the non-clock guard parts: static constants
+  /// plus the current abstract values of toggleable inputs.
+  bool edge_enabled(const CompiledEdge& e, const DState& d) const {
+    if (!e.statically_enabled) return false;
+    for (const auto& c : e.input_conds) {
+      if (!c.sat[d.input_val[c.input]]) return false;
+    }
+    return true;
+  }
+
+  double atom_bound(const ClockAtom& atom, const DState& d) const {
+    const double off =
+        atom.deadline == ClockAtom::kNoDeadline ? 0.0 : d.offsets[atom.deadline];
+    return off + atom.c_add;
+  }
+  /// The (i, j, bound) asserting the atom holds (engine compares
+  /// non-strictly, so kGt/kLt behave as kGe/kLe).
+  Op atom_assert(const ClockAtom& atom, const DState& d) const {
+    const double k = atom_bound(atom, d);
+    if (atom.cmp == hybrid::Cmp::kGe || atom.cmp == hybrid::Cmp::kGt)
+      return Op::constrain(0, atom.clock, Bound::le(-k));
+    return Op::constrain(atom.clock, 0, Bound::le(k));
+  }
+  Op atom_negate(const ClockAtom& atom, const DState& d) const {
+    const double k = atom_bound(atom, d);
+    if (atom.cmp == hybrid::Cmp::kGe || atom.cmp == hybrid::Cmp::kGt)
+      return Op::constrain(atom.clock, 0, Bound::lt(k));
+    return Op::constrain(0, atom.clock, Bound::lt(-k));
+  }
+
+  /// Guard of `e` as zone ops (min_dwell + clock atoms); nullopt when the
+  /// guard needs more than one clock conjunct (unsupported for the
+  /// fall-through split — rejected at compile for the shapes that need
+  /// it, so at most one op ever comes back here).
+  std::vector<Op> guard_ops(const CompiledEdge& e, std::size_t a, const DState& d) const {
+    std::vector<Op> ops;
+    if (e.min_dwell > 0.0)
+      ops.push_back(Op::constrain(0, m_.clocks.dwell(a), Bound::le(-e.min_dwell)));
+    for (const ClockAtom& atom : e.atoms) ops.push_back(atom_assert(atom, d));
+    return ops;
+  }
+  std::vector<Op> guard_negations(const CompiledEdge& e, std::size_t a,
+                                  const DState& d) const {
+    std::vector<Op> ops;
+    if (e.min_dwell > 0.0)
+      ops.push_back(Op::constrain(m_.clocks.dwell(a), 0, Bound::lt(e.min_dwell)));
+    for (const ClockAtom& atom : e.atoms) ops.push_back(atom_negate(atom, d));
+    return ops;
+  }
+
+  // -- invariants (urgency) -------------------------------------------------
+  /// Time may not pass the next forced transition: timed-edge dwells,
+  /// satisfied-at deadline crossings, message acceptance deadlines.
+  void apply_invariants(Outcome& o) {
+    for (std::size_t a = 0; a < m_.automata.size(); ++a) {
+      const CompiledLocation& loc = m_.automata[a].locations[o.d.loc[a]];
+      double dwell_cap = std::numeric_limits<double>::infinity();
+      for (std::size_t ti : loc.timed_edges) {
+        const CompiledEdge& e = m_.automata[a].edges[ti];
+        if (edge_enabled(e, o.d)) dwell_cap = std::min(dwell_cap, e.dwell);
+      }
+      for (std::size_t ci : loc.condition_edges) {
+        const CompiledEdge& e = m_.automata[a].edges[ci];
+        if (!edge_enabled(e, o.d)) continue;
+        if (e.atoms.empty() && e.min_dwell > 0.0)
+          dwell_cap = std::min(dwell_cap, e.min_dwell);
+        for (const ClockAtom& atom : e.atoms) {
+          if (atom.cmp == hybrid::Cmp::kGe || atom.cmp == hybrid::Cmp::kGt)
+            apply_constrain(o, atom.clock, 0, Bound::le(atom_bound(atom, o.d)));
+        }
+      }
+      if (std::isfinite(dwell_cap))
+        apply_constrain(o, m_.clocks.dwell(a), 0, Bound::le(dwell_cap));
+    }
+    for (std::size_t s = 0; s < o.d.slots.size(); ++s) {
+      if (o.d.slots[s].active)
+        apply_constrain(o, m_.clocks.msg(s), 0, Bound::le(m_.delivery_max));
+    }
+  }
+
+  // -- PTE violation checks -------------------------------------------------
+  [[noreturn]] void report(core::PteViolationKind kind, std::size_t entity,
+                           std::size_t other, std::string desc, const Step& step) {
+    Step s = step;
+    s.notes.push_back(util::cat("VIOLATION: ", core::violation_kind_str(kind), ": ", desc));
+    throw FoundViolation{kind, entity, other, std::move(desc), parent_, std::move(s)};
+  }
+
+  /// If `o.z` ∧ extra is non-empty, the violation is reachable.
+  void check_timing(Outcome o, Op extra, core::PteViolationKind kind, std::size_t entity,
+                    std::size_t other, const std::string& desc) {
+    if (!apply_constrain(o, extra.i, extra.j, extra.b)) return;
+    report(kind, entity, other, desc, o.step);
+  }
+
+  void entity_enter_risky(Outcome& o, std::size_t e) {
+    const std::size_t n = m_.monitor.n_entities;
+    if (opt_.check_embedding) {
+      if (e >= 2) {
+        if (!o.d.risky[e - 2]) {
+          report(core::PteViolationKind::kOrderEmbedding, e, e - 1,
+                 util::cat("xi", e, " entered risky while xi", e - 1,
+                           " was in safe-locations"),
+                 o.step);
+        }
+        const double required = m_.monitor.t_risky_min[e - 2];
+        check_timing(o, Op::constrain(m_.clocks.risky(e - 1), 0, Bound::lt(required)),
+                     core::PteViolationKind::kEnterSafeguard, e, e - 1,
+                     util::cat("xi", e, " can enter risky less than T^min_risky=",
+                               util::fmt_compact(required), "s after xi", e - 1));
+      }
+      if (e < n && o.d.risky[e]) {
+        report(core::PteViolationKind::kOrderEmbedding, e, e + 1,
+               util::cat("xi", e, " (re)entered risky while xi", e + 1,
+                         " was already risky — embedding order lost"),
+               o.step);
+      }
+    }
+    o.d.risky[e - 1] = 1;
+    apply_reset(o, m_.clocks.risky(e));
+  }
+
+  void entity_exit_risky(Outcome& o, std::size_t e) {
+    const std::size_t n = m_.monitor.n_entities;
+    if (opt_.check_dwell_bound) {
+      const double bound = m_.monitor.dwell_bounds[e - 1];
+      check_timing(o, Op::constrain(0, m_.clocks.risky(e), Bound::lt(-bound)),
+                   core::PteViolationKind::kDwellBound, e, 0,
+                   util::cat("xi", e, " can dwell in risky-locations beyond the bound ",
+                             util::fmt_compact(bound), "s"));
+    }
+    if (opt_.check_embedding && e < n) {
+      if (o.d.risky[e]) {
+        report(core::PteViolationKind::kOrderEmbedding, e, e + 1,
+               util::cat("xi", e, " exited risky while xi", e + 1, " was still risky"),
+               o.step);
+      }
+      if (o.d.ever_exited[e]) {
+        // p3: the upper neighbor's latest exit fell inside this entity's
+        // current risky interval (safe(e+1) <= risky(e)) and less than
+        // T^min_safe ago.
+        Outcome probe = o;
+        const double required = m_.monitor.t_safe_min[e - 1];
+        if (apply_constrain(probe, m_.clocks.safe(e + 1), m_.clocks.risky(e),
+                            Bound::le(0.0)) &&
+            apply_constrain(probe, m_.clocks.safe(e + 1), 0, Bound::lt(required))) {
+          report(core::PteViolationKind::kExitSafeguard, e, e + 1,
+                 util::cat("xi", e, " can exit risky less than T^min_safe=",
+                           util::fmt_compact(required), "s after xi", e + 1),
+                 probe.step);
+        }
+      }
+    }
+    o.d.risky[e - 1] = 0;
+    o.d.ever_exited[e - 1] = 1;
+    apply_reset(o, m_.clocks.safe(e));
+  }
+
+  // -- symbolic execution of one instant ------------------------------------
+  std::vector<Outcome> fire_edge_sym(Outcome o, std::size_t a, std::size_t edge_idx,
+                                     int depth) {
+    PTE_CHECK(depth < 64, "verify: cascade of same-instant transitions too deep");
+    const CompiledAutomaton& ca = m_.automata[a];
+    const CompiledEdge& e = ca.edges[edge_idx];
+    PTE_CHECK(o.d.loc[a] == e.src, "verify: firing edge from wrong location");
+    o.step.notes.push_back(util::cat(ca.name, ": #", e.src, " -> #", e.dst));
+
+    for (const auto& [didx, offset] : e.deadline_sets) {
+      o.d.offsets[didx] = offset;
+      apply_reset(o, m_.clocks.deadline(didx));
+    }
+
+    const bool was_risky = ca.locations[e.src].risky;
+    const bool is_risky = ca.locations[e.dst].risky;
+    o.d.loc[a] = e.dst;
+    apply_reset(o, m_.clocks.dwell(a));
+
+    const std::size_t entity = m_.entity_of_automaton[a];
+    if (entity > 0 && was_risky != is_risky) {
+      if (is_risky)
+        entity_enter_risky(o, entity);
+      else
+        entity_exit_risky(o, entity);
+    }
+
+    std::vector<Outcome> cur;
+    cur.push_back(std::move(o));
+    for (const CompiledEdge::Emit& emit : e.emits) {
+      std::vector<Outcome> next;
+      for (Outcome& oc : cur) {
+        switch (emit.route) {
+          case CompiledEdge::Emit::Route::kNone:
+            next.push_back(std::move(oc));
+            break;
+          case CompiledEdge::Emit::Route::kWired: {
+            for (Outcome& r :
+                 dispatch_sym(std::move(oc), emit.dst_automaton, emit.label, depth + 1))
+              next.push_back(std::move(r));
+            break;
+          }
+          case CompiledEdge::Emit::Route::kWireless: {
+            if (oc.d.losses < opt_.max_losses) {
+              Outcome lost = oc;
+              ++lost.d.losses;
+              lost.step.sends.push_back(Step::Send{0, true, emit.dst_automaton, emit.root});
+              lost.step.notes.push_back(util::cat("  LOST ", emit.root));
+              next.push_back(std::move(lost));
+            }
+            std::size_t slot = kNone;
+            for (std::size_t s = 0; s < oc.d.slots.size(); ++s) {
+              if (!oc.d.slots[s].active) {
+                slot = s;
+                break;
+              }
+            }
+            PTE_REQUIRE(slot != kNone,
+                        "verify: too many concurrent in-flight messages — raise "
+                        "max_in_flight");
+            oc.d.slots[slot] =
+                MsgSlot{true, emit.label, static_cast<std::uint32_t>(emit.dst_automaton)};
+            apply_reset(oc, m_.clocks.msg(slot));
+            oc.step.sends.push_back(Step::Send{slot, false, emit.dst_automaton, emit.root});
+            oc.step.notes.push_back(util::cat("  send ", emit.root));
+            next.push_back(std::move(oc));
+            break;
+          }
+        }
+      }
+      cur = std::move(next);
+    }
+
+    std::vector<Outcome> done;
+    for (Outcome& oc : cur) {
+      for (Outcome& r : settle_sym(std::move(oc), a, depth + 1)) done.push_back(std::move(r));
+    }
+    return done;
+  }
+
+  /// Mirror of Engine::settle_conditions — walk the (new) location's
+  /// condition edges in order, splitting the zone where a guard may or
+  /// may not hold at this instant.
+  std::vector<Outcome> settle_sym(Outcome o, std::size_t a, int depth) {
+    std::vector<Outcome> out;
+    const CompiledLocation& loc = m_.automata[a].locations[o.d.loc[a]];
+    for (std::size_t ci : loc.condition_edges) {
+      const CompiledEdge& e = m_.automata[a].edges[ci];
+      if (!edge_enabled(e, o.d)) continue;
+      const std::vector<Op> asserts = guard_ops(e, a, o.d);
+      if (asserts.empty()) {
+        // Unconditionally enabled: fires right now (first in settle order
+        // wins, exactly like the engine).
+        for (Outcome& r : fire_edge_sym(std::move(o), a, ci, depth + 1))
+          out.push_back(std::move(r));
+        return out;
+      }
+      PTE_CHECK(asserts.size() == 1, "verify: condition guard with several clock conjuncts");
+      Outcome fire = o;
+      if (apply_constrain(fire, asserts[0].i, asserts[0].j, asserts[0].b)) {
+        for (Outcome& r : fire_edge_sym(std::move(fire), a, ci, depth + 1))
+          out.push_back(std::move(r));
+      }
+      const std::vector<Op> negs = guard_negations(e, a, o.d);
+      if (!apply_constrain(o, negs[0].i, negs[0].j, negs[0].b)) return out;
+    }
+    out.push_back(std::move(o));
+    return out;
+  }
+
+  /// Mirror of Engine::dispatch_event: first matching enabled edge
+  /// consumes; a guard that may or may not hold splits the zone, the
+  /// falling-through part trying the next edge.  The terminal outcome
+  /// (no edge consumed) is returned with step.consumed == false.
+  std::vector<Outcome> dispatch_sym(Outcome o, std::size_t a, hybrid::LabelId label,
+                                    int depth) {
+    std::vector<Outcome> out;
+    const CompiledLocation& loc = m_.automata[a].locations[o.d.loc[a]];
+    for (std::size_t ei : loc.event_edges) {
+      const CompiledEdge& e = m_.automata[a].edges[ei];
+      if (e.trigger != label || !edge_enabled(e, o.d)) continue;
+      const std::vector<Op> asserts = guard_ops(e, a, o.d);
+      if (asserts.empty()) {
+        o.step.consumed = true;
+        for (Outcome& r : fire_edge_sym(std::move(o), a, ei, depth + 1))
+          out.push_back(std::move(r));
+        return out;
+      }
+      PTE_REQUIRE(asserts.size() == 1,
+                  "verify: event-edge guard with several clock conjuncts — unsupported");
+      Outcome fire = o;
+      if (apply_constrain(fire, asserts[0].i, asserts[0].j, asserts[0].b)) {
+        fire.step.consumed = true;
+        for (Outcome& r : fire_edge_sym(std::move(fire), a, ei, depth + 1))
+          out.push_back(std::move(r));
+      }
+      const std::vector<Op> negs = guard_negations(e, a, o.d);
+      if (!apply_constrain(o, negs[0].i, negs[0].j, negs[0].b)) return out;
+    }
+    out.push_back(std::move(o));  // ignored delivery
+    return out;
+  }
+
+  // -- successor generation -------------------------------------------------
+  void process(std::size_t node_idx);
+  void enqueue(Outcome o, std::int64_t parent);
+  void build_initial();
+
+  Counterexample concretize(const FoundViolation& v);
+
+  const CompiledModel& m_;
+  VerifyOptions opt_;
+  std::deque<Node> nodes_;
+  std::deque<std::size_t> queue_;
+  std::unordered_map<std::vector<std::uint64_t>, std::vector<Zone>, KeyHash> visited_;
+  std::int64_t parent_ = -1;  // node currently being expanded
+  std::size_t explored_ = 0;
+  std::size_t transitions_ = 0;
+};
+
+void Checker::enqueue(Outcome o, std::int64_t parent) {
+  if (o.z.is_empty()) return;
+  ++transitions_;
+  o.z.extrapolate(m_.max_constant);
+  auto& zones = visited_[o.d.key()];
+  for (const Zone& seen : zones) {
+    if (o.z.subset_of(seen)) return;
+  }
+  zones.erase(std::remove_if(zones.begin(), zones.end(),
+                             [&o](const Zone& seen) { return seen.subset_of(o.z); }),
+              zones.end());
+  zones.push_back(o.z);
+  nodes_.push_back(Node{std::move(o.d), std::move(o.z), parent, std::move(o.step)});
+  queue_.push_back(nodes_.size() - 1);
+}
+
+void Checker::build_initial() {
+  DState d;
+  d.loc.resize(m_.automata.size());
+  for (std::size_t a = 0; a < m_.automata.size(); ++a)
+    d.loc[a] = m_.automata[a].initial_location;
+  d.offsets.resize(m_.deadlines.size());
+  for (std::size_t i = 0; i < m_.deadlines.size(); ++i)
+    d.offsets[i] = m_.deadlines[i].initial_offset;
+  d.slots.resize(m_.max_in_flight);
+  d.risky.assign(m_.monitor.n_entities, 0);
+  d.ever_exited.assign(m_.monitor.n_entities, 0);
+  d.input_val.assign(m_.inputs.size(), 0);
+
+  Outcome o;
+  o.d = std::move(d);
+  o.z = Zone(m_.clocks.count);
+  o.step.kind = Step::Kind::kInit;
+
+  parent_ = -1;
+  // Engine::init(): enter all initial locations (monitor observes risky
+  // initial locations), then settle each automaton in index order.
+  for (std::size_t a = 0; a < m_.automata.size(); ++a) {
+    const std::size_t entity = m_.entity_of_automaton[a];
+    if (entity > 0 && m_.automata[a].locations[o.d.loc[a]].risky)
+      entity_enter_risky(o, entity);
+  }
+  std::vector<Outcome> cur;
+  cur.push_back(std::move(o));
+  for (std::size_t a = 0; a < m_.automata.size(); ++a) {
+    std::vector<Outcome> next;
+    for (Outcome& oc : cur) {
+      for (Outcome& r : settle_sym(std::move(oc), a, 0)) next.push_back(std::move(r));
+    }
+    cur = std::move(next);
+  }
+  for (Outcome& oc : cur) enqueue(std::move(oc), -1);
+}
+
+void Checker::process(std::size_t node_idx) {
+  parent_ = static_cast<std::int64_t>(node_idx);
+  Outcome base;
+  base.d = nodes_[node_idx].d;
+  base.z = nodes_[node_idx].z;
+  base.z.up();
+  apply_invariants(base);
+  if (base.z.is_empty()) return;
+
+  // Rule 1: can any risky entity outlast its dwell bound?  (Checked on
+  // the delayed zone: also covers "still risky at any horizon".)
+  if (opt_.check_dwell_bound) {
+    for (std::size_t e = 1; e <= m_.monitor.n_entities; ++e) {
+      if (!base.d.risky[e - 1]) continue;
+      const double bound = m_.monitor.dwell_bounds[e - 1];
+      Outcome probe = base;
+      probe.step.kind = Step::Kind::kViolation;
+      check_timing(std::move(probe), Op::constrain(0, m_.clocks.risky(e), Bound::lt(-bound)),
+                   core::PteViolationKind::kDwellBound, e, 0,
+                   util::cat("xi", e, " can dwell in risky-locations beyond the bound ",
+                             util::fmt_compact(bound), "s"));
+    }
+  }
+
+  // Timed edges: the earliest statically-enabled dwell fires (insertion
+  // order breaks ties, like the engine's scheduler FIFO).
+  for (std::size_t a = 0; a < m_.automata.size(); ++a) {
+    const CompiledLocation& loc = m_.automata[a].locations[base.d.loc[a]];
+    double dwell_min = std::numeric_limits<double>::infinity();
+    std::size_t winner = kNone;
+    for (std::size_t ti : loc.timed_edges) {
+      const CompiledEdge& e = m_.automata[a].edges[ti];
+      if (edge_enabled(e, base.d) && e.dwell < dwell_min) {
+        dwell_min = e.dwell;
+        winner = ti;
+      }
+    }
+    if (winner == kNone) continue;
+    Outcome o = base;
+    o.step.kind = Step::Kind::kTimed;
+    o.step.automaton = a;
+    if (!apply_constrain(o, 0, m_.clocks.dwell(a), Bound::le(-dwell_min))) continue;
+    for (Outcome& r : fire_edge_sym(std::move(o), a, winner, 0))
+      enqueue(std::move(r), parent_);
+  }
+
+  // Condition edges pending a deadline crossing (or a min-dwell).
+  for (std::size_t a = 0; a < m_.automata.size(); ++a) {
+    const CompiledLocation& loc = m_.automata[a].locations[base.d.loc[a]];
+    for (std::size_t ci : loc.condition_edges) {
+      const CompiledEdge& e = m_.automata[a].edges[ci];
+      if (!edge_enabled(e, base.d)) continue;
+      if (e.atoms.empty() && e.min_dwell == 0.0) {
+        PTE_CHECK(false, "verify: settled state holds an immediately-enabled condition edge");
+      }
+      // kLe/kLt atoms can only hold at entry (ages only grow); settled
+      // states cannot re-enable them.
+      if (!e.atoms.empty() && (e.atoms[0].cmp == hybrid::Cmp::kLe ||
+                               e.atoms[0].cmp == hybrid::Cmp::kLt))
+        continue;
+      Outcome o = base;
+      o.step.kind = Step::Kind::kCondition;
+      o.step.automaton = a;
+      const std::vector<Op> asserts = guard_ops(e, a, o.d);
+      PTE_CHECK(asserts.size() == 1, "verify: condition guard arity");
+      if (!apply_constrain(o, asserts[0].i, asserts[0].j, asserts[0].b)) continue;
+      for (Outcome& r : fire_edge_sym(std::move(o), a, ci, 0))
+        enqueue(std::move(r), parent_);
+    }
+  }
+
+  // Message deliveries: any in-flight message may arrive once its age
+  // reaches the delivery window's lower edge.
+  for (std::size_t s = 0; s < base.d.slots.size(); ++s) {
+    if (!base.d.slots[s].active) continue;
+    Outcome o = base;
+    o.step.kind = Step::Kind::kDeliver;
+    o.step.slot = s;
+    o.step.root = m_.labels.root_of(base.d.slots[s].label);
+    const std::size_t dst = base.d.slots[s].dst;
+    const hybrid::LabelId label = base.d.slots[s].label;
+    if (m_.delivery_min > 0.0 &&
+        !apply_constrain(o, 0, m_.clocks.msg(s), Bound::le(-m_.delivery_min)))
+      continue;
+    o.d.slots[s] = MsgSlot{};
+    apply_reset(o, m_.clocks.msg(s));
+    for (Outcome& r : dispatch_sym(std::move(o), dst, label, 0))
+      enqueue(std::move(r), parent_);
+  }
+
+  // Environment stimuli at any instant, within the injection budget.
+  if (base.d.injections < opt_.max_injections) {
+    for (const auto& stim : m_.stimuli) {
+      Outcome o = base;
+      o.step.kind = Step::Kind::kInject;
+      o.step.automaton = stim.automaton;
+      o.step.root = stim.root;
+      ++o.d.injections;
+      for (Outcome& r : dispatch_sym(std::move(o), stim.automaton, stim.label, 0)) {
+        if (r.step.consumed) enqueue(std::move(r), parent_);
+      }
+    }
+  }
+
+  // Adversarial input writes (ApprovalCondition collapse etc.), within
+  // the input-change budget.  Engine::set_var settles the written
+  // automaton's condition edges at the same instant.
+  if (base.d.input_changes < opt_.max_input_changes) {
+    for (std::size_t ti = 0; ti < m_.toggles.size(); ++ti) {
+      const CompiledModel::CompiledToggle& tg = m_.toggles[ti];
+      if (base.d.input_val[tg.input] == tg.value_index) continue;
+      const CompiledModel::InputVar& iv = m_.inputs[tg.input];
+      Outcome o = base;
+      o.step.kind = Step::Kind::kToggle;
+      o.step.automaton = iv.automaton;
+      o.step.slot = ti;  // toggle index, for counterexample assembly
+      o.step.root = iv.name;
+      o.d.input_val[tg.input] = static_cast<std::uint8_t>(tg.value_index);
+      ++o.d.input_changes;
+      o.step.notes.push_back(util::cat("set ", iv.name, " := ",
+                                       util::fmt_compact(iv.values[tg.value_index])));
+      for (Outcome& r : settle_sym(std::move(o), iv.automaton, 0))
+        enqueue(std::move(r), parent_);
+    }
+  }
+}
+
+VerifyResult Checker::run() {
+  VerifyResult result;
+  try {
+    build_initial();
+    while (!queue_.empty() && explored_ < opt_.max_states) {
+      const std::size_t idx = queue_.front();
+      queue_.pop_front();
+      ++explored_;
+      process(idx);
+    }
+    result.status = queue_.empty() ? VerifyStatus::kProved : VerifyStatus::kOutOfBudget;
+  } catch (const FoundViolation& v) {
+    result.status = VerifyStatus::kViolation;
+    result.counterexample = concretize(v);
+  }
+  result.states_explored = explored_;
+  result.states_stored = nodes_.size();
+  result.transitions = transitions_;
+  return result;
+}
+
+Counterexample Checker::concretize(const FoundViolation& v) {
+  // 1. The abstract path: root .. v.parent, then the violating step.
+  std::vector<const Step*> steps;
+  {
+    std::vector<std::int64_t> chain;
+    for (std::int64_t i = v.parent; i >= 0; i = nodes_[static_cast<std::size_t>(i)].parent)
+      chain.push_back(i);
+    std::reverse(chain.begin(), chain.end());
+    for (std::int64_t i : chain) steps.push_back(&nodes_[static_cast<std::size_t>(i)].step);
+    steps.push_back(&v.step);
+  }
+  const std::size_t k = steps.size();
+
+  // 2. Exact forward zones (no extrapolation): Z_0 = init-step ops on the
+  //    zero point; Z_i = ops_i(up(Z_{i-1})).
+  auto apply_ops = [](Zone z, const Step& s) {
+    for (const Op& op : s.ops) {
+      if (op.kind == Op::Kind::kConstrain)
+        z.constrain(op.i, op.j, op.b);
+      else
+        z.reset(op.i);
+    }
+    return z;
+  };
+  std::vector<Zone> forward;
+  forward.reserve(k);
+  forward.push_back(apply_ops(Zone(m_.clocks.count), *steps[0]));
+  for (std::size_t i = 1; i < k; ++i) {
+    Zone z = forward[i - 1];
+    z.up();
+    forward.push_back(apply_ops(std::move(z), *steps[i]));
+  }
+  PTE_CHECK(!forward.back().is_empty(),
+            "verify: abstract counterexample path is infeasible without extrapolation");
+
+  // 3. Backward pass: B_i ⊆ Z_i feasible suffixes; P_i is the pre-op
+  //    (post-delay) set of step i, used to pick concrete delays.
+  std::vector<Zone> pre(k, Zone(m_.clocks.count));
+  Zone b = forward[k - 1];
+  for (std::size_t i = k; i-- > 1;) {
+    Zone p = b;
+    const Step& s = *steps[i];
+    for (std::size_t oi = s.ops.size(); oi-- > 0;) {
+      const Op& op = s.ops[oi];
+      if (op.kind == Op::Kind::kReset)
+        p.free(op.i);
+      else
+        p.constrain(op.i, op.j, op.b);
+    }
+    pre[i] = p;
+    p.down();
+    p.intersect(forward[i - 1]);
+    PTE_CHECK(!p.is_empty(), "verify: backward feasibility pass hit an empty zone");
+    b = std::move(p);
+  }
+
+  // 4. Concrete forward pass: start at the all-zero point; each step
+  //    advances by the smallest delay that lands in its pre-op set.
+  const std::size_t nc = m_.clocks.count;
+  std::vector<double> x(nc, 0.0);
+  std::vector<double> step_time(k, 0.0);
+  double t = 0.0;
+  auto run_ops = [&x](const Step& s) {
+    for (const Op& op : s.ops) {
+      if (op.kind == Op::Kind::kReset) x[op.i - 1] = 0.0;
+    }
+  };
+  run_ops(*steps[0]);
+  for (std::size_t i = 1; i < k; ++i) {
+    double lo = 0.0, hi = std::numeric_limits<double>::infinity();
+    bool lo_strict = false;
+    for (std::size_t c = 1; c <= nc; ++c) {
+      const Bound& ub = pre[i].at(c, 0);
+      if (!ub.is_inf()) hi = std::min(hi, ub.value - x[c - 1]);
+      const Bound& lb = pre[i].at(0, c);
+      if (!lb.is_inf()) {
+        const double cand = -lb.value - x[c - 1];
+        if (cand > lo || (cand == lo && lb.strict)) {
+          lo = std::max(lo, cand);
+          lo_strict = lb.strict;
+        }
+      }
+    }
+    PTE_CHECK(lo <= hi + 1e-6, "verify: concretization found an empty delay interval");
+    double delta = std::max(lo, 0.0);
+    // Prefer an interior point whenever the window has width: a step at
+    // the exact boundary of its predecessor's instant would race the
+    // engine's same-instant FIFO (e.g. a pre-scheduled set_var vs. a
+    // delivery), flipping the order the abstract path requires.  Any
+    // interior point still lands in the backward-feasible suffix set.
+    (void)lo_strict;
+    const double width = (std::isinf(hi) ? 1.0 : hi) - delta;
+    if (width > 1e-9) delta += std::min(1e-4, width * 0.5);
+    t += delta;
+    for (double& cv : x) cv += delta;
+    step_time[i] = t;
+    run_ops(*steps[i]);
+  }
+
+  // 5. Assemble the counterexample script.
+  Counterexample cx;
+  cx.kind = v.kind;
+  cx.entity = v.entity;
+  cx.other_entity = v.other;
+  cx.description = v.description;
+  cx.time = t;
+  cx.horizon = t + 1e-3;
+  std::vector<std::size_t> slot_send(m_.max_in_flight, kNone);
+  for (std::size_t i = 0; i < k; ++i) {
+    const Step& s = *steps[i];
+    const double st = step_time[i];
+    if (s.kind == Step::Kind::kInject && s.consumed)
+      cx.injections.push_back(CounterexampleInjection{st, s.automaton, s.root});
+    if (s.kind == Step::Kind::kToggle) {
+      const CompiledModel::CompiledToggle& tg = m_.toggles[s.slot];
+      const CompiledModel::InputVar& iv = m_.inputs[tg.input];
+      cx.toggles.push_back(CounterexampleToggle{st, iv.automaton, iv.var,
+                                                iv.values[tg.value_index], iv.name});
+    }
+    if (s.kind == Step::Kind::kDeliver) {
+      PTE_CHECK(s.slot < slot_send.size() && slot_send[s.slot] != kNone,
+                "verify: delivery without a matching send");
+      cx.sends[slot_send[s.slot]].deliver_time = st;
+      slot_send[s.slot] = kNone;
+    }
+    for (const Step::Send& send : s.sends) {
+      CounterexampleSend cs;
+      cs.send_time = st;
+      cs.lost = send.lost;
+      cs.dst_automaton = send.dst;
+      cs.root = send.root;
+      if (!send.lost) slot_send[send.slot] = cx.sends.size();
+      cx.sends.push_back(std::move(cs));
+    }
+    std::string line = util::cat("[t=", util::fmt_double(st, 4), "] ");
+    switch (s.kind) {
+      case Step::Kind::kInit: line += "init"; break;
+      case Step::Kind::kTimed: line += util::cat("timeout in ", m_.automata[s.automaton].name); break;
+      case Step::Kind::kCondition:
+        line += util::cat("condition in ", m_.automata[s.automaton].name);
+        break;
+      case Step::Kind::kDeliver:
+        line += util::cat("deliver ", s.root, s.consumed ? "" : " (ignored)");
+        break;
+      case Step::Kind::kInject: line += util::cat("inject ", s.root); break;
+      case Step::Kind::kToggle: line += util::cat("set-var ", s.root); break;
+      case Step::Kind::kViolation: line += "delay"; break;
+    }
+    for (const std::string& note : s.notes) line += util::cat("; ", note);
+    cx.narrative.push_back(std::move(line));
+  }
+  // Sends still in flight at the violation instant never arrive in the
+  // replay: mark them lost (identical behavior up to the horizon).
+  for (std::size_t si = 0; si < cx.sends.size(); ++si) {
+    bool pending = false;
+    for (std::size_t sl = 0; sl < slot_send.size(); ++sl)
+      if (slot_send[sl] == si) pending = true;
+    if (pending) cx.sends[si].lost = true;
+  }
+  return cx;
+}
+
+}  // namespace
+
+std::string verify_status_str(VerifyStatus status) {
+  switch (status) {
+    case VerifyStatus::kProved: return "proved";
+    case VerifyStatus::kViolation: return "violation";
+    case VerifyStatus::kOutOfBudget: return "out-of-budget";
+  }
+  return "?";
+}
+
+std::string Counterexample::str() const {
+  std::string out = util::cat("counterexample: ", core::violation_kind_str(kind), " at t=",
+                              util::fmt_double(time, 4), "s — ", description, "\n");
+  for (const auto& inj : injections)
+    out += util::cat("  inject  [t=", util::fmt_double(inj.t, 4), "] ", inj.root, "\n");
+  for (const auto& tg : toggles)
+    out += util::cat("  set-var [t=", util::fmt_double(tg.t, 4), "] ", tg.var_name, " := ",
+                     util::fmt_compact(tg.value), "\n");
+  for (const auto& s : sends) {
+    out += util::cat("  send    [t=", util::fmt_double(s.send_time, 4), "] ", s.root,
+                     s.lost ? "  -> LOST"
+                            : util::cat("  -> delivered at t=",
+                                        util::fmt_double(s.deliver_time, 4)),
+                     "\n");
+  }
+  out += "  narrative:\n";
+  for (const auto& line : narrative) out += util::cat("    ", line, "\n");
+  return out;
+}
+
+std::string VerifyResult::summary() const {
+  std::string out = util::cat("verify: ", verify_status_str(status), "; states explored ",
+                              states_explored, ", stored ", states_stored, ", transitions ",
+                              transitions);
+  if (counterexample.has_value())
+    out += util::cat("; ", core::violation_kind_str(counterexample->kind), " at t=",
+                     util::fmt_double(counterexample->time, 4), "s");
+  return out;
+}
+
+VerifyResult verify_pte(const CompiledModel& model, const VerifyOptions& options) {
+  Checker checker(model, options);
+  return checker.run();
+}
+
+}  // namespace ptecps::verify

@@ -1,0 +1,107 @@
+// Exhaustive PTE safety checking by zone-based reachability.
+//
+// The checker explores every reachable (discrete state, zone) of the
+// compiled model under a worst-case channel: each wireless emission is
+// nondeterministically lost (up to a loss budget) or delivered after any
+// delay in the model's delivery window, and environment stimuli are
+// injected at arbitrary times (up to an injection budget).  Against this
+// adversary it checks the PTE safety rules exactly as core::PteMonitor
+// judges a concrete run:
+//   * Rule 1 / Theorem 1: no entity's continuous risky dwelling can
+//     exceed its bound (the reset bound T^max_wait + T^max_LS1 for the
+//     pattern configs);
+//   * Rule 2 (Definition 1, p1–p3): embedding order, enter safeguard,
+//     exit safeguard, via per-entity risky/safe instrumentation clocks.
+//
+// A violation is returned as a *concrete* counterexample — injection
+// times, per-message loss/delivery decisions with exact timestamps —
+// obtained by a backward feasibility pass over the abstract path
+// (forward zones ∩ backward predecessors, then greedy minimal delays).
+// verify::replay_counterexample() plays it through a real
+// hybrid::Engine + PteMonitor to confirm the violation end to end.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "verify/model.hpp"
+
+namespace ptecps::verify {
+
+struct VerifyOptions {
+  /// Adversary budgets per execution: messages the channel may drop
+  /// (loss, corruption, and late rejection all count here), stimuli the
+  /// environment may inject, and input-variable writes it may perform
+  /// (e.g. the ApprovalCondition collapsing).
+  std::size_t max_losses = 2;
+  std::size_t max_injections = 2;
+  std::size_t max_input_changes = 1;
+  /// Search budget; exceeding it yields kOutOfBudget, never a silent
+  /// partial "proof".
+  std::size_t max_states = 1'000'000;
+  bool check_dwell_bound = true;  // Rule 1 / Theorem 1
+  bool check_embedding = true;    // Rule 2 (p1–p3)
+};
+
+enum class VerifyStatus { kProved, kViolation, kOutOfBudget };
+
+std::string verify_status_str(VerifyStatus status);
+
+struct CounterexampleInjection {
+  double t = 0.0;
+  std::size_t automaton = 0;
+  std::string root;
+};
+
+/// An adversarial environment write (Engine::set_var in the replay).
+struct CounterexampleToggle {
+  double t = 0.0;
+  std::size_t automaton = 0;
+  hybrid::VarId var = 0;
+  double value = 0.0;
+  std::string var_name;
+};
+
+/// One wireless send of the counterexample run, in emission order — the
+/// adversary's decision for it, and the exact delivery instant if any.
+struct CounterexampleSend {
+  double send_time = 0.0;
+  bool lost = false;       // also: still in flight at the horizon
+  double deliver_time = 0.0;
+  std::size_t dst_automaton = 0;
+  std::string root;
+};
+
+struct Counterexample {
+  core::PteViolationKind kind = core::PteViolationKind::kDwellBound;
+  std::size_t entity = 0;
+  std::size_t other_entity = 0;
+  std::string description;
+  double time = 0.0;     // violation instant
+  double horizon = 0.0;  // replay until here (>= time)
+  std::vector<CounterexampleInjection> injections;
+  std::vector<CounterexampleToggle> toggles;
+  std::vector<CounterexampleSend> sends;
+  /// Human-readable narrative: "[t=…] …" per step.
+  std::vector<std::string> narrative;
+
+  std::string str() const;
+};
+
+struct VerifyResult {
+  VerifyStatus status = VerifyStatus::kOutOfBudget;
+  std::size_t states_explored = 0;
+  std::size_t states_stored = 0;
+  std::size_t transitions = 0;
+  std::optional<Counterexample> counterexample;
+
+  std::string summary() const;
+};
+
+/// Exhaustively check the PTE rules of `model` under the bounded
+/// adversary.  Deterministic: same model + options ⇒ same result.
+VerifyResult verify_pte(const CompiledModel& model, const VerifyOptions& options = {});
+
+}  // namespace ptecps::verify

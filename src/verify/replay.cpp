@@ -1,0 +1,107 @@
+#include "verify/replay.hpp"
+
+#include <map>
+#include <memory>
+
+#include "hybrid/engine.hpp"
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::verify {
+
+namespace {
+
+/// EventRouter that follows a counterexample script instead of a channel
+/// model: the k-th wireless emission takes the k-th recorded decision.
+class ScriptRouter final : public hybrid::EventRouter {
+ public:
+  ScriptRouter(const VerifyInput& input, const Counterexample& cx) : cx_(cx) {
+    for (const auto& r : input.routes)
+      routes_.emplace(r.root, std::make_pair(r.wireless, r.dst_automaton));
+  }
+
+  void route(hybrid::Engine& engine, std::size_t src_automaton,
+             const hybrid::SyncLabel& label, hybrid::LabelId label_id) override {
+    (void)src_automaton;
+    (void)label_id;
+    const auto it = routes_.find(label.root);
+    if (it == routes_.end()) return;  // internal event, no receivers
+    const auto [wireless, dst] = it->second;
+    if (!wireless) {
+      engine.deliver(dst, label.root);
+      return;
+    }
+    const std::size_t k = next_send_++;
+    if (k >= cx_.sends.size() || cx_.sends[k].root != label.root) {
+      ++unmatched_;
+      return;  // diverged from the script; drop
+    }
+    const CounterexampleSend& send = cx_.sends[k];
+    if (send.lost) return;
+    const std::size_t to = send.dst_automaton;
+    const std::string root = label.root;
+    engine.scheduler().schedule_at(send.deliver_time, [&engine, to, root] {
+      engine.deliver(to, root);
+    });
+  }
+
+  std::size_t unmatched() const { return unmatched_; }
+
+ private:
+  const Counterexample& cx_;
+  std::map<std::string, std::pair<bool, std::size_t>> routes_;
+  std::size_t next_send_ = 0;
+  std::size_t unmatched_ = 0;
+};
+
+}  // namespace
+
+std::string ReplayResult::summary() const {
+  std::string out = util::cat("replay: ", violations.size(), " violation(s), ",
+                              reproduced ? "reproduced" : "NOT reproduced",
+                              unmatched_sends > 0
+                                  ? util::cat(" (", unmatched_sends, " unmatched sends)")
+                                  : "");
+  for (const auto& v : violations)
+    out += util::cat("\n  [t=", util::fmt_double(v.t, 4), "] ",
+                     core::violation_kind_str(v.kind), ": ", v.description);
+  return out;
+}
+
+ReplayResult replay_counterexample(const VerifyInput& input, const Counterexample& cx) {
+  hybrid::Engine engine(input.automata);
+  ScriptRouter router(input, cx);
+  engine.set_router(&router);
+
+  core::PteMonitor monitor(input.monitor);
+  monitor.attach(engine, input.entity_of_automaton);
+  engine.init();
+
+  for (const auto& inj : cx.injections) {
+    const std::size_t automaton = inj.automaton;
+    const std::string root = inj.root;
+    engine.scheduler().schedule_at(inj.t, [&engine, automaton, root] {
+      engine.inject(automaton, root);
+    });
+  }
+  for (const auto& tg : cx.toggles) {
+    const std::size_t automaton = tg.automaton;
+    const hybrid::VarId var = tg.var;
+    const double value = tg.value;
+    engine.scheduler().schedule_at(tg.t, [&engine, automaton, var, value] {
+      engine.set_var(automaton, var, value);
+    });
+  }
+  engine.run_until(cx.horizon);
+  monitor.finalize(cx.horizon);
+
+  ReplayResult result;
+  result.violations = monitor.violations();
+  result.unmatched_sends = router.unmatched();
+  for (const auto& v : result.violations) {
+    if (v.kind == cx.kind) result.reproduced = true;
+  }
+  return result;
+}
+
+}  // namespace ptecps::verify

@@ -1,0 +1,36 @@
+// Counterexample replay: drive a real hybrid::Engine + core::PteMonitor
+// along the concrete schedule the verifier extracted, confirming that the
+// abstract violation is an actual execution of the simulator — the
+// "two independent implementations" defence applied to the verifier
+// itself (cf. core/rules.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "verify/checker.hpp"
+#include "verify/model.hpp"
+
+namespace ptecps::verify {
+
+struct ReplayResult {
+  std::vector<core::PteViolation> violations;  // everything the monitor flagged
+  /// True iff the monitor flagged a violation of the counterexample's
+  /// kind by the horizon.
+  bool reproduced = false;
+  /// Wireless emissions the engine produced beyond (or disagreeing with)
+  /// the script — nonzero means the replay diverged from the abstract
+  /// path (e.g. a same-instant tie broke differently).
+  std::size_t unmatched_sends = 0;
+
+  std::string summary() const;
+};
+
+/// Execute `cx` against a fresh engine built from `input`: stimuli are
+/// injected at the recorded instants and every wireless emission follows
+/// the recorded loss/delivery decision (delivered messages arrive at
+/// their exact recorded times, bypassing the stochastic channel).
+ReplayResult replay_counterexample(const VerifyInput& input, const Counterexample& cx);
+
+}  // namespace ptecps::verify

@@ -1,0 +1,276 @@
+#include "verify/zone.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::verify {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Bound Bound::inf() { return Bound{kInf, true}; }
+
+bool Bound::is_inf() const { return std::isinf(value); }
+
+Bound bound_min(const Bound& a, const Bound& b) { return bound_lt(a, b) ? a : b; }
+
+Bound bound_add(const Bound& a, const Bound& b) {
+  if (a.is_inf() || b.is_inf()) return Bound::inf();
+  return Bound{a.value + b.value, a.strict || b.strict};
+}
+
+bool bound_lt(const Bound& a, const Bound& b) {
+  if (a.value != b.value) return a.value < b.value;
+  return a.strict && !b.strict;
+}
+
+Zone::Zone(std::size_t clocks) : n_(clocks + 1), dbm_(n_ * n_) {
+  // The point "all clocks = 0": x_i - x_j <= 0 for every pair.
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j) m(i, j) = Bound::le(0.0);
+}
+
+const Bound& Zone::at(std::size_t i, std::size_t j) const {
+  PTE_REQUIRE(i < n_ && j < n_, "zone clock index out of range");
+  return m(i, j);
+}
+
+void Zone::close() {
+  // Floyd–Warshall shortest paths over the bound semiring.
+  for (std::size_t k = 0; k < n_; ++k) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (m(i, k).is_inf()) continue;
+      for (std::size_t j = 0; j < n_; ++j) {
+        const Bound via = bound_add(m(i, k), m(k, j));
+        if (bound_lt(via, m(i, j))) m(i, j) = via;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    const Bound& d = m(i, i);
+    if (d.value < 0.0 || (d.value == 0.0 && d.strict)) {
+      empty_ = true;
+      return;
+    }
+    m(i, i) = Bound::le(0.0);
+  }
+}
+
+void Zone::up() {
+  if (empty_) return;
+  for (std::size_t i = 1; i < n_; ++i) m(i, 0) = Bound::inf();
+  // Still canonical: differences and lower bounds are untouched, and no
+  // path through the removed upper bounds can tighten anything.
+}
+
+void Zone::down() {
+  if (empty_) return;
+  // Bengtsson & Yi Fig. 10: lower bounds relax to 0 unless a difference
+  // constraint through another clock keeps them up.
+  for (std::size_t i = 1; i < n_; ++i) {
+    m(0, i) = Bound::le(0.0);
+    for (std::size_t j = 1; j < n_; ++j) {
+      if (bound_lt(m(j, i), m(0, i))) m(0, i) = m(j, i);
+    }
+  }
+  close();
+}
+
+void Zone::constrain(std::size_t i, std::size_t j, Bound b) {
+  PTE_REQUIRE(i < n_ && j < n_ && i != j, "bad constraint clocks");
+  if (empty_) return;
+  if (!bound_lt(b, m(i, j))) return;  // no tightening
+  m(i, j) = b;
+  // Incremental closure: only paths through (i, j) can improve.
+  for (std::size_t a = 0; a < n_; ++a) {
+    if (m(a, i).is_inf()) continue;
+    for (std::size_t c = 0; c < n_; ++c) {
+      const Bound via = bound_add(bound_add(m(a, i), b), m(j, c));
+      if (bound_lt(via, m(a, c))) m(a, c) = via;
+    }
+  }
+  for (std::size_t a = 0; a < n_; ++a) {
+    const Bound& d = m(a, a);
+    if (d.value < 0.0 || (d.value == 0.0 && d.strict)) {
+      empty_ = true;
+      return;
+    }
+  }
+}
+
+void Zone::reset(std::size_t i) {
+  PTE_REQUIRE(i >= 1 && i < n_, "cannot reset the zero clock");
+  if (empty_) return;
+  // x_i := 0 on a canonical DBM: x_i inherits the zero clock's rows.
+  for (std::size_t j = 0; j < n_; ++j) {
+    m(i, j) = m(0, j);
+    m(j, i) = m(j, 0);
+  }
+  m(i, i) = Bound::le(0.0);
+}
+
+void Zone::free(std::size_t i) {
+  PTE_REQUIRE(i >= 1 && i < n_, "cannot free the zero clock");
+  if (empty_) return;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j == i) continue;
+    m(i, j) = Bound::inf();
+    m(j, i) = m(j, 0);  // x_j - x_i <= x_j - 0 since x_i >= 0
+  }
+  m(0, i) = Bound::le(0.0);
+}
+
+void Zone::extrapolate(double k) {
+  if (empty_) return;
+  bool changed = false;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      Bound& b = m(i, j);
+      if (b.is_inf()) continue;
+      if (b.value > k) {
+        b = Bound::inf();
+        changed = true;
+      } else if (b.value < -k) {
+        b = Bound::lt(-k);
+        changed = true;
+      }
+    }
+  }
+  if (changed) close();
+}
+
+bool Zone::subset_of(const Zone& other) const {
+  PTE_REQUIRE(n_ == other.n_, "zone dimension mismatch");
+  if (empty_) return true;
+  if (other.empty_) return false;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (bound_lt(other.m(i, j), m(i, j))) return false;
+    }
+  }
+  return true;
+}
+
+void Zone::intersect(const Zone& other) {
+  PTE_REQUIRE(n_ == other.n_, "zone dimension mismatch");
+  if (empty_) return;
+  if (other.empty_) {
+    empty_ = true;
+    return;
+  }
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j) m(i, j) = bound_min(m(i, j), other.m(i, j));
+  close();
+}
+
+std::vector<double> Zone::some_point() const {
+  PTE_REQUIRE(!empty_, "no point in an empty zone");
+  // Assign clocks one at a time, each to the smallest value consistent
+  // with the zero clock and the already-assigned clocks.  Canonical DBMs
+  // make this greedy assignment safe (every partial solution extends).
+  std::vector<double> x(n_, 0.0);
+  for (std::size_t i = 1; i < n_; ++i) {
+    // Lower bounds: 0 - x_i <= m(0,i)  =>  x_i >= -m(0,i); and for
+    // assigned j: x_j - x_i <= m(j,i)  =>  x_i >= x_j - m(j,i).
+    double lo = -m(0, i).value;
+    bool lo_strict = m(0, i).strict;
+    double hi = m(i, 0).is_inf() ? kInf : m(i, 0).value;
+    bool hi_strict = m(i, 0).strict;
+    for (std::size_t j = 1; j < i; ++j) {
+      if (!m(j, i).is_inf()) {
+        const double cand = x[j] - m(j, i).value;
+        if (cand > lo || (cand == lo && m(j, i).strict)) {
+          lo = cand;
+          lo_strict = m(j, i).strict;
+        }
+      }
+      if (!m(i, j).is_inf()) {
+        const double cand = x[j] + m(i, j).value;
+        if (cand < hi || (cand == hi && m(i, j).strict)) {
+          hi = cand;
+          hi_strict = m(i, j).strict;
+        }
+      }
+    }
+    double v = lo;
+    if (lo_strict) {
+      // Open lower bound: nudge inside, staying below the upper bound.
+      const double room = (std::isinf(hi) ? 1.0 : hi - lo);
+      v = lo + std::min(1e-6, room * 0.5);
+    }
+    (void)hi_strict;
+    x[i] = std::max(v, 0.0);
+  }
+  return std::vector<double>(x.begin() + 1, x.end());
+}
+
+bool Zone::contains(const std::vector<double>& point, double eps) const {
+  PTE_REQUIRE(point.size() == n_ - 1, "point dimension mismatch");
+  if (empty_) return false;
+  auto value = [&point](std::size_t i) { return i == 0 ? 0.0 : point[i - 1]; };
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      const Bound& b = m(i, j);
+      if (b.is_inf()) continue;
+      const double d = value(i) - value(j);
+      if (b.strict ? d >= b.value + eps : d > b.value + eps) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Zone::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(empty_ ? 1 : 0);
+  for (const Bound& b : dbm_) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof b.value);
+    std::memcpy(&bits, &b.value, sizeof bits);
+    mix(bits);
+    mix(b.strict ? 1 : 0);
+  }
+  return h;
+}
+
+bool Zone::operator==(const Zone& other) const {
+  return n_ == other.n_ && empty_ == other.empty_ && dbm_ == other.dbm_;
+}
+
+std::string Zone::str(const std::vector<std::string>& clock_names) const {
+  if (empty_) return "(empty)";
+  auto name = [&clock_names](std::size_t i) {
+    return i - 1 < clock_names.size() ? clock_names[i - 1] : util::cat("c", i);
+  };
+  std::vector<std::string> parts;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j || m(i, j).is_inf()) continue;
+      const Bound& b = m(i, j);
+      if (i == 0) {  // 0 - x_j <= c  =>  x_j >= -c
+        if (b.value == 0.0 && !b.strict) continue;
+        parts.push_back(util::cat(name(j), b.strict ? " > " : " >= ",
+                                  util::fmt_compact(-b.value)));
+      } else if (j == 0) {  // x_i <= c
+        parts.push_back(util::cat(name(i), b.strict ? " < " : " <= ",
+                                  util::fmt_compact(b.value)));
+      } else {
+        parts.push_back(util::cat(name(i), " - ", name(j), b.strict ? " < " : " <= ",
+                                  util::fmt_compact(b.value)));
+      }
+    }
+  }
+  return util::join(parts, ", ");
+}
+
+}  // namespace ptecps::verify

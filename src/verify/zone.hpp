@@ -1,0 +1,109 @@
+// Difference-bound zones for the PTE reachability verifier.
+//
+// A Zone is a convex set of clock valuations represented as a difference
+// bound matrix (DBM): entry (i, j) bounds x_i - x_j with a (value,
+// strictness) pair, clock 0 being the constant zero.  This is the
+// standard abstraction for timed-automata model checking (Dill 1989;
+// Bengtsson & Yi 2004) and is exact for the verifier's clock fragment:
+// every continuous quantity the pattern automata branch on — location
+// dwell, lease-deadline age, message age, risky/safe dwelling of the PTE
+// monitor — advances at rate 1 and is only ever reset to 0.
+//
+// Operations follow Bengtsson & Yi, "Timed Automata: Semantics,
+// Algorithms and Tools" (algorithms in Fig. 10 there): close (canonical
+// form), up/down (future/past closure), free, reset, constrain, and
+// k-extrapolation for termination.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptecps::verify {
+
+/// One DBM entry: x_i - x_j  {<, <=}  value.  Infinity = no bound.
+struct Bound {
+  double value = 0.0;
+  bool strict = false;  // true: <, false: <=
+
+  static Bound inf();
+  static Bound le(double v) { return Bound{v, false}; }
+  static Bound lt(double v) { return Bound{v, true}; }
+  bool is_inf() const;
+
+  bool operator==(const Bound&) const = default;
+};
+
+/// min in the (value, strictness) ordering: smaller value wins; at equal
+/// value the strict bound is tighter.
+Bound bound_min(const Bound& a, const Bound& b);
+/// Bound addition (for the shortest-path closure).
+Bound bound_add(const Bound& a, const Bound& b);
+/// a tighter than b?
+bool bound_lt(const Bound& a, const Bound& b);
+
+class Zone {
+ public:
+  /// `clocks` real clocks (indices 1..clocks in the DBM; 0 is the zero
+  /// clock).  Starts as the single point "all clocks = 0".
+  explicit Zone(std::size_t clocks);
+
+  std::size_t clocks() const { return n_ - 1; }
+
+  /// x_i - x_j bound (i, j in 0..clocks; 0 = the constant zero clock).
+  const Bound& at(std::size_t i, std::size_t j) const;
+
+  bool is_empty() const { return empty_; }
+
+  /// Future closure: remove upper bounds on all clocks (delay).
+  void up();
+  /// Past closure: x - δ for δ >= 0, clamped at 0 (used by the
+  /// counterexample concretizer's backward pass).
+  void down();
+  /// Conjoin x_i - x_j {<,<=} value; canonicalizes incrementally.
+  void constrain(std::size_t i, std::size_t j, Bound b);
+  /// x_i := 0.
+  void reset(std::size_t i);
+  /// Remove all constraints on x_i except x_i >= 0 (backward inverse of
+  /// reset).
+  void free(std::size_t i);
+
+  /// k-extrapolation: bounds beyond ±k are widened to infinity / -k.
+  /// Sound for reachability when k is at least the largest constant any
+  /// guard or invariant compares against; guarantees a finite zone
+  /// lattice and hence termination of the search.
+  void extrapolate(double k);
+
+  /// this ⊆ other (both canonical, same clock count).
+  bool subset_of(const Zone& other) const;
+
+  /// Intersection (componentwise min + close).
+  void intersect(const Zone& other);
+
+  /// A concrete valuation inside the zone (canonical non-empty zone):
+  /// clock i gets a value consistent with all difference bounds, biased
+  /// toward each clock's lower bound.  Exact for the integer/decimal
+  /// constants of the pattern configs.
+  std::vector<double> some_point() const;
+
+  /// Does `point` (index 0 = 0.0 implicitly; size = clocks()) satisfy
+  /// every bound, with `eps` slack on non-strict bounds?
+  bool contains(const std::vector<double>& point, double eps = 1e-9) const;
+
+  std::uint64_t hash() const;
+  bool operator==(const Zone& other) const;
+
+  std::string str(const std::vector<std::string>& clock_names) const;
+
+ private:
+  Bound& m(std::size_t i, std::size_t j) { return dbm_[i * n_ + j]; }
+  const Bound& m(std::size_t i, std::size_t j) const { return dbm_[i * n_ + j]; }
+  void close();
+
+  std::size_t n_;  // matrix dimension = clocks + 1
+  std::vector<Bound> dbm_;
+  bool empty_ = false;
+};
+
+}  // namespace ptecps::verify

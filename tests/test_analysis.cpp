@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "campaign/context.hpp"
 #include "casestudy/trial.hpp"
 #include "core/analysis.hpp"
 #include "core/config.hpp"
@@ -87,6 +88,78 @@ TEST(SessionTracker, ResetBoundHoldsUnderHeavyLoss) {
       EXPECT_GE(h.tracker->session_count(), 5u);
     }
   }
+}
+
+TEST(SessionTracker, OpenSessionAtHorizonIsRightCensored) {
+  // Cut the run mid-session: the open session must enter the worst-case
+  // statistics as a lower bound instead of being dropped (it is exactly
+  // the longest excursion in this run).
+  TrackedHarness h;
+  h.engine->run_until(15.0);
+  h.engine->inject(2, events::cmd_request(2));
+  h.engine->run_until(30.0);  // lease session still in full swing
+  h.tracker->finalize(30.0);
+  ASSERT_EQ(h.tracker->session_count(), 1u);
+  const SessionRecord& s = h.tracker->sessions()[0];
+  EXPECT_FALSE(s.closed());
+  EXPECT_TRUE(s.censored());
+  EXPECT_NEAR(s.censored_elapsed(), 30.0 - s.supervisor_left, 1e-9);
+  EXPECT_EQ(h.tracker->censored_count(), 1u);
+  // max_system_reset reports the censored elapsed time, not 0.
+  EXPECT_NEAR(h.tracker->max_system_reset(), s.censored_elapsed(), 1e-9);
+  // Within the Theorem 1 bound the censored session is indeterminate —
+  // the check must not fail on it...
+  EXPECT_TRUE(h.tracker->all_within(h.config.risky_dwell_bound() + h.config.delivery_slack));
+  // ...but a censored session that already exceeds a (lowered) bound is a
+  // proven violation even though it never closed.
+  EXPECT_FALSE(h.tracker->all_within(10.0));
+  EXPECT_NE(h.tracker->summary().find("1 censored"), std::string::npos);
+}
+
+TEST(SessionTracker, ClosedSessionWithEntityStillOutIsCensoredToo) {
+  // The other censoring variant: the (ablated, impatient) supervisor
+  // unwinds home while the laser's lost Abort leaves it leased past the
+  // horizon.  The session is closed() but its whole-system reset is
+  // still in progress — it must be censored, not reported as a short
+  // supervisor-only excursion.
+  campaign::ScenarioSpec spec;
+  spec.config = PatternConfig::laser_tracheotomy();
+  spec.deadline_wait = false;  // the unsound ablation
+  spec.horizon = 40.0;
+  spec.drive = [](campaign::SimulationContext& ctx) {
+    ctx.run_until(15.0);
+    ctx.inject(2, events::cmd_request(2));
+    ctx.run_until(27.0);   // laser emitting
+    ctx.kill_downlink(2);  // Abort(2) will be lost
+    ctx.kill_uplink(2);    // and no Exit(2) confirmation either
+    ctx.set_entity_var(0, "approval_val", 0.0);
+    ctx.run_until(40.0);
+  };
+  campaign::SimulationContext ctx(spec, 7);
+  const campaign::RunResult r = ctx.execute();
+  const SessionTracker* tracker = ctx.session_tracker();
+  ASSERT_NE(tracker, nullptr);
+  ASSERT_EQ(tracker->session_count(), 1u);
+  const SessionRecord& s = tracker->sessions()[0];
+  EXPECT_TRUE(s.closed());       // the impatient supervisor went home...
+  EXPECT_TRUE(s.censored());     // ...but the laser is still out at 40 s
+  EXPECT_LT(s.entities_settled, 0.0);
+  EXPECT_EQ(tracker->censored_count(), 1u);
+  EXPECT_EQ(r.session.censored_sessions, 1u);
+  // The worst-case statistic reports the in-progress reset as a lower
+  // bound, not the supervisor's short excursion.
+  EXPECT_NEAR(tracker->max_system_reset(), 40.0 - s.supervisor_left, 1e-6);
+  EXPECT_FALSE(tracker->all_within(10.0));
+}
+
+TEST(SessionTracker, OpenSessionBeforeFinalizeStillFailsTheCheck) {
+  // Without a recorded horizon an open session cannot be judged; the
+  // bound check stays conservative (pre-censoring behavior).
+  TrackedHarness h;
+  h.engine->run_until(15.0);
+  h.engine->inject(2, events::cmd_request(2));
+  h.engine->run_until(30.0);
+  EXPECT_FALSE(h.tracker->all_within(1000.0));
 }
 
 TEST(SessionTracker, FallBackSetsIncludeElaboratedChildren) {

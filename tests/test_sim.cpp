@@ -2,6 +2,8 @@
 // and the deterministic RNG.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -220,6 +222,40 @@ TEST(Rng, UniformIntUnbiasedSmallRange) {
   const int n = 100000;
   for (int i = 0; i < n; ++i) ++counts[r.uniform_int(5)];
   for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+}
+
+TEST(Rng, UniformIntRejectionSampledNoModuloBias) {
+  // Property: for n = 3 * 2^62, a modulo-reducing implementation maps the
+  // 2^62 raw values in [n, 2^64) back onto [0, 2^62), so outcomes below
+  // 2^62 appear with probability 1/2 instead of the unbiased 1/3.  A
+  // rejection-sampled uniform_int keeps all three thirds at 1/3 — this
+  // test fails decisively (50% vs 33%) if the rejection loop is removed.
+  const std::uint64_t third = 1ULL << 62;
+  const std::uint64_t n = 3 * third;
+  const int samples = 30000;
+  int low = 0;
+  Rng r(101);
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t v = r.uniform_int(n);
+    ASSERT_LT(v, n);
+    if (v < third) ++low;
+  }
+  const double freq = static_cast<double>(low) / samples;
+  EXPECT_NEAR(freq, 1.0 / 3.0, 0.02);  // biased implementation gives ~0.50
+}
+
+TEST(Rng, UniformIntCoversFullRangeNearPowerOfTwo) {
+  // n one above a power of two exercises the rejection threshold; every
+  // value must stay in range and the extremes must be reachable.
+  const std::uint64_t n = (1ULL << 32) + 1;
+  Rng r(7);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = r.uniform_int(n);
+    ASSERT_LT(v, n);
+    max_seen = std::max(max_seen, v);
+  }
+  EXPECT_GT(max_seen, n - n / 8);  // the top of the range is reachable
 }
 
 TEST(Rng, ForkedStreamsDecorrelated) {

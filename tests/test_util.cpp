@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/require.hpp"
@@ -75,17 +77,70 @@ TEST(Stats, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
-TEST(Stats, HistogramBinsAndSaturation) {
+TEST(Stats, HistogramTracksOutOfRangeSeparately) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);
   h.add(9.9);
-  h.add(-3.0);   // below range -> first bin
-  h.add(100.0);  // above range -> last bin
+  h.add(-3.0);   // below range: counted as underflow, not in bin 0
+  h.add(100.0);  // above range: counted as overflow, not in bin 4
   EXPECT_EQ(h.total(), 4u);
-  EXPECT_EQ(h.bin_count(0), 2u);
-  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
   EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+  EXPECT_EQ(h.summary(), "n=4, in-range=2, underflow=1, overflow=1");
+  // hi itself is out of range (bins cover [lo, hi)).
+  h.add(10.0);
+  EXPECT_EQ(h.overflow(), 2u);
+  // The render footer names the out-of-range mass so it can't hide.
+  EXPECT_NE(h.render().find("out-of-range: 1 below, 2 above"), std::string::npos);
+}
+
+TEST(Stats, MergeOrderIndependentAcrossRandomPartitions) {
+  // Property: merging per-shard accumulators must give the same moments
+  // regardless of partition shape and merge order (the campaign report
+  // relies on this for thread-count-independent output), to within an
+  // ulp-scale tolerance.
+  std::vector<double> xs;
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state % 10007) / 7.0 - 500.0;
+  };
+  for (int i = 0; i < 2000; ++i) xs.push_back(next());
+  RunningStats reference;
+  for (double x : xs) reference.add(x);
+
+  for (std::size_t shards : {2u, 3u, 7u, 16u}) {
+    std::vector<RunningStats> parts(shards);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      parts[(i * 2654435761u) % shards].add(xs[i]);
+    // Merge in two different orders: forward fold and pairwise tree.
+    RunningStats forward;
+    for (const auto& p : parts) forward.merge(p);
+    std::vector<RunningStats> tree = parts;
+    while (tree.size() > 1) {
+      std::vector<RunningStats> next_level;
+      for (std::size_t i = 0; i + 1 < tree.size(); i += 2) {
+        RunningStats m = tree[i];
+        m.merge(tree[i + 1]);
+        next_level.push_back(m);
+      }
+      if (tree.size() % 2 == 1) next_level.push_back(tree.back());
+      tree = std::move(next_level);
+    }
+    for (const RunningStats* s : {&forward, &tree[0]}) {
+      EXPECT_EQ(s->count(), reference.count());
+      EXPECT_NEAR(s->mean(), reference.mean(), 1e-9 * std::fabs(reference.mean()) + 1e-9);
+      EXPECT_NEAR(s->variance(), reference.variance(), 1e-7 * reference.variance() + 1e-9);
+      EXPECT_DOUBLE_EQ(s->min(), reference.min());
+      EXPECT_DOUBLE_EQ(s->max(), reference.max());
+    }
+  }
 }
 
 TEST(Stats, QuantileInterpolates) {

@@ -1,0 +1,260 @@
+// Tests for the exhaustive PTE verifier: DBM zone algebra, model
+// compilation of the pattern automata, the laser-tracheotomy proof, and
+// counterexample extraction + engine replay on broken variants.
+#include <gtest/gtest.h>
+
+#include "campaign/context.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+#include "core/config.hpp"
+#include "core/events.hpp"
+#include "verify/checker.hpp"
+#include "verify/model.hpp"
+#include "verify/replay.hpp"
+#include "verify/zone.hpp"
+
+namespace ptecps::verify {
+namespace {
+
+using core::PatternConfig;
+
+// ---------------------------------------------------------------------------
+// Zone algebra
+// ---------------------------------------------------------------------------
+
+TEST(Zone, PointUpConstrainReset) {
+  Zone z(2);  // clocks x1, x2
+  EXPECT_FALSE(z.is_empty());
+  // The initial point: x1 = x2 = 0.
+  EXPECT_TRUE(z.contains({0.0, 0.0}));
+  EXPECT_FALSE(z.contains({1.0, 0.0}));
+  z.up();  // both advance together
+  EXPECT_TRUE(z.contains({3.5, 3.5}));
+  EXPECT_FALSE(z.contains({3.5, 2.0}));  // difference must stay 0
+  z.constrain(1, 0, Bound::le(5.0));     // x1 <= 5
+  EXPECT_TRUE(z.contains({5.0, 5.0}));
+  EXPECT_FALSE(z.contains({6.0, 6.0}));
+  z.reset(2);  // x2 := 0
+  EXPECT_TRUE(z.contains({4.0, 0.0}));
+  EXPECT_FALSE(z.contains({4.0, 1.0}));
+  z.up();
+  // Now x1 - x2 in [0, 5].
+  EXPECT_TRUE(z.contains({7.0, 3.0}));
+  EXPECT_FALSE(z.contains({9.0, 2.0}));
+}
+
+TEST(Zone, EmptinessAndSubset) {
+  Zone z(1);
+  z.up();
+  Zone small = z;
+  small.constrain(1, 0, Bound::le(2.0));
+  EXPECT_TRUE(small.subset_of(z));
+  EXPECT_FALSE(z.subset_of(small));
+  Zone dead = small;
+  dead.constrain(0, 1, Bound::le(-3.0));  // x1 >= 3 contradicts x1 <= 2
+  EXPECT_TRUE(dead.is_empty());
+}
+
+TEST(Zone, StrictBoundsSplitExactly) {
+  Zone z(1);
+  z.up();
+  Zone ge = z, lt = z;
+  ge.constrain(0, 1, Bound::le(-5.0));  // x1 >= 5
+  lt.constrain(1, 0, Bound::lt(5.0));   // x1 < 5
+  EXPECT_FALSE(ge.is_empty());
+  EXPECT_FALSE(lt.is_empty());
+  Zone both = ge;
+  both.intersect(lt);
+  EXPECT_TRUE(both.is_empty());  // x1 >= 5 and x1 < 5 cannot meet
+}
+
+TEST(Zone, DownAndFreeInvertForward) {
+  // Forward: up; x1 >= 3; reset x2.  Backward from the result must
+  // reach the initial point again.
+  Zone fwd(2);
+  fwd.up();
+  fwd.constrain(0, 1, Bound::le(-3.0));
+  fwd.reset(2);
+  Zone back = fwd;
+  back.free(2);
+  back.constrain(0, 1, Bound::le(-3.0));  // the guard
+  back.down();
+  EXPECT_TRUE(back.contains({0.0, 0.0}));
+}
+
+TEST(Zone, SomePointRespectsBounds) {
+  Zone z(2);
+  z.up();
+  z.constrain(0, 1, Bound::le(-2.0));  // x1 >= 2
+  z.constrain(1, 0, Bound::le(4.0));   // x1 <= 4
+  z.reset(2);
+  const std::vector<double> p = z.some_point();
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_TRUE(z.contains(p));
+  EXPECT_GE(p[0], 2.0);
+  EXPECT_LE(p[0], 4.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Model compilation
+// ---------------------------------------------------------------------------
+
+campaign::ScenarioSpec laser_spec() {
+  campaign::ScenarioSpec spec;
+  spec.name = "laser";
+  spec.config = PatternConfig::laser_tracheotomy();
+  spec.mode = campaign::RunMode::kVerify;
+  return spec;
+}
+
+TEST(VerifyModel, CompilesLaserPatternSystem) {
+  const VerifyInput input = laser_spec().verify_input();
+  const CompiledModel model = compile_model(input);
+  ASSERT_EQ(model.automata.size(), 3u);  // supervisor + participant + initializer
+  // The supervisor's two lease deadlines are the only now-plus targets.
+  ASSERT_EQ(model.deadlines.size(), 2u);
+  EXPECT_EQ(model.deadlines[0].automaton, 0u);
+  EXPECT_EQ(model.deadlines[1].automaton, 0u);
+  // Clock layout: 3 dwell + 2 deadline + 2*2 entity + 8 message slots.
+  EXPECT_EQ(model.clocks.count, 3u + 2u + 4u + 8u);
+  EXPECT_GT(model.max_constant, 44.0);  // covers the Theorem 1 bound
+  EXPECT_EQ(model.stimuli.size(), 2u);  // surgeon request + cancel
+  // Toggleable inputs: the ApprovalCondition (collapse + recovery) and
+  // the participant's ParticipationCondition (collapse).
+  ASSERT_EQ(model.inputs.size(), 2u);
+  EXPECT_EQ(model.inputs[0].values.size(), 2u);  // {1.0, threshold - 1}
+  EXPECT_EQ(model.toggles.size(), 3u);
+}
+
+TEST(VerifyModel, RejectsOutOfFragmentAutomata) {
+  VerifyInput input = laser_spec().verify_input();
+  // Give the participant's variable a nonzero rate somewhere: no longer
+  // a constant input, not a clock either.
+  input.automata[1].set_flow(0, hybrid::Flow{}.rate(0, 0.5));
+  EXPECT_THROW((void)compile_model(input), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's claim: PTE rules hold under all bounded loss interleavings
+// ---------------------------------------------------------------------------
+
+TEST(VerifyPte, LaserTracheotomyProvedUnderBoundedLoss) {
+  const VerifyInput input = laser_spec().verify_input();
+  const CompiledModel model = compile_model(input);
+  VerifyOptions opt;
+  opt.max_losses = 2;
+  opt.max_injections = 2;
+  const VerifyResult result = verify_pte(model, opt);
+  EXPECT_EQ(result.status, VerifyStatus::kProved) << result.summary();
+  EXPECT_GT(result.states_explored, 100u);
+  EXPECT_FALSE(result.counterexample.has_value());
+}
+
+TEST(VerifyPte, LoweredDwellCeilingYieldsReplayableCounterexample) {
+  // Deliberately broken variant: judge the same system against a dwell
+  // ceiling below the ventilator's worst-case occupancy.  The verifier
+  // must find the excursion and the trace must replay to the same
+  // violation through a real engine + monitor.
+  campaign::ScenarioSpec spec = laser_spec();
+  spec.dwell_bound = 30.0;  // < T^max_run,1 + T_exit,1 = 41 s
+  const VerifyInput input = spec.verify_input();
+  const CompiledModel model = compile_model(input);
+  VerifyOptions opt;
+  opt.max_losses = 1;
+  opt.max_injections = 1;
+  const VerifyResult result = verify_pte(model, opt);
+  ASSERT_EQ(result.status, VerifyStatus::kViolation) << result.summary();
+  ASSERT_TRUE(result.counterexample.has_value());
+  const Counterexample& cx = *result.counterexample;
+  EXPECT_EQ(cx.kind, core::PteViolationKind::kDwellBound);
+  EXPECT_EQ(cx.entity, 1u);  // the ventilator outlasts the lowered ceiling
+  EXPECT_GT(cx.time, 30.0);
+
+  const ReplayResult replay = replay_counterexample(input, cx);
+  EXPECT_TRUE(replay.reproduced) << replay.summary() << "\n" << cx.str();
+  EXPECT_EQ(replay.unmatched_sends, 0u) << replay.summary();
+}
+
+TEST(VerifyPte, ImpatientSupervisorAblationBreaksOrdering) {
+  // The deadline_wait=false ablation (unwinding after T^max_wait instead
+  // of out-waiting D_i) is unsound once an exit confirmation is lost —
+  // the §V / bench_scenarios S4 narrative, now as a theorem.
+  campaign::ScenarioSpec spec = laser_spec();
+  spec.deadline_wait = false;
+  const VerifyInput input = spec.verify_input();
+  const CompiledModel model = compile_model(input);
+  VerifyOptions opt;
+  opt.max_losses = 1;
+  opt.max_injections = 1;
+  const VerifyResult result = verify_pte(model, opt);
+  ASSERT_EQ(result.status, VerifyStatus::kViolation) << result.summary();
+  const Counterexample& cx = *result.counterexample;
+  // The embedding breaks: either safeguard or order, depending on which
+  // interleaving the search hits first.
+  EXPECT_NE(cx.kind, core::PteViolationKind::kDwellBound);
+  const ReplayResult replay = replay_counterexample(input, cx);
+  EXPECT_TRUE(replay.reproduced) << replay.summary() << "\n" << cx.str();
+}
+
+TEST(VerifyPte, NoLossNeededMeansProofWithZeroBudget) {
+  // With no losses and no injections the system never leaves Fall-Back:
+  // trivially safe, and the search space collapses to a handful of
+  // states.
+  const VerifyInput input = laser_spec().verify_input();
+  const CompiledModel model = compile_model(input);
+  VerifyOptions opt;
+  opt.max_losses = 0;
+  opt.max_injections = 0;
+  const VerifyResult result = verify_pte(model, opt);
+  EXPECT_EQ(result.status, VerifyStatus::kProved) << result.summary();
+  EXPECT_LT(result.states_stored, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign integration
+// ---------------------------------------------------------------------------
+
+TEST(VerifyCampaign, VerifyModeProducesVerificationOutcome) {
+  campaign::ScenarioSpec spec = laser_spec();
+  spec.verify.max_losses = 1;
+  spec.verify.max_injections = 1;
+  campaign::CampaignOptions copt;
+  copt.threads = 1;
+  const campaign::CampaignReport report = campaign::CampaignRunner(copt).run(spec);
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  ASSERT_TRUE(report.scenarios[0].verification.has_value());
+  EXPECT_EQ(report.scenarios[0].verification->status, VerifyStatus::kProved);
+  EXPECT_EQ(report.specs_proved, 1u);
+  EXPECT_EQ(report.total_runs, 0u);  // kVerify contributes no Monte-Carlo runs
+  EXPECT_TRUE(report.ok());
+  EXPECT_NE(report.json().find("\"status\": \"proved\""), std::string::npos);
+}
+
+TEST(VerifyCampaign, BothModeRunsSeedsAndProof) {
+  campaign::ScenarioSpec spec = laser_spec();
+  spec.mode = campaign::RunMode::kBoth;
+  spec.horizon = 40.0;
+  spec.seeds = {1, 2};
+  spec.verify.max_losses = 1;
+  spec.verify.max_injections = 1;
+  spec.drive = [](campaign::SimulationContext& ctx) {
+    ctx.run_until(14.0);
+    ctx.inject(2, core::events::cmd_request(2));
+    ctx.run_until(40.0);
+  };
+  campaign::CampaignOptions copt;
+  copt.threads = 1;
+  const campaign::CampaignReport report = campaign::CampaignRunner(copt).run(spec);
+  EXPECT_EQ(report.total_runs, 2u);
+  ASSERT_TRUE(report.scenarios[0].verification.has_value());
+  EXPECT_EQ(report.scenarios[0].verification->status, VerifyStatus::kProved);
+  // The scripted request at 14 s opens a ~44 s session; the 40 s horizon
+  // cuts it mid-flight — exactly one right-censored session per run,
+  // pinned in the report and its JSON.
+  EXPECT_EQ(report.censored_sessions, 2u);
+  EXPECT_NE(report.json().find("\"censored_sessions\": 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptecps::verify
