@@ -28,6 +28,10 @@ std::shared_ptr<const ScenarioPrototype> ScenarioPrototype::build(const Scenario
 
 SimulationContext::SimulationContext(const ScenarioSpec& spec, std::uint64_t seed,
                                      std::shared_ptr<const ScenarioPrototype> prototype)
+    : SimulationContext(spec, seed, prototype.get()) {}
+
+SimulationContext::SimulationContext(const ScenarioSpec& spec, std::uint64_t seed,
+                                     const ScenarioPrototype* prototype)
     : spec_(spec), seed_(seed), rng_(seed) {
   // Construction order mirrors the historical hand-wired benches so a
   // context run is event-for-event identical for the same seed.

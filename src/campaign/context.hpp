@@ -40,6 +40,12 @@ class SimulationContext {
   /// is built (and validated) from scratch — the standalone/one-shot path.
   /// The context keeps a reference to `spec`, which must outlive it (the
   /// rvalue overload is deleted so a temporary can't bind).
+  /// The raw-pointer overload is the campaign hot path: a worker reuses
+  /// the runner's prototype for thousands of runs, and a shared_ptr copy
+  /// per run means two contended atomic refcount bumps per run across
+  /// every worker thread.  The prototype must outlive the context.
+  SimulationContext(const ScenarioSpec& spec, std::uint64_t seed,
+                    const ScenarioPrototype* prototype);
   SimulationContext(const ScenarioSpec& spec, std::uint64_t seed,
                     std::shared_ptr<const ScenarioPrototype> prototype = nullptr);
   SimulationContext(ScenarioSpec&&, std::uint64_t,

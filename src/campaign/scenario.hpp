@@ -41,6 +41,9 @@ struct VerifySpec {
   /// collapse or recovery) the adversary may perform.
   std::size_t max_input_changes = 1;
   std::size_t max_states = 1'000'000;
+  /// Worker shards for the exhaustive check (0 = hardware concurrency).
+  /// The verdict and counterexample are bit-identical at every value.
+  std::size_t threads = 1;
   /// Delivery-delay window; max <= 0 derives [delay, acceptance_window]
   /// from the scenario's channel config.
   double delivery_min = 0.0;

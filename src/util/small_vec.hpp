@@ -1,0 +1,123 @@
+// SmallVec: a vector of trivially-copyable elements with inline storage.
+//
+// The verifier's state-space exploration copies its per-state records
+// (discrete state, recorded zone ops, emission lists) once per branching
+// successor; with std::vector each copy is a handful of heap round trips.
+// SmallVec keeps up to N elements inline — copying a within-capacity
+// vector is a memcpy — and spills to the heap only past N, so the common
+// small cases never allocate.  Restricted to trivially copyable element
+// types, which is what makes the memcpy copy legal.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace ptecps::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec requires trivially copyable elements");
+  static_assert(N > 0);
+
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec& other) { copy_from(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      release();
+      copy_from(other);
+    }
+    return *this;
+  }
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  ~SmallVec() { release(); }
+
+  T* data() { return heap_ ? heap_ : inline_; }
+  const T* data() const { return heap_ ? heap_ : inline_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  /// By value: the argument survives a growth triggered by pushing an
+  /// element of this same vector (v.push_back(v.back())).
+  void push_back(T v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data()[size_++] = v;
+  }
+
+  /// Size to `n`, filling new slots with `v` (shrink keeps capacity).
+  /// By value for the same aliasing reason as push_back.
+  void assign(std::size_t n, T v) {
+    if (n > cap_) grow(n);
+    for (std::size_t i = 0; i < n; ++i) data()[i] = v;
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+ private:
+  void copy_from(const SmallVec& other) {
+    size_ = other.size_;
+    if (other.size_ > N) {
+      cap_ = other.size_;
+      heap_ = new T[cap_];
+      std::memcpy(heap_, other.heap_, sizeof(T) * size_);
+    } else {
+      cap_ = N;
+      heap_ = nullptr;
+      std::memcpy(inline_, other.data(), sizeof(T) * size_);
+    }
+  }
+
+  void steal(SmallVec& other) {
+    size_ = other.size_;
+    cap_ = other.cap_;
+    heap_ = other.heap_;
+    if (heap_ == nullptr) std::memcpy(inline_, other.inline_, sizeof(T) * size_);
+    other.heap_ = nullptr;
+    other.cap_ = N;
+    other.size_ = 0;
+  }
+
+  void release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    cap_ = N;
+    size_ = 0;
+  }
+
+  void grow(std::size_t want) {
+    std::size_t cap = cap_;
+    while (cap < want) cap *= 2;
+    T* bigger = new T[cap];
+    std::memcpy(bigger, data(), sizeof(T) * size_);
+    delete[] heap_;
+    heap_ = bigger;
+    cap_ = static_cast<std::uint32_t>(cap);
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = N;
+  T* heap_ = nullptr;
+  T inline_[N];
+};
+
+}  // namespace ptecps::util

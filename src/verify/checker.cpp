@@ -1,12 +1,18 @@
 #include "verify/checker.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <exception>
+#include <functional>
 #include <limits>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "util/require.hpp"
+#include "util/small_vec.hpp"
 #include "util/text.hpp"
 #include "verify/zone.hpp"
 
@@ -15,59 +21,72 @@ namespace ptecps::verify {
 namespace {
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+constexpr std::uint64_t kNoCutoff = ~std::uint64_t{0};
 
-struct MsgSlot {
-  bool active = false;
-  hybrid::LabelId label = hybrid::kNoLabel;
-  std::uint32_t dst = 0;
+// -- discrete state ---------------------------------------------------------
+//
+// One 64-bit word per in-flight message: bit 63 = active, bits 32..62 =
+// destination automaton, low 32 = model-interned label (0 = empty slot).
 
-  bool operator==(const MsgSlot&) const = default;
+inline std::uint64_t make_slot(hybrid::LabelId label, std::size_t dst) {
+  return (1ULL << 63) | (static_cast<std::uint64_t>(dst) << 32) | label;
+}
+inline bool slot_active(std::uint64_t s) { return (s >> 63) != 0; }
+inline hybrid::LabelId slot_label(std::uint64_t s) {
+  return static_cast<hybrid::LabelId>(s & 0xFFFFFFFFu);
+}
+inline std::size_t slot_dst(std::uint64_t s) {
+  return static_cast<std::size_t>((s >> 32) & 0x7FFFFFFFu);
+}
+
+/// 128-bit discrete-state fingerprint: two independently mixed 64-bit
+/// hashes.  The passed/waiting store keys on this instead of a
+/// materialized key vector — no per-enqueue heap allocation, and a
+/// collision needs both halves to agree (~2^-128 per pair).
+struct DKey {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  bool operator==(const DKey&) const = default;
+};
+struct DKeyHash {
+  std::size_t operator()(const DKey& k) const { return static_cast<std::size_t>(k.h1); }
 };
 
 /// Discrete half of a search state.
 struct DState {
-  std::vector<hybrid::LocId> loc;        // per automaton
-  std::vector<double> offsets;           // per deadline var: current now-offset
-  std::vector<MsgSlot> slots;            // in-flight messages
-  std::vector<std::uint8_t> risky;       // [entity-1]: currently risky
-  std::vector<std::uint8_t> ever_exited; // [entity-1]: has a recorded risky exit
-  std::vector<std::uint8_t> input_val;   // per input var: value index
+  util::SmallVec<std::uint32_t, 8> loc;    // per automaton
+  util::SmallVec<double, 8> offsets;       // per deadline var: current now-offset
+  util::SmallVec<std::uint64_t, 8> slots;  // in-flight messages (packed)
+  std::uint32_t risky = 0;                 // bit e-1: entity e currently risky
+  std::uint32_t ever_exited = 0;           // bit e-1: has a recorded risky exit
+  util::SmallVec<std::uint8_t, 8> input_val;  // per input var: value index
   std::uint32_t losses = 0;
   std::uint32_t injections = 0;
   std::uint32_t input_changes = 0;
 
-  std::vector<std::uint64_t> key() const {
-    std::vector<std::uint64_t> k;
-    k.reserve(loc.size() + offsets.size() + slots.size() + 4);
-    for (hybrid::LocId l : loc) k.push_back(l);
+  DKey key() const {
+    std::uint64_t h1 = 0xcbf29ce484222325ULL;
+    std::uint64_t h2 = 0x9e3779b97f4a7c15ULL;
+    auto mix = [&h1, &h2](std::uint64_t v) {
+      h1 ^= v;
+      h1 *= 0x100000001b3ULL;  // FNV-1a
+      h2 += v + 0x9e3779b97f4a7c15ULL;  // splitmix64 round
+      h2 ^= h2 >> 30;
+      h2 *= 0xbf58476d1ce4e5b9ULL;
+      h2 ^= h2 >> 27;
+    };
+    for (std::uint32_t l : loc) mix(l);
     for (double o : offsets) {
       std::uint64_t bits;
       std::memcpy(&bits, &o, sizeof bits);
-      k.push_back(bits);
+      mix(bits);
     }
-    for (const MsgSlot& s : slots)
-      k.push_back((s.active ? 1ULL << 63 : 0) | (static_cast<std::uint64_t>(s.dst) << 32) |
-                  s.label);
-    std::uint64_t flags = 0;
-    for (std::size_t e = 0; e < risky.size(); ++e)
-      flags |= (static_cast<std::uint64_t>(risky[e]) << (2 * e)) |
-               (static_cast<std::uint64_t>(ever_exited[e]) << (2 * e + 1));
-    k.push_back(flags);
-    for (std::uint8_t v : input_val) k.push_back(v);
-    k.push_back((static_cast<std::uint64_t>(losses) << 40) |
-                (static_cast<std::uint64_t>(input_changes) << 20) | injections);
-    return k;
-  }
-};
-
-struct KeyHash {
-  std::size_t operator()(const std::vector<std::uint64_t>& k) const {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (std::uint64_t v : k) {
-      h ^= v;
-      h *= 0x100000001b3ULL;
-    }
-    return static_cast<std::size_t>(h);
+    for (std::uint64_t s : slots) mix(s);
+    mix(risky | (static_cast<std::uint64_t>(ever_exited) << 32));
+    for (std::uint8_t v : input_val) mix(v);
+    mix((static_cast<std::uint64_t>(losses) << 40) |
+        (static_cast<std::uint64_t>(input_changes) << 20) | injections);
+    return DKey{h1, h2};
   }
 };
 
@@ -75,68 +94,249 @@ struct KeyHash {
 /// counterexample concretizer can re-execute the abstract path exactly
 /// (without extrapolation) and invert it.
 struct Op {
-  enum class Kind { kConstrain, kReset } kind = Kind::kConstrain;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  Bound b{};
+  enum class Kind : std::uint8_t { kConstrain, kReset };
+  Kind kind = Kind::kConstrain;
+  std::uint8_t i = 0;
+  std::uint8_t j = 0;
+  PackedBound b = 0;
 
-  static Op constrain(std::size_t i, std::size_t j, Bound b) {
-    return Op{Kind::kConstrain, i, j, b};
+  static Op constrain(std::size_t i, std::size_t j, PackedBound b) {
+    return Op{Kind::kConstrain, static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(j),
+              b};
   }
-  static Op reset(std::size_t clock) { return Op{Kind::kReset, clock, 0, Bound{}}; }
+  static Op reset(std::size_t clock) {
+    return Op{Kind::kReset, static_cast<std::uint8_t>(clock), 0, 0};
+  }
+};
+
+/// Narrative event recorded during symbolic execution — rendered to text
+/// only if the step ends up on a counterexample path (string formatting
+/// used to be a measurable slice of the exploration hot path).
+struct TraceRec {
+  enum class Kind : std::uint8_t { kFire, kSend, kLost, kSet };
+  Kind kind = Kind::kFire;
+  std::uint32_t a = 0;  // kFire: automaton; kSend/kLost: label; kSet: toggle index
+  std::uint32_t b = 0;  // kFire: src location
+  std::uint32_t c = 0;  // kFire: dst location
+
+  static TraceRec fire(std::size_t automaton, std::size_t src, std::size_t dst) {
+    return TraceRec{Kind::kFire, static_cast<std::uint32_t>(automaton),
+                    static_cast<std::uint32_t>(src), static_cast<std::uint32_t>(dst)};
+  }
+  static TraceRec send(hybrid::LabelId label, bool lost) {
+    return TraceRec{lost ? Kind::kLost : Kind::kSend, label, 0, 0};
+  }
+  static TraceRec set(std::size_t toggle) {
+    return TraceRec{Kind::kSet, static_cast<std::uint32_t>(toggle), 0, 0};
+  }
 };
 
 struct Step {
-  enum class Kind { kInit, kTimed, kCondition, kDeliver, kInject, kToggle, kViolation } kind =
-      Kind::kInit;
-  std::size_t automaton = 0;
-  std::size_t slot = 0;
-  std::string root;          // deliver / inject event root
-  bool consumed = false;     // deliver / inject: did an edge fire?
-  std::vector<Op> ops;       // invariants + guards + resets, in order
-  struct Send {
-    std::size_t slot = 0;
-    bool lost = false;
-    std::size_t dst = 0;
-    std::string root;
+  enum class Kind : std::uint8_t {
+    kInit,
+    kTimed,
+    kCondition,
+    kDeliver,
+    kInject,
+    kToggle,
+    kViolation
   };
-  std::vector<Send> sends;   // wireless emissions of this instant, in order
-  std::vector<std::string> notes;
-};
-
-struct Node {
-  DState d;
-  Zone z;  // settled, extrapolated
-  std::int64_t parent = -1;
-  Step step;
+  Kind kind = Kind::kInit;
+  bool consumed = false;  // deliver / inject: did an edge fire?
+  std::uint32_t automaton = 0;
+  std::uint32_t slot = 0;  // deliver: message slot; toggle: toggle index
+  hybrid::LabelId root = hybrid::kNoLabel;  // deliver / inject event root
+  util::SmallVec<Op, 24> ops;  // invariants + guards + resets, in order
+  struct Send {
+    std::uint32_t slot = 0;
+    std::uint32_t dst = 0;
+    hybrid::LabelId label = hybrid::kNoLabel;
+    bool lost = false;
+  };
+  util::SmallVec<Send, 4> sends;      // wireless emissions of this instant
+  util::SmallVec<TraceRec, 8> trace;  // narrative, in note order
 };
 
 struct Outcome {
   DState d;
-  Zone z = Zone(0);  // exact (extrapolation happens at enqueue)
+  Zone z = Zone(0);  // exact (extrapolation happens at emit)
   Step step;
 };
 
-/// Thrown when a violation is reachable; unwinds the search.
+/// One stored search state.  `prank`/`ordinal` form the canonical
+/// successor key (parent's global rank, branch ordinal within the
+/// parent's deterministic expansion) that orders every store mutation —
+/// the whole reason results are bit-identical across thread counts.
+struct Node {
+  DState d;
+  Zone z;  // settled, extrapolated
+  Step step;
+  const Node* parent = nullptr;
+  std::uint64_t prank = 0;
+  std::uint32_t ordinal = 0;
+  std::uint64_t rank = 0;  // global canonical rank within its round
+  bool stale = false;      // evicted by a subsuming zone before expansion
+
+  Node(Outcome&& o, const Node* parent_, std::uint64_t prank_, std::uint32_t ordinal_)
+      : d(std::move(o.d)),
+        z(std::move(o.z)),
+        step(std::move(o.step)),
+        parent(parent_),
+        prank(prank_),
+        ordinal(ordinal_) {}
+};
+
+/// Thrown when a violation is reachable; unwinds one node's expansion.
 struct FoundViolation {
   core::PteViolationKind kind;
   std::size_t entity = 0;
   std::size_t other = 0;
   std::string description;
-  std::int64_t parent = -1;  // node the violating step starts from
-  Step step;                 // the violating step (ops include the check)
+  Step step;  // the violating step (ops include the check)
 };
 
-class Checker {
- public:
-  Checker(const CompiledModel& model, const VerifyOptions& options)
-      : m_(model), opt_(options) {}
+struct RoundViolation {
+  FoundViolation v;
+  const Node* parent = nullptr;  // node the violating step starts from
+  std::uint64_t rank = 0;        // parent's rank — canonical tie-break
+};
 
-  VerifyResult run();
+struct Pending {
+  Outcome o;  // z extrapolated
+  DKey key;
+  const Node* parent = nullptr;
+  std::uint64_t parent_rank = 0;
+  std::uint32_t ordinal = 0;
+};
+
+bool pending_before(const Pending& a, const Pending& b) {
+  if (a.parent_rank != b.parent_rank) return a.parent_rank < b.parent_rank;
+  return a.ordinal < b.ordinal;
+}
+
+// -- worker gang ------------------------------------------------------------
+// Persistent threads with a broadcast-and-join barrier; the checker runs
+// two phases per round (expand, absorb) on the same workers.  With one
+// worker everything runs inline on the calling thread.
+class Gang {
+ public:
+  explicit Gang(std::size_t workers) : n_(workers) {
+    for (std::size_t w = 1; w < n_; ++w)
+      threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+  ~Gang() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  std::size_t workers() const { return n_; }
+
+  /// Run fn(w) for every w in [0, workers); blocks until all are done.
+  /// fn must not throw (workers capture errors into their shard).
+  void run(const std::function<void(std::size_t)>& fn) {
+    if (n_ == 1) {
+      fn(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fn_ = &fn;
+      pending_ = n_ - 1;
+      ++generation_;
+    }
+    cv_.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+  }
 
  private:
+  void worker_loop(std::size_t w) {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        fn = fn_;
+      }
+      (*fn)(w);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::size_t n_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+// -- symbolic expansion -----------------------------------------------------
+// One Expander per worker: re-executes the engine's instant semantics on
+// (discrete state, zone) pairs and emits successors into per-target-shard
+// buffers.  No shared mutable state — violations unwind by exception and
+// are recorded by the worker loop.
+class Expander {
+ public:
+  Expander(const CompiledModel& model, const VerifyOptions& options, std::size_t shards)
+      : m_(model), opt_(options), shards_(shards), out_(shards) {}
+
+  /// Per-target-shard successor buffers (consumed by the absorb phase).
+  std::vector<std::vector<Pending>>& out() { return out_; }
+  std::uint64_t transitions() const { return transitions_; }
+
+  /// Expand `n`: every successor of its settled state, in deterministic
+  /// order.  Throws FoundViolation when a violating step is reachable.
+  void expand(const Node* n) {
+    parent_ = n;
+    parent_rank_ = n->rank;
+    ordinal_ = 0;
+    process(n->d, n->z);
+  }
+
+  /// Seed the search: Engine::init() mirrored symbolically.
+  void seed() {
+    parent_ = nullptr;
+    parent_rank_ = 0;
+    ordinal_ = 0;
+    build_initial();
+  }
+
+ private:
+  // -- emit (the old enqueue, minus the store half) -------------------------
+  // Extrapolation happens on the consumer side, and only for zones that
+  // survive the subsumption drop — dropping is sound on the exact zone
+  // (it is tighter than its extrapolation, so it catches strictly more).
+  void emit(Outcome o) {
+    if (o.z.is_empty()) return;
+    ++transitions_;
+    Pending p;
+    p.key = o.d.key();
+    p.parent = parent_;
+    p.parent_rank = parent_rank_;
+    p.ordinal = ordinal_++;
+    p.o = std::move(o);
+    out_[p.key.h1 % shards_].push_back(std::move(p));
+  }
+
   // -- zone-op helpers ------------------------------------------------------
-  bool apply_constrain(Outcome& o, std::size_t i, std::size_t j, Bound b) {
+  bool apply_constrain(Outcome& o, std::size_t i, std::size_t j, PackedBound b) {
     o.step.ops.push_back(Op::constrain(i, j, b));
     o.z.constrain(i, j, b);
     return !o.z.is_empty();
@@ -166,32 +366,32 @@ class Checker {
   Op atom_assert(const ClockAtom& atom, const DState& d) const {
     const double k = atom_bound(atom, d);
     if (atom.cmp == hybrid::Cmp::kGe || atom.cmp == hybrid::Cmp::kGt)
-      return Op::constrain(0, atom.clock, Bound::le(-k));
-    return Op::constrain(atom.clock, 0, Bound::le(k));
+      return Op::constrain(0, atom.clock, packed_le(-k));
+    return Op::constrain(atom.clock, 0, packed_le(k));
   }
   Op atom_negate(const ClockAtom& atom, const DState& d) const {
     const double k = atom_bound(atom, d);
     if (atom.cmp == hybrid::Cmp::kGe || atom.cmp == hybrid::Cmp::kGt)
-      return Op::constrain(atom.clock, 0, Bound::lt(k));
-    return Op::constrain(0, atom.clock, Bound::lt(-k));
+      return Op::constrain(atom.clock, 0, packed_lt(k));
+    return Op::constrain(0, atom.clock, packed_lt(-k));
   }
 
-  /// Guard of `e` as zone ops (min_dwell + clock atoms); nullopt when the
-  /// guard needs more than one clock conjunct (unsupported for the
-  /// fall-through split — rejected at compile for the shapes that need
-  /// it, so at most one op ever comes back here).
-  std::vector<Op> guard_ops(const CompiledEdge& e, std::size_t a, const DState& d) const {
-    std::vector<Op> ops;
+  /// Guard of `e` as zone ops (min_dwell + clock atoms); at most one op
+  /// ever comes back for the fall-through split (rejected at compile for
+  /// the shapes that would need more).
+  util::SmallVec<Op, 4> guard_ops(const CompiledEdge& e, std::size_t a,
+                                  const DState& d) const {
+    util::SmallVec<Op, 4> ops;
     if (e.min_dwell > 0.0)
-      ops.push_back(Op::constrain(0, m_.clocks.dwell(a), Bound::le(-e.min_dwell)));
+      ops.push_back(Op::constrain(0, m_.clocks.dwell(a), packed_le(-e.min_dwell)));
     for (const ClockAtom& atom : e.atoms) ops.push_back(atom_assert(atom, d));
     return ops;
   }
-  std::vector<Op> guard_negations(const CompiledEdge& e, std::size_t a,
-                                  const DState& d) const {
-    std::vector<Op> ops;
+  util::SmallVec<Op, 4> guard_negations(const CompiledEdge& e, std::size_t a,
+                                        const DState& d) const {
+    util::SmallVec<Op, 4> ops;
     if (e.min_dwell > 0.0)
-      ops.push_back(Op::constrain(m_.clocks.dwell(a), 0, Bound::lt(e.min_dwell)));
+      ops.push_back(Op::constrain(m_.clocks.dwell(a), 0, packed_lt(e.min_dwell)));
     for (const ClockAtom& atom : e.atoms) ops.push_back(atom_negate(atom, d));
     return ops;
   }
@@ -214,84 +414,97 @@ class Checker {
           dwell_cap = std::min(dwell_cap, e.min_dwell);
         for (const ClockAtom& atom : e.atoms) {
           if (atom.cmp == hybrid::Cmp::kGe || atom.cmp == hybrid::Cmp::kGt)
-            apply_constrain(o, atom.clock, 0, Bound::le(atom_bound(atom, o.d)));
+            apply_constrain(o, atom.clock, 0, packed_le(atom_bound(atom, o.d)));
         }
       }
       if (std::isfinite(dwell_cap))
-        apply_constrain(o, m_.clocks.dwell(a), 0, Bound::le(dwell_cap));
+        apply_constrain(o, m_.clocks.dwell(a), 0, packed_le(dwell_cap));
     }
     for (std::size_t s = 0; s < o.d.slots.size(); ++s) {
-      if (o.d.slots[s].active)
-        apply_constrain(o, m_.clocks.msg(s), 0, Bound::le(m_.delivery_max));
+      if (slot_active(o.d.slots[s]))
+        apply_constrain(o, m_.clocks.msg(s), 0, packed_le(m_.delivery_max));
     }
   }
 
   // -- PTE violation checks -------------------------------------------------
   [[noreturn]] void report(core::PteViolationKind kind, std::size_t entity,
                            std::size_t other, std::string desc, const Step& step) {
-    Step s = step;
-    s.notes.push_back(util::cat("VIOLATION: ", core::violation_kind_str(kind), ": ", desc));
-    throw FoundViolation{kind, entity, other, std::move(desc), parent_, std::move(s)};
+    throw FoundViolation{kind, entity, other, std::move(desc), step};
   }
 
-  /// If `o.z` ∧ extra is non-empty, the violation is reachable.
-  void check_timing(Outcome o, Op extra, core::PteViolationKind kind, std::size_t entity,
-                    std::size_t other, const std::string& desc) {
-    if (!apply_constrain(o, extra.i, extra.j, extra.b)) return;
-    report(kind, entity, other, desc, o.step);
+  /// If `o.z` ∧ extra is non-empty, the violation is reachable.  The
+  /// O(1) feasibility pre-check avoids copying the outcome on the common
+  /// (safe) path, and the description is built lazily — only on the
+  /// (rare) violating path.
+  template <typename DescFn>
+  void check_timing(const Outcome& o, Step::Kind step_kind, Op extra,
+                    core::PteViolationKind kind, std::size_t entity, std::size_t other,
+                    DescFn&& desc) {
+    if (!o.z.feasible(extra.i, extra.j, extra.b)) return;
+    Outcome probe = o;
+    probe.step.kind = step_kind;
+    if (!apply_constrain(probe, extra.i, extra.j, extra.b)) return;
+    report(kind, entity, other, desc(), probe.step);
   }
 
   void entity_enter_risky(Outcome& o, std::size_t e) {
     const std::size_t n = m_.monitor.n_entities;
+    const std::uint32_t bit = 1u << (e - 1);
     if (opt_.check_embedding) {
       if (e >= 2) {
-        if (!o.d.risky[e - 2]) {
+        if (!(o.d.risky & (bit >> 1))) {
           report(core::PteViolationKind::kOrderEmbedding, e, e - 1,
                  util::cat("xi", e, " entered risky while xi", e - 1,
                            " was in safe-locations"),
                  o.step);
         }
         const double required = m_.monitor.t_risky_min[e - 2];
-        check_timing(o, Op::constrain(m_.clocks.risky(e - 1), 0, Bound::lt(required)),
-                     core::PteViolationKind::kEnterSafeguard, e, e - 1,
-                     util::cat("xi", e, " can enter risky less than T^min_risky=",
-                               util::fmt_compact(required), "s after xi", e - 1));
+        check_timing(o, o.step.kind,
+                     Op::constrain(m_.clocks.risky(e - 1), 0, packed_lt(required)),
+                     core::PteViolationKind::kEnterSafeguard, e, e - 1, [&] {
+                       return util::cat("xi", e, " can enter risky less than T^min_risky=",
+                                        util::fmt_compact(required), "s after xi", e - 1);
+                     });
       }
-      if (e < n && o.d.risky[e]) {
+      if (e < n && (o.d.risky & (bit << 1))) {
         report(core::PteViolationKind::kOrderEmbedding, e, e + 1,
                util::cat("xi", e, " (re)entered risky while xi", e + 1,
                          " was already risky — embedding order lost"),
                o.step);
       }
     }
-    o.d.risky[e - 1] = 1;
+    o.d.risky |= bit;
     apply_reset(o, m_.clocks.risky(e));
   }
 
   void entity_exit_risky(Outcome& o, std::size_t e) {
     const std::size_t n = m_.monitor.n_entities;
+    const std::uint32_t bit = 1u << (e - 1);
     if (opt_.check_dwell_bound) {
       const double bound = m_.monitor.dwell_bounds[e - 1];
-      check_timing(o, Op::constrain(0, m_.clocks.risky(e), Bound::lt(-bound)),
-                   core::PteViolationKind::kDwellBound, e, 0,
-                   util::cat("xi", e, " can dwell in risky-locations beyond the bound ",
-                             util::fmt_compact(bound), "s"));
+      check_timing(o, o.step.kind, Op::constrain(0, m_.clocks.risky(e), packed_lt(-bound)),
+                   core::PteViolationKind::kDwellBound, e, 0, [&] {
+                     return util::cat("xi", e,
+                                      " can dwell in risky-locations beyond the bound ",
+                                      util::fmt_compact(bound), "s");
+                   });
     }
     if (opt_.check_embedding && e < n) {
-      if (o.d.risky[e]) {
+      if (o.d.risky & (bit << 1)) {
         report(core::PteViolationKind::kOrderEmbedding, e, e + 1,
                util::cat("xi", e, " exited risky while xi", e + 1, " was still risky"),
                o.step);
       }
-      if (o.d.ever_exited[e]) {
+      if ((o.d.ever_exited & (bit << 1)) &&
+          o.z.feasible(m_.clocks.safe(e + 1), m_.clocks.risky(e), packed_le(0.0))) {
         // p3: the upper neighbor's latest exit fell inside this entity's
         // current risky interval (safe(e+1) <= risky(e)) and less than
         // T^min_safe ago.
         Outcome probe = o;
         const double required = m_.monitor.t_safe_min[e - 1];
         if (apply_constrain(probe, m_.clocks.safe(e + 1), m_.clocks.risky(e),
-                            Bound::le(0.0)) &&
-            apply_constrain(probe, m_.clocks.safe(e + 1), 0, Bound::lt(required))) {
+                            packed_le(0.0)) &&
+            apply_constrain(probe, m_.clocks.safe(e + 1), 0, packed_lt(required))) {
           report(core::PteViolationKind::kExitSafeguard, e, e + 1,
                  util::cat("xi", e, " can exit risky less than T^min_safe=",
                            util::fmt_compact(required), "s after xi", e + 1),
@@ -299,19 +512,22 @@ class Checker {
         }
       }
     }
-    o.d.risky[e - 1] = 0;
-    o.d.ever_exited[e - 1] = 1;
+    o.d.risky &= ~bit;
+    o.d.ever_exited |= bit;
     apply_reset(o, m_.clocks.safe(e));
   }
 
   // -- symbolic execution of one instant ------------------------------------
-  std::vector<Outcome> fire_edge_sym(Outcome o, std::size_t a, std::size_t edge_idx,
-                                     int depth) {
+  // All three walkers append their final (settled) outcomes to `done` —
+  // accumulating through one sink instead of returning per-level vectors
+  // keeps the branching cascade free of intermediate vector churn.
+  void fire_edge_sym(Outcome o, std::size_t a, std::size_t edge_idx, int depth,
+                     std::vector<Outcome>& done) {
     PTE_CHECK(depth < 64, "verify: cascade of same-instant transitions too deep");
     const CompiledAutomaton& ca = m_.automata[a];
     const CompiledEdge& e = ca.edges[edge_idx];
     PTE_CHECK(o.d.loc[a] == e.src, "verify: firing edge from wrong location");
-    o.step.notes.push_back(util::cat(ca.name, ": #", e.src, " -> #", e.dst));
+    o.step.trace.push_back(TraceRec::fire(a, e.src, e.dst));
 
     for (const auto& [didx, offset] : e.deadline_sets) {
       o.d.offsets[didx] = offset;
@@ -320,7 +536,7 @@ class Checker {
 
     const bool was_risky = ca.locations[e.src].risky;
     const bool is_risky = ca.locations[e.dst].risky;
-    o.d.loc[a] = e.dst;
+    o.d.loc[a] = static_cast<std::uint32_t>(e.dst);
     apply_reset(o, m_.clocks.dwell(a));
 
     const std::size_t entity = m_.entity_of_automaton[a];
@@ -341,22 +557,22 @@ class Checker {
             next.push_back(std::move(oc));
             break;
           case CompiledEdge::Emit::Route::kWired: {
-            for (Outcome& r :
-                 dispatch_sym(std::move(oc), emit.dst_automaton, emit.label, depth + 1))
-              next.push_back(std::move(r));
+            dispatch_sym(std::move(oc), emit.dst_automaton, emit.label, depth + 1, next);
             break;
           }
           case CompiledEdge::Emit::Route::kWireless: {
             if (oc.d.losses < opt_.max_losses) {
               Outcome lost = oc;
               ++lost.d.losses;
-              lost.step.sends.push_back(Step::Send{0, true, emit.dst_automaton, emit.root});
-              lost.step.notes.push_back(util::cat("  LOST ", emit.root));
+              lost.step.sends.push_back(
+                  Step::Send{0, static_cast<std::uint32_t>(emit.dst_automaton), emit.label,
+                             true});
+              lost.step.trace.push_back(TraceRec::send(emit.label, true));
               next.push_back(std::move(lost));
             }
             std::size_t slot = kNone;
             for (std::size_t s = 0; s < oc.d.slots.size(); ++s) {
-              if (!oc.d.slots[s].active) {
+              if (!slot_active(oc.d.slots[s])) {
                 slot = s;
                 break;
               }
@@ -364,11 +580,12 @@ class Checker {
             PTE_REQUIRE(slot != kNone,
                         "verify: too many concurrent in-flight messages — raise "
                         "max_in_flight");
-            oc.d.slots[slot] =
-                MsgSlot{true, emit.label, static_cast<std::uint32_t>(emit.dst_automaton)};
+            oc.d.slots[slot] = make_slot(emit.label, emit.dst_automaton);
             apply_reset(oc, m_.clocks.msg(slot));
-            oc.step.sends.push_back(Step::Send{slot, false, emit.dst_automaton, emit.root});
-            oc.step.notes.push_back(util::cat("  send ", emit.root));
+            oc.step.sends.push_back(Step::Send{static_cast<std::uint32_t>(slot),
+                                               static_cast<std::uint32_t>(emit.dst_automaton),
+                                               emit.label, false});
+            oc.step.trace.push_back(TraceRec::send(emit.label, false));
             next.push_back(std::move(oc));
             break;
           }
@@ -377,304 +594,565 @@ class Checker {
       cur = std::move(next);
     }
 
-    std::vector<Outcome> done;
-    for (Outcome& oc : cur) {
-      for (Outcome& r : settle_sym(std::move(oc), a, depth + 1)) done.push_back(std::move(r));
-    }
-    return done;
+    for (Outcome& oc : cur) settle_sym(std::move(oc), a, depth + 1, done);
   }
 
   /// Mirror of Engine::settle_conditions — walk the (new) location's
   /// condition edges in order, splitting the zone where a guard may or
   /// may not hold at this instant.
-  std::vector<Outcome> settle_sym(Outcome o, std::size_t a, int depth) {
-    std::vector<Outcome> out;
+  void settle_sym(Outcome o, std::size_t a, int depth, std::vector<Outcome>& done) {
     const CompiledLocation& loc = m_.automata[a].locations[o.d.loc[a]];
     for (std::size_t ci : loc.condition_edges) {
       const CompiledEdge& e = m_.automata[a].edges[ci];
       if (!edge_enabled(e, o.d)) continue;
-      const std::vector<Op> asserts = guard_ops(e, a, o.d);
+      const auto asserts = guard_ops(e, a, o.d);
       if (asserts.empty()) {
         // Unconditionally enabled: fires right now (first in settle order
         // wins, exactly like the engine).
-        for (Outcome& r : fire_edge_sym(std::move(o), a, ci, depth + 1))
-          out.push_back(std::move(r));
-        return out;
+        fire_edge_sym(std::move(o), a, ci, depth + 1, done);
+        return;
       }
       PTE_CHECK(asserts.size() == 1, "verify: condition guard with several clock conjuncts");
-      Outcome fire = o;
-      if (apply_constrain(fire, asserts[0].i, asserts[0].j, asserts[0].b)) {
-        for (Outcome& r : fire_edge_sym(std::move(fire), a, ci, depth + 1))
-          out.push_back(std::move(r));
+      if (o.z.feasible(asserts[0].i, asserts[0].j, asserts[0].b)) {
+        Outcome fire = o;
+        apply_constrain(fire, asserts[0].i, asserts[0].j, asserts[0].b);
+        fire_edge_sym(std::move(fire), a, ci, depth + 1, done);
       }
-      const std::vector<Op> negs = guard_negations(e, a, o.d);
-      if (!apply_constrain(o, negs[0].i, negs[0].j, negs[0].b)) return out;
+      const auto negs = guard_negations(e, a, o.d);
+      if (!apply_constrain(o, negs[0].i, negs[0].j, negs[0].b)) return;
     }
-    out.push_back(std::move(o));
-    return out;
+    done.push_back(std::move(o));
   }
 
   /// Mirror of Engine::dispatch_event: first matching enabled edge
   /// consumes; a guard that may or may not hold splits the zone, the
   /// falling-through part trying the next edge.  The terminal outcome
-  /// (no edge consumed) is returned with step.consumed == false.
-  std::vector<Outcome> dispatch_sym(Outcome o, std::size_t a, hybrid::LabelId label,
-                                    int depth) {
-    std::vector<Outcome> out;
+  /// (no edge consumed) is appended with step.consumed == false.
+  void dispatch_sym(Outcome o, std::size_t a, hybrid::LabelId label, int depth,
+                    std::vector<Outcome>& done) {
     const CompiledLocation& loc = m_.automata[a].locations[o.d.loc[a]];
     for (std::size_t ei : loc.event_edges) {
       const CompiledEdge& e = m_.automata[a].edges[ei];
       if (e.trigger != label || !edge_enabled(e, o.d)) continue;
-      const std::vector<Op> asserts = guard_ops(e, a, o.d);
+      const auto asserts = guard_ops(e, a, o.d);
       if (asserts.empty()) {
         o.step.consumed = true;
-        for (Outcome& r : fire_edge_sym(std::move(o), a, ei, depth + 1))
-          out.push_back(std::move(r));
-        return out;
+        fire_edge_sym(std::move(o), a, ei, depth + 1, done);
+        return;
       }
       PTE_REQUIRE(asserts.size() == 1,
                   "verify: event-edge guard with several clock conjuncts — unsupported");
-      Outcome fire = o;
-      if (apply_constrain(fire, asserts[0].i, asserts[0].j, asserts[0].b)) {
+      if (o.z.feasible(asserts[0].i, asserts[0].j, asserts[0].b)) {
+        Outcome fire = o;
+        apply_constrain(fire, asserts[0].i, asserts[0].j, asserts[0].b);
         fire.step.consumed = true;
-        for (Outcome& r : fire_edge_sym(std::move(fire), a, ei, depth + 1))
-          out.push_back(std::move(r));
+        fire_edge_sym(std::move(fire), a, ei, depth + 1, done);
       }
-      const std::vector<Op> negs = guard_negations(e, a, o.d);
-      if (!apply_constrain(o, negs[0].i, negs[0].j, negs[0].b)) return out;
+      const auto negs = guard_negations(e, a, o.d);
+      if (!apply_constrain(o, negs[0].i, negs[0].j, negs[0].b)) return;
     }
-    out.push_back(std::move(o));  // ignored delivery
-    return out;
+    done.push_back(std::move(o));  // ignored delivery
   }
 
   // -- successor generation -------------------------------------------------
-  void process(std::size_t node_idx);
-  void enqueue(Outcome o, std::int64_t parent);
-  void build_initial();
+  void build_initial() {
+    DState d;
+    d.loc.assign(m_.automata.size(), 0);
+    for (std::size_t a = 0; a < m_.automata.size(); ++a)
+      d.loc[a] = static_cast<std::uint32_t>(m_.automata[a].initial_location);
+    d.offsets.assign(m_.deadlines.size(), 0.0);
+    for (std::size_t i = 0; i < m_.deadlines.size(); ++i)
+      d.offsets[i] = m_.deadlines[i].initial_offset;
+    d.slots.assign(m_.max_in_flight, 0);
+    d.input_val.assign(m_.inputs.size(), 0);
 
-  Counterexample concretize(const FoundViolation& v);
+    Outcome o;
+    o.d = std::move(d);
+    o.z = Zone(m_.clocks.count);
+    o.step.kind = Step::Kind::kInit;
+
+    // Engine::init(): enter all initial locations (monitor observes risky
+    // initial locations), then settle each automaton in index order.
+    for (std::size_t a = 0; a < m_.automata.size(); ++a) {
+      const std::size_t entity = m_.entity_of_automaton[a];
+      if (entity > 0 && m_.automata[a].locations[o.d.loc[a]].risky)
+        entity_enter_risky(o, entity);
+    }
+    std::vector<Outcome> cur;
+    cur.push_back(std::move(o));
+    for (std::size_t a = 0; a < m_.automata.size(); ++a) {
+      std::vector<Outcome> next;
+      for (Outcome& oc : cur) {
+        settle_sym(std::move(oc), a, 0, next);
+      }
+      cur = std::move(next);
+    }
+    for (Outcome& oc : cur) emit(std::move(oc));
+  }
+
+  void process(const DState& d, const Zone& z) {
+    Outcome base;
+    base.d = d;
+    base.z = z;
+    base.z.up();
+    apply_invariants(base);
+    if (base.z.is_empty()) return;
+
+    // Rule 1: can any risky entity outlast its dwell bound?  (Checked on
+    // the delayed zone: also covers "still risky at any horizon".)
+    if (opt_.check_dwell_bound) {
+      for (std::size_t e = 1; e <= m_.monitor.n_entities; ++e) {
+        if (!(base.d.risky & (1u << (e - 1)))) continue;
+        const double bound = m_.monitor.dwell_bounds[e - 1];
+        check_timing(base, Step::Kind::kViolation,
+                     Op::constrain(0, m_.clocks.risky(e), packed_lt(-bound)),
+                     core::PteViolationKind::kDwellBound, e, 0, [&] {
+                       return util::cat("xi", e,
+                                        " can dwell in risky-locations beyond the bound ",
+                                        util::fmt_compact(bound), "s");
+                     });
+      }
+    }
+
+    // Timed edges: the earliest statically-enabled dwell fires (insertion
+    // order breaks ties, like the engine's scheduler FIFO).
+    for (std::size_t a = 0; a < m_.automata.size(); ++a) {
+      const CompiledLocation& loc = m_.automata[a].locations[base.d.loc[a]];
+      double dwell_min = std::numeric_limits<double>::infinity();
+      std::size_t winner = kNone;
+      for (std::size_t ti : loc.timed_edges) {
+        const CompiledEdge& e = m_.automata[a].edges[ti];
+        if (edge_enabled(e, base.d) && e.dwell < dwell_min) {
+          dwell_min = e.dwell;
+          winner = ti;
+        }
+      }
+      if (winner == kNone) continue;
+      if (!base.z.feasible(0, m_.clocks.dwell(a), packed_le(-dwell_min))) continue;
+      Outcome o = base;
+      o.step.kind = Step::Kind::kTimed;
+      o.step.automaton = static_cast<std::uint32_t>(a);
+      apply_constrain(o, 0, m_.clocks.dwell(a), packed_le(-dwell_min));
+      scratch_.clear();
+      fire_edge_sym(std::move(o), a, winner, 0, scratch_);
+      for (Outcome& r : scratch_) emit(std::move(r));
+    }
+
+    // Condition edges pending a deadline crossing (or a min-dwell).
+    for (std::size_t a = 0; a < m_.automata.size(); ++a) {
+      const CompiledLocation& loc = m_.automata[a].locations[base.d.loc[a]];
+      for (std::size_t ci : loc.condition_edges) {
+        const CompiledEdge& e = m_.automata[a].edges[ci];
+        if (!edge_enabled(e, base.d)) continue;
+        if (e.atoms.empty() && e.min_dwell == 0.0) {
+          PTE_CHECK(false, "verify: settled state holds an immediately-enabled condition edge");
+        }
+        // kLe/kLt atoms can only hold at entry (ages only grow); settled
+        // states cannot re-enable them.
+        if (!e.atoms.empty() && (e.atoms[0].cmp == hybrid::Cmp::kLe ||
+                                 e.atoms[0].cmp == hybrid::Cmp::kLt))
+          continue;
+        const auto asserts = guard_ops(e, a, base.d);
+        PTE_CHECK(asserts.size() == 1, "verify: condition guard arity");
+        if (!base.z.feasible(asserts[0].i, asserts[0].j, asserts[0].b)) continue;
+        Outcome o = base;
+        o.step.kind = Step::Kind::kCondition;
+        o.step.automaton = static_cast<std::uint32_t>(a);
+        apply_constrain(o, asserts[0].i, asserts[0].j, asserts[0].b);
+        scratch_.clear();
+        fire_edge_sym(std::move(o), a, ci, 0, scratch_);
+        for (Outcome& r : scratch_) emit(std::move(r));
+      }
+    }
+
+    // Message deliveries: any in-flight message may arrive once its age
+    // reaches the delivery window's lower edge.
+    for (std::size_t s = 0; s < base.d.slots.size(); ++s) {
+      if (!slot_active(base.d.slots[s])) continue;
+      Outcome o = base;
+      o.step.kind = Step::Kind::kDeliver;
+      o.step.slot = static_cast<std::uint32_t>(s);
+      o.step.root = slot_label(base.d.slots[s]);
+      const std::size_t dst = slot_dst(base.d.slots[s]);
+      const hybrid::LabelId label = slot_label(base.d.slots[s]);
+      if (m_.delivery_min > 0.0 &&
+          !apply_constrain(o, 0, m_.clocks.msg(s), packed_le(-m_.delivery_min)))
+        continue;
+      o.d.slots[s] = 0;
+      apply_reset(o, m_.clocks.msg(s));
+      scratch_.clear();
+      dispatch_sym(std::move(o), dst, label, 0, scratch_);
+      for (Outcome& r : scratch_) emit(std::move(r));
+    }
+
+    // Environment stimuli at any instant, within the injection budget.
+    if (base.d.injections < opt_.max_injections) {
+      for (const auto& stim : m_.stimuli) {
+        Outcome o = base;
+        o.step.kind = Step::Kind::kInject;
+        o.step.automaton = static_cast<std::uint32_t>(stim.automaton);
+        o.step.root = stim.label;
+        ++o.d.injections;
+        scratch_.clear();
+        dispatch_sym(std::move(o), stim.automaton, stim.label, 0, scratch_);
+        for (Outcome& r : scratch_) {
+          if (r.step.consumed) emit(std::move(r));
+        }
+      }
+    }
+
+    // Adversarial input writes (ApprovalCondition collapse etc.), within
+    // the input-change budget.  Engine::set_var settles the written
+    // automaton's condition edges at the same instant.
+    if (base.d.input_changes < opt_.max_input_changes) {
+      for (std::size_t ti = 0; ti < m_.toggles.size(); ++ti) {
+        const CompiledModel::CompiledToggle& tg = m_.toggles[ti];
+        if (base.d.input_val[tg.input] == tg.value_index) continue;
+        const CompiledModel::InputVar& iv = m_.inputs[tg.input];
+        Outcome o = base;
+        o.step.kind = Step::Kind::kToggle;
+        o.step.automaton = static_cast<std::uint32_t>(iv.automaton);
+        o.step.slot = static_cast<std::uint32_t>(ti);  // toggle index
+        o.d.input_val[tg.input] = static_cast<std::uint8_t>(tg.value_index);
+        ++o.d.input_changes;
+        o.step.trace.push_back(TraceRec::set(ti));
+        scratch_.clear();
+        settle_sym(std::move(o), iv.automaton, 0, scratch_);
+        for (Outcome& r : scratch_) emit(std::move(r));
+      }
+    }
+  }
+
+  const CompiledModel& m_;
+  const VerifyOptions& opt_;
+  std::size_t shards_;
+  std::vector<std::vector<Pending>> out_;
+  const Node* parent_ = nullptr;
+  std::uint64_t parent_rank_ = 0;
+  std::uint32_t ordinal_ = 0;
+  std::uint64_t transitions_ = 0;
+  std::vector<Outcome> scratch_;  // per-expansion sink, reused
+};
+
+// -- the checker ------------------------------------------------------------
+
+class Checker {
+ public:
+  Checker(const CompiledModel& model, const VerifyOptions& options)
+      : m_(model), opt_(options) {
+    PTE_REQUIRE(m_.monitor.n_entities <= 32, "verify: more than 32 PTE entities");
+    PTE_REQUIRE(m_.clocks.count < 255, "verify: more than 254 clocks");
+  }
+
+  VerifyResult run();
+
+ private:
+  /// One antichain member: the k-widened (NOT re-closed) matrix of a
+  /// stored zone plus its inclusion signature and owning node.  The
+  /// widened matrix represents the extrapolated set exactly for
+  /// "probe ⊆ stored" tests (entrywise, probe canonical), which is all
+  /// the finite-lattice termination argument needs — and skipping the
+  /// re-close removes the Floyd–Warshall that used to dominate the
+  /// profile.  Chains stay sorted ascending by signature so subset scans
+  /// touch only the plausible range: only entries with sig >= the
+  /// probe's can contain it, only entries with sig <= can be contained
+  /// by it.
+  struct AEntry {
+    std::int64_t sig = 0;
+    std::int64_t lower_sig = 0;  // second prune axis (row-0 sum)
+    Zone widened;
+    Node* node = nullptr;
+  };
+
+  /// Per-worker shard: nodes whose discrete hash maps here, their
+  /// antichain passed/waiting store, and the current/next round lists.
+  /// Padded so neighboring shards' hot counters don't share cache lines.
+  struct alignas(64) Shard {
+    std::deque<Node> nodes;
+    std::unordered_map<DKey, std::vector<AEntry>, DKeyHash> visited;
+    std::vector<Node*> round;  // ascending rank
+    std::vector<Node*> next;   // ascending (prank, ordinal)
+    std::vector<Pending> inbox;
+    std::vector<RoundViolation> violations;
+    std::exception_ptr error;
+    std::uint64_t explored = 0;
+  };
+
+  /// Absorb phase for shard `w`: gather every producer's pendings
+  /// targeted here, order them canonically, then run the subsumption
+  /// store.  The canonical sort is what makes the store's mutation
+  /// sequence — and with it the whole search — independent of thread
+  /// interleaving AND of the shard count (all states of one discrete
+  /// key land in the same shard, in the same relative order).
+  void absorb(std::size_t w, std::vector<Expander>& expanders) {
+    Shard& shard = shards_[w];
+    shard.inbox.clear();
+    for (Expander& e : expanders) {
+      auto& produced = e.out()[w];
+      for (Pending& p : produced) shard.inbox.push_back(std::move(p));
+      produced.clear();
+    }
+    // Sort an index permutation, not the (fat) pendings themselves.
+    std::vector<std::uint32_t> order(shard.inbox.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&shard](std::uint32_t a, std::uint32_t b) {
+      return pending_before(shard.inbox[a], shard.inbox[b]);
+    });
+    for (std::uint32_t idx : order) {
+      Pending& p = shard.inbox[idx];
+      auto& chain = shard.visited[p.key];
+      if (opt_.subsumption) {
+        // Drop test on the exact zone against the stored widened
+        // matrices: only chain entries with sig >= the probe's can
+        // contain it.  (Exact ⊆ widened is the same predicate as
+        // extrapolated ⊆ extrapolated would be, and catches more.)
+        const Zone::SigPair raw = p.o.z.signatures();
+        const std::int64_t raw_sig = raw.sig;
+        const std::int64_t raw_lower = raw.lower;
+        auto ge = std::lower_bound(
+            chain.begin(), chain.end(), raw_sig,
+            [](const AEntry& e, std::int64_t s) { return e.sig < s; });
+        bool subsumed = false;
+        for (auto it = ge; it != chain.end(); ++it) {
+          if (raw_lower > it->lower_sig) continue;
+          if (p.o.z.subset_of(it->widened)) {
+            subsumed = true;
+            break;
+          }
+        }
+        if (subsumed) continue;
+        Zone widened = p.o.z;
+        widened.widen(m_.max_constant);
+        const Zone::SigPair wsig = widened.signatures();
+        const std::int64_t sig = wsig.sig;
+        const std::int64_t lower = wsig.lower;
+        // The new zone may subsume visited ones (only sig <= candidates;
+        // entrywise widened <= widened is sufficient for set inclusion):
+        // evict them, and mark still-unexpanded victims stale so the
+        // expand phase skips them.
+        auto le = std::upper_bound(
+            chain.begin(), chain.end(), sig,
+            [](std::int64_t s, const AEntry& e) { return s < e.sig; });
+        auto keep = chain.begin();
+        for (auto it = chain.begin(); it != le; ++it) {
+          if (it->lower_sig <= lower && it->widened.subset_of(widened)) {
+            it->node->stale = true;
+            it->node->z = Zone(0);  // retire the unexpanded zone's matrix
+            continue;
+          }
+          if (keep != it) *keep = std::move(*it);
+          ++keep;
+        }
+        if (keep != le) {
+          chain.erase(std::move(le, chain.end(), keep), chain.end());
+        }
+        shard.nodes.emplace_back(std::move(p.o), p.parent, p.parent_rank, p.ordinal);
+        Node* node = &shard.nodes.back();
+        chain.insert(std::upper_bound(chain.begin(), chain.end(), sig,
+                                      [](std::int64_t s, const AEntry& e) {
+                                        return s < e.sig;
+                                      }),
+                     AEntry{sig, lower, std::move(widened), node});
+        shard.next.push_back(node);
+      } else {
+        // Exact-equality store (the cross-check oracle): no antichain,
+        // just extrapolated-zone deduplication.  Equal zones have equal
+        // signatures, so only that range is scanned.
+        p.o.z.extrapolate(m_.max_constant);
+        const std::int64_t sig = p.o.z.signature();
+        auto ge = std::lower_bound(
+            chain.begin(), chain.end(), sig,
+            [](const AEntry& e, std::int64_t s) { return e.sig < s; });
+        bool duplicate = false;
+        for (auto it = ge; it != chain.end() && it->sig == sig; ++it) {
+          if (it->node->z == p.o.z) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        shard.nodes.emplace_back(std::move(p.o), p.parent, p.parent_rank, p.ordinal);
+        Node* node = &shard.nodes.back();
+        chain.insert(ge, AEntry{sig, 0, Zone(0), node});
+        shard.next.push_back(node);
+      }
+    }
+    shard.inbox.clear();
+  }
+
+  /// Gang::run's fn must not throw — capture store failures (e.g.
+  /// bad_alloc while the antichain grows) into the shard and rethrow on
+  /// the main thread after the barrier, like the expand phase does.
+  void guarded_absorb(std::size_t w, std::vector<Expander>& expanders) {
+    try {
+      absorb(w, expanders);
+    } catch (...) {
+      shards_[w].error = std::current_exception();
+    }
+  }
+
+  /// Serial between-rounds step: merge the shards' accepted successors
+  /// (each already in canonical order) and assign global ranks.
+  std::size_t assign_ranks() {
+    std::vector<std::size_t> cursor(shards_.size(), 0);
+    std::uint64_t rank = 0;
+    std::size_t total = 0;
+    for (auto& s : shards_) total += s.next.size();
+    for (std::size_t done = 0; done < total; ++done) {
+      std::size_t best = kNone;
+      for (std::size_t w = 0; w < shards_.size(); ++w) {
+        if (cursor[w] >= shards_[w].next.size()) continue;
+        if (best == kNone) {
+          best = w;
+          continue;
+        }
+        const Node* a = shards_[w].next[cursor[w]];
+        const Node* b = shards_[best].next[cursor[best]];
+        if (a->prank < b->prank ||
+            (a->prank == b->prank && a->ordinal < b->ordinal))
+          best = w;
+      }
+      shards_[best].next[cursor[best]]->rank = rank++;
+      ++cursor[best];
+    }
+    for (auto& s : shards_) {
+      s.round = std::move(s.next);
+      s.next.clear();
+    }
+    return total;
+  }
+
+  Counterexample concretize(const RoundViolation& rv);
 
   const CompiledModel& m_;
   VerifyOptions opt_;
-  std::deque<Node> nodes_;
-  std::deque<std::size_t> queue_;
-  std::unordered_map<std::vector<std::uint64_t>, std::vector<Zone>, KeyHash> visited_;
-  std::int64_t parent_ = -1;  // node currently being expanded
-  std::size_t explored_ = 0;
-  std::size_t transitions_ = 0;
+  std::vector<Shard> shards_;
 };
 
-void Checker::enqueue(Outcome o, std::int64_t parent) {
-  if (o.z.is_empty()) return;
-  ++transitions_;
-  o.z.extrapolate(m_.max_constant);
-  auto& zones = visited_[o.d.key()];
-  for (const Zone& seen : zones) {
-    if (o.z.subset_of(seen)) return;
-  }
-  zones.erase(std::remove_if(zones.begin(), zones.end(),
-                             [&o](const Zone& seen) { return seen.subset_of(o.z); }),
-              zones.end());
-  zones.push_back(o.z);
-  nodes_.push_back(Node{std::move(o.d), std::move(o.z), parent, std::move(o.step)});
-  queue_.push_back(nodes_.size() - 1);
-}
-
-void Checker::build_initial() {
-  DState d;
-  d.loc.resize(m_.automata.size());
-  for (std::size_t a = 0; a < m_.automata.size(); ++a)
-    d.loc[a] = m_.automata[a].initial_location;
-  d.offsets.resize(m_.deadlines.size());
-  for (std::size_t i = 0; i < m_.deadlines.size(); ++i)
-    d.offsets[i] = m_.deadlines[i].initial_offset;
-  d.slots.resize(m_.max_in_flight);
-  d.risky.assign(m_.monitor.n_entities, 0);
-  d.ever_exited.assign(m_.monitor.n_entities, 0);
-  d.input_val.assign(m_.inputs.size(), 0);
-
-  Outcome o;
-  o.d = std::move(d);
-  o.z = Zone(m_.clocks.count);
-  o.step.kind = Step::Kind::kInit;
-
-  parent_ = -1;
-  // Engine::init(): enter all initial locations (monitor observes risky
-  // initial locations), then settle each automaton in index order.
-  for (std::size_t a = 0; a < m_.automata.size(); ++a) {
-    const std::size_t entity = m_.entity_of_automaton[a];
-    if (entity > 0 && m_.automata[a].locations[o.d.loc[a]].risky)
-      entity_enter_risky(o, entity);
-  }
-  std::vector<Outcome> cur;
-  cur.push_back(std::move(o));
-  for (std::size_t a = 0; a < m_.automata.size(); ++a) {
-    std::vector<Outcome> next;
-    for (Outcome& oc : cur) {
-      for (Outcome& r : settle_sym(std::move(oc), a, 0)) next.push_back(std::move(r));
-    }
-    cur = std::move(next);
-  }
-  for (Outcome& oc : cur) enqueue(std::move(oc), -1);
-}
-
-void Checker::process(std::size_t node_idx) {
-  parent_ = static_cast<std::int64_t>(node_idx);
-  Outcome base;
-  base.d = nodes_[node_idx].d;
-  base.z = nodes_[node_idx].z;
-  base.z.up();
-  apply_invariants(base);
-  if (base.z.is_empty()) return;
-
-  // Rule 1: can any risky entity outlast its dwell bound?  (Checked on
-  // the delayed zone: also covers "still risky at any horizon".)
-  if (opt_.check_dwell_bound) {
-    for (std::size_t e = 1; e <= m_.monitor.n_entities; ++e) {
-      if (!base.d.risky[e - 1]) continue;
-      const double bound = m_.monitor.dwell_bounds[e - 1];
-      Outcome probe = base;
-      probe.step.kind = Step::Kind::kViolation;
-      check_timing(std::move(probe), Op::constrain(0, m_.clocks.risky(e), Bound::lt(-bound)),
-                   core::PteViolationKind::kDwellBound, e, 0,
-                   util::cat("xi", e, " can dwell in risky-locations beyond the bound ",
-                             util::fmt_compact(bound), "s"));
-    }
-  }
-
-  // Timed edges: the earliest statically-enabled dwell fires (insertion
-  // order breaks ties, like the engine's scheduler FIFO).
-  for (std::size_t a = 0; a < m_.automata.size(); ++a) {
-    const CompiledLocation& loc = m_.automata[a].locations[base.d.loc[a]];
-    double dwell_min = std::numeric_limits<double>::infinity();
-    std::size_t winner = kNone;
-    for (std::size_t ti : loc.timed_edges) {
-      const CompiledEdge& e = m_.automata[a].edges[ti];
-      if (edge_enabled(e, base.d) && e.dwell < dwell_min) {
-        dwell_min = e.dwell;
-        winner = ti;
-      }
-    }
-    if (winner == kNone) continue;
-    Outcome o = base;
-    o.step.kind = Step::Kind::kTimed;
-    o.step.automaton = a;
-    if (!apply_constrain(o, 0, m_.clocks.dwell(a), Bound::le(-dwell_min))) continue;
-    for (Outcome& r : fire_edge_sym(std::move(o), a, winner, 0))
-      enqueue(std::move(r), parent_);
-  }
-
-  // Condition edges pending a deadline crossing (or a min-dwell).
-  for (std::size_t a = 0; a < m_.automata.size(); ++a) {
-    const CompiledLocation& loc = m_.automata[a].locations[base.d.loc[a]];
-    for (std::size_t ci : loc.condition_edges) {
-      const CompiledEdge& e = m_.automata[a].edges[ci];
-      if (!edge_enabled(e, base.d)) continue;
-      if (e.atoms.empty() && e.min_dwell == 0.0) {
-        PTE_CHECK(false, "verify: settled state holds an immediately-enabled condition edge");
-      }
-      // kLe/kLt atoms can only hold at entry (ages only grow); settled
-      // states cannot re-enable them.
-      if (!e.atoms.empty() && (e.atoms[0].cmp == hybrid::Cmp::kLe ||
-                               e.atoms[0].cmp == hybrid::Cmp::kLt))
-        continue;
-      Outcome o = base;
-      o.step.kind = Step::Kind::kCondition;
-      o.step.automaton = a;
-      const std::vector<Op> asserts = guard_ops(e, a, o.d);
-      PTE_CHECK(asserts.size() == 1, "verify: condition guard arity");
-      if (!apply_constrain(o, asserts[0].i, asserts[0].j, asserts[0].b)) continue;
-      for (Outcome& r : fire_edge_sym(std::move(o), a, ci, 0))
-        enqueue(std::move(r), parent_);
-    }
-  }
-
-  // Message deliveries: any in-flight message may arrive once its age
-  // reaches the delivery window's lower edge.
-  for (std::size_t s = 0; s < base.d.slots.size(); ++s) {
-    if (!base.d.slots[s].active) continue;
-    Outcome o = base;
-    o.step.kind = Step::Kind::kDeliver;
-    o.step.slot = s;
-    o.step.root = m_.labels.root_of(base.d.slots[s].label);
-    const std::size_t dst = base.d.slots[s].dst;
-    const hybrid::LabelId label = base.d.slots[s].label;
-    if (m_.delivery_min > 0.0 &&
-        !apply_constrain(o, 0, m_.clocks.msg(s), Bound::le(-m_.delivery_min)))
-      continue;
-    o.d.slots[s] = MsgSlot{};
-    apply_reset(o, m_.clocks.msg(s));
-    for (Outcome& r : dispatch_sym(std::move(o), dst, label, 0))
-      enqueue(std::move(r), parent_);
-  }
-
-  // Environment stimuli at any instant, within the injection budget.
-  if (base.d.injections < opt_.max_injections) {
-    for (const auto& stim : m_.stimuli) {
-      Outcome o = base;
-      o.step.kind = Step::Kind::kInject;
-      o.step.automaton = stim.automaton;
-      o.step.root = stim.root;
-      ++o.d.injections;
-      for (Outcome& r : dispatch_sym(std::move(o), stim.automaton, stim.label, 0)) {
-        if (r.step.consumed) enqueue(std::move(r), parent_);
-      }
-    }
-  }
-
-  // Adversarial input writes (ApprovalCondition collapse etc.), within
-  // the input-change budget.  Engine::set_var settles the written
-  // automaton's condition edges at the same instant.
-  if (base.d.input_changes < opt_.max_input_changes) {
-    for (std::size_t ti = 0; ti < m_.toggles.size(); ++ti) {
-      const CompiledModel::CompiledToggle& tg = m_.toggles[ti];
-      if (base.d.input_val[tg.input] == tg.value_index) continue;
-      const CompiledModel::InputVar& iv = m_.inputs[tg.input];
-      Outcome o = base;
-      o.step.kind = Step::Kind::kToggle;
-      o.step.automaton = iv.automaton;
-      o.step.slot = ti;  // toggle index, for counterexample assembly
-      o.step.root = iv.name;
-      o.d.input_val[tg.input] = static_cast<std::uint8_t>(tg.value_index);
-      ++o.d.input_changes;
-      o.step.notes.push_back(util::cat("set ", iv.name, " := ",
-                                       util::fmt_compact(iv.values[tg.value_index])));
-      for (Outcome& r : settle_sym(std::move(o), iv.automaton, 0))
-        enqueue(std::move(r), parent_);
-    }
-  }
-}
-
 VerifyResult Checker::run() {
+  std::size_t threads = opt_.threads;
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  shards_.resize(threads);
+  Gang gang(threads);
+
+  std::vector<Expander> expanders;
+  expanders.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) expanders.emplace_back(m_, opt_, threads);
+
   VerifyResult result;
+  std::uint64_t explored = 0;
+  bool truncated = false;
+  std::optional<RoundViolation> violation;
+
+  // Round 0: the initial settle, routed through the same absorb path.
   try {
-    build_initial();
-    while (!queue_.empty() && explored_ < opt_.max_states) {
-      const std::size_t idx = queue_.front();
-      queue_.pop_front();
-      ++explored_;
-      process(idx);
-    }
-    result.status = queue_.empty() ? VerifyStatus::kProved : VerifyStatus::kOutOfBudget;
-  } catch (const FoundViolation& v) {
-    result.status = VerifyStatus::kViolation;
-    result.counterexample = concretize(v);
+    expanders[0].seed();
+  } catch (FoundViolation& v) {
+    violation = RoundViolation{std::move(v), nullptr, 0};
   }
-  result.states_explored = explored_;
-  result.states_stored = nodes_.size();
-  result.transitions = transitions_;
+  if (!violation) {
+    gang.run([&](std::size_t w) { guarded_absorb(w, expanders); });
+    for (Shard& s : shards_)
+      if (s.error) std::rethrow_exception(s.error);
+    std::size_t in_flight = assign_ranks();
+
+    while (in_flight > 0) {
+      if (explored >= opt_.max_states) {
+        truncated = true;
+        break;
+      }
+      // Budget cutoff: only the first `remaining` non-stale nodes (in
+      // global rank order) may expand — deterministic at every
+      // thread count, like the serial FIFO's pop limit.
+      const std::uint64_t remaining = opt_.max_states - explored;
+      std::uint64_t cutoff = kNoCutoff;
+      {
+        std::uint64_t live = 0;
+        for (const Shard& s : shards_)
+          for (const Node* n : s.round)
+            if (!n->stale) ++live;
+        if (live > remaining) {
+          std::vector<std::uint64_t> ranks;
+          ranks.reserve(live);
+          for (const Shard& s : shards_)
+            for (const Node* n : s.round)
+              if (!n->stale) ranks.push_back(n->rank);
+          std::nth_element(ranks.begin(), ranks.begin() + remaining, ranks.end());
+          cutoff = ranks[remaining];
+          truncated = true;
+        }
+      }
+
+      // Expand phase: each worker walks its shard's round in rank order.
+      gang.run([&](std::size_t w) {
+        Shard& shard = shards_[w];
+        Expander& ex = expanders[w];
+        for (Node* n : shard.round) {
+          if (n->stale || n->rank >= cutoff) continue;
+          ++shard.explored;
+          try {
+            ex.expand(n);
+          } catch (FoundViolation& v) {
+            shard.violations.push_back(RoundViolation{std::move(v), n, n->rank});
+          } catch (...) {
+            shard.error = std::current_exception();
+            return;
+          }
+          // An expanded node's matrix is never read again (inclusion
+          // tests use the antichain's widened copy, counterexamples
+          // replay the recorded ops) — retire it to the pool.  The
+          // exact-equality oracle still needs it for deduplication.
+          if (opt_.subsumption) n->z = Zone(0);
+        }
+        shard.round.clear();
+      });
+      for (Shard& s : shards_)
+        if (s.error) std::rethrow_exception(s.error);
+      explored = 0;
+      for (const Shard& s : shards_) explored += s.explored;
+
+      // Deterministic violation selection: the round's lowest-ranked
+      // expanding node wins, regardless of which worker found what first.
+      for (Shard& s : shards_) {
+        for (RoundViolation& rv : s.violations) {
+          if (!violation || rv.rank < violation->rank) violation = std::move(rv);
+        }
+        s.violations.clear();
+      }
+      if (violation || truncated) break;
+
+      gang.run([&](std::size_t w) { guarded_absorb(w, expanders); });
+      for (Shard& s : shards_)
+        if (s.error) std::rethrow_exception(s.error);
+      in_flight = assign_ranks();
+    }
+  }
+
+  if (violation) {
+    result.status = VerifyStatus::kViolation;
+    result.counterexample = concretize(*violation);
+  } else {
+    bool leftovers = truncated;
+    for (const Shard& s : shards_)
+      if (!s.round.empty() || !s.next.empty()) leftovers = true;
+    result.status = leftovers ? VerifyStatus::kOutOfBudget : VerifyStatus::kProved;
+  }
+  result.states_explored = explored;
+  for (const Shard& s : shards_) result.states_stored += s.nodes.size();
+  for (const Expander& e : expanders) result.transitions += e.transitions();
   return result;
 }
 
-Counterexample Checker::concretize(const FoundViolation& v) {
-  // 1. The abstract path: root .. v.parent, then the violating step.
+Counterexample Checker::concretize(const RoundViolation& rv) {
+  const FoundViolation& v = rv.v;
+  // 1. The abstract path: root .. rv.parent, then the violating step.
   std::vector<const Step*> steps;
   {
-    std::vector<std::int64_t> chain;
-    for (std::int64_t i = v.parent; i >= 0; i = nodes_[static_cast<std::size_t>(i)].parent)
-      chain.push_back(i);
+    std::vector<const Node*> chain;
+    for (const Node* n = rv.parent; n != nullptr; n = n->parent) chain.push_back(n);
     std::reverse(chain.begin(), chain.end());
-    for (std::int64_t i : chain) steps.push_back(&nodes_[static_cast<std::size_t>(i)].step);
+    for (const Node* n : chain) steps.push_back(&n->step);
     steps.push_back(&v.step);
   }
   const std::size_t k = steps.size();
@@ -738,9 +1216,9 @@ Counterexample Checker::concretize(const FoundViolation& v) {
     double lo = 0.0, hi = std::numeric_limits<double>::infinity();
     bool lo_strict = false;
     for (std::size_t c = 1; c <= nc; ++c) {
-      const Bound& ub = pre[i].at(c, 0);
+      const Bound ub = pre[i].at(c, 0);
       if (!ub.is_inf()) hi = std::min(hi, ub.value - x[c - 1]);
-      const Bound& lb = pre[i].at(0, c);
+      const Bound lb = pre[i].at(0, c);
       if (!lb.is_inf()) {
         const double cand = -lb.value - x[c - 1];
         if (cand > lo || (cand == lo && lb.strict)) {
@@ -773,12 +1251,13 @@ Counterexample Checker::concretize(const FoundViolation& v) {
   cx.description = v.description;
   cx.time = t;
   cx.horizon = t + 1e-3;
+  auto root_of = [this](hybrid::LabelId label) { return m_.labels.root_of(label); };
   std::vector<std::size_t> slot_send(m_.max_in_flight, kNone);
   for (std::size_t i = 0; i < k; ++i) {
     const Step& s = *steps[i];
     const double st = step_time[i];
     if (s.kind == Step::Kind::kInject && s.consumed)
-      cx.injections.push_back(CounterexampleInjection{st, s.automaton, s.root});
+      cx.injections.push_back(CounterexampleInjection{st, s.automaton, root_of(s.root)});
     if (s.kind == Step::Kind::kToggle) {
       const CompiledModel::CompiledToggle& tg = m_.toggles[s.slot];
       const CompiledModel::InputVar& iv = m_.inputs[tg.input];
@@ -796,7 +1275,7 @@ Counterexample Checker::concretize(const FoundViolation& v) {
       cs.send_time = st;
       cs.lost = send.lost;
       cs.dst_automaton = send.dst;
-      cs.root = send.root;
+      cs.root = root_of(send.label);
       if (!send.lost) slot_send[send.slot] = cx.sends.size();
       cx.sends.push_back(std::move(cs));
     }
@@ -808,13 +1287,37 @@ Counterexample Checker::concretize(const FoundViolation& v) {
         line += util::cat("condition in ", m_.automata[s.automaton].name);
         break;
       case Step::Kind::kDeliver:
-        line += util::cat("deliver ", s.root, s.consumed ? "" : " (ignored)");
+        line += util::cat("deliver ", root_of(s.root), s.consumed ? "" : " (ignored)");
         break;
-      case Step::Kind::kInject: line += util::cat("inject ", s.root); break;
-      case Step::Kind::kToggle: line += util::cat("set-var ", s.root); break;
+      case Step::Kind::kInject: line += util::cat("inject ", root_of(s.root)); break;
+      case Step::Kind::kToggle:
+        line += util::cat("set-var ", m_.inputs[m_.toggles[s.slot].input].name);
+        break;
       case Step::Kind::kViolation: line += "delay"; break;
     }
-    for (const std::string& note : s.notes) line += util::cat("; ", note);
+    for (const TraceRec& tr : s.trace) {
+      switch (tr.kind) {
+        case TraceRec::Kind::kFire:
+          line += util::cat("; ", m_.automata[tr.a].name, ": #", tr.b, " -> #", tr.c);
+          break;
+        case TraceRec::Kind::kSend:
+          line += util::cat(";   send ", root_of(tr.a));
+          break;
+        case TraceRec::Kind::kLost:
+          line += util::cat(";   LOST ", root_of(tr.a));
+          break;
+        case TraceRec::Kind::kSet: {
+          const CompiledModel::CompiledToggle& tg = m_.toggles[tr.a];
+          const CompiledModel::InputVar& iv = m_.inputs[tg.input];
+          line += util::cat("; set ", iv.name, " := ",
+                            util::fmt_compact(iv.values[tg.value_index]));
+          break;
+        }
+      }
+    }
+    if (i + 1 == k)
+      line += util::cat("; VIOLATION: ", core::violation_kind_str(v.kind), ": ",
+                        v.description);
     cx.narrative.push_back(std::move(line));
   }
   // Sends still in flight at the violation instant never arrive in the

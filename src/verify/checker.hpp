@@ -43,6 +43,18 @@ struct VerifyOptions {
   std::size_t max_states = 1'000'000;
   bool check_dwell_bound = true;  // Rule 1 / Theorem 1
   bool check_embedding = true;    // Rule 2 (p1–p3)
+  /// Worker shards for the round-synchronized parallel exploration;
+  /// 0 = hardware concurrency.  The result — verdict, counterexample,
+  /// state counts — is bit-identical for every thread count (successors
+  /// are ordered by a canonical (parent rank, branch ordinal) key before
+  /// any store mutation, and the round's lowest-ranked violation wins).
+  std::size_t threads = 1;
+  /// Use the antichain passed/waiting store: drop new zones subsumed by a
+  /// visited zone of the same discrete state, evict visited zones the new
+  /// zone subsumes.  `false` falls back to exact-equality deduplication —
+  /// slower but assumption-free, kept as the cross-check oracle for the
+  /// subsumption property tests.
+  bool subsumption = true;
 };
 
 enum class VerifyStatus { kProved, kViolation, kOutOfBudget };

@@ -11,8 +11,59 @@
 namespace ptecps::verify {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr PackedBound kPackedLe0 = 1;  // packed_le(0.0)
+
+// -- per-thread matrix free list --------------------------------------------
+// All zones of one exploration share a single dimension, so recycling by
+// dimension turns the copy/destroy churn of the checker's branching into
+// pointer pops.  Buffers may migrate between threads (created by a
+// producer worker, retired by the consumer shard) — each retire lands in
+// the retiring thread's list, which is exactly where the next copy on
+// that thread needs it.
+struct Pool {
+  std::vector<std::vector<PackedBound*>> free_by_dim;
+  Zone::PoolStats stats;
+  ~Pool() {
+    for (auto& bucket : free_by_dim)
+      for (PackedBound* p : bucket) delete[] p;
+  }
+};
+thread_local Pool t_pool;
+constexpr std::size_t kMaxPooledDim = 128;
+constexpr std::size_t kMaxBucket = 16384;
+
+PackedBound* pool_get(std::size_t n) {
+  if (n < t_pool.free_by_dim.size()) {
+    auto& bucket = t_pool.free_by_dim[n];
+    if (!bucket.empty()) {
+      ++t_pool.stats.pool_hits;
+      PackedBound* p = bucket.back();
+      bucket.pop_back();
+      return p;
+    }
+  }
+  ++t_pool.stats.heap_allocs;
+  return new PackedBound[n * n];
 }
+
+void pool_put(PackedBound* p, std::size_t n) {
+  if (p == nullptr) return;
+  if (n >= kMaxPooledDim) {
+    delete[] p;
+    return;
+  }
+  auto& free_by_dim = t_pool.free_by_dim;
+  if (free_by_dim.size() <= n) free_by_dim.resize(n + 1);
+  if (free_by_dim[n].size() >= kMaxBucket) {
+    delete[] p;
+    return;
+  }
+  free_by_dim[n].push_back(p);
+}
+
+}  // namespace
 
 Bound Bound::inf() { return Bound{kInf, true}; }
 
@@ -30,41 +81,97 @@ bool bound_lt(const Bound& a, const Bound& b) {
   return a.strict && !b.strict;
 }
 
-Zone::Zone(std::size_t clocks) : n_(clocks + 1), dbm_(n_ * n_) {
-  // The point "all clocks = 0": x_i - x_j <= 0 for every pair.
-  for (std::size_t i = 0; i < n_; ++i)
-    for (std::size_t j = 0; j < n_; ++j) m(i, j) = Bound::le(0.0);
+PackedBound packed_bound(double value, bool strict) {
+  if (std::isinf(value)) return kPackedInf;
+  // |value| < 2^25 s keeps any sum of two finite words below the
+  // infinity clamp (a year of simulated time is ~2^21.6 s).
+  PTE_REQUIRE(std::abs(value) < 33554432.0, "zone bound out of packable range");
+  const PackedBound fixed = std::llround(value * kPackedScale);
+  return (fixed << 1) | (strict ? 0 : 1);
 }
 
-const Bound& Zone::at(std::size_t i, std::size_t j) const {
+PackedBound pack(const Bound& b) { return packed_bound(b.value, b.strict); }
+
+Bound unpack(PackedBound w) {
+  if (packed_is_inf(w)) return Bound::inf();
+  return Bound{packed_value(w), packed_strict(w)};
+}
+
+Zone::Zone(std::size_t clocks)
+    : dbm_(pool_get(clocks + 1)), n_(static_cast<std::uint32_t>(clocks + 1)) {
+  // The point "all clocks = 0": x_i - x_j <= 0 for every pair.
+  std::fill(dbm_, dbm_ + static_cast<std::size_t>(n_) * n_, kPackedLe0);
+}
+
+Zone::Zone(const Zone& other)
+    : dbm_(pool_get(other.n_)), n_(other.n_), empty_(other.empty_) {
+  std::memcpy(dbm_, other.dbm_, sizeof(PackedBound) * n_ * n_);
+}
+
+Zone::Zone(Zone&& other) noexcept : dbm_(other.dbm_), n_(other.n_), empty_(other.empty_) {
+  other.dbm_ = nullptr;
+}
+
+Zone& Zone::operator=(const Zone& other) {
+  if (this == &other) return *this;
+  if (dbm_ == nullptr || n_ != other.n_) {
+    pool_put(dbm_, n_);
+    dbm_ = pool_get(other.n_);
+  }
+  n_ = other.n_;
+  empty_ = other.empty_;
+  std::memcpy(dbm_, other.dbm_, sizeof(PackedBound) * n_ * n_);
+  return *this;
+}
+
+Zone& Zone::operator=(Zone&& other) noexcept {
+  if (this == &other) return *this;
+  std::swap(dbm_, other.dbm_);
+  std::swap(n_, other.n_);
+  empty_ = other.empty_;
+  return *this;
+}
+
+Zone::~Zone() { pool_put(dbm_, n_); }
+
+Zone::PoolStats Zone::pool_stats() { return t_pool.stats; }
+
+Bound Zone::at(std::size_t i, std::size_t j) const { return unpack(packed_at(i, j)); }
+
+PackedBound Zone::packed_at(std::size_t i, std::size_t j) const {
   PTE_REQUIRE(i < n_ && j < n_, "zone clock index out of range");
   return m(i, j);
 }
 
 void Zone::close() {
-  // Floyd–Warshall shortest paths over the bound semiring.
-  for (std::size_t k = 0; k < n_; ++k) {
-    for (std::size_t i = 0; i < n_; ++i) {
-      if (m(i, k).is_inf()) continue;
-      for (std::size_t j = 0; j < n_; ++j) {
-        const Bound via = bound_add(m(i, k), m(k, j));
-        if (bound_lt(via, m(i, j))) m(i, j) = via;
+  // Floyd–Warshall shortest paths over the packed-bound semiring: the
+  // inner loop is add + clamp + min over contiguous words.
+  const std::size_t n = n_;
+  PackedBound* d = dbm_;
+  for (std::size_t k = 0; k < n; ++k) {
+    const PackedBound* row_k = d + k * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const PackedBound d_ik = d[i * n + k];
+      if (packed_is_inf(d_ik)) continue;
+      PackedBound* row_i = d + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const PackedBound via = packed_add(d_ik, row_k[j]);
+        if (via < row_i[j]) row_i[j] = via;
       }
     }
   }
-  for (std::size_t i = 0; i < n_; ++i) {
-    const Bound& d = m(i, i);
-    if (d.value < 0.0 || (d.value == 0.0 && d.strict)) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i * n + i] < kPackedLe0) {
       empty_ = true;
       return;
     }
-    m(i, i) = Bound::le(0.0);
+    d[i * n + i] = kPackedLe0;
   }
 }
 
 void Zone::up() {
   if (empty_) return;
-  for (std::size_t i = 1; i < n_; ++i) m(i, 0) = Bound::inf();
+  for (std::size_t i = 1; i < n_; ++i) m(i, 0) = kPackedInf;
   // Still canonical: differences and lower bounds are untouched, and no
   // path through the removed upper bounds can tighten anything.
 }
@@ -74,34 +181,43 @@ void Zone::down() {
   // Bengtsson & Yi Fig. 10: lower bounds relax to 0 unless a difference
   // constraint through another clock keeps them up.
   for (std::size_t i = 1; i < n_; ++i) {
-    m(0, i) = Bound::le(0.0);
+    m(0, i) = kPackedLe0;
     for (std::size_t j = 1; j < n_; ++j) {
-      if (bound_lt(m(j, i), m(0, i))) m(0, i) = m(j, i);
+      if (m(j, i) < m(0, i)) m(0, i) = m(j, i);
     }
   }
   close();
 }
 
-void Zone::constrain(std::size_t i, std::size_t j, Bound b) {
+void Zone::constrain(std::size_t i, std::size_t j, PackedBound w) {
   PTE_REQUIRE(i < n_ && j < n_ && i != j, "bad constraint clocks");
   if (empty_) return;
-  if (!bound_lt(b, m(i, j))) return;  // no tightening
-  m(i, j) = b;
+  if (w >= m(i, j)) return;  // no tightening
+  m(i, j) = w;
   // Incremental closure: only paths through (i, j) can improve.
-  for (std::size_t a = 0; a < n_; ++a) {
-    if (m(a, i).is_inf()) continue;
-    for (std::size_t c = 0; c < n_; ++c) {
-      const Bound via = bound_add(bound_add(m(a, i), b), m(j, c));
-      if (bound_lt(via, m(a, c))) m(a, c) = via;
+  const std::size_t n = n_;
+  PackedBound* d = dbm_;
+  const PackedBound* row_j = d + j * n;
+  for (std::size_t a = 0; a < n; ++a) {
+    const PackedBound d_ai = d[a * n + i];
+    if (packed_is_inf(d_ai)) continue;
+    const PackedBound through = packed_add(d_ai, w);
+    PackedBound* row_a = d + a * n;
+    for (std::size_t c = 0; c < n; ++c) {
+      const PackedBound via = packed_add(through, row_j[c]);
+      if (via < row_a[c]) row_a[c] = via;
     }
   }
-  for (std::size_t a = 0; a < n_; ++a) {
-    const Bound& d = m(a, a);
-    if (d.value < 0.0 || (d.value == 0.0 && d.strict)) {
+  for (std::size_t a = 0; a < n; ++a) {
+    if (d[a * n + a] < kPackedLe0) {
       empty_ = true;
       return;
     }
   }
+}
+
+void Zone::constrain(std::size_t i, std::size_t j, const Bound& b) {
+  constrain(i, j, pack(b));
 }
 
 void Zone::reset(std::size_t i) {
@@ -112,7 +228,7 @@ void Zone::reset(std::size_t i) {
     m(i, j) = m(0, j);
     m(j, i) = m(j, 0);
   }
-  m(i, i) = Bound::le(0.0);
+  m(i, i) = kPackedLe0;
 }
 
 void Zone::free(std::size_t i) {
@@ -120,40 +236,53 @@ void Zone::free(std::size_t i) {
   if (empty_) return;
   for (std::size_t j = 0; j < n_; ++j) {
     if (j == i) continue;
-    m(i, j) = Bound::inf();
+    m(i, j) = kPackedInf;
     m(j, i) = m(j, 0);  // x_j - x_i <= x_j - 0 since x_i >= 0
   }
-  m(0, i) = Bound::le(0.0);
+  m(0, i) = kPackedLe0;
 }
 
-void Zone::extrapolate(double k) {
-  if (empty_) return;
+namespace {
+/// Shared widening loop of extrapolate()/widen().
+bool widen_entries(PackedBound* d, std::size_t n, double k) {
+  const PackedBound upper = packed_le(k);   // widen anything above to inf
+  const PackedBound lower = packed_lt(-k);  // floor for lower bounds
   bool changed = false;
-  for (std::size_t i = 0; i < n_; ++i) {
-    for (std::size_t j = 0; j < n_; ++j) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
       if (i == j) continue;
-      Bound& b = m(i, j);
-      if (b.is_inf()) continue;
-      if (b.value > k) {
-        b = Bound::inf();
+      PackedBound& b = d[i * n + j];
+      if (packed_is_inf(b)) continue;
+      if (b > upper) {
+        b = kPackedInf;
         changed = true;
-      } else if (b.value < -k) {
-        b = Bound::lt(-k);
+      } else if (b < lower) {
+        b = lower;
         changed = true;
       }
     }
   }
-  if (changed) close();
+  return changed;
+}
+}  // namespace
+
+void Zone::extrapolate(double k) {
+  if (empty_) return;
+  if (widen_entries(dbm_, n_, k)) close();
+}
+
+void Zone::widen(double k) {
+  if (empty_) return;
+  widen_entries(dbm_, n_, k);
 }
 
 bool Zone::subset_of(const Zone& other) const {
   PTE_REQUIRE(n_ == other.n_, "zone dimension mismatch");
   if (empty_) return true;
   if (other.empty_) return false;
-  for (std::size_t i = 0; i < n_; ++i) {
-    for (std::size_t j = 0; j < n_; ++j) {
-      if (bound_lt(other.m(i, j), m(i, j))) return false;
-    }
+  const std::size_t total = static_cast<std::size_t>(n_) * n_;
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    if (dbm_[idx] > other.dbm_[idx]) return false;
   }
   return true;
 }
@@ -165,8 +294,9 @@ void Zone::intersect(const Zone& other) {
     empty_ = true;
     return;
   }
-  for (std::size_t i = 0; i < n_; ++i)
-    for (std::size_t j = 0; j < n_; ++j) m(i, j) = bound_min(m(i, j), other.m(i, j));
+  const std::size_t total = static_cast<std::size_t>(n_) * n_;
+  for (std::size_t idx = 0; idx < total; ++idx)
+    dbm_[idx] = packed_min(dbm_[idx], other.dbm_[idx]);
   close();
 }
 
@@ -179,23 +309,23 @@ std::vector<double> Zone::some_point() const {
   for (std::size_t i = 1; i < n_; ++i) {
     // Lower bounds: 0 - x_i <= m(0,i)  =>  x_i >= -m(0,i); and for
     // assigned j: x_j - x_i <= m(j,i)  =>  x_i >= x_j - m(j,i).
-    double lo = -m(0, i).value;
-    bool lo_strict = m(0, i).strict;
-    double hi = m(i, 0).is_inf() ? kInf : m(i, 0).value;
-    bool hi_strict = m(i, 0).strict;
+    double lo = -packed_value(m(0, i));
+    bool lo_strict = packed_strict(m(0, i));
+    double hi = packed_is_inf(m(i, 0)) ? kInf : packed_value(m(i, 0));
+    bool hi_strict = packed_is_inf(m(i, 0)) ? false : packed_strict(m(i, 0));
     for (std::size_t j = 1; j < i; ++j) {
-      if (!m(j, i).is_inf()) {
-        const double cand = x[j] - m(j, i).value;
-        if (cand > lo || (cand == lo && m(j, i).strict)) {
+      if (!packed_is_inf(m(j, i))) {
+        const double cand = x[j] - packed_value(m(j, i));
+        if (cand > lo || (cand == lo && packed_strict(m(j, i)))) {
           lo = cand;
-          lo_strict = m(j, i).strict;
+          lo_strict = packed_strict(m(j, i));
         }
       }
-      if (!m(i, j).is_inf()) {
-        const double cand = x[j] + m(i, j).value;
-        if (cand < hi || (cand == hi && m(i, j).strict)) {
+      if (!packed_is_inf(m(i, j))) {
+        const double cand = x[j] + packed_value(m(i, j));
+        if (cand < hi || (cand == hi && packed_strict(m(i, j)))) {
           hi = cand;
-          hi_strict = m(i, j).strict;
+          hi_strict = packed_strict(m(i, j));
         }
       }
     }
@@ -217,10 +347,11 @@ bool Zone::contains(const std::vector<double>& point, double eps) const {
   auto value = [&point](std::size_t i) { return i == 0 ? 0.0 : point[i - 1]; };
   for (std::size_t i = 0; i < n_; ++i) {
     for (std::size_t j = 0; j < n_; ++j) {
-      const Bound& b = m(i, j);
-      if (b.is_inf()) continue;
+      const PackedBound b = m(i, j);
+      if (packed_is_inf(b)) continue;
       const double d = value(i) - value(j);
-      if (b.strict ? d >= b.value + eps : d > b.value + eps) return false;
+      const double bv = packed_value(b);
+      if (packed_strict(b) ? d >= bv + eps : d > bv + eps) return false;
     }
   }
   return true;
@@ -233,18 +364,39 @@ std::uint64_t Zone::hash() const {
     h *= 0x100000001b3ULL;
   };
   mix(empty_ ? 1 : 0);
-  for (const Bound& b : dbm_) {
-    std::uint64_t bits;
-    static_assert(sizeof bits == sizeof b.value);
-    std::memcpy(&bits, &b.value, sizeof bits);
-    mix(bits);
-    mix(b.strict ? 1 : 0);
-  }
+  const std::size_t total = static_cast<std::size_t>(n_) * n_;
+  for (std::size_t idx = 0; idx < total; ++idx)
+    mix(static_cast<std::uint64_t>(dbm_[idx]));
   return h;
 }
 
+std::int64_t Zone::signature() const {
+  // Entry words are < 2^62; >> 16 keeps the sum of up to 2^16 entries
+  // below 2^62.  Arithmetic shift is monotone, so pointwise <= (zone
+  // inclusion of non-empty canonical zones) implies signature <=.
+  std::int64_t sig = 0;
+  const std::size_t total = static_cast<std::size_t>(n_) * n_;
+  for (std::size_t idx = 0; idx < total; ++idx) sig += dbm_[idx] >> 16;
+  return sig;
+}
+
+std::int64_t Zone::lower_signature() const {
+  std::int64_t sig = 0;
+  for (std::size_t j = 0; j < n_; ++j) sig += dbm_[j] >> 8;
+  return sig;
+}
+
+Zone::SigPair Zone::signatures() const {
+  SigPair p;
+  const std::size_t total = static_cast<std::size_t>(n_) * n_;
+  for (std::size_t idx = 0; idx < total; ++idx) p.sig += dbm_[idx] >> 16;
+  for (std::size_t j = 0; j < n_; ++j) p.lower += dbm_[j] >> 8;
+  return p;
+}
+
 bool Zone::operator==(const Zone& other) const {
-  return n_ == other.n_ && empty_ == other.empty_ && dbm_ == other.dbm_;
+  return n_ == other.n_ && empty_ == other.empty_ &&
+         std::memcmp(dbm_, other.dbm_, sizeof(PackedBound) * n_ * n_) == 0;
 }
 
 std::string Zone::str(const std::vector<std::string>& clock_names) const {
@@ -255,8 +407,8 @@ std::string Zone::str(const std::vector<std::string>& clock_names) const {
   std::vector<std::string> parts;
   for (std::size_t i = 0; i < n_; ++i) {
     for (std::size_t j = 0; j < n_; ++j) {
-      if (i == j || m(i, j).is_inf()) continue;
-      const Bound& b = m(i, j);
+      if (i == j || packed_is_inf(m(i, j))) continue;
+      const Bound b = unpack(m(i, j));
       if (i == 0) {  // 0 - x_j <= c  =>  x_j >= -c
         if (b.value == 0.0 && !b.strict) continue;
         parts.push_back(util::cat(name(j), b.strict ? " > " : " >= ",

@@ -231,6 +231,21 @@ TEST(VerifyCampaign, VerifyModeProducesVerificationOutcome) {
   EXPECT_NE(report.json().find("\"status\": \"proved\""), std::string::npos);
 }
 
+TEST(VerifyCampaign, VerifySpecThreadsReachTheChecker) {
+  // Same proof through the campaign API on 2 checker shards; the
+  // determinism guarantee makes the outcome identical to 1 thread.
+  campaign::ScenarioSpec spec = laser_spec();
+  spec.verify.max_losses = 1;
+  spec.verify.max_injections = 1;
+  spec.verify.threads = 2;
+  campaign::CampaignOptions copt;
+  copt.threads = 1;
+  const campaign::CampaignReport report = campaign::CampaignRunner(copt).run(spec);
+  ASSERT_TRUE(report.scenarios[0].verification.has_value());
+  EXPECT_EQ(report.scenarios[0].verification->status, VerifyStatus::kProved);
+  EXPECT_TRUE(report.ok());
+}
+
 TEST(VerifyCampaign, BothModeRunsSeedsAndProof) {
   campaign::ScenarioSpec spec = laser_spec();
   spec.mode = campaign::RunMode::kBoth;

@@ -1,0 +1,280 @@
+// Property tests for the packed zone engine and the subsumption store:
+//
+//  * packed-bound arithmetic (bound_min / bound_add / bound_lt, infinity
+//    handling) agrees with the double+bool reference representation on
+//    randomized inputs drawn from the packable grid;
+//  * inclusion signatures are monotone under zone inclusion;
+//  * the antichain subsumption store never loses a reachable violation:
+//    randomized small timed models are cross-checked against the naive
+//    exact-equality store (VerifyOptions::subsumption = false), and both
+//    must agree on the verdict;
+//  * parallel exploration is bit-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "campaign/scenario.hpp"
+#include "core/config.hpp"
+#include "core/synthesis.hpp"
+#include "sim/random.hpp"
+#include "verify/checker.hpp"
+#include "verify/model.hpp"
+#include "verify/replay.hpp"
+#include "verify/zone.hpp"
+
+namespace ptecps::verify {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Packed-bound arithmetic vs. the double+bool reference
+// ---------------------------------------------------------------------------
+
+/// A random bound on the packable grid (value = k * 2^-32 s), sometimes
+/// infinite.  Grid values round-trip exactly through pack/unpack, which
+/// is what makes exact agreement with the reference well-defined.
+Bound random_bound(sim::Rng& rng) {
+  if (rng.bernoulli(0.1)) return Bound::inf();
+  // Fixed-point numerator in ±2^40 (values up to ~256 s, well inside the
+  // packable range) — biased toward small "model-like" magnitudes.
+  const std::int64_t fixed = static_cast<std::int64_t>(rng.uniform_int(1ull << 41)) -
+                             (std::int64_t{1} << 40);
+  const double value = static_cast<double>(fixed) / kPackedScale;
+  return rng.bernoulli(0.5) ? Bound::lt(value) : Bound::le(value);
+}
+
+TEST(PackedBound, RoundTripsGridValues) {
+  sim::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const Bound b = random_bound(rng);
+    const PackedBound w = pack(b);
+    const Bound back = unpack(w);
+    if (b.is_inf()) {
+      EXPECT_TRUE(back.is_inf());
+      EXPECT_TRUE(packed_is_inf(w));
+    } else {
+      EXPECT_EQ(back, b) << b.value << (b.strict ? " <" : " <=");
+      EXPECT_FALSE(packed_is_inf(w));
+      EXPECT_EQ(packed_strict(w), b.strict);
+      EXPECT_DOUBLE_EQ(packed_value(w), b.value);
+    }
+  }
+}
+
+TEST(PackedBound, OrderingMatchesReference) {
+  sim::Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const Bound a = random_bound(rng);
+    const Bound b = random_bound(rng);
+    const PackedBound wa = pack(a), wb = pack(b);
+    // Reference bound_lt treats two infinities as equal (both strict);
+    // packed infinity is one canonical word, same behavior.
+    EXPECT_EQ(packed_tighter(wa, wb), bound_lt(a, b))
+        << a.value << "/" << a.strict << " vs " << b.value << "/" << b.strict;
+    EXPECT_EQ(packed_min(wa, wb), pack(bound_min(a, b)));
+  }
+}
+
+TEST(PackedBound, AdditionMatchesReference) {
+  sim::Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const Bound a = random_bound(rng);
+    const Bound b = random_bound(rng);
+    const Bound ref = bound_add(a, b);
+    const PackedBound sum = packed_add(pack(a), pack(b));
+    if (ref.is_inf()) {
+      EXPECT_TRUE(packed_is_inf(sum));
+    } else {
+      // Grid + grid is exact: the packed sum must equal the packed
+      // reference sum bit for bit.
+      EXPECT_EQ(sum, pack(ref)) << a.value << " + " << b.value;
+    }
+  }
+}
+
+TEST(PackedBound, InfinityIsAbsorbingAndLoosest) {
+  const PackedBound inf = kPackedInf;
+  const PackedBound tight = packed_lt(-100.0);
+  const PackedBound loose = packed_le(100.0);
+  EXPECT_TRUE(packed_is_inf(packed_add(inf, tight)));
+  EXPECT_TRUE(packed_is_inf(packed_add(inf, inf)));
+  EXPECT_TRUE(packed_tighter(loose, inf));
+  EXPECT_TRUE(packed_tighter(tight, loose));
+  EXPECT_EQ(packed_min(inf, loose), loose);
+}
+
+// ---------------------------------------------------------------------------
+// Inclusion signatures
+// ---------------------------------------------------------------------------
+
+Zone random_zone(std::size_t clocks, sim::Rng& rng) {
+  Zone z(clocks);
+  z.up();
+  for (std::size_t c = 0; c < 1 + rng.uniform_int(3); ++c)
+    z.constrain(1 + rng.uniform_int(clocks), 0,
+                packed_le(1.0 + static_cast<double>(rng.uniform_int(50))));
+  for (std::size_t r = 0; r < rng.uniform_int(3); ++r)
+    z.reset(1 + rng.uniform_int(clocks));
+  if (rng.bernoulli(0.5)) z.up();
+  return z;
+}
+
+TEST(ZoneSignature, MonotoneUnderInclusion) {
+  sim::Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t clocks = 2 + rng.uniform_int(6);
+    Zone big = random_zone(clocks, rng);
+    if (big.is_empty()) continue;
+    Zone small = big;
+    small.constrain(1 + rng.uniform_int(clocks), 0,
+                    packed_le(0.5 + static_cast<double>(rng.uniform_int(20))));
+    if (small.is_empty()) continue;
+    ASSERT_TRUE(small.subset_of(big));
+    EXPECT_LE(small.signature(), big.signature());
+    EXPECT_LE(small.lower_signature(), big.lower_signature());
+  }
+}
+
+TEST(ZoneWiden, RepresentsTheExtrapolatedSet) {
+  // probe ⊆ widened(z)  must agree with  probe ⊆ extrapolate(z): the
+  // widened matrix is a non-canonical representation of the same set,
+  // and inclusion only needs the probe canonical.
+  sim::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t clocks = 2 + rng.uniform_int(4);
+    const double k = 10.0;
+    Zone z = random_zone(clocks, rng);
+    if (z.is_empty()) continue;
+    Zone widened = z, extrapolated = z;
+    widened.widen(k);
+    extrapolated.extrapolate(k);
+    const Zone probe = random_zone(clocks, rng);
+    if (probe.is_empty()) continue;
+    EXPECT_EQ(probe.subset_of(widened), probe.subset_of(extrapolated)) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subsumption store vs. the exact-equality oracle on random timed models
+// ---------------------------------------------------------------------------
+
+/// A randomized small pattern system: synthesized configs (always
+/// Theorem-1-consistent) judged against either their own dwell bound
+/// (expected: proved) or a lowered one (expected: violation).
+campaign::ScenarioSpec random_model(sim::Rng& rng, bool breakable) {
+  core::SynthesisRequest request;
+  request.n_remotes = 2;
+  request.t_risky_min = {0.5 + rng.uniform(0.0, 2.0)};
+  request.t_safe_min = {0.25 + rng.uniform(0.0, 1.0)};
+  request.initializer_lease = 6.0 + rng.uniform(0.0, 8.0);
+  request.t_wait_max = 1.0 + rng.uniform(0.0, 1.5);
+  request.t_fb_min_0 = 3.0 + rng.uniform(0.0, 4.0);
+
+  campaign::ScenarioSpec spec;
+  spec.name = "random-model";
+  spec.mode = campaign::RunMode::kVerify;
+  spec.config = core::synthesize(request);
+  if (breakable && rng.bernoulli(0.5))
+    spec.dwell_bound = spec.config.entity(1).t_run_max * rng.uniform(0.3, 0.7);
+  return spec;
+}
+
+TEST(SubsumptionStore, NeverLosesAReachableViolation) {
+  sim::Rng rng(6);
+  int violations_seen = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const campaign::ScenarioSpec spec = random_model(rng, true);
+    const CompiledModel model = compile_model(spec.verify_input());
+
+    VerifyOptions antichain;
+    antichain.max_losses = 1;
+    antichain.max_injections = 1;
+    antichain.max_states = 400'000;
+    VerifyOptions oracle = antichain;
+    oracle.subsumption = false;
+
+    const VerifyResult fast = verify_pte(model, antichain);
+    const VerifyResult naive = verify_pte(model, oracle);
+    ASSERT_NE(naive.status, VerifyStatus::kOutOfBudget) << naive.summary();
+    ASSERT_NE(fast.status, VerifyStatus::kOutOfBudget) << fast.summary();
+    // The property: the stores agree on the verdict.  (In particular the
+    // antichain must not have dropped a state from which the oracle can
+    // reach a violation.)
+    EXPECT_EQ(fast.status, naive.status)
+        << "antichain: " << fast.summary() << "\noracle: " << naive.summary();
+    // Subsumption only prunes — it must never store more than the
+    // equality-dedup oracle.
+    EXPECT_LE(fast.states_stored, naive.states_stored);
+    if (fast.status == VerifyStatus::kViolation) {
+      ++violations_seen;
+      ASSERT_TRUE(fast.counterexample.has_value());
+      EXPECT_EQ(fast.counterexample->kind, naive.counterexample->kind);
+      // Both counterexamples concretize and replay in the real engine.
+      const ReplayResult replay =
+          replay_counterexample(spec.verify_input(), *fast.counterexample);
+      EXPECT_TRUE(replay.reproduced) << fast.counterexample->str();
+    }
+  }
+  // The trial mix must actually exercise the violating path.
+  EXPECT_GE(violations_seen, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel determinism
+// ---------------------------------------------------------------------------
+
+std::string fingerprint(const VerifyResult& r) {
+  std::string fp = r.summary();
+  if (r.counterexample.has_value()) fp += "\n" + r.counterexample->str();
+  return fp;
+}
+
+TEST(ParallelChecker, BitIdenticalAcrossThreadCounts) {
+  for (const bool broken : {false, true}) {
+    campaign::ScenarioSpec spec;
+    spec.name = "laser";
+    spec.config = core::PatternConfig::laser_tracheotomy();
+    spec.mode = campaign::RunMode::kVerify;
+    if (broken) spec.dwell_bound = 30.0;
+    const CompiledModel model = compile_model(spec.verify_input());
+    VerifyOptions opt;
+    opt.max_losses = 1;
+    opt.max_injections = 1;
+    std::string reference;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+      opt.threads = threads;
+      const VerifyResult r = verify_pte(model, opt);
+      if (threads == 1)
+        reference = fingerprint(r);
+      else
+        EXPECT_EQ(fingerprint(r), reference) << "threads=" << threads;
+    }
+    ASSERT_FALSE(reference.empty());
+  }
+}
+
+TEST(ParallelChecker, BudgetCutoffIsDeterministicAcrossThreads) {
+  // A budget that lands mid-round must truncate the same canonical
+  // prefix at every thread count.
+  campaign::ScenarioSpec spec;
+  spec.name = "laser";
+  spec.config = core::PatternConfig::laser_tracheotomy();
+  spec.mode = campaign::RunMode::kVerify;
+  const CompiledModel model = compile_model(spec.verify_input());
+  VerifyOptions opt;
+  opt.max_losses = 1;
+  opt.max_injections = 1;
+  opt.max_states = 137;  // deliberately mid-round
+  std::string reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    opt.threads = threads;
+    const VerifyResult r = verify_pte(model, opt);
+    EXPECT_EQ(r.status, VerifyStatus::kOutOfBudget);
+    if (threads == 1)
+      reference = fingerprint(r);
+    else
+      EXPECT_EQ(fingerprint(r), reference);
+  }
+}
+
+}  // namespace
+}  // namespace ptecps::verify
