@@ -1,0 +1,108 @@
+// The scenario matrix: every named scenario in the registry, swept
+// through BOTH execution modes — Monte-Carlo sampling over the seeds and
+// the exhaustive zone-reachability proof — with the cross-validation
+// layer asserting the two agree and every entry's verdict matching its
+// declared expectation.
+//
+// This is the harness the ROADMAP's "as many scenarios as you can
+// imagine" item plugs into: add a RegistryEntry (src/scenarios/registry)
+// and it is exercised here, in the tests, and in CI.
+//
+// Usage: bench_matrix [--smoke] [--scenario NAME] [--seeds N]
+//                     [--threads N] [--verify-threads N] [--list]
+// Exit 0 iff every run succeeded, every verification concluded, the
+// prover and sampler agree on every scenario, and every expectation
+// holds.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "scenarios/crossval.hpp"
+#include "scenarios/registry.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/text.hpp"
+
+using namespace ptecps;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+
+  if (args.has_flag("list")) {
+    std::printf("%zu named scenarios:\n", scenarios::registry().size());
+    for (const auto& e : scenarios::registry())
+      std::printf("  %-28s expect %-10s %s\n", e.name.c_str(),
+                  verify::verify_status_str(e.expected).c_str(), e.summary.c_str());
+    return 0;
+  }
+
+  scenarios::RegistryTuning tuning;
+  if (args.has_flag("smoke")) tuning = scenarios::RegistryTuning::smoke();
+  if (args.has_flag("seeds"))
+    tuning.seed_count = args.get_u64("seeds", 8);
+  tuning.threads = args.get_u64("verify-threads", 0);
+
+  const std::string only = args.get_string("scenario", "");
+  std::vector<const scenarios::RegistryEntry*> entries;
+  if (only.empty()) {
+    for (const auto& e : scenarios::registry()) entries.push_back(&e);
+  } else {
+    const scenarios::RegistryEntry* e = scenarios::find_scenario(only);
+    if (!e) {
+      std::fprintf(stderr, "unknown --scenario '%s' (try --list)\n", only.c_str());
+      return 2;
+    }
+    entries.push_back(e);
+  }
+
+  std::vector<campaign::ScenarioSpec> specs;
+  specs.reserve(entries.size());
+  for (const auto* e : entries) specs.push_back(scenarios::build_scenario(*e, tuning));
+
+  campaign::CampaignOptions options;
+  options.threads = args.get_u64("threads", 0);
+  const campaign::CampaignReport report = campaign::CampaignRunner(options).run(specs);
+  const scenarios::CrossValidationReport crossval = scenarios::cross_validate(report);
+
+  util::TextTable table({"scenario", "runs", "sampled viol", "verify", "states", "verify s",
+                         "replay", "expected", "agree"});
+  for (std::size_t c = 1; c <= 6; ++c) table.set_right_align(c);
+
+  bool expectations_ok = true;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const campaign::ScenarioOutcome& s = report.scenarios[i];
+    // build_scenario guarantees kBoth, but stay defensive: a missing
+    // verification is a failed row, never UB.
+    if (!s.verification.has_value()) {
+      expectations_ok = false;
+      table.add_row({s.name, util::cat(s.runs.size()), util::cat(s.total_violations),
+                     "MISSING", "-", "-", "-",
+                     verify::verify_status_str(entries[i]->expected), "NO"});
+      continue;
+    }
+    const campaign::VerificationOutcome& v = *s.verification;
+    const scenarios::CrossCheck* check = nullptr;
+    for (const auto& c : crossval.checks)
+      if (c.scenario == s.name) check = &c;
+    const bool expected = v.status == entries[i]->expected;
+    expectations_ok = expectations_ok && expected;
+    table.add_row({s.name, util::cat(s.runs.size()), util::cat(s.total_violations),
+                   verify::verify_status_str(v.status), util::cat(v.states_explored),
+                   util::fmt_double(v.wall_seconds, 2),
+                   v.replay_attempted ? (v.replay_reproduced ? "yes" : "NO") : "-",
+                   verify::verify_status_str(entries[i]->expected),
+                   check && check->consistent && expected ? "yes" : "NO"});
+  }
+  std::printf("=== scenario matrix: %zu scenario(s), Monte-Carlo + exhaustive proof ===\n\n",
+              entries.size());
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n", crossval.summary().c_str());
+  std::printf("%s\n", report.summary().c_str());
+
+  for (const auto& e : report.errors) std::fprintf(stderr, "error: %s\n", e.c_str());
+
+  const bool ok = report.ok() && crossval.ok() && expectations_ok;
+  std::printf("\nSCENARIO MATRIX %s\n", ok ? "PASSED" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Tour of the scenario library: pick any named scenario from the
+// registry, run it through BOTH execution modes — Monte-Carlo sampling
+// and the exhaustive zone-reachability proof — and cross-validate the
+// two verdicts against each other.
+//
+// This is the five-line version of what bench_matrix does for the whole
+// registry, and the template for wiring your own deployment: write a
+// ScenarioParams (see src/scenarios/builder.hpp), or add a RegistryEntry
+// so every harness picks it up.
+//
+// Run:  ./scenario_tour [--scenario laser-tracheotomy] [--seeds 4] [--list]
+#include <cstdio>
+
+#include "campaign/runner.hpp"
+#include "scenarios/crossval.hpp"
+#include "scenarios/registry.hpp"
+#include "util/cli.hpp"
+
+using namespace ptecps;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+
+  if (args.has_flag("list")) {
+    for (const auto& e : scenarios::registry())
+      std::printf("%-28s %s\n", e.name.c_str(), e.summary.c_str());
+    return 0;
+  }
+
+  const std::string name = args.get_string("scenario", "laser-tracheotomy");
+  const scenarios::RegistryEntry* entry = scenarios::find_scenario(name);
+  if (!entry) {
+    std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", name.c_str());
+    return 2;
+  }
+
+  scenarios::RegistryTuning tuning = scenarios::RegistryTuning::smoke();
+  tuning.seed_count = args.get_u64("seeds", 4);
+  const campaign::ScenarioSpec spec = scenarios::build_scenario(*entry, tuning);
+
+  std::printf("=== %s ===\n%s\n\n", entry->name.c_str(), entry->summary.c_str());
+  const campaign::CampaignReport report = campaign::CampaignRunner().run(spec);
+  std::printf("%s\n\n", report.summary().c_str());
+
+  const auto& outcome = report.scenarios[0];
+  if (outcome.verification.has_value() && outcome.verification->counterexample.has_value())
+    std::printf("counterexample:\n%s\n\n",
+                outcome.verification->counterexample->str().c_str());
+
+  const scenarios::CrossValidationReport crossval = scenarios::cross_validate(report);
+  std::printf("cross-validation (prover vs sampler):\n%s", crossval.summary().c_str());
+
+  const bool expected =
+      !outcome.verification.has_value() || outcome.verification->status == entry->expected;
+  return report.ok() && crossval.ok() && expected ? 0 : 1;
+}

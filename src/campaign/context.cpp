@@ -55,6 +55,7 @@ SimulationContext::SimulationContext(const ScenarioSpec& spec, std::uint64_t see
                 : net::StarNetwork::LossFactory(
                       [] { return std::make_unique<net::PerfectLink>(); });
   network_->configure_all(factory, spec.channel);
+  if (spec.configure_links) spec.configure_links(*network_, seed);
 
   router_ = std::make_unique<net::NetEventRouter>(*network_, automaton_of_entity_);
   built.install_routes(*router_);

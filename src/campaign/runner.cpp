@@ -171,6 +171,7 @@ CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) {
       vo.transitions = vr.transitions;
       vo.counterexample = vr.counterexample;
       if (vo.counterexample.has_value() && spec.verify.replay) {
+        vo.replay_attempted = true;
         vo.replay_reproduced =
             verify::replay_counterexample(input, *vo.counterexample).reproduced;
       }

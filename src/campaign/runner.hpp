@@ -24,6 +24,10 @@ struct VerificationOutcome {
   std::size_t states_explored = 0;
   std::size_t transitions = 0;
   std::optional<verify::Counterexample> counterexample;
+  /// A replay was run for the counterexample (VerifySpec::replay and a
+  /// counterexample exists) — distinguishes "did not reproduce" from
+  /// "replay not requested" for the cross-validation layer.
+  bool replay_attempted = false;
   /// Counterexample replayed through hybrid::Engine and reproduced.
   bool replay_reproduced = false;
   double wall_seconds = 0.0;

@@ -5,6 +5,7 @@
 #include "core/deployment.hpp"
 #include "core/events.hpp"
 #include "util/require.hpp"
+#include "util/text.hpp"
 
 namespace ptecps::campaign {
 
@@ -65,19 +66,23 @@ verify::VerifyInput ScenarioSpec::verify_input() const {
                              participation.threshold - 1.0});
   }
 
-  // Delivery window: explicit, or derived from the channel (any delay
-  // from the base propagation up to the acceptance window Δ; jitter and
-  // late rejection are subsumed by that worst case).
-  if (verify.delivery_max > 0.0) {
-    input.delivery_min = verify.delivery_min;
-    input.delivery_max = verify.delivery_max;
-  } else {
-    input.delivery_min = channel.delay;
-    input.delivery_max =
-        channel.acceptance_window > 0.0
-            ? std::max(channel.acceptance_window, channel.delay)
-            : channel.delay + channel.delay_jitter;
-  }
+  // Delivery window: each bound resolves independently — explicit, or
+  // derived from the channel (any delay from the base propagation up to
+  // the acceptance window Δ; jitter and late rejection are subsumed by
+  // that worst case).  An explicit delivery_min must not be discarded
+  // just because delivery_max is left to the channel, or the prover
+  // would check a weaker adversary (it could deliver faster than the
+  // deployment's floor ever allows); conversely an explicit floor of 0
+  // (the instant-delivery adversary) must not be "derived" up to the
+  // channel delay — hence the negative unset sentinel.
+  const double derived_max = channel.acceptance_window > 0.0
+                                 ? std::max(channel.acceptance_window, channel.delay)
+                                 : channel.delay + channel.delay_jitter;
+  input.delivery_min = verify.delivery_min >= 0.0 ? verify.delivery_min : channel.delay;
+  input.delivery_max = verify.delivery_max > 0.0 ? verify.delivery_max : derived_max;
+  PTE_REQUIRE(input.delivery_min <= input.delivery_max,
+              util::cat("scenario '", name, "': delivery window [",
+                        input.delivery_min, ", ", input.delivery_max, "] is empty"));
   return input;
 }
 

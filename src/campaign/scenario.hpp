@@ -44,9 +44,14 @@ struct VerifySpec {
   /// Worker shards for the exhaustive check (0 = hardware concurrency).
   /// The verdict and counterexample are bit-identical at every value.
   std::size_t threads = 1;
-  /// Delivery-delay window; max <= 0 derives [delay, acceptance_window]
-  /// from the scenario's channel config.
-  double delivery_min = 0.0;
+  /// Delivery-delay window the prover assumes for surviving messages.
+  /// Each bound resolves independently: delivery_min is explicit when
+  /// >= 0 (0 is a legitimate floor — the instant-delivery adversary) and
+  /// derived from the channel's propagation delay when negative;
+  /// delivery_max is explicit when > 0 and derived from the acceptance
+  /// window Δ otherwise.  The resolved window must be non-empty
+  /// (min <= max).
+  double delivery_min = -1.0;
   double delivery_max = 0.0;
   /// Stimuli the adversary may inject (event roots on the initializer's
   /// automaton); empty = surgeon request + cancel commands.
@@ -121,6 +126,12 @@ struct ScenarioSpec {
   /// lets schedule-style adversaries derive per-run state.  Default:
   /// PerfectLink everywhere.
   std::function<net::StarNetwork::LossFactory(std::uint64_t run_seed)> loss;
+  /// Per-link customization applied after the global `loss`/`channel`
+  /// setup, before the run starts — non-star topologies (a chained-bridge
+  /// deployment compounds per-hop delay and relay loss onto each remote's
+  /// links) and per-link adversaries (a scripted drop on one uplink) are
+  /// expressed here.
+  std::function<void(net::StarNetwork&, std::uint64_t run_seed)> configure_links;
 
   // -- execution -----------------------------------------------------------
   double horizon = 200.0;

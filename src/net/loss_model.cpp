@@ -26,7 +26,20 @@ GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad, double p_bad_to_goo
 }
 
 bool GilbertElliottLoss::lose(sim::SimTime, sim::Rng& rng) {
-  // Advance the channel state, then draw the per-state loss.
+  // First use: draw the initial state from the chain's stationary
+  // distribution P(bad) = p_gb/(p_gb+p_bg).  Always starting Good would
+  // bias early-horizon delivery optimistic across every seed — a channel
+  // observed at an arbitrary instant is Bad with its stationary mass.
+  // (Drawing lazily here, rather than in the constructor, is what lets
+  // the state come from the run's own Rng stream.)
+  if (!state_drawn_) {
+    state_drawn_ = true;
+    const double denom = p_gb_ + p_bg_;
+    if (denom > 0.0) bad_ = rng.bernoulli(p_gb_ / denom);
+  }
+  // Advance the channel state, then draw the per-state loss.  (The
+  // stationary distribution is invariant under this step, so the first
+  // packet still sees P(bad) = p_gb/(p_gb+p_bg).)
   if (bad_) {
     if (rng.bernoulli(p_bg_)) bad_ = false;
   } else {
@@ -88,6 +101,25 @@ std::string ScriptedLoss::describe() const {
   const std::size_t losses =
       static_cast<std::size_t>(std::count(lose_nth_.begin(), lose_nth_.end(), true));
   return util::cat("scripted(", losses, "/", lose_nth_.size(), " lost)");
+}
+
+CompoundLoss::CompoundLoss(std::vector<std::unique_ptr<LossModel>> parts)
+    : parts_(std::move(parts)) {
+  PTE_REQUIRE(!parts_.empty(), "compound loss needs at least one component");
+  for (const auto& p : parts_) PTE_REQUIRE(p != nullptr, "compound loss component is null");
+}
+
+bool CompoundLoss::lose(sim::SimTime now, sim::Rng& rng) {
+  bool lost = false;
+  for (auto& p : parts_) lost = p->lose(now, rng) || lost;
+  return lost;
+}
+
+std::string CompoundLoss::describe() const {
+  std::string out = "compound(";
+  for (std::size_t i = 0; i < parts_.size(); ++i)
+    out += util::cat(i == 0 ? "" : " + ", parts_[i]->describe());
+  return out + ")";
 }
 
 }  // namespace ptecps::net

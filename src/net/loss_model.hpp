@@ -51,18 +51,24 @@ class BernoulliLoss final : public LossModel {
 
 /// Two-state Markov chain advanced per packet: in Good state packets are
 /// lost with `loss_good`, in Bad state with `loss_bad`; transitions occur
-/// with probability `p_good_to_bad` / `p_bad_to_good` per packet.
+/// with probability `p_good_to_bad` / `p_bad_to_good` per packet.  The
+/// initial state is drawn from the stationary distribution
+/// P(bad) = p_gb/(p_gb+p_bg) on first use (seeded by the run's Rng), so
+/// early-horizon delivery is unbiased across seeds.
 class GilbertElliottLoss final : public LossModel {
  public:
   GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good, double loss_good,
                      double loss_bad);
   bool lose(sim::SimTime, sim::Rng& rng) override;
   std::string describe() const override;
+  /// Meaningful once the first packet drew the initial state.
   bool in_bad_state() const { return bad_; }
+  bool state_drawn() const { return state_drawn_; }
 
  private:
   double p_gb_, p_bg_, loss_good_, loss_bad_;
   bool bad_ = false;
+  bool state_drawn_ = false;
 };
 
 /// Duty-cycled interferer: bursts of length `burst` every `period`
@@ -96,6 +102,21 @@ class ScriptedLoss final : public LossModel {
  private:
   std::vector<bool> lose_nth_;
   std::size_t next_ = 0;
+};
+
+/// Independent composition: a packet is lost iff ANY component loses it.
+/// Every component draws on every packet (no short-circuit), so each
+/// part's state and rng consumption are independent of the others'
+/// verdicts.  A chained-bridge path is the end-to-end channel model plus
+/// one Bernoulli relay draw per intermediate hop.
+class CompoundLoss final : public LossModel {
+ public:
+  explicit CompoundLoss(std::vector<std::unique_ptr<LossModel>> parts);
+  bool lose(sim::SimTime now, sim::Rng& rng) override;
+  std::string describe() const override;
+
+ private:
+  std::vector<std::unique_ptr<LossModel>> parts_;
 };
 
 }  // namespace ptecps::net

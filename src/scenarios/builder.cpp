@@ -1,0 +1,285 @@
+#include "scenarios/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "campaign/context.hpp"
+#include "core/events.hpp"
+#include "core/synthesis.hpp"
+#include "net/star_network.hpp"
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::scenarios {
+
+// ---------------------------------------------------------------------------
+// LossSpec
+// ---------------------------------------------------------------------------
+
+LossSpec LossSpec::perfect() { return LossSpec{}; }
+
+LossSpec LossSpec::bernoulli(double p) {
+  LossSpec ls;
+  ls.kind = Kind::kBernoulli;
+  ls.p = p;
+  return ls;
+}
+
+LossSpec LossSpec::gilbert_elliott(double p_gb, double p_bg, double loss_good,
+                                   double loss_bad) {
+  LossSpec ls;
+  ls.kind = Kind::kGilbertElliott;
+  ls.p_gb = p_gb;
+  ls.p_bg = p_bg;
+  ls.loss_good = loss_good;
+  ls.loss_bad = loss_bad;
+  return ls;
+}
+
+LossSpec LossSpec::interference(double period, double burst, double loss_burst,
+                                double loss_idle, double phase) {
+  LossSpec ls;
+  ls.kind = Kind::kInterference;
+  ls.period = period;
+  ls.burst = burst;
+  ls.loss_burst = loss_burst;
+  ls.loss_idle = loss_idle;
+  ls.phase = phase;
+  return ls;
+}
+
+LossSpec LossSpec::scripted(std::vector<bool> verdicts) {
+  LossSpec ls;
+  ls.kind = Kind::kScripted;
+  ls.script = std::move(verdicts);
+  return ls;
+}
+
+std::unique_ptr<net::LossModel> LossSpec::make() const {
+  switch (kind) {
+    case Kind::kPerfect: return std::make_unique<net::PerfectLink>();
+    case Kind::kBernoulli: return std::make_unique<net::BernoulliLoss>(p);
+    case Kind::kGilbertElliott:
+      return std::make_unique<net::GilbertElliottLoss>(p_gb, p_bg, loss_good, loss_bad);
+    case Kind::kInterference:
+      return std::make_unique<net::InterferenceLoss>(period, burst, loss_burst, loss_idle,
+                                                     phase);
+    case Kind::kScripted: return std::make_unique<net::ScriptedLoss>(script);
+  }
+  PTE_CHECK(false, "unhandled LossSpec kind");
+}
+
+std::string LossSpec::describe() const { return make()->describe(); }
+
+// ---------------------------------------------------------------------------
+// Actions
+// ---------------------------------------------------------------------------
+
+Action Action::inject(double t, net::EntityId entity, std::string root) {
+  Action a;
+  a.t = t;
+  a.kind = Kind::kInject;
+  a.entity = entity;
+  a.name = std::move(root);
+  return a;
+}
+
+Action Action::kill_uplink(double t, net::EntityId remote) {
+  Action a;
+  a.t = t;
+  a.kind = Kind::kKillUplink;
+  a.entity = remote;
+  return a;
+}
+
+Action Action::kill_downlink(double t, net::EntityId remote) {
+  Action a;
+  a.t = t;
+  a.kind = Kind::kKillDownlink;
+  a.entity = remote;
+  return a;
+}
+
+Action Action::set_var(double t, net::EntityId entity, std::string var, double value) {
+  Action a;
+  a.t = t;
+  a.kind = Kind::kSetVar;
+  a.entity = entity;
+  a.name = std::move(var);
+  a.value = value;
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// build()
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The full action list of one run: the periodic initializer duty cycle
+/// expanded over the horizon, merged with the explicit actions, in time
+/// order (stable: simultaneous actions keep script order).
+std::vector<Action> expand_script(const ScenarioParams& params) {
+  std::vector<Action> actions;
+  const std::size_t n = params.config.n_remotes;
+  if (params.script.period > 0.0) {
+    for (double t = params.script.phase; t < params.horizon; t += params.script.period) {
+      actions.push_back(Action::inject(t, n, core::events::cmd_request(n)));
+      const double cancel_at = t + params.script.on_for;
+      if (params.script.on_for > 0.0 && cancel_at < params.horizon)
+        actions.push_back(Action::inject(cancel_at, n, core::events::cmd_cancel(n)));
+    }
+  }
+  for (const Action& a : params.script.actions) {
+    PTE_REQUIRE(a.t <= params.horizon,
+                util::cat("scenario '", params.name, "': action at t=", a.t,
+                          " lies beyond the horizon ", params.horizon));
+    PTE_REQUIRE(a.entity <= n, util::cat("scenario '", params.name,
+                                         "': action targets entity ", a.entity,
+                                         " of an N=", n, " deployment"));
+    actions.push_back(a);
+  }
+  std::stable_sort(actions.begin(), actions.end(),
+                   [](const Action& a, const Action& b) { return a.t < b.t; });
+  return actions;
+}
+
+void apply(const Action& a, campaign::SimulationContext& ctx) {
+  switch (a.kind) {
+    case Action::Kind::kInject: ctx.inject(a.entity, a.name); break;
+    case Action::Kind::kKillUplink: ctx.kill_uplink(a.entity); break;
+    case Action::Kind::kKillDownlink: ctx.kill_downlink(a.entity); break;
+    case Action::Kind::kSetVar: ctx.set_entity_var(a.entity, a.name, a.value); break;
+  }
+}
+
+/// One link's loss model in a chained-bridge deployment: the end-to-end
+/// channel model plus an independent relay draw per intermediate hop.
+std::unique_ptr<net::LossModel> chained_model(const LossSpec& loss, double relay_loss,
+                                              std::size_t hops) {
+  std::vector<std::unique_ptr<net::LossModel>> parts;
+  parts.push_back(loss.make());
+  for (std::size_t h = 1; h < hops; ++h)
+    parts.push_back(std::make_unique<net::BernoulliLoss>(relay_loss));
+  if (parts.size() == 1) return std::move(parts.front());
+  return std::make_unique<net::CompoundLoss>(std::move(parts));
+}
+
+}  // namespace
+
+campaign::ScenarioSpec build(const ScenarioParams& params) {
+  PTE_REQUIRE(params.horizon > 0.0,
+              util::cat("scenario '", params.name, "': horizon must be positive"));
+
+  campaign::ScenarioSpec spec;
+  spec.name = params.name;
+  spec.config = params.config;
+  spec.approval = params.approval;
+  spec.with_lease = params.with_lease;
+  spec.deadline_wait = params.deadline_wait;
+  spec.dwell_bound = params.dwell_bound;
+  spec.mode = params.mode;
+  spec.verify = params.verify;
+  spec.channel = params.channel;
+  spec.horizon = params.horizon;
+  spec.seed_range(params.seed_base, params.seed_count);
+
+  // Chained-bridge deployments configure every link individually below,
+  // so the global factory would only build 2N models per run to be
+  // immediately replaced.
+  if (params.loss.kind != LossSpec::Kind::kPerfect &&
+      params.topology == Topology::kStar) {
+    spec.loss = [loss = params.loss](std::uint64_t) {
+      return net::StarNetwork::LossFactory([loss] { return loss.make(); });
+    };
+  }
+
+  if (params.topology == Topology::kChainedBridge) {
+    const std::size_t n = params.config.n_remotes;
+    // The farthest remote's packets must still be acceptably young on
+    // arrival, or the topology silently degenerates to 100 % loss.
+    const double worst_path =
+        params.channel.delay * static_cast<double>(n) + params.channel.delay_jitter;
+    PTE_REQUIRE(params.channel.acceptance_window <= 0.0 ||
+                    worst_path <= params.channel.acceptance_window,
+                util::cat("scenario '", params.name, "': chained-bridge worst path ",
+                          worst_path, " s exceeds the acceptance window ",
+                          params.channel.acceptance_window, " s"));
+    spec.configure_links = [channel = params.channel, loss = params.loss,
+                            relay = params.relay_loss, n](net::StarNetwork& network,
+                                                          std::uint64_t) {
+      for (std::size_t r = 1; r <= n; ++r) {
+        net::ChannelConfig cfg = channel;
+        cfg.delay = channel.delay * static_cast<double>(r);  // r hops from the sink
+        network.configure_uplink(r, chained_model(loss, relay, r), cfg);
+        network.configure_downlink(r, chained_model(loss, relay, r), cfg);
+      }
+    };
+    // The prover's window: the closest remote is one hop away (explicit
+    // delivery_min); with an acceptance window the derived max already
+    // covers every hop count (older packets count as losses), but
+    // WITHOUT one the channel-derived max would be the single-hop
+    // delay + jitter — slower multi-hop deliveries the simulator really
+    // performs would fall outside the proved window, so pin the max to
+    // the worst path explicitly.
+    if (spec.verify.delivery_min < 0.0) spec.verify.delivery_min = params.channel.delay;
+    if (spec.verify.delivery_max <= 0.0 && params.channel.acceptance_window <= 0.0)
+      spec.verify.delivery_max = worst_path;
+  }
+
+  if (!params.script.empty()) {
+    spec.drive = [actions = expand_script(params),
+                  horizon = params.horizon](campaign::SimulationContext& ctx) {
+      for (const Action& a : actions) {
+        ctx.run_until(a.t);
+        apply(a, ctx);
+      }
+      ctx.run_until(horizon);
+    };
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// synthesize()
+// ---------------------------------------------------------------------------
+
+campaign::ScenarioSpec synthesize(sim::Rng& rng, const SynthesizeOptions& options) {
+  PTE_REQUIRE(options.n_remotes >= 2, "synthesized deployments need N >= 2");
+  core::SynthesisRequest request;
+  request.n_remotes = options.n_remotes;
+  for (std::size_t i = 0; i + 1 < options.n_remotes; ++i) {
+    request.t_risky_min.push_back(0.5 + rng.uniform(0.0, 2.0));
+    request.t_safe_min.push_back(0.25 + rng.uniform(0.0, 1.0));
+  }
+  request.initializer_lease = 6.0 + rng.uniform(0.0, 8.0);
+  request.t_wait_max = 1.0 + rng.uniform(0.0, 1.5);
+  request.t_fb_min_0 = 3.0 + rng.uniform(0.0, 4.0);
+
+  ScenarioParams params;
+  params.name = util::cat("synthesized-n", options.n_remotes);
+  params.config = core::synthesize(request);
+  params.mode = options.mode;
+  params.horizon = options.horizon;
+  params.seed_count = options.seed_count;
+  if (options.breakable && rng.bernoulli(0.5)) {
+    // Judge against a ceiling below ξ1's lease: a violation is reachable
+    // without a single loss, so sampler and prover must both find it.
+    params.dwell_bound = params.config.entity(1).t_run_max * rng.uniform(0.3, 0.7);
+    params.name += "-broken";
+  }
+  if (options.with_traffic && options.mode != campaign::RunMode::kVerify) {
+    params.loss = LossSpec::bernoulli(rng.uniform(0.0, 0.35));
+    // One full session cycle per period: Fall-Back dwell, the lease
+    // chain, and slack for retries.
+    params.script.period = request.t_fb_min_0 +
+                           params.config.entity(options.n_remotes).occupancy() +
+                           2.0 * request.t_wait_max + 2.0;
+    params.script.phase = 2.0;
+    params.script.on_for =
+        rng.bernoulli(0.5) ? 0.6 * params.config.entity(options.n_remotes).t_run_max : 0.0;
+  }
+  return build(params);
+}
+
+}  // namespace ptecps::scenarios

@@ -1,0 +1,158 @@
+// Declarative scenario construction: one ScenarioParams describes a whole
+// N-entity PTE deployment — timing configuration, network topology and
+// loss model, stimulus script, run mode and adversary budgets — and
+// build() lowers it onto the campaign runtime (a campaign::ScenarioSpec
+// with the loss factory, per-link topology wiring, and drive script
+// assembled consistently for BOTH execution modes: the Monte-Carlo
+// sampler and the exhaustive prover see the same deployment).
+//
+// This replaces the per-bench hand-wiring the repo grew up with: the §V
+// laser tracheotomy and the factory press used to be the only two
+// deployments anyone ran, because each one was ~60 lines of scheduler /
+// engine / network / monitor assembly.  A ScenarioParams is ~10 lines,
+// and registry.hpp keeps a library of named ones.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+#include "core/config.hpp"
+#include "core/pattern.hpp"
+#include "net/channel.hpp"
+#include "net/loss_model.hpp"
+#include "sim/random.hpp"
+
+namespace ptecps::scenarios {
+
+/// How the remote entities reach the base station.
+///   kStar          — the paper's §II-B sink topology: one hop per remote.
+///   kChainedBridge — remote i sits i hops from the sink behind a daisy
+///                    chain of relay bridges: its links get hop-scaled
+///                    propagation delay and one independent relay-loss
+///                    draw per intermediate hop (CompoundLoss).  The
+///                    prover sees the same deployment through its
+///                    delivery window: an explicit delivery_min (one hop)
+///                    with the acceptance-window-derived max.
+enum class Topology { kStar, kChainedBridge };
+
+/// Loss-model selection for every link of the deployment, factory-style
+/// (each link of each run gets a fresh instance, so stateful models never
+/// leak state across links or runs).
+struct LossSpec {
+  enum class Kind { kPerfect, kBernoulli, kGilbertElliott, kInterference, kScripted };
+  Kind kind = Kind::kPerfect;
+
+  // kBernoulli
+  double p = 0.0;
+  // kGilbertElliott
+  double p_gb = 0.05, p_bg = 0.4, loss_good = 0.02, loss_bad = 0.8;
+  // kInterference
+  double period = 2.0, burst = 0.5, loss_burst = 0.9, loss_idle = 0.02, phase = 0.0;
+  // kScripted: per-packet verdicts in send order, per link
+  std::vector<bool> script;
+
+  static LossSpec perfect();
+  static LossSpec bernoulli(double p);
+  static LossSpec gilbert_elliott(double p_gb, double p_bg, double loss_good,
+                                  double loss_bad);
+  static LossSpec interference(double period, double burst, double loss_burst,
+                               double loss_idle, double phase = 0.0);
+  static LossSpec scripted(std::vector<bool> verdicts);
+
+  /// Fresh model instance for one link.
+  std::unique_ptr<net::LossModel> make() const;
+  std::string describe() const;
+};
+
+/// One scripted action of a run's drive (applied at time `t`, in order).
+struct Action {
+  enum class Kind { kInject, kKillUplink, kKillDownlink, kSetVar };
+  double t = 0.0;
+  Kind kind = Kind::kInject;
+  net::EntityId entity = 0;
+  /// kInject: event root; kSetVar: variable name.
+  std::string name;
+  /// kSetVar only.
+  double value = 0.0;
+
+  static Action inject(double t, net::EntityId entity, std::string root);
+  static Action kill_uplink(double t, net::EntityId remote);
+  static Action kill_downlink(double t, net::EntityId remote);
+  static Action set_var(double t, net::EntityId entity, std::string var, double value);
+};
+
+/// The run's stimulus script: a periodic initializer duty cycle (the
+/// surgeon / production-controller pattern every bench used) merged with
+/// explicit timed actions.  Empty script = run straight to the horizon.
+struct StimulusScript {
+  /// > 0: inject cmd_request(N) at phase, phase+period, … (< horizon).
+  double period = 0.0;
+  double phase = 10.0;
+  /// > 0: inject cmd_cancel(N) this long after each request.
+  double on_for = 0.0;
+  std::vector<Action> actions;
+
+  bool empty() const { return period <= 0.0 && actions.empty(); }
+};
+
+struct ScenarioParams {
+  std::string name = "scenario";
+
+  // -- system under test ---------------------------------------------------
+  core::PatternConfig config = core::PatternConfig::laser_tracheotomy();
+  core::ApprovalSpec approval;
+  bool with_lease = true;
+  bool deadline_wait = true;
+  /// Rule 1 dwell ceiling to judge against; <= 0 uses the config's bound.
+  double dwell_bound = 0.0;
+
+  // -- network -------------------------------------------------------------
+  Topology topology = Topology::kStar;
+  /// kChainedBridge: per-hop relay loss probability (each intermediate
+  /// hop draws independently).
+  double relay_loss = 0.02;
+  net::ChannelConfig channel{0.005, 0.0, 0.0, 0.5};
+  LossSpec loss;
+
+  // -- execution -----------------------------------------------------------
+  double horizon = 200.0;
+  StimulusScript script;
+  std::uint64_t seed_base = 1;
+  std::size_t seed_count = 8;
+
+  // -- mode ----------------------------------------------------------------
+  campaign::RunMode mode = campaign::RunMode::kBoth;
+  campaign::VerifySpec verify;
+};
+
+/// Lower `params` onto the campaign runtime.  Throws std::invalid_argument
+/// (PTE_REQUIRE) on inconsistent parameters — a scripted action beyond the
+/// horizon, a chained topology whose worst-case path outruns the receiver
+/// acceptance window, an empty delivery window.
+campaign::ScenarioSpec build(const ScenarioParams& params);
+
+/// Randomized scenario generation for fuzz-style campaigns: a synthesized
+/// (always Theorem-1-consistent) N-entity configuration, optionally judged
+/// against a deliberately lowered dwell ceiling so half the models carry a
+/// reachable violation.  Promoted from the zone-engine property tests —
+/// the prover/sampler cross-validation sweeps run on exactly these models.
+struct SynthesizeOptions {
+  std::size_t n_remotes = 2;
+  /// With probability 1/2, judge against a dwell ceiling of 30–70 % of
+  /// ξ1's lease — those models have a violation reachable with zero
+  /// losses (expected verdict: kViolation).
+  bool breakable = false;
+  campaign::RunMode mode = campaign::RunMode::kVerify;
+  /// For sampling modes: attach a Bernoulli loss and a periodic stimulus
+  /// script sized to the synthesized timing.
+  bool with_traffic = true;
+  double horizon = 120.0;
+  std::size_t seed_count = 4;
+};
+
+campaign::ScenarioSpec synthesize(sim::Rng& rng, const SynthesizeOptions& options = {});
+
+}  // namespace ptecps::scenarios

@@ -1,0 +1,83 @@
+#include "scenarios/crossval.hpp"
+
+#include "util/text.hpp"
+
+namespace ptecps::scenarios {
+
+CrossValidationReport cross_validate(const campaign::CampaignReport& report) {
+  CrossValidationReport out;
+  for (const campaign::ScenarioOutcome& s : report.scenarios) {
+    if (!s.verification.has_value()) continue;  // Monte-Carlo only: nothing to check
+    const campaign::VerificationOutcome& v = *s.verification;
+
+    CrossCheck check;
+    check.scenario = s.name;
+    check.has_verification = true;
+    check.status = v.status;
+    check.replay_reproduced = v.replay_reproduced;
+    for (const campaign::RunResult& r : s.runs) {
+      if (r.violations > 0) ++check.violating_runs;
+      check.sampled_violations += r.violations;
+    }
+
+    if (s.failed_runs > 0) {
+      check.consistent = false;
+      check.detail = util::cat(s.failed_runs, " Monte-Carlo run(s) threw — sampler side "
+                               "incomplete");
+    } else {
+      switch (v.status) {
+        case verify::VerifyStatus::kProved:
+          if (check.violating_runs > 0) {
+            check.consistent = false;
+            check.detail = util::cat(
+                "PROVED, yet the sampler hit ", check.sampled_violations, " violation(s) in ",
+                check.violating_runs, " of ", s.runs.size(),
+                " run(s): the prover's adversary is weaker than the simulator");
+          } else {
+            check.detail = util::cat("proved safe and sampled clean over ", s.runs.size(),
+                                     " run(s)");
+          }
+          break;
+        case verify::VerifyStatus::kViolation:
+          if (v.replay_attempted && !v.replay_reproduced) {
+            check.consistent = false;
+            check.detail = "counterexample did not reproduce through the engine replay";
+          } else if (s.runs.empty()) {
+            check.detail = "violation proved; no Monte-Carlo runs to corroborate "
+                           "(kVerify mode)";
+          } else if (check.violating_runs == 0) {
+            check.detail = "prover-only violation (adversarial schedule not sampled) — "
+                           "consistent";
+          } else {
+            check.detail = util::cat("violation found by prover and sampled in ",
+                                     check.violating_runs, " of ", s.runs.size(), " run(s)");
+          }
+          break;
+        case verify::VerifyStatus::kOutOfBudget:
+          check.consistent = false;
+          check.detail = "verification ran out of budget — inconclusive, never a pass";
+          break;
+      }
+    }
+    out.checks.push_back(std::move(check));
+  }
+  return out;
+}
+
+bool CrossValidationReport::ok() const {
+  for (const CrossCheck& c : checks)
+    if (!c.consistent) return false;
+  return true;
+}
+
+std::string CrossValidationReport::summary() const {
+  std::string out;
+  for (const CrossCheck& c : checks) {
+    out += util::cat(c.consistent ? "  agree " : "  DISAGREE ", c.scenario, ": ",
+                     verify::verify_status_str(c.status), " / ", c.sampled_violations,
+                     " sampled violation(s) — ", c.detail, "\n");
+  }
+  return out;
+}
+
+}  // namespace ptecps::scenarios

@@ -1,0 +1,60 @@
+// Prover ⇄ sampler cross-validation.
+//
+// A scenario run in RunMode::kBoth produces two independent judgments of
+// the same deployment: Monte-Carlo sampling (concrete runs through the
+// engine + network + PteMonitor) and exhaustive zone reachability under
+// the bounded adversary.  They answer to each other:
+//
+//   * a PROVED scenario must sample clean — any sampled Rule-1/Rule-2
+//     violation means the prover checked a weaker adversary than the
+//     simulator actually is (exactly the class of bug the PR-4
+//     delivery-bound fix removed) or the abstraction dropped a behavior;
+//   * a scenario with a counterexample must REPLAY it: the concretized
+//     trace re-executed through hybrid::Engine + PteMonitor has to
+//     reproduce the violation end to end;
+//   * a prover-only violation (sampled clean) is consistent — the
+//     adversarial schedule simply was not drawn — and is reported as a
+//     note, not a failure;
+//   * an out-of-budget verification is inconclusive and therefore fails
+//     the cross-validation loudly (never a silent pass).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "verify/checker.hpp"
+
+namespace ptecps::scenarios {
+
+/// One scenario's agreement record.
+struct CrossCheck {
+  std::string scenario;
+  bool has_verification = false;
+  verify::VerifyStatus status = verify::VerifyStatus::kOutOfBudget;
+  /// Monte-Carlo side: runs that sampled >= 1 violation / total sampled
+  /// violations over all runs.
+  std::size_t violating_runs = 0;
+  std::size_t sampled_violations = 0;
+  bool replay_reproduced = false;
+  /// The verdicts agree (see the rules above).
+  bool consistent = true;
+  std::string detail;
+};
+
+struct CrossValidationReport {
+  std::vector<CrossCheck> checks;
+
+  /// True iff every cross-checked scenario is consistent.
+  bool ok() const;
+  /// One line per scenario.
+  std::string summary() const;
+};
+
+/// Cross-validate every scenario of `report` that ran with verification
+/// (kVerify / kBoth).  Monte-Carlo-only scenarios are skipped (nothing to
+/// cross-check) and do not appear in the result.
+CrossValidationReport cross_validate(const campaign::CampaignReport& report);
+
+}  // namespace ptecps::scenarios

@@ -1,0 +1,254 @@
+#include "scenarios/registry.hpp"
+
+#include <algorithm>
+
+#include "core/events.hpp"
+#include "core/synthesis.hpp"
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::scenarios {
+
+namespace {
+
+using core::events::cmd_cancel;
+using core::events::cmd_request;
+
+/// §V laser tracheotomy: ξ1 = ventilator, ξ2 = laser scalpel; the surgeon
+/// requests an emission roughly twice a minute and cancels mid-lease.
+ScenarioParams laser_tracheotomy() {
+  ScenarioParams p;
+  p.name = "laser-tracheotomy";
+  p.loss = LossSpec::bernoulli(0.3);
+  p.script.period = 45.0;
+  p.script.phase = 15.0;
+  p.script.on_for = 25.0;
+  p.horizon = 200.0;
+  return p;
+}
+
+/// Industrial press cell (belt < clamp < press), the factory_press
+/// example's synthesized configuration driven as a production line.
+ScenarioParams factory_press() {
+  core::SynthesisRequest request;
+  request.n_remotes = 3;
+  request.t_risky_min = {1.5, 0.8};
+  request.t_safe_min = {0.5, 0.4};
+  request.initializer_lease = 6.0;
+  request.t_wait_max = 1.0;
+  request.t_fb_min_0 = 3.0;
+
+  ScenarioParams p;
+  p.name = "factory-press";
+  p.config = core::synthesize(request);
+  p.channel = net::ChannelConfig{0.002, 0.004, 0.002, 0.25};
+  p.loss = LossSpec::bernoulli(0.15);
+  p.script.period = 15.0;
+  p.script.phase = 5.0;
+  p.script.on_for = 4.0;
+  p.horizon = 150.0;
+  // Three automata and a short cycle: keep the exhaustive pass tractable
+  // with a single-loss adversary.
+  p.verify.max_losses = 1;
+  p.verify.max_injections = 1;
+  return p;
+}
+
+/// Infusion pump ⇄ ventilator interlock: the pump (ξ2, Initializer) may
+/// only bolus while the ventilator (ξ1) holds a recruitment pause, with a
+/// 2 s washout safeguard either side — a second medical deployment with a
+/// bursty (Gilbert-Elliott) ward channel.
+ScenarioParams infusion_vent_interlock() {
+  core::SynthesisRequest request;
+  request.n_remotes = 2;
+  request.t_risky_min = {2.0};
+  request.t_safe_min = {1.0};
+  request.initializer_lease = 10.0;
+  request.t_wait_max = 2.0;
+  request.t_fb_min_0 = 5.0;
+
+  ScenarioParams p;
+  p.name = "infusion-vent-interlock";
+  p.config = core::synthesize(request);
+  p.loss = LossSpec::gilbert_elliott(0.05, 0.4, 0.02, 0.8);
+  p.script.period = 35.0;
+  p.script.phase = 8.0;
+  p.script.on_for = 15.0;
+  p.horizon = 180.0;
+  return p;
+}
+
+/// The quickstart example's synthesized three-entity sequential embedding
+/// (ξ1 < ξ2 < ξ3) under i.i.d. loss.
+ScenarioParams three_entity_chain() {
+  core::SynthesisRequest request;
+  request.n_remotes = 3;
+  request.t_risky_min = {2.0, 2.0};
+  request.t_safe_min = {1.0, 1.0};
+  request.initializer_lease = 12.0;
+  request.t_wait_max = 1.5;
+  request.t_fb_min_0 = 4.0;
+
+  ScenarioParams p;
+  p.name = "three-entity-chain";
+  p.config = core::synthesize(request);
+  p.loss = LossSpec::bernoulli(0.2);
+  p.script.period = 25.0;
+  p.script.phase = 10.0;
+  p.script.on_for = 8.0;
+  p.horizon = 150.0;
+  p.verify.max_losses = 1;
+  p.verify.max_injections = 1;
+  return p;
+}
+
+/// The laser deployment under the paper's §V emulation conditions: an
+/// 802.11g-style duty-cycled interferer instead of i.i.d. loss — bursts
+/// of near-certain loss with quiet gaps.
+ScenarioParams laser_bursty_interferer() {
+  ScenarioParams p = laser_tracheotomy();
+  p.name = "laser-bursty-interferer";
+  p.loss = LossSpec::interference(2.0, 0.5, 0.9, 0.02);
+  return p;
+}
+
+/// The laser deployment behind a chained-bridge backhaul: remote i sits i
+/// hops from the sink, each hop adding propagation delay and an
+/// independent relay-loss draw.  The prover checks the same deployment
+/// through an explicit one-hop delivery_min and the acceptance-window
+/// max — the configuration path the PR-4 delivery-bound bugfix guards.
+ScenarioParams chained_bridge_laser() {
+  ScenarioParams p = laser_tracheotomy();
+  p.name = "chained-bridge-laser";
+  p.topology = Topology::kChainedBridge;
+  p.relay_loss = 0.05;
+  p.loss = LossSpec::bernoulli(0.1);
+  p.channel.delay = 0.01;
+  return p;
+}
+
+/// Deliberately broken variant: the deployment is judged against a dwell
+/// ceiling of half ξ1's lease while an adversary drops the cancel path
+/// (uplink 2 dies as the emission starts).  Every completed session
+/// overshoots the ceiling, so the sampler sees the violation on ordinary
+/// seeds and the prover must rediscover it (and its counterexample must
+/// replay).
+ScenarioParams adversarial_drop() {
+  ScenarioParams p;
+  p.name = "adversarial-drop";
+  p.dwell_bound = 17.5;  // ξ1's lease is 35 s
+  p.loss = LossSpec::bernoulli(0.05);
+  p.script.actions = {
+      Action::inject(15.0, 2, cmd_request(2)),
+      Action::kill_uplink(27.0, 2),             // cancel/exit confirmations lost
+      Action::inject(30.0, 2, cmd_cancel(2)),   // the surgeon tries anyway
+  };
+  p.horizon = 120.0;
+  p.verify.max_losses = 1;
+  p.verify.max_injections = 1;
+  return p;
+}
+
+/// DESIGN.md §2 ablation: a supervisor that unwinds the cancel/abort
+/// chain after T^max_wait instead of out-waiting the conservative lease
+/// deadline D_i.  Losing the Abort(ξ2) while the ApprovalCondition is
+/// collapsed releases the ventilator under the still-emitting laser — a
+/// Rule 2 embedding-order break both modes must detect.
+ScenarioParams impatient_supervisor() {
+  ScenarioParams p;
+  p.name = "impatient-supervisor";
+  p.deadline_wait = false;
+  p.script.actions = {
+      Action::inject(15.0, 2, cmd_request(2)),
+      Action::kill_downlink(27.0, 2),  // Abort(ξ2) will be lost
+      Action::kill_uplink(27.0, 2),    // and no Exit(ξ2) confirmation
+      Action::set_var(28.0, 0, "approval_val", 0.0),  // SpO2 collapses
+  };
+  p.horizon = 150.0;
+  p.verify.max_losses = 1;
+  p.verify.max_injections = 1;
+  return p;
+}
+
+}  // namespace
+
+RegistryTuning RegistryTuning::smoke() {
+  RegistryTuning t;
+  t.seed_count = 2;
+  t.horizon_scale = 0.5;
+  t.max_states = 400'000;
+  t.max_losses = 1;
+  t.max_injections = 1;
+  t.max_input_changes = 1;
+  return t;
+}
+
+const std::vector<RegistryEntry>& registry() {
+  static const std::vector<RegistryEntry> entries = {
+      {"laser-tracheotomy", "§V laser surgery: ventilator < laser under 30 % i.i.d. loss",
+       verify::VerifyStatus::kProved, &laser_tracheotomy},
+      {"factory-press", "press cell: belt < clamp < press production line, 15 % loss",
+       verify::VerifyStatus::kProved, &factory_press},
+      {"infusion-vent-interlock",
+       "pump boluses only inside ventilator pauses; Gilbert-Elliott ward channel",
+       verify::VerifyStatus::kProved, &infusion_vent_interlock},
+      {"three-entity-chain", "quickstart's synthesized 3-entity sequential embedding",
+       verify::VerifyStatus::kProved, &three_entity_chain},
+      {"laser-bursty-interferer", "laser deployment under a duty-cycled 802.11g interferer",
+       verify::VerifyStatus::kProved, &laser_bursty_interferer},
+      {"chained-bridge-laser",
+       "laser deployment over a chained-bridge backhaul (hop-scaled delay + relay loss)",
+       verify::VerifyStatus::kProved, &chained_bridge_laser},
+      {"adversarial-drop",
+       "halved dwell ceiling + dropped cancel path: sampler and prover must both object",
+       verify::VerifyStatus::kViolation, &adversarial_drop},
+      {"impatient-supervisor",
+       "deadline-wait ablation: lost Abort breaks the reverse exit order",
+       verify::VerifyStatus::kViolation, &impatient_supervisor},
+  };
+  return entries;
+}
+
+const RegistryEntry* find_scenario(const std::string& name) {
+  for (const RegistryEntry& e : registry())
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+campaign::ScenarioSpec build_scenario(const RegistryEntry& entry,
+                                      const RegistryTuning& tuning) {
+  PTE_REQUIRE(entry.make != nullptr,
+              util::cat("registry entry '", entry.name, "' has no factory"));
+  ScenarioParams params = entry.make();
+  // The registry IS the both-modes matrix: every entry declares an
+  // expected prover verdict, so a factory that opts out of verification
+  // would make that declaration untestable (and break every consumer
+  // that pairs outcomes with cross-checks by position).
+  PTE_REQUIRE(params.mode == campaign::RunMode::kBoth,
+              util::cat("registry entry '", entry.name,
+                        "' must run RunMode::kBoth — the matrix cross-validates "
+                        "the prover against the sampler"));
+  if (tuning.seed_count > 0) params.seed_count = tuning.seed_count;
+  params.horizon *= tuning.horizon_scale;
+  if (tuning.max_states > 0)
+    params.verify.max_states = std::min(params.verify.max_states, tuning.max_states);
+  if (tuning.max_losses > 0)
+    params.verify.max_losses = std::min(params.verify.max_losses, tuning.max_losses);
+  if (tuning.max_injections > 0)
+    params.verify.max_injections =
+        std::min(params.verify.max_injections, tuning.max_injections);
+  if (tuning.max_input_changes > 0)
+    params.verify.max_input_changes =
+        std::min(params.verify.max_input_changes, tuning.max_input_changes);
+  if (tuning.threads > 0) params.verify.threads = tuning.threads;
+  return build(params);
+}
+
+std::vector<campaign::ScenarioSpec> build_all(const RegistryTuning& tuning) {
+  std::vector<campaign::ScenarioSpec> specs;
+  specs.reserve(registry().size());
+  for (const RegistryEntry& e : registry()) specs.push_back(build_scenario(e, tuning));
+  return specs;
+}
+
+}  // namespace ptecps::scenarios

@@ -1,0 +1,59 @@
+// The named scenario library: every deployment the repo can exercise, as
+// data.  Each entry is a ScenarioParams factory plus the verdict the
+// exhaustive prover is expected to return — bench_matrix sweeps the whole
+// registry through BOTH run modes and the cross-validation layer
+// (crossval.hpp) asserts the Monte-Carlo sampler and the prover agree.
+//
+// Adding a scenario is adding one RegistryEntry here: it is then picked
+// up by bench_matrix, the registry-wide cross-validation test, and CI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+#include "scenarios/builder.hpp"
+#include "verify/checker.hpp"
+
+namespace ptecps::scenarios {
+
+struct RegistryEntry {
+  std::string name;
+  std::string summary;
+  /// The verdict the exhaustive checker must return for this deployment
+  /// (kProved for safe configurations, kViolation for the deliberately
+  /// broken ones whose counterexample pipeline is under test).
+  verify::VerifyStatus expected = verify::VerifyStatus::kProved;
+  ScenarioParams (*make)() = nullptr;
+};
+
+/// Budget overrides applied on top of an entry's own parameters — the
+/// smoke profile keeps the full registry affordable in CI and tests.
+struct RegistryTuning {
+  std::size_t seed_count = 0;   // 0 = keep the entry's
+  double horizon_scale = 1.0;   // scales ScenarioParams::horizon
+  std::size_t max_states = 0;   // 0 = keep; else min(entry, this)
+  std::size_t max_losses = 0;   // 0 = keep; else min(entry, this)
+  std::size_t max_injections = 0;
+  std::size_t max_input_changes = 0;
+  std::size_t threads = 0;      // 0 = keep the entry's
+
+  /// CI / test profile: 2 seeds, half horizon, adversary budgets capped
+  /// at 1 loss / 1 injection / 1 input change, 400k states.
+  static RegistryTuning smoke();
+};
+
+/// All named scenarios, in stable order.
+const std::vector<RegistryEntry>& registry();
+
+/// nullptr when no entry carries `name`.
+const RegistryEntry* find_scenario(const std::string& name);
+
+/// Lower one entry (with tuning applied) onto the campaign runtime.
+campaign::ScenarioSpec build_scenario(const RegistryEntry& entry,
+                                      const RegistryTuning& tuning = {});
+
+/// Lower the whole registry, in registry order.
+std::vector<campaign::ScenarioSpec> build_all(const RegistryTuning& tuning = {});
+
+}  // namespace ptecps::scenarios

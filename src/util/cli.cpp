@@ -1,10 +1,43 @@
 #include "util/cli.hpp"
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 #include "util/text.hpp"
 
 namespace ptecps::util {
+
+namespace {
+
+/// Malformed option values exit with a clean one-line diagnostic instead
+/// of letting std::stod/std::stoi terminate the binary with an uncaught
+/// std::invalid_argument that never names the offending flag.
+[[noreturn]] void bad_value(const std::string& name, const std::string& text,
+                            const char* expected) {
+  std::fprintf(stderr, "error: invalid value '%s' for --%s (expected %s)\n", text.c_str(),
+               name.c_str(), expected);
+  std::exit(2);
+}
+
+/// Shared parse-or-die shape of the numeric getters: the std::sto*
+/// conversion must consume the whole value ("1.5x" is rejected, not
+/// truncated) and any throw becomes the clean diagnostic.
+template <typename Fn>
+auto parse_value(const std::string& name, const std::string& text, const char* expected,
+                 Fn convert) -> decltype(convert(text, nullptr)) {
+  try {
+    std::size_t pos = 0;
+    const auto v = convert(text, &pos);
+    if (pos != text.size()) bad_value(name, text, expected);
+    return v;
+  } catch (const std::exception&) {
+    bad_value(name, text, expected);
+  }
+}
+
+}  // namespace
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -39,19 +72,28 @@ std::string ArgParser::get_string(const std::string& name, const std::string& fa
 
 double ArgParser::get_double(const std::string& name, double fallback) const {
   const auto it = options_.find(name);
-  return it == options_.end() || it->second.empty() ? fallback : std::stod(it->second);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return parse_value(name, it->second, "a number",
+                     [](const std::string& s, std::size_t* pos) { return std::stod(s, pos); });
 }
 
 int ArgParser::get_int(const std::string& name, int fallback) const {
   const auto it = options_.find(name);
-  return it == options_.end() || it->second.empty() ? fallback : std::stoi(it->second);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return parse_value(name, it->second, "an integer",
+                     [](const std::string& s, std::size_t* pos) { return std::stoi(s, pos); });
 }
 
 std::uint64_t ArgParser::get_u64(const std::string& name, std::uint64_t fallback) const {
   const auto it = options_.find(name);
-  return it == options_.end() || it->second.empty()
-             ? fallback
-             : static_cast<std::uint64_t>(std::stoull(it->second));
+  if (it == options_.end() || it->second.empty()) return fallback;
+  // std::stoull accepts "-5" and wraps it to 2^64-5; reject any sign.
+  if (it->second[0] == '-' || it->second[0] == '+')
+    bad_value(name, it->second, "an unsigned integer");
+  return parse_value(name, it->second, "an unsigned integer",
+                     [](const std::string& s, std::size_t* pos) {
+                       return static_cast<std::uint64_t>(std::stoull(s, pos));
+                     });
 }
 
 }  // namespace ptecps::util

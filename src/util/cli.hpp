@@ -4,6 +4,9 @@
 //   int trials  = args.get_int("trials", 4);
 //   if (args.has_flag("verbose")) ...;
 // Options are written as --name value or --name=value; flags as --name.
+// Numeric values may be negative ("--delta -1.5" and "--delta=-1.5" both
+// parse); a malformed numeric value exits with status 2 and a one-line
+// diagnostic naming the flag, rather than an uncaught std::stod throw.
 #pragma once
 
 #include <map>

@@ -91,6 +91,62 @@ TEST(GilbertElliott, StationaryLossMatchesTheory) {
   EXPECT_NEAR(static_cast<double>(lost) / n, 0.2375, 0.01);
 }
 
+TEST(GilbertElliott, InitialStateFollowsTheStationaryDistribution) {
+  // Regression: the model used to always start Good, biasing the first
+  // packets of EVERY run optimistic.  The initial state must be drawn
+  // from P(bad) = p_gb/(p_gb+p_bg) = 0.2/(0.2+0.3) = 0.4 on first use.
+  sim::Rng master(42);
+  const int n = 20000;
+  int bad_starts = 0;
+  for (int i = 0; i < n; ++i) {
+    GilbertElliottLoss model(0.2, 0.3, 0.0, 1.0);
+    EXPECT_FALSE(model.state_drawn());
+    sim::Rng rng = master.fork(static_cast<std::uint64_t>(i));
+    // With loss_good = 0 and loss_bad = 1, the first packet's verdict IS
+    // the state after the first step — and the stationary distribution
+    // is invariant under that step.
+    bad_starts += model.lose(0.0, rng) ? 1 : 0;
+    EXPECT_TRUE(model.state_drawn());
+  }
+  EXPECT_NEAR(static_cast<double>(bad_starts) / n, 0.4, 0.015);
+}
+
+TEST(GilbertElliott, DegenerateChainsStartDeterministically) {
+  sim::Rng rng(5);
+  // p_gb = 0: the Bad state is unreachable, so every start is Good.
+  GilbertElliottLoss never_bad(0.0, 0.3, 0.0, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(never_bad.lose(0.0, rng));
+  // p_bg = 0 with p_gb > 0: Bad is absorbing — stationary mass 1 on Bad.
+  GilbertElliottLoss always_bad(0.2, 0.0, 0.0, 1.0);
+  EXPECT_TRUE(always_bad.lose(0.0, rng));
+  EXPECT_TRUE(always_bad.in_bad_state());
+}
+
+TEST(CompoundLoss, LosesIffAnyComponentLoses) {
+  sim::Rng rng(9);
+  std::vector<std::unique_ptr<LossModel>> parts;
+  parts.push_back(std::make_unique<ScriptedLoss>(std::vector<bool>{true, false, false}));
+  parts.push_back(std::make_unique<ScriptedLoss>(std::vector<bool>{false, true, false}));
+  CompoundLoss compound(std::move(parts));
+  EXPECT_TRUE(compound.lose(0.0, rng));   // first part loses
+  EXPECT_TRUE(compound.lose(0.0, rng));   // second part loses
+  EXPECT_FALSE(compound.lose(0.0, rng));  // nobody loses
+  EXPECT_EQ(compound.describe(), "compound(scripted(1/3 lost) + scripted(1/3 lost))");
+}
+
+TEST(CompoundLoss, EmpiricalRateMatchesIndependentComposition) {
+  // Two independent Bernoulli components: P(lost) = 1 - (1-p)(1-q).
+  sim::Rng rng(17);
+  std::vector<std::unique_ptr<LossModel>> parts;
+  parts.push_back(std::make_unique<BernoulliLoss>(0.2));
+  parts.push_back(std::make_unique<BernoulliLoss>(0.1));
+  CompoundLoss compound(std::move(parts));
+  int lost = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) lost += compound.lose(0.0, rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(lost) / n, 1.0 - 0.8 * 0.9, 0.01);
+}
+
 TEST(GilbertElliott, ProducesBursts) {
   GilbertElliottLoss model(0.05, 0.2, 0.0, 1.0);
   sim::Rng rng(3);

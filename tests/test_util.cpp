@@ -183,6 +183,50 @@ TEST(Cli, ParsesOptionsFlagsAndPositional) {
   EXPECT_EQ(args.positional()[0], "input.txt");
 }
 
+TEST(Cli, AcceptsNegativeNumericValues) {
+  // Both "--name value" and "--name=value" spellings must carry a sign.
+  const char* argv[] = {"prog", "--delta", "-1.5", "--k", "-3", "--eps=-2.25"};
+  ArgParser args(6, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("delta", 0.0), -1.5);
+  EXPECT_EQ(args.get_int("k", 0), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("eps", 0.0), -2.25);
+}
+
+// Regression: malformed numeric values used to escape as uncaught
+// std::stod/std::stoi exceptions (std::terminate, no flag named); they
+// must exit(2) with a diagnostic naming the flag instead.
+TEST(CliDeathTest, MalformedDoubleExitsCleanly) {
+  const char* argv[] = {"prog", "--loss", "lots"};
+  ArgParser args(3, argv);
+  EXPECT_EXIT(args.get_double("loss", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value 'lots' for --loss");
+}
+
+TEST(CliDeathTest, TrailingGarbageIsRejectedNotTruncated) {
+  // std::stod("1.5x") silently parses 1.5; the parser must not.
+  const char* argv[] = {"prog", "--loss=1.5x", "--n=12q"};
+  ArgParser args(3, argv);
+  EXPECT_EXIT(args.get_double("loss", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value '1.5x' for --loss");
+  EXPECT_EXIT(args.get_int("n", 0), ::testing::ExitedWithCode(2),
+              "invalid value '12q' for --n");
+}
+
+TEST(CliDeathTest, NegativeU64IsRejectedNotWrapped) {
+  // std::stoull("-5") wraps to 2^64-5; the parser must reject the sign.
+  const char* argv[] = {"prog", "--seeds", "-5"};
+  ArgParser args(3, argv);
+  EXPECT_EXIT(args.get_u64("seeds", 0), ::testing::ExitedWithCode(2),
+              "invalid value '-5' for --seeds");
+}
+
+TEST(CliDeathTest, OutOfRangeIntExitsCleanly) {
+  const char* argv[] = {"prog", "--n=99999999999999999999"};
+  ArgParser args(2, argv);
+  EXPECT_EXIT(args.get_int("n", 0), ::testing::ExitedWithCode(2),
+              "invalid value '99999999999999999999' for --n");
+}
+
 TEST(Require, MacrosThrowWithContext) {
   try {
     PTE_REQUIRE(1 == 2, "math broke");

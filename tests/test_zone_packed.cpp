@@ -15,7 +15,7 @@
 
 #include "campaign/scenario.hpp"
 #include "core/config.hpp"
-#include "core/synthesis.hpp"
+#include "scenarios/builder.hpp"
 #include "sim/random.hpp"
 #include "verify/checker.hpp"
 #include "verify/model.hpp"
@@ -159,23 +159,16 @@ TEST(ZoneWiden, RepresentsTheExtrapolatedSet) {
 
 /// A randomized small pattern system: synthesized configs (always
 /// Theorem-1-consistent) judged against either their own dwell bound
-/// (expected: proved) or a lowered one (expected: violation).
+/// (expected: proved) or a lowered one (expected: violation).  The
+/// generator itself now lives in the scenario library
+/// (scenarios::synthesize — same draw sequence as the historical local
+/// helper, so the trial mix is unchanged).
 campaign::ScenarioSpec random_model(sim::Rng& rng, bool breakable) {
-  core::SynthesisRequest request;
-  request.n_remotes = 2;
-  request.t_risky_min = {0.5 + rng.uniform(0.0, 2.0)};
-  request.t_safe_min = {0.25 + rng.uniform(0.0, 1.0)};
-  request.initializer_lease = 6.0 + rng.uniform(0.0, 8.0);
-  request.t_wait_max = 1.0 + rng.uniform(0.0, 1.5);
-  request.t_fb_min_0 = 3.0 + rng.uniform(0.0, 4.0);
-
-  campaign::ScenarioSpec spec;
-  spec.name = "random-model";
-  spec.mode = campaign::RunMode::kVerify;
-  spec.config = core::synthesize(request);
-  if (breakable && rng.bernoulli(0.5))
-    spec.dwell_bound = spec.config.entity(1).t_run_max * rng.uniform(0.3, 0.7);
-  return spec;
+  scenarios::SynthesizeOptions options;
+  options.n_remotes = 2;
+  options.breakable = breakable;
+  options.mode = campaign::RunMode::kVerify;
+  return scenarios::synthesize(rng, options);
 }
 
 TEST(SubsumptionStore, NeverLosesAReachableViolation) {
