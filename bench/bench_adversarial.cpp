@@ -142,7 +142,7 @@ campaign::RunResult fuzz_run(const ScenarioSpec&, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"fuzz", "k", "threads"});
   const std::size_t k = static_cast<std::size_t>(args.get_int("k", 12));
   const int fuzz_runs = args.get_int("fuzz", 60);
   const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 0));

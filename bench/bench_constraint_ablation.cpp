@@ -89,7 +89,7 @@ void ablate(const char* name, const char* what,
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {});
   (void)args;
   std::printf("=== Theorem 1 constraint ablation (base: §V configuration) ===\n\n");
 

@@ -32,7 +32,7 @@ std::string ascii_timeline(double begin, double end, double t0, double t1, doubl
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"toff"});
   const double toff = args.get_double("toff", 0.0);  // 0: let the lease expire
 
   casestudy::TrialOptions opt;

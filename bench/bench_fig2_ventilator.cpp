@@ -14,7 +14,7 @@
 using namespace ptecps;
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"duration", "h0"});
   const double duration = args.get_double("duration", 12.0);
   const double h0 = args.get_double("h0", 0.15);
 

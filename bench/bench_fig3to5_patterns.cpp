@@ -27,7 +27,7 @@ void show(const hybrid::Automaton& a, const char* figure, bool dot) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"dot"});
   const bool dot = args.has_flag("dot");
 
   const auto cfg = core::PatternConfig::laser_tracheotomy();

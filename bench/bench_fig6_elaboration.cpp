@@ -51,7 +51,7 @@ Automaton make_fig6a() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"dot"});
   const bool dot = args.has_flag("dot");
 
   const Automaton a = make_fig6a();

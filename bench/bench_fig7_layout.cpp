@@ -11,7 +11,7 @@
 using namespace ptecps;
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"duration"});
   const double duration = args.get_double("duration", 600.0);
 
   std::printf("=== Fig. 7: laser tracheotomy wireless CPS layout ===\n\n");

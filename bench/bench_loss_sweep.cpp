@@ -51,7 +51,7 @@ campaign::RunResult run_trial_cell(bool with_lease, double duration, double p,
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"duration", "seeds", "threads"});
   const int seeds = args.get_int("seeds", 3);
   const double duration = args.get_double("duration", 1800.0);
   const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 0));

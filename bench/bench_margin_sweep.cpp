@@ -66,7 +66,7 @@ std::size_t order_violations(const campaign::RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"from", "step", "threads", "to"});
   const double from = args.get_double("from", 18.0);
   const double to = args.get_double("to", 37.0);
   const double step = args.get_double("step", 1.0);

@@ -32,6 +32,7 @@
 #include "net/star_network.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 
 using namespace ptecps;
@@ -288,51 +289,37 @@ bool write_campaign_json() {
   std::size_t failed = 0;
   const CampaignMeasurement single = measure(runs, 1, failed);
 
-  std::FILE* f = std::fopen("BENCH_campaign.json", "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot write BENCH_campaign.json\n");
-    return false;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"workload\": \"laser-tracheotomy session, Bernoulli 30%% loss, "
-                  "200 simulated s per run\",\n");
-  std::fprintf(f, "  \"hardware_threads\": %u,\n", std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"seed_baseline\": {\n");
-  std::fprintf(f, "    \"runs_per_sec\": %.1f,\n", kSeedRunsPerSec);
-  std::fprintf(f, "    \"p50_us\": %.1f,\n", kSeedP50Us);
-  std::fprintf(f, "    \"p99_us\": %.1f,\n", kSeedP99Us);
-  std::fprintf(f, "    \"allocs_per_run\": %.1f\n", kSeedAllocsPerRun);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"single_thread\": {\n");
-  std::fprintf(f, "    \"runs\": %zu,\n", runs);
-  std::fprintf(f, "    \"runs_per_sec\": %.1f,\n", single.runs_per_sec);
-  std::fprintf(f, "    \"p50_us\": %.1f,\n", single.p50_us);
-  std::fprintf(f, "    \"p99_us\": %.1f,\n", single.p99_us);
-  std::fprintf(f, "    \"allocs_per_run\": %.1f,\n", single.allocs_per_run);
-  std::fprintf(f, "    \"failed_runs\": %zu\n", single.failed_runs);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"throughput_improvement_x\": %.2f,\n",
-               single.runs_per_sec / kSeedRunsPerSec);
-  std::fprintf(f, "  \"alloc_reduction_x\": %.2f,\n",
-               kSeedAllocsPerRun / single.allocs_per_run);
+  util::Json doc = util::Json::object();
+  doc.set("workload",
+          "laser-tracheotomy session, Bernoulli 30% loss, 200 simulated s per run");
+  doc.set("hardware_threads", std::thread::hardware_concurrency());
+  util::Json baseline = util::Json::object();
+  baseline.set("runs_per_sec", kSeedRunsPerSec);
+  baseline.set("p50_us", kSeedP50Us);
+  baseline.set("p99_us", kSeedP99Us);
+  baseline.set("allocs_per_run", kSeedAllocsPerRun);
+  doc.set("seed_baseline", std::move(baseline));
+  util::Json st = util::Json::object();
+  st.set("runs", runs);
+  st.set("runs_per_sec", single.runs_per_sec);
+  st.set("p50_us", single.p50_us);
+  st.set("p99_us", single.p99_us);
+  st.set("allocs_per_run", single.allocs_per_run);
+  st.set("failed_runs", single.failed_runs);
+  doc.set("single_thread", std::move(st));
+  doc.set("throughput_improvement_x", single.runs_per_sec / kSeedRunsPerSec);
+  doc.set("alloc_reduction_x", kSeedAllocsPerRun / single.allocs_per_run);
   // Wall-time distribution with explicit out-of-range mass: overflow
   // counts are runs slower than the histogram range (they used to be
   // clamped into the last bin, flattening the visible tail).
-  std::fprintf(f, "  \"wall_us_histogram\": {\n");
-  std::fprintf(f, "    \"lo_us\": 0, \"hi_us\": 500, \"counts\": [");
-  for (std::size_t b = 0; b < single.wall_us.bins(); ++b)
-    std::fprintf(f, "%s%zu", b == 0 ? "" : ", ", single.wall_us.bin_count(b));
-  std::fprintf(f, "],\n");
-  std::fprintf(f, "    \"underflow\": %zu, \"overflow\": %zu\n", single.wall_us.underflow(),
-               single.wall_us.overflow());
-  std::fprintf(f, "  },\n");
+  doc.set("wall_us_histogram", single.wall_us.to_json());
   // Honest scaling table: every thread count gets the SAME fixed total
   // work (runs) and its own warm-up pass, and each row records speedup
   // over the 1-thread row plus parallel efficiency against the ideal for
   // this host (min(threads, hardware_threads) — oversubscribing a small
   // host cannot speed anything up, and pretending otherwise hid the PR-1
   // 2-thread regression).
-  std::fprintf(f, "  \"scaling\": [\n");
+  util::Json scaling = util::Json::array();
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   const std::size_t thread_counts[] = {1, 2, 4, 8};
   // Row 0 reuses the single_thread measurement above (same config, its
@@ -347,13 +334,21 @@ bool write_campaign_json() {
     }
     const double speedup = m.runs_per_sec / one_thread_rps;
     const double ideal = static_cast<double>(std::min(thread_counts[i], hw));
-    std::fprintf(f,
-                 "    {\"threads\": %zu, \"runs_per_sec\": %.1f, \"speedup_x\": %.2f, "
-                 "\"efficiency\": %.2f}%s\n",
-                 thread_counts[i], m.runs_per_sec, speedup, speedup / ideal,
-                 i + 1 < 4 ? "," : "");
+    util::Json row = util::Json::object();
+    row.set("threads", thread_counts[i]);
+    row.set("runs_per_sec", m.runs_per_sec);
+    row.set("speedup_x", speedup);
+    row.set("efficiency", speedup / ideal);
+    scaling.push_back(std::move(row));
   }
-  std::fprintf(f, "  ]\n}\n");
+  doc.set("scaling", std::move(scaling));
+
+  std::FILE* f = std::fopen("BENCH_campaign.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_campaign.json\n");
+    return false;
+  }
+  std::fputs(doc.dump(2).c_str(), f);
   std::fclose(f);
   std::printf("\nwrote BENCH_campaign.json (single-thread: %.0f runs/s, %.2fx over seed "
               "baseline %.0f runs/s; wall histogram %s)\n",

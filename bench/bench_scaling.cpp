@@ -30,7 +30,7 @@ using namespace ptecps;
 using namespace ptecps::core;
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"loss", "nmax", "sessions"});
   const std::size_t n_max = static_cast<std::size_t>(args.get_int("nmax", 8));
   const double loss = args.get_double("loss", 0.2);
   const int sessions = args.get_int("sessions", 20);

@@ -70,7 +70,7 @@ RowResult run_row(const RowSpec& spec, int seeds, std::uint64_t seed0, double du
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"duration", "seed0", "seeds"});
   const int seeds = args.get_int("seeds", 5);
   const double duration = args.get_double("duration", 1800.0);
   const std::uint64_t seed0 = args.get_u64("seed0", 1);

@@ -29,6 +29,8 @@
 #include "campaign/scenario.hpp"
 #include "core/synthesis.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/text.hpp"
 #include "verify/checker.hpp"
 #include "verify/replay.hpp"
 
@@ -117,40 +119,33 @@ bool write_verify_json(const campaign::ScenarioSpec& spec,
   const double allocs_per_zone = static_cast<double>(single.allocs) /
                                  static_cast<double>(single.result.states_stored);
 
-  std::FILE* f = std::fopen("BENCH_verify.json", "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot write BENCH_verify.json\n");
-    return false;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"workload\": \"%s exhaustive PTE proof: <= %zu losses, <= %zu "
-                  "injections, <= %zu input changes\",\n",
-               spec.name.c_str(), opt.max_losses, opt.max_injections,
-               opt.max_input_changes);
-  std::fprintf(f, "  \"hardware_threads\": %u,\n", std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"pr2_baseline\": {\n");
-  std::fprintf(f, "    \"seconds\": %.3f,\n", kPr2Seconds);
-  std::fprintf(f, "    \"states_stored\": %.0f,\n", kPr2States);
-  std::fprintf(f, "    \"states_per_sec\": %.0f,\n", kPr2States / kPr2Seconds);
-  std::fprintf(f, "    \"allocs_per_state\": %.1f\n", kPr2AllocsPerState);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"single_thread\": {\n");
-  std::fprintf(f, "    \"status\": \"%s\",\n",
-               verify::verify_status_str(single.result.status).c_str());
-  std::fprintf(f, "    \"seconds\": %.3f,\n", single.seconds);
-  std::fprintf(f, "    \"states_explored\": %zu,\n", single.result.states_explored);
-  std::fprintf(f, "    \"states_stored\": %zu,\n", single.result.states_stored);
-  std::fprintf(f, "    \"transitions\": %zu,\n", single.result.transitions);
-  std::fprintf(f, "    \"states_per_sec\": %.0f,\n", states_per_sec);
-  std::fprintf(f, "    \"zones_per_sec\": %.0f,\n", zones_per_sec);
-  std::fprintf(f, "    \"allocs_per_zone\": %.2f\n", allocs_per_zone);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"speedup_vs_pr2_x\": %.2f,\n", kPr2Seconds / single.seconds);
-  std::fprintf(f, "  \"alloc_reduction_x\": %.2f,\n",
-               kPr2AllocsPerState / allocs_per_zone);
+  util::Json doc = util::Json::object();
+  doc.set("workload",
+          util::cat(spec.name, " exhaustive PTE proof: <= ", opt.max_losses,
+                    " losses, <= ", opt.max_injections, " injections, <= ",
+                    opt.max_input_changes, " input changes"));
+  doc.set("hardware_threads", std::thread::hardware_concurrency());
+  util::Json baseline = util::Json::object();
+  baseline.set("seconds", kPr2Seconds);
+  baseline.set("states_stored", kPr2States);
+  baseline.set("states_per_sec", kPr2States / kPr2Seconds);
+  baseline.set("allocs_per_state", kPr2AllocsPerState);
+  doc.set("pr2_baseline", std::move(baseline));
+  util::Json st = util::Json::object();
+  st.set("status", verify::verify_status_str(single.result.status));
+  st.set("seconds", single.seconds);
+  st.set("states_explored", single.result.states_explored);
+  st.set("states_stored", single.result.states_stored);
+  st.set("transitions", single.result.transitions);
+  st.set("states_per_sec", states_per_sec);
+  st.set("zones_per_sec", zones_per_sec);
+  st.set("allocs_per_zone", allocs_per_zone);
+  doc.set("single_thread", std::move(st));
+  doc.set("speedup_vs_pr2_x", kPr2Seconds / single.seconds);
+  doc.set("alloc_reduction_x", kPr2AllocsPerState / allocs_per_zone);
   // Thread sweep over the same proof; every row must reproduce the
   // single-thread result bit for bit (the determinism guarantee).
-  std::fprintf(f, "  \"scaling\": [\n");
+  util::Json scaling = util::Json::array();
   const std::size_t thread_counts[] = {1, 2, 4, 8};
   bool identical = true;
   for (std::size_t i = 0; i < 4; ++i) {
@@ -159,17 +154,24 @@ bool write_verify_json(const campaign::ScenarioSpec& spec,
     const Timed t = run_verify(model, topt);
     const bool same = fingerprint(t.result) == reference;
     identical = identical && same;
-    std::fprintf(f,
-                 "    {\"threads\": %zu, \"seconds\": %.3f, \"states_per_sec\": %.0f, "
-                 "\"identical_result\": %s}%s\n",
-                 thread_counts[i], t.seconds,
-                 static_cast<double>(t.result.states_explored) / t.seconds,
-                 same ? "true" : "false", i + 1 < 4 ? "," : "");
+    util::Json row = util::Json::object();
+    row.set("threads", thread_counts[i]);
+    row.set("seconds", t.seconds);
+    row.set("states_per_sec", static_cast<double>(t.result.states_explored) / t.seconds);
+    row.set("identical_result", same);
+    scaling.push_back(std::move(row));
     if (!same)
       std::fprintf(stderr, "bench_verify: result at %zu threads DIVERGED\n",
                    thread_counts[i]);
   }
-  std::fprintf(f, "  ]\n}\n");
+  doc.set("scaling", std::move(scaling));
+
+  std::FILE* f = std::fopen("BENCH_verify.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_verify.json\n");
+    return false;
+  }
+  std::fputs(doc.dump(2).c_str(), f);
   std::fclose(f);
   std::printf("\nwrote BENCH_verify.json (%.3f s single-thread, %.2fx over PR-2 baseline "
               "%.2f s; %.0f zones/s, %.2f allocs/zone, thread sweep %s)\n",
@@ -181,7 +183,7 @@ bool write_verify_json(const campaign::ScenarioSpec& spec,
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"injections", "input-changes", "losses", "scenario", "skip-broken", "skip-json", "states", "threads"});
   const std::string scenario = args.get_string("scenario", "laser");
   verify::VerifyOptions opt;
   opt.max_losses = static_cast<std::size_t>(args.get_int("losses", 2));

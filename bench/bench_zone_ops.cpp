@@ -80,7 +80,7 @@ Zone random_zone(std::size_t clocks, sim::Rng& rng) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"clocks", "iters"});
   const std::size_t clocks = static_cast<std::size_t>(args.get_int("clocks", 17));
   const std::size_t iters = static_cast<std::size_t>(args.get_int("iters", 200000));
 

@@ -22,7 +22,7 @@
 using namespace ptecps;
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"dot"});
   const bool dot = args.has_flag("dot");
   const auto config = core::PatternConfig::laser_tracheotomy();
 

@@ -69,7 +69,7 @@ hybrid::Automaton make_belt_motor() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"duration", "loss"});
   const double loss = args.get_double("loss", 0.15);
   const double duration = args.get_double("duration", 900.0);
 

@@ -14,7 +14,7 @@
 using namespace ptecps;
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"duration", "no-lease", "seed", "toff"});
   casestudy::TrialOptions opt;
   opt.duration = args.get_double("duration", 1800.0);
   opt.seed = args.get_u64("seed", 1);

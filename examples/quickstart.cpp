@@ -27,7 +27,7 @@
 using namespace ptecps;
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  util::ArgParser args(argc, argv, {"duration", "loss"});
   const double loss = args.get_double("loss", 0.2);
   const double duration = args.get_double("duration", 600.0);
 

@@ -1,0 +1,154 @@
+#include "api/service.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::api {
+
+namespace {
+
+/// The job's scenario as a document: registry lookup for a ref, the
+/// inline document otherwise.  Throws on an ill-formed job.
+scenarios::ScenarioDocument resolve(const Job& job) {
+  PTE_REQUIRE(!(job.scenario.has_value() && !job.scenario_ref.empty()),
+              "job carries both a scenario reference and an inline scenario");
+  if (job.scenario.has_value()) return *job.scenario;
+  PTE_REQUIRE(!job.scenario_ref.empty(),
+              "job carries neither a scenario reference nor an inline scenario");
+  const scenarios::RegistryEntry* entry = scenarios::find_scenario(job.scenario_ref);
+  PTE_REQUIRE(entry != nullptr,
+              util::cat("unknown scenario '", job.scenario_ref, "' (try `pte list`)"));
+  return scenarios::export_document(*entry);
+}
+
+/// Overrides applied in order: mode, smoke profile, explicit tuning,
+/// seed base — the one code path both run() and run_matrix() go through.
+scenarios::ScenarioParams resolved_params(const Job& job,
+                                          const scenarios::ScenarioDocument& doc) {
+  scenarios::ScenarioParams params = doc.params;
+  if (job.mode.has_value()) params.mode = *job.mode;
+  if (job.smoke) scenarios::apply_tuning(params, scenarios::RegistryTuning::smoke());
+  scenarios::apply_tuning(params, job.tuning);
+  if (job.seed_base.has_value()) params.seed_base = *job.seed_base;
+  return params;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options) : options_(options) {}
+
+JobResult Service::run(const Job& job) const {
+  JobResult result;
+  result.verdict = "error";
+
+  scenarios::ScenarioDocument doc;
+  campaign::ScenarioSpec spec;
+  try {
+    doc = resolve(job);
+    result.scenario = doc.params.name;
+    result.expected = job.expected.has_value() ? job.expected : doc.expected;
+    spec = scenarios::build(resolved_params(job, doc));
+  } catch (const std::exception& e) {
+    result.errors.push_back(e.what());
+    return result;
+  }
+
+  campaign::CampaignOptions options;
+  options.threads = job.threads > 0 ? job.threads : options_.default_threads;
+  try {
+    result.report = campaign::CampaignRunner(options).run(spec);
+  } catch (const std::exception& e) {
+    result.errors.push_back(e.what());
+    return result;
+  }
+
+  const campaign::CampaignReport& report = *result.report;
+  const campaign::ScenarioOutcome& outcome = report.scenarios[0];
+  if (outcome.verification.has_value()) {
+    result.proof_status = outcome.verification->status;
+    result.verdict = verify::verify_status_str(*result.proof_status);
+  } else {
+    result.verdict = outcome.total_violations > 0 ? "sampled-violations" : "sampled-clean";
+  }
+  if (job.cross_validate) result.crossval = scenarios::cross_validate(report);
+  // An asserted expectation is about the PROVER's verdict: when the
+  // prover never ran (Monte-Carlo-only job), the assertion is unmet, not
+  // vacuously true — same rule run_matrix applies per row.
+  if (result.expected.has_value())
+    result.expected_match =
+        result.proof_status.has_value() && *result.expected == *result.proof_status;
+
+  result.ok = report.ok() && result.expected_match &&
+              (!result.crossval.has_value() || result.crossval->ok());
+  return result;
+}
+
+MatrixResult Service::run_matrix(const std::vector<Job>& jobs) const {
+  MatrixResult result;
+  if (jobs.empty()) {
+    result.errors.push_back("matrix needs at least one job");
+    return result;
+  }
+
+  std::vector<campaign::ScenarioSpec> specs;
+  std::vector<std::optional<verify::VerifyStatus>> expectations;
+  std::vector<bool> cross_validated;
+  std::size_t threads = options_.default_threads;
+  specs.reserve(jobs.size());
+  for (const Job& job : jobs) {
+    try {
+      const scenarios::ScenarioDocument doc = resolve(job);
+      expectations.push_back(job.expected.has_value() ? job.expected : doc.expected);
+      cross_validated.push_back(job.cross_validate);
+      specs.push_back(scenarios::build(resolved_params(job, doc)));
+    } catch (const std::exception& e) {
+      result.errors.push_back(e.what());
+      return result;
+    }
+    threads = std::max(threads, job.threads);
+  }
+
+  campaign::CampaignOptions options;
+  options.threads = threads;
+  campaign::CampaignReport report;
+  try {
+    report = campaign::CampaignRunner(options).run(specs);
+  } catch (const std::exception& e) {
+    result.errors.push_back(e.what());
+    return result;
+  }
+  const scenarios::CrossValidationReport crossval = scenarios::cross_validate(report);
+
+  // crossval.checks lists the verification-bearing scenarios in report
+  // order; walk both with a cursor so duplicate names stay paired.  A
+  // job that opted out of cross-validation keeps its row's consistency
+  // out of the overall verdict (Job::cross_validate is honored on both
+  // Service entry points).
+  std::size_t check_cursor = 0;
+  bool all_ok = true;
+  for (std::size_t i = 0; i < report.scenarios.size(); ++i) {
+    const campaign::ScenarioOutcome& outcome = report.scenarios[i];
+    MatrixRow row;
+    row.scenario = outcome.name;
+    row.expected = expectations[i];
+    if (outcome.verification.has_value()) {
+      row.status = outcome.verification->status;
+      row.consistent = crossval.checks[check_cursor].consistent || !cross_validated[i];
+      ++check_cursor;
+    }
+    row.expected_match = !row.expected.has_value() ||
+                         (row.status.has_value() && *row.status == *row.expected);
+    all_ok = all_ok && row.expected_match && row.consistent;
+    result.rows.push_back(std::move(row));
+  }
+
+  result.report = std::move(report);
+  result.crossval = crossval;
+  result.ok = result.report->ok() && all_ok;
+  return result;
+}
+
+}  // namespace ptecps::api

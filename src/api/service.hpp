@@ -1,0 +1,40 @@
+// The one entry point of the public API: Service::run(Job) → JobResult.
+//
+// The service resolves the job's scenario (registry name or inline
+// document), applies mode/tuning/seed overrides, lowers onto the
+// campaign runtime, executes (Monte-Carlo, exhaustive proof, or both),
+// cross-validates the two sides, and assembles the JobResult.  It NEVER
+// throws: resolution failures, inconsistent parameters, and runtime
+// errors all come back as a JobResult with ok == false and the error
+// text in `errors` — a server loop or the CLI can serialize any outcome.
+#pragma once
+
+#include <vector>
+
+#include "api/job.hpp"
+
+namespace ptecps::api {
+
+struct ServiceOptions {
+  /// Fallback Monte-Carlo thread count for jobs that leave threads == 0
+  /// (0 = hardware concurrency).
+  std::size_t default_threads = 0;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  /// Execute one job end to end.
+  JobResult run(const Job& job) const;
+
+  /// Execute several jobs as ONE campaign: every Monte-Carlo run shares
+  /// the thread pool and the report merges deterministically, exactly
+  /// like the scenario matrix.  Row i answers job i.
+  MatrixResult run_matrix(const std::vector<Job>& jobs) const;
+
+ private:
+  ServiceOptions options_;
+};
+
+}  // namespace ptecps::api

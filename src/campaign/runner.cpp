@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstdio>
 #include <exception>
 #include <thread>
 
@@ -28,28 +27,6 @@ struct RunSlot {
   bool ok = false;
   std::string error;
 };
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 }  // namespace
 
@@ -250,54 +227,54 @@ bool CampaignReport::ok() const {
   return true;
 }
 
-std::string CampaignReport::json() const {
-  std::string out = "{\n";
-  out += util::cat("  \"threads\": ", threads, ",\n");
-  out += util::cat("  \"total_runs\": ", total_runs, ",\n");
-  out += util::cat("  \"total_violations\": ", total_violations, ",\n");
-  out += util::cat("  \"failed_runs\": ", failed_runs, ",\n");
-  out += util::cat("  \"wall_seconds\": ", wall_seconds, ",\n");
-  out += util::cat("  \"runs_per_second\": ", runs_per_second, ",\n");
-  out += "  \"scenarios\": [\n";
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const ScenarioOutcome& s = scenarios[i];
-    out += "    {\n";
-    out += util::cat("      \"name\": \"", json_escape(s.name), "\",\n");
-    out += util::cat("      \"runs\": ", s.runs.size(), ",\n");
-    out += util::cat("      \"violations\": ", s.total_violations, ",\n");
-    out += util::cat("      \"sessions\": ", s.total_sessions, ",\n");
-    out += util::cat("      \"censored_sessions\": ", s.censored_sessions, ",\n");
-    out += util::cat("      \"failed_runs\": ", s.failed_runs, ",\n");
-    out += util::cat("      \"packets_sent\": ", s.network.sent, ",\n");
-    out += util::cat("      \"packets_delivered\": ", s.network.delivered, ",\n");
-    out += util::cat("      \"wall_mean_s\": ", s.wall_mean_s, ",\n");
-    out += util::cat("      \"wall_p50_s\": ", s.wall_p50_s, ",\n");
-    out += util::cat("      \"wall_p99_s\": ", s.wall_p99_s);
+util::Json CampaignReport::to_json() const {
+  util::Json out = util::Json::object();
+  out.set("threads", threads);
+  out.set("total_runs", total_runs);
+  out.set("total_violations", total_violations);
+  out.set("failed_runs", failed_runs);
+  out.set("wall_seconds", wall_seconds);
+  out.set("runs_per_second", runs_per_second);
+  util::Json scenario_list = util::Json::array();
+  for (const ScenarioOutcome& s : scenarios) {
+    util::Json row = util::Json::object();
+    row.set("name", s.name);
+    row.set("runs", s.runs.size());
+    row.set("violations", s.total_violations);
+    row.set("sessions", s.total_sessions);
+    row.set("censored_sessions", s.censored_sessions);
+    row.set("failed_runs", s.failed_runs);
+    row.set("packets_sent", s.network.sent);
+    row.set("packets_delivered", s.network.delivered);
+    row.set("wall_mean_s", s.wall_mean_s);
+    row.set("wall_p50_s", s.wall_p50_s);
+    row.set("wall_p99_s", s.wall_p99_s);
     if (s.verification.has_value()) {
       const VerificationOutcome& v = *s.verification;
-      out += ",\n      \"verification\": {\n";
-      out += util::cat("        \"status\": \"", verify::verify_status_str(v.status),
-                       "\",\n");
-      out += util::cat("        \"states_explored\": ", v.states_explored, ",\n");
-      out += util::cat("        \"transitions\": ", v.transitions, ",\n");
-      out += util::cat("        \"replay_reproduced\": ",
-                       v.replay_reproduced ? "true" : "false", ",\n");
-      out += util::cat("        \"wall_seconds\": ", v.wall_seconds, "\n");
-      out += "      }";
+      util::Json vj = util::Json::object();
+      vj.set("status", verify::verify_status_str(v.status));
+      vj.set("states_explored", v.states_explored);
+      vj.set("transitions", v.transitions);
+      vj.set("replay_attempted", v.replay_attempted);
+      vj.set("replay_reproduced", v.replay_reproduced);
+      vj.set("wall_seconds", v.wall_seconds);
+      if (v.counterexample.has_value())
+        vj.set("counterexample", v.counterexample->to_json());
+      row.set("verification", std::move(vj));
     }
-    out += "\n";
-    out += (i + 1 < scenarios.size()) ? "    },\n" : "    }\n";
+    scenario_list.push_back(std::move(row));
   }
-  out += "  ],\n";
-  out += util::cat("  \"censored_sessions\": ", censored_sessions, ",\n");
-  out += util::cat("  \"specs_proved\": ", specs_proved, ",\n");
-  out += util::cat("  \"specs_with_counterexample\": ", specs_with_counterexample, ",\n");
-  out += "  \"errors\": [";
-  for (std::size_t i = 0; i < errors.size(); ++i)
-    out += util::cat(i == 0 ? "" : ", ", "\"", json_escape(errors[i]), "\"");
-  out += "]\n}\n";
+  out.set("scenarios", std::move(scenario_list));
+  out.set("censored_sessions", censored_sessions);
+  out.set("specs_proved", specs_proved);
+  out.set("specs_with_counterexample", specs_with_counterexample);
+  util::Json error_list = util::Json::array();
+  for (const std::string& e : errors) error_list.push_back(e);
+  out.set("errors", std::move(error_list));
   return out;
 }
+
+std::string CampaignReport::json() const { return to_json().dump(2); }
 
 std::string CampaignReport::summary() const {
   std::string out =

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "campaign/scenario.hpp"
+#include "util/json.hpp"
 #include "verify/checker.hpp"
 
 namespace ptecps::campaign {
@@ -77,7 +78,11 @@ struct CampaignReport {
   /// of budget (bench mains turn this into their exit code).
   bool ok() const;
 
-  /// Machine-readable report (BENCH_*.json convention).
+  /// Machine-readable report on the shared JSON layer (api::JobResult and
+  /// the BENCH_*.json artifacts embed this tree).  Non-finite aggregates
+  /// (a zero-wall campaign's runs_per_second) render as null, not "nan".
+  util::Json to_json() const;
+  /// to_json() pretty-printed — parses back with util::Json::parse.
   std::string json() const;
   /// One-paragraph human summary.
   std::string summary() const;

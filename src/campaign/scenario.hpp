@@ -59,6 +59,8 @@ struct VerifySpec {
   /// Replay a found counterexample through hybrid::Engine + PteMonitor
   /// and record whether it reproduced.
   bool replay = true;
+
+  bool operator==(const VerifySpec&) const = default;
 };
 
 /// Per-run session statistics collected from the engine and monitor —

@@ -22,6 +22,8 @@ struct EntityTiming {
   /// Worst-case occupancy of one leased episode (Entering + Risky Core +
   /// Exiting); for ξ1 this is the paper's T^max_LS1.
   double occupancy() const { return t_enter_max + t_run_max + t_exit; }
+
+  bool operator==(const EntityTiming&) const = default;
 };
 
 struct PatternConfig {
@@ -71,6 +73,8 @@ struct PatternConfig {
 
   /// Multi-line human-readable dump.
   std::string describe() const;
+
+  bool operator==(const PatternConfig&) const = default;
 };
 
 }  // namespace ptecps::core

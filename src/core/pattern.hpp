@@ -36,6 +36,8 @@ struct ApprovalSpec {
   std::string var_name = "approval_val";
   double init = 1.0;
   double threshold = 0.5;
+
+  bool operator==(const ApprovalSpec&) const = default;
 };
 
 /// A Participant's ParticipationCondition, same encoding.

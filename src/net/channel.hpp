@@ -32,6 +32,8 @@ struct ChannelConfig {
   double duplicate_prob = 0.0;
   /// Extra delay of the duplicate copy (s).
   sim::SimTime duplicate_lag = 0.02;
+
+  bool operator==(const ChannelConfig&) const = default;
 };
 
 struct ChannelStats {

@@ -65,6 +65,8 @@ struct LossSpec {
   /// Fresh model instance for one link.
   std::unique_ptr<net::LossModel> make() const;
   std::string describe() const;
+
+  bool operator==(const LossSpec&) const = default;
 };
 
 /// One scripted action of a run's drive (applied at time `t`, in order).
@@ -82,6 +84,8 @@ struct Action {
   static Action kill_uplink(double t, net::EntityId remote);
   static Action kill_downlink(double t, net::EntityId remote);
   static Action set_var(double t, net::EntityId entity, std::string var, double value);
+
+  bool operator==(const Action&) const = default;
 };
 
 /// The run's stimulus script: a periodic initializer duty cycle (the
@@ -96,6 +100,8 @@ struct StimulusScript {
   std::vector<Action> actions;
 
   bool empty() const { return period <= 0.0 && actions.empty(); }
+
+  bool operator==(const StimulusScript&) const = default;
 };
 
 struct ScenarioParams {
@@ -126,6 +132,10 @@ struct ScenarioParams {
   // -- mode ----------------------------------------------------------------
   campaign::RunMode mode = campaign::RunMode::kBoth;
   campaign::VerifySpec verify;
+
+  /// Field-wise equality — the serialization round-trip test's oracle
+  /// (scenarios/serialize.hpp): from_json(to_json(p)) == p exactly.
+  bool operator==(const ScenarioParams&) const = default;
 };
 
 /// Lower `params` onto the campaign runtime.  Throws std::invalid_argument

@@ -215,8 +215,7 @@ const RegistryEntry* find_scenario(const std::string& name) {
   return nullptr;
 }
 
-campaign::ScenarioSpec build_scenario(const RegistryEntry& entry,
-                                      const RegistryTuning& tuning) {
+ScenarioParams params_for(const RegistryEntry& entry) {
   PTE_REQUIRE(entry.make != nullptr,
               util::cat("registry entry '", entry.name, "' has no factory"));
   ScenarioParams params = entry.make();
@@ -228,6 +227,18 @@ campaign::ScenarioSpec build_scenario(const RegistryEntry& entry,
               util::cat("registry entry '", entry.name,
                         "' must run RunMode::kBoth — the matrix cross-validates "
                         "the prover against the sampler"));
+  return params;
+}
+
+ScenarioDocument export_document(const RegistryEntry& entry) {
+  ScenarioDocument doc;
+  doc.params = params_for(entry);
+  doc.summary = entry.summary;
+  doc.expected = entry.expected;
+  return doc;
+}
+
+void apply_tuning(ScenarioParams& params, const RegistryTuning& tuning) {
   if (tuning.seed_count > 0) params.seed_count = tuning.seed_count;
   params.horizon *= tuning.horizon_scale;
   if (tuning.max_states > 0)
@@ -241,6 +252,12 @@ campaign::ScenarioSpec build_scenario(const RegistryEntry& entry,
     params.verify.max_input_changes =
         std::min(params.verify.max_input_changes, tuning.max_input_changes);
   if (tuning.threads > 0) params.verify.threads = tuning.threads;
+}
+
+campaign::ScenarioSpec build_scenario(const RegistryEntry& entry,
+                                      const RegistryTuning& tuning) {
+  ScenarioParams params = params_for(entry);
+  apply_tuning(params, tuning);
   return build(params);
 }
 

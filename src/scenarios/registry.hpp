@@ -1,11 +1,16 @@
 // The named scenario library: every deployment the repo can exercise, as
 // data.  Each entry is a ScenarioParams factory plus the verdict the
-// exhaustive prover is expected to return — bench_matrix sweeps the whole
+// exhaustive prover is expected to return — `pte matrix` sweeps the whole
 // registry through BOTH run modes and the cross-validation layer
 // (crossval.hpp) asserts the Monte-Carlo sampler and the prover agree.
 //
 // Adding a scenario is adding one RegistryEntry here: it is then picked
-// up by bench_matrix, the registry-wide cross-validation test, and CI.
+// up by the `pte` CLI, the registry-wide cross-validation test, and CI.
+// Entries are EXPORTABLE: `export_document()` (or `pte export <name>`)
+// turns one into a self-contained .json scenario file that
+// scenarios/serialize.hpp rebuilds into the identical deployment — the
+// registry is a library of documents that happen to be compiled in, not
+// a privileged code path.
 #pragma once
 
 #include <string>
@@ -13,6 +18,7 @@
 
 #include "campaign/scenario.hpp"
 #include "scenarios/builder.hpp"
+#include "scenarios/serialize.hpp"
 #include "verify/checker.hpp"
 
 namespace ptecps::scenarios {
@@ -43,11 +49,23 @@ struct RegistryTuning {
   static RegistryTuning smoke();
 };
 
+/// Apply `tuning` to a deployment's parameters (shared by registry
+/// entries, scenario files, and api::Job resolution).
+void apply_tuning(ScenarioParams& params, const RegistryTuning& tuning);
+
 /// All named scenarios, in stable order.
 const std::vector<RegistryEntry>& registry();
 
 /// nullptr when no entry carries `name`.
 const RegistryEntry* find_scenario(const std::string& name);
+
+/// The entry's parameters, validated (factory present, RunMode::kBoth).
+ScenarioParams params_for(const RegistryEntry& entry);
+
+/// The entry as a scenario document — serialize it with to_json() and the
+/// file round-trips back to this exact deployment (summary and expected
+/// verdict travel along as metadata).
+ScenarioDocument export_document(const RegistryEntry& entry);
 
 /// Lower one entry (with tuning applied) onto the campaign runtime.
 campaign::ScenarioSpec build_scenario(const RegistryEntry& entry,

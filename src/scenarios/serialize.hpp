@@ -1,0 +1,71 @@
+// Scenarios as data: ScenarioParams ⇄ JSON, the externalized-model layer
+// underneath the job API and the `pte` CLI.
+//
+// Every registry entry can be exported to a `.json` scenario file and
+// rebuilt from it — `from_json(to_json(p)) == p` holds field-for-field
+// (the JSON writer renders doubles shortest-round-trip), so a file on
+// disk carries exactly the deployment the compiled factory produced:
+// timing configuration, topology, loss model, stimulus script, run mode
+// and verify budgets.  This is the same externalize-the-model move
+// KeYmaera X and the UPPAAL toolchains make: clients describe a
+// deployment in a document instead of linking against the library.
+//
+// Reading is STRICT: an unknown key, a wrong type, or an out-of-range
+// value raises util::JsonError naming the offending path ("scenario.loss:
+// unknown key \"pp\"") — a typo'd scenario file fails loudly instead of
+// silently verifying a default deployment.  Omitted keys keep their
+// ScenarioParams defaults, so hand-written files only state what differs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenarios/builder.hpp"
+#include "util/json.hpp"
+#include "verify/checker.hpp"
+
+namespace ptecps::scenarios {
+
+/// Scenario-file schema version ("version" key); bumped on incompatible
+/// shape changes.  Readers accept exactly this version.
+inline constexpr std::int64_t kScenarioSchemaVersion = 1;
+
+/// A scenario file: the deployment parameters plus the registry-style
+/// metadata that travels with an exported entry (summary line, expected
+/// prover verdict).
+struct ScenarioDocument {
+  ScenarioParams params;
+  std::string summary;
+  /// The verdict the exhaustive checker is expected to return; absent
+  /// for hand-written files that do not declare one.
+  std::optional<verify::VerifyStatus> expected;
+  /// Free-form annotation lines (JSON has no comments; "notes" is the
+  /// sanctioned channel — carried through the round trip, shown by
+  /// `pte describe`, never interpreted).
+  std::vector<std::string> notes;
+
+  bool operator==(const ScenarioDocument&) const = default;
+};
+
+/// Full-fidelity document: every ScenarioParams field is written, plus
+/// "schema"/"version" headers and any present metadata.
+util::Json to_json(const ScenarioDocument& doc);
+util::Json to_json(const ScenarioParams& params);
+
+/// Strict readers (util::JsonError on unknown keys / wrong types).
+ScenarioDocument document_from_json(const util::Json& j);
+ScenarioParams params_from_json(const util::Json& j);
+
+/// Parse `text` and read the document (one-stop for file contents).
+ScenarioDocument document_from_text(std::string_view text);
+
+/// "proved" / "violation" / "out-of-budget" ⇄ VerifyStatus.
+std::optional<verify::VerifyStatus> verify_status_from_str(std::string_view s);
+
+/// "monte-carlo" / "verify" / "both" ⇄ RunMode.
+std::string run_mode_str(campaign::RunMode mode);
+std::optional<campaign::RunMode> run_mode_from_str(std::string_view s);
+
+}  // namespace ptecps::scenarios

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -37,9 +38,61 @@ auto parse_value(const std::string& name, const std::string& text, const char* e
   }
 }
 
+/// Plain Levenshtein distance, early-abandoned: the caller only cares
+/// about "close enough to be a typo".
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      const std::size_t next = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+/// Unknown options are the typo class the permissive parser used to
+/// swallow (--seedz ran the single-seed fallback without a word).  Exit
+/// with the nearest known names so the fix is one glance away.
+[[noreturn]] void unknown_option(const std::string& name,
+                                 const std::vector<std::string>& known) {
+  std::string suggestions;
+  for (const std::string& k : known) {
+    const bool near_miss =
+        edit_distance(name, k) <= std::max<std::size_t>(1, k.size() / 4) ||
+        (name.size() >= 3 && starts_with(k, name));
+    if (near_miss) {
+      if (!suggestions.empty()) suggestions += ", --";
+      suggestions += k;
+    }
+  }
+  if (!suggestions.empty()) {
+    std::fprintf(stderr, "error: unknown option --%s (did you mean --%s?)\n",
+                 name.c_str(), suggestions.c_str());
+  } else {
+    std::string all;
+    for (const std::string& k : known) all += cat(all.empty() ? "--" : ", --", k);
+    std::fprintf(stderr, "error: unknown option --%s (known: %s)\n", name.c_str(),
+                 all.empty() ? "none" : all.c_str());
+  }
+  std::exit(2);
+}
+
 }  // namespace
 
-ArgParser::ArgParser(int argc, const char* const* argv) {
+ArgParser::ArgParser(int argc, const char* const* argv,
+                     std::initializer_list<const char*> known) {
+  std::vector<std::string> known_names(known.begin(), known.end());
+  std::sort(known_names.begin(), known_names.end());
+  const auto check_known = [&](const std::string& name) {
+    if (!std::binary_search(known_names.begin(), known_names.end(), name))
+      unknown_option(name, known_names);
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (!starts_with(arg, "--")) {
@@ -49,9 +102,12 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      const std::string name = arg.substr(0, eq);
+      check_known(name);
+      options_[name] = arg.substr(eq + 1);
       continue;
     }
+    check_known(arg);
     // "--name value" unless the next token is itself an option or absent,
     // in which case "--name" is a bare flag.
     if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {

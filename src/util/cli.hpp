@@ -1,14 +1,24 @@
-// Tiny command-line option parser for the example and benchmark binaries:
-//   ArgParser args(argc, argv);
+// Tiny command-line option parser for the CLI, example and benchmark
+// binaries:
+//   ArgParser args(argc, argv, {"loss", "trials", "verbose"});
 //   double loss = args.get_double("loss", 0.3);
 //   int trials  = args.get_int("trials", 4);
 //   if (args.has_flag("verbose")) ...;
 // Options are written as --name value or --name=value; flags as --name.
+//
+// The constructor takes the binary's COMPLETE set of known option names
+// and rejects everything else with exit status 2 and a near-miss
+// suggestion ("unknown option --seedz (did you mean --seeds?)").  The
+// permissive ancestor of this parser silently ignored unknown options,
+// so a typo ran the benchmark with the fallback value — a campaign
+// "swept over 100 seeds" that actually ran one.
+//
 // Numeric values may be negative ("--delta -1.5" and "--delta=-1.5" both
 // parse); a malformed numeric value exits with status 2 and a one-line
 // diagnostic naming the flag, rather than an uncaught std::stod throw.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -17,7 +27,10 @@ namespace ptecps::util {
 
 class ArgParser {
  public:
-  ArgParser(int argc, const char* const* argv);
+  /// `known` lists every --option the binary accepts.  An argv option
+  /// outside the list exits(2), suggesting the closest known name.
+  ArgParser(int argc, const char* const* argv,
+            std::initializer_list<const char*> known);
 
   bool has_flag(const std::string& name) const;
   std::string get_string(const std::string& name, const std::string& fallback) const;

@@ -1,0 +1,580 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/text.hpp"
+
+namespace ptecps::util {
+
+namespace {
+
+/// Nesting bound of the recursive-descent parser and the writer: deep
+/// enough for any document the repo produces, shallow enough that a
+/// "[[[[[…" fuzz input fails with a JsonError instead of a stack overflow.
+constexpr int kMaxDepth = 192;
+
+/// Shortest decimal rendering of a finite double that strtod parses back
+/// to the identical value — scenario files round-trip exactly.  Integral
+/// values print in fixed form ("10", not the "1e+01" a low-precision %g
+/// emits); they re-parse as integers, which coerce back losslessly.
+std::string shortest_double(double value) {
+  char buf[64];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+JsonError::JsonError(const std::string& message, std::size_t line, std::size_t column)
+    : std::runtime_error(line == 0 ? message
+                                   : cat(message, " at line ", line, ":", column)),
+      line_(line),
+      column_(column) {}
+
+Json::Type Json::type() const {
+  switch (value_.index()) {
+    case 0: return Type::kNull;
+    case 1: return Type::kBool;
+    case 2: return Type::kInt;
+    case 3: return Type::kUint;
+    case 4: return Type::kDouble;
+    case 5: return Type::kString;
+    case 6: return Type::kArray;
+    default: return Type::kObject;
+  }
+}
+
+std::string Json::type_name() const {
+  switch (type()) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kInt:
+    case Type::kUint:
+    case Type::kDouble: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "?";
+}
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  throw JsonError(cat("expected bool, got ", type_name()));
+}
+
+double Json::as_double() const {
+  if (const double* d = std::get_if<double>(&value_)) return *d;
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_))
+    return static_cast<double>(*i);
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_))
+    return static_cast<double>(*u);
+  throw JsonError(cat("expected number, got ", type_name()));
+}
+
+std::int64_t Json::as_int() const {
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) return *i;
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+    if (*u > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+      throw JsonError(cat("integer ", *u, " out of int64 range"));
+    return static_cast<std::int64_t>(*u);
+  }
+  if (const double* d = std::get_if<double>(&value_)) {
+    if (*d != std::floor(*d) || *d < -9.2233720368547758e18 || *d >= 9.2233720368547758e18)
+      throw JsonError(cat("expected integer, got ", shortest_double(*d)));
+    return static_cast<std::int64_t>(*d);
+  }
+  throw JsonError(cat("expected integer, got ", type_name()));
+}
+
+std::uint64_t Json::as_uint() const {
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) return *u;
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    if (*i < 0) throw JsonError(cat("expected unsigned integer, got ", *i));
+    return static_cast<std::uint64_t>(*i);
+  }
+  if (const double* d = std::get_if<double>(&value_)) {
+    if (*d != std::floor(*d) || *d < 0.0 || *d >= 1.8446744073709552e19)
+      throw JsonError(cat("expected unsigned integer, got ", shortest_double(*d)));
+    return static_cast<std::uint64_t>(*d);
+  }
+  throw JsonError(cat("expected unsigned integer, got ", type_name()));
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  throw JsonError(cat("expected string, got ", type_name()));
+}
+
+const Json::Array& Json::as_array() const {
+  if (const Array* a = std::get_if<Array>(&value_)) return *a;
+  throw JsonError(cat("expected array, got ", type_name()));
+}
+
+Json::Array& Json::as_array() {
+  if (Array* a = std::get_if<Array>(&value_)) return *a;
+  throw JsonError(cat("expected array, got ", type_name()));
+}
+
+const Json::Object& Json::as_object() const {
+  if (const Object* o = std::get_if<Object>(&value_)) return *o;
+  throw JsonError(cat("expected object, got ", type_name()));
+}
+
+Json::Object& Json::as_object() {
+  if (Object* o = std::get_if<Object>(&value_)) return *o;
+  throw JsonError(cat("expected object, got ", type_name()));
+}
+
+bool Json::operator==(const Json& other) const {
+  if (is_number() && other.is_number()) {
+    // Integral values compare exactly (long double carries 64-bit
+    // integers on x86; worst case this matches doubles by value, which
+    // is the semantics we want for round-tripped documents).
+    const auto numeric = [](const Json& j) -> long double {
+      if (const std::int64_t* i = std::get_if<std::int64_t>(&j.value_)) return *i;
+      if (const std::uint64_t* u = std::get_if<std::uint64_t>(&j.value_)) return *u;
+      return std::get<double>(j.value_);
+    };
+    return numeric(*this) == numeric(other);
+  }
+  return value_ == other.value_;
+}
+
+Json& Json::set(std::string key, Json value) {
+  Object& members = as_object();
+  for (Member& m : members) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return *this;
+    }
+  }
+  members.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  as_array().push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  const Object* members = std::get_if<Object>(&value_);
+  if (!members) return nullptr;
+  for (const Member& m : *members)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (const Json* v = find(key)) return *v;
+  throw JsonError(cat("missing key \"", key, "\" in ", type_name()));
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string Json::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (depth > kMaxDepth) throw JsonError("document too deeply nested to render");
+  const auto newline_pad = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+  };
+  switch (type()) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += std::get<bool>(value_) ? "true" : "false"; break;
+    case Type::kInt: out += cat(std::get<std::int64_t>(value_)); break;
+    case Type::kUint: out += cat(std::get<std::uint64_t>(value_)); break;
+    case Type::kDouble: {
+      const double d = std::get<double>(value_);
+      // NaN / inf have no JSON spelling; an explicit null beats invalid
+      // output (the zero-wall "runs_per_second" regression).
+      out += std::isfinite(d) ? shortest_double(d) : "null";
+      break;
+    }
+    case Type::kString:
+      out += '"';
+      out += escape(std::get<std::string>(value_));
+      out += '"';
+      break;
+    case Type::kArray: {
+      const Array& a = std::get<Array>(value_);
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(depth + 1);
+        a[i].dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const Object& o = std::get<Object>(value_);
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(depth + 1);
+        out += '"';
+        out += escape(o[i].first);
+        out += "\": ";
+        o[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value(0);
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw JsonError(message, line, column);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_space() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+      ++pos_;
+    }
+  }
+
+  void expect_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      fail(cat("invalid token (expected \"", word, "\")"));
+    pos_ += word.size();
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("document too deeply nested");
+    skip_space();
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case 'n': expect_literal("null"); return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    ++pos_;  // '{'
+    Json out = Json::object();
+    skip_space();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_space();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_space();
+      if (next() != ':') fail("expected ':' after object key");
+      Json value = parse_value(depth + 1);
+      if (out.find(key) != nullptr) fail(cat("duplicate object key \"", key, "\""));
+      out.as_object().emplace_back(std::move(key), std::move(value));
+      skip_space();
+      const char c = next();
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    ++pos_;  // '['
+    Json out = Json::array();
+    skip_space();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_value(depth + 1));
+      skip_space();
+      const char c = next();
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (text_.substr(pos_, 2) != "\\u") fail("unpaired UTF-16 surrogate");
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid UTF-16 surrogate pair");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail(cat("invalid escape '\\", std::string(1, esc), "'"));
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape (expected 4 hex digits)");
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool negative = false;
+    if (!eof() && peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    // Integer part: "0" alone or a non-zero digit run (JSON forbids 01).
+    if (eof() || peek() < '0' || peek() > '9') fail("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+      if (!eof() && peek() >= '0' && peek() <= '9')
+        fail("invalid number (leading zero)");
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    bool integral = true;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') fail("invalid number (bare decimal point)");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') fail("invalid number (empty exponent)");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      if (negative) {
+        const long long v = std::strtoll(token.c_str(), nullptr, 10);
+        if (errno != ERANGE) return Json(static_cast<std::int64_t>(v));
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), nullptr, 10);
+        if (errno != ERANGE) return Json(static_cast<std::uint64_t>(v));
+      }
+      // Out of 64-bit range: fall through to double (loses precision,
+      // like every other JSON reader).
+    }
+    const double d = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(d)) fail(cat("number out of range: ", token));
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+// ---------------------------------------------------------------------------
+// JsonReader
+// ---------------------------------------------------------------------------
+
+JsonReader::JsonReader(const Json& j, std::string context) : context_(std::move(context)) {
+  if (!j.is_object())
+    throw JsonError(cat(context_, ": expected object, got ", j.type_name()));
+  members_ = &j.as_object();
+  consumed_.assign(members_->size(), false);
+}
+
+const Json* JsonReader::optional(std::string_view key) {
+  for (std::size_t i = 0; i < members_->size(); ++i) {
+    if ((*members_)[i].first == key) {
+      consumed_[i] = true;
+      return &(*members_)[i].second;
+    }
+  }
+  return nullptr;
+}
+
+template <typename T, typename Fn>
+T JsonReader::get(std::string_view key, T fallback, Fn convert) {
+  const Json* v = optional(key);
+  if (!v) return fallback;
+  try {
+    return convert(*v);
+  } catch (const JsonError& e) {
+    throw JsonError(cat(context_, ".", key, ": ", e.what()));
+  }
+}
+
+double JsonReader::number(std::string_view key, double fallback) {
+  return get(key, fallback, [](const Json& v) { return v.as_double(); });
+}
+
+bool JsonReader::boolean(std::string_view key, bool fallback) {
+  return get(key, fallback, [](const Json& v) { return v.as_bool(); });
+}
+
+std::uint64_t JsonReader::uinteger(std::string_view key, std::uint64_t fallback) {
+  return get(key, fallback, [](const Json& v) { return v.as_uint(); });
+}
+
+std::string JsonReader::string(std::string_view key, std::string fallback) {
+  return get(key, std::move(fallback), [](const Json& v) { return v.as_string(); });
+}
+
+void JsonReader::fail(std::string_view key, const std::string& message) const {
+  throw JsonError(cat(context_, ".", key, ": ", message));
+}
+
+void JsonReader::finish() const {
+  std::vector<std::string> unknown;
+  for (std::size_t i = 0; i < members_->size(); ++i)
+    if (!consumed_[i]) unknown.push_back((*members_)[i].first);
+  if (unknown.empty()) return;
+  throw JsonError(cat(context_, ": unknown key", unknown.size() > 1 ? "s" : "", " \"",
+                      join(unknown, "\", \""), "\""));
+}
+
+}  // namespace ptecps::util

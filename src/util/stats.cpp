@@ -56,6 +56,16 @@ std::string RunningStats::summary(int precision) const {
              ", max=", fmt_double(max(), precision));
 }
 
+Json RunningStats::to_json() const {
+  Json out = Json::object();
+  out.set("count", count_);
+  out.set("mean", mean());
+  out.set("stddev", stddev());
+  out.set("min", min());
+  out.set("max", max());
+  return out;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
   PTE_REQUIRE(hi > lo, "histogram range must be non-empty");
@@ -103,6 +113,25 @@ std::string Histogram::render(std::size_t max_width) const {
   }
   if (underflow_ > 0 || overflow_ > 0)
     out += cat("out-of-range: ", underflow_, " below, ", overflow_, " above\n");
+  return out;
+}
+
+Json Histogram::to_json() const {
+  Json bins = Json::array();
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    Json bin = Json::object();
+    bin.set("lo", bin_lo(b));
+    bin.set("hi", bin_hi(b));
+    bin.set("count", counts_[b]);
+    bins.push_back(std::move(bin));
+  }
+  Json out = Json::object();
+  out.set("lo", lo_);
+  out.set("hi", hi_);
+  out.set("total", total_);
+  out.set("underflow", underflow_);
+  out.set("overflow", overflow_);
+  out.set("bins", std::move(bins));
   return out;
 }
 

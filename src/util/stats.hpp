@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace ptecps::util {
 
 /// Numerically stable streaming mean / variance / min / max (Welford).
@@ -28,6 +30,10 @@ class RunningStats {
 
   /// "n=…, mean=…, sd=…, min=…, max=…" for reports.
   std::string summary(int precision = 3) const;
+
+  /// {"count", "mean", "stddev", "min", "max"} on the shared JSON layer
+  /// (the writer turns any non-finite moment into null, never "nan").
+  Json to_json() const;
 
  private:
   std::size_t count_ = 0;
@@ -69,6 +75,10 @@ class Histogram {
   /// Render as an ASCII bar chart (used by bench output); out-of-range
   /// counts are appended as a footer line when non-zero.
   std::string render(std::size_t max_width = 50) const;
+
+  /// {"lo", "hi", "bins": [...], "underflow", "overflow"} — the
+  /// BENCH_*.json histogram blocks all come from here now.
+  Json to_json() const;
 
  private:
   double lo_;

@@ -1362,6 +1362,50 @@ std::string Counterexample::str() const {
   return out;
 }
 
+util::Json Counterexample::to_json() const {
+  util::Json out = util::Json::object();
+  out.set("kind", core::violation_kind_str(kind));
+  out.set("entity", entity);
+  out.set("other_entity", other_entity);
+  out.set("description", description);
+  out.set("time", time);
+  out.set("horizon", horizon);
+  util::Json inj = util::Json::array();
+  for (const auto& i : injections) {
+    util::Json one = util::Json::object();
+    one.set("t", i.t);
+    one.set("automaton", i.automaton);
+    one.set("root", i.root);
+    inj.push_back(std::move(one));
+  }
+  out.set("injections", std::move(inj));
+  util::Json tgs = util::Json::array();
+  for (const auto& t : toggles) {
+    util::Json one = util::Json::object();
+    one.set("t", t.t);
+    one.set("automaton", t.automaton);
+    one.set("var", t.var_name);
+    one.set("value", t.value);
+    tgs.push_back(std::move(one));
+  }
+  out.set("toggles", std::move(tgs));
+  util::Json snd = util::Json::array();
+  for (const auto& s : sends) {
+    util::Json one = util::Json::object();
+    one.set("send_time", s.send_time);
+    one.set("lost", s.lost);
+    if (!s.lost) one.set("deliver_time", s.deliver_time);
+    one.set("dst_automaton", s.dst_automaton);
+    one.set("root", s.root);
+    snd.push_back(std::move(one));
+  }
+  out.set("sends", std::move(snd));
+  util::Json narr = util::Json::array();
+  for (const auto& line : narrative) narr.push_back(line);
+  out.set("narrative", std::move(narr));
+  return out;
+}
+
 std::string VerifyResult::summary() const {
   std::string out = util::cat("verify: ", verify_status_str(status), "; states explored ",
                               states_explored, ", stored ", states_stored, ", transitions ",

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/monitor.hpp"
+#include "util/json.hpp"
 #include "verify/model.hpp"
 
 namespace ptecps::verify {
@@ -100,6 +101,12 @@ struct Counterexample {
   std::vector<std::string> narrative;
 
   std::string str() const;
+
+  /// Machine-readable digest on the shared JSON layer: violation kind /
+  /// entities / instant plus the full adversarial schedule (injections,
+  /// input toggles, per-send loss/delivery decisions) — everything a
+  /// client needs to archive or re-drive the counterexample.
+  util::Json to_json() const;
 };
 
 struct VerifyResult {

@@ -1,0 +1,195 @@
+// The shared JSON layer (util/json.hpp): value semantics, strict
+// parsing, writer round-trips, and the non-finite-double regression that
+// motivated moving every JSON producer onto one writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace ptecps::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntegersKeepExactIdentity) {
+  // Doubles lose integers above 2^53; the layer must not.
+  const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+  EXPECT_EQ(Json::parse("18446744073709551615").as_uint(), big);
+  EXPECT_EQ(Json(big).dump(), "18446744073709551615");
+  const std::int64_t min64 = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(Json::parse("-9223372036854775808").as_int(), min64);
+}
+
+TEST(Json, NumberCoercionIsCheckedNotSilent) {
+  EXPECT_DOUBLE_EQ(Json::parse("3").as_double(), 3.0);   // int → double ok
+  EXPECT_EQ(Json::parse("3").as_uint(), 3u);
+  EXPECT_THROW(Json::parse("3.5").as_int(), JsonError);  // fractional → error
+  EXPECT_THROW(Json::parse("-1").as_uint(), JsonError);  // negative → error
+  EXPECT_THROW(Json::parse("\"5\"").as_int(), JsonError);
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Json j = Json::parse(R"({"a": [1, {"b": true}, "x"], "c": {}})");
+  ASSERT_TRUE(j.is_object());
+  const Json::Array& a = j.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].as_int(), 1);
+  EXPECT_EQ(a[1].at("b").as_bool(), true);
+  EXPECT_EQ(a[2].as_string(), "x");
+  EXPECT_TRUE(j.at("c").as_object().empty());
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_THROW(j.at("missing"), JsonError);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  // Surrogate pair → 4-byte UTF-8.
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+  EXPECT_THROW(Json::parse(R"("\ud83d")"), JsonError);   // unpaired high
+  EXPECT_THROW(Json::parse(R"("\ude00")"), JsonError);   // unpaired low
+  EXPECT_THROW(Json::parse(R"("\q")"), JsonError);       // bad escape
+  EXPECT_THROW(Json::parse("\"a\nb\""), JsonError);      // raw control char
+}
+
+TEST(Json, WriterEscapesAndReparses) {
+  Json obj = Json::object();
+  obj.set("k\"ey\n", Json(std::string("v\talue\\")));
+  const Json back = Json::parse(obj.dump());
+  EXPECT_EQ(back.at("k\"ey\n").as_string(), "v\talue\\");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "  ", "{", "[", "\"abc", "{\"a\":}", "{\"a\" 1}", "{\"a\":1,}", "[1,]",
+        "[1 2]", "01", "1.", ".5", "1e", "+3", "nul", "tru", "falsy", "{]", "--1",
+        "\x01", "{\"a\":1}}", "[1]x", "1 2"}) {
+    EXPECT_THROW(Json::parse(bad), JsonError) << "input: " << bad;
+  }
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  EXPECT_THROW(Json::parse(R"({"a": 1, "a": 2})"), JsonError);
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    Json::parse("{\n  \"a\": tru\n}");
+    FAIL() << "should have thrown";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Json, DeepNestingFailsCleanlyNotByStackOverflow) {
+  const std::string deep(100000, '[');
+  EXPECT_THROW(Json::parse(deep), JsonError);
+  const std::string deep_obj = [] {
+    std::string s;
+    for (int i = 0; i < 5000; ++i) s += "{\"a\":";
+    return s;
+  }();
+  EXPECT_THROW(Json::parse(deep_obj), JsonError);
+}
+
+// The satellite regression: a zero-wall campaign's runs_per_second is
+// NaN/inf, and the old string-assembled report emitted literally "nan" —
+// invalid JSON.  The shared writer must emit null for any non-finite
+// double.
+TEST(Json, NonFiniteDoublesRenderAsNull) {
+  Json obj = Json::object();
+  obj.set("a", std::numeric_limits<double>::quiet_NaN());
+  obj.set("b", std::numeric_limits<double>::infinity());
+  obj.set("c", -std::numeric_limits<double>::infinity());
+  obj.set("fine", 1.5);
+  const std::string text = obj.dump();
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+  const Json back = Json::parse(text);
+  EXPECT_TRUE(back.at("a").is_null());
+  EXPECT_TRUE(back.at("b").is_null());
+  EXPECT_TRUE(back.at("c").is_null());
+  EXPECT_DOUBLE_EQ(back.at("fine").as_double(), 1.5);
+}
+
+TEST(Json, DoublesRoundTripShortestForm) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-9, 12345.6789, -0.00025, 2.5e17,
+                   std::nextafter(1.0, 2.0)}) {
+    const Json back = Json::parse(Json(v).dump());
+    EXPECT_EQ(back.as_double(), v);
+  }
+  // Integral doubles print in fixed form, not scientific.
+  EXPECT_EQ(Json(10.0).dump(), "10");
+  EXPECT_EQ(Json(200.0).dump(), "200");
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+}
+
+TEST(Json, PrettyDumpIsStableAndReparses) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  Json arr = Json::array();
+  arr.push_back(true);
+  arr.push_back(Json::object());
+  obj.set("b", std::move(arr));
+  const std::string pretty = obj.dump(2);
+  EXPECT_NE(pretty.find("\"a\": 1"), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), obj);
+  EXPECT_EQ(Json::parse(obj.dump()), obj);  // compact form too
+}
+
+TEST(Json, SetReplacesExistingKeysInPlace) {
+  Json obj = Json::object();
+  obj.set("k", 1).set("l", 2).set("k", 3);
+  ASSERT_EQ(obj.as_object().size(), 2u);
+  EXPECT_EQ(obj.at("k").as_int(), 3);
+  EXPECT_EQ(obj.as_object()[0].first, "k");  // insertion order preserved
+}
+
+TEST(JsonReader, StrictConsumptionRejectsUnknownKeys) {
+  const Json j = Json::parse(R"({"known": 1, "typo": 2})");
+  JsonReader r(j, "test");
+  EXPECT_EQ(r.uinteger("known", 0), 1u);
+  try {
+    r.finish();
+    FAIL() << "should have thrown";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown key \"typo\""), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test"), std::string::npos);
+  }
+}
+
+TEST(JsonReader, TypeErrorsNameThePath) {
+  const Json j = Json::parse(R"({"p": "not-a-number"})");
+  JsonReader r(j, "scenario.loss");
+  try {
+    r.number("p", 0.0);
+    FAIL() << "should have thrown";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("scenario.loss.p"), std::string::npos);
+  }
+}
+
+TEST(JsonReader, AbsentKeysFallBack) {
+  const Json j = Json::parse("{}");
+  JsonReader r(j, "t");
+  EXPECT_EQ(r.number("x", 4.5), 4.5);
+  EXPECT_EQ(r.boolean("y", true), true);
+  EXPECT_EQ(r.string("z", "d"), "d");
+  r.finish();  // nothing unconsumed
+}
+
+}  // namespace
+}  // namespace ptecps::util

@@ -174,7 +174,7 @@ TEST(Table, MarkdownMode) {
 
 TEST(Cli, ParsesOptionsFlagsAndPositional) {
   const char* argv[] = {"prog", "--loss", "0.3", "--verbose", "--n=5", "input.txt"};
-  ArgParser args(6, argv);
+  ArgParser args(6, argv, {"loss", "verbose", "n", "absent"});
   EXPECT_DOUBLE_EQ(args.get_double("loss", 0.0), 0.3);
   EXPECT_TRUE(args.has_flag("verbose"));
   EXPECT_EQ(args.get_int("n", 0), 5);
@@ -186,7 +186,7 @@ TEST(Cli, ParsesOptionsFlagsAndPositional) {
 TEST(Cli, AcceptsNegativeNumericValues) {
   // Both "--name value" and "--name=value" spellings must carry a sign.
   const char* argv[] = {"prog", "--delta", "-1.5", "--k", "-3", "--eps=-2.25"};
-  ArgParser args(6, argv);
+  ArgParser args(6, argv, {"delta", "k", "eps"});
   EXPECT_DOUBLE_EQ(args.get_double("delta", 0.0), -1.5);
   EXPECT_EQ(args.get_int("k", 0), -3);
   EXPECT_DOUBLE_EQ(args.get_double("eps", 0.0), -2.25);
@@ -197,7 +197,7 @@ TEST(Cli, AcceptsNegativeNumericValues) {
 // must exit(2) with a diagnostic naming the flag instead.
 TEST(CliDeathTest, MalformedDoubleExitsCleanly) {
   const char* argv[] = {"prog", "--loss", "lots"};
-  ArgParser args(3, argv);
+  ArgParser args(3, argv, {"loss"});
   EXPECT_EXIT(args.get_double("loss", 0.0), ::testing::ExitedWithCode(2),
               "invalid value 'lots' for --loss");
 }
@@ -205,7 +205,7 @@ TEST(CliDeathTest, MalformedDoubleExitsCleanly) {
 TEST(CliDeathTest, TrailingGarbageIsRejectedNotTruncated) {
   // std::stod("1.5x") silently parses 1.5; the parser must not.
   const char* argv[] = {"prog", "--loss=1.5x", "--n=12q"};
-  ArgParser args(3, argv);
+  ArgParser args(3, argv, {"loss", "n"});
   EXPECT_EXIT(args.get_double("loss", 0.0), ::testing::ExitedWithCode(2),
               "invalid value '1.5x' for --loss");
   EXPECT_EXIT(args.get_int("n", 0), ::testing::ExitedWithCode(2),
@@ -215,16 +215,44 @@ TEST(CliDeathTest, TrailingGarbageIsRejectedNotTruncated) {
 TEST(CliDeathTest, NegativeU64IsRejectedNotWrapped) {
   // std::stoull("-5") wraps to 2^64-5; the parser must reject the sign.
   const char* argv[] = {"prog", "--seeds", "-5"};
-  ArgParser args(3, argv);
+  ArgParser args(3, argv, {"seeds"});
   EXPECT_EXIT(args.get_u64("seeds", 0), ::testing::ExitedWithCode(2),
               "invalid value '-5' for --seeds");
 }
 
 TEST(CliDeathTest, OutOfRangeIntExitsCleanly) {
   const char* argv[] = {"prog", "--n=99999999999999999999"};
-  ArgParser args(2, argv);
+  ArgParser args(2, argv, {"n"});
   EXPECT_EXIT(args.get_int("n", 0), ::testing::ExitedWithCode(2),
               "invalid value '99999999999999999999' for --n");
+}
+
+// Regression: the permissive ancestor silently ignored unknown options,
+// so "--seedz 5" ran the single-seed fallback without a word.  Unknown
+// options must exit(2) naming the nearest known flags.
+TEST(CliDeathTest, UnknownOptionExitsWithNearMissSuggestion) {
+  const char* argv[] = {"prog", "--seedz", "5"};
+  EXPECT_EXIT((ArgParser(3, argv, {"seeds", "threads"})), ::testing::ExitedWithCode(2),
+              "unknown option --seedz \\(did you mean --seeds\\?\\)");
+}
+
+TEST(CliDeathTest, UnknownOptionEqualsFormIsAlsoRejected) {
+  const char* argv[] = {"prog", "--treads=4"};
+  EXPECT_EXIT((ArgParser(2, argv, {"seeds", "threads"})), ::testing::ExitedWithCode(2),
+              "unknown option --treads \\(did you mean --threads\\?\\)");
+}
+
+TEST(CliDeathTest, UnknownOptionWithoutNearMissListsKnownFlags) {
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_EXIT((ArgParser(2, argv, {"seeds"})), ::testing::ExitedWithCode(2),
+              "unknown option --bogus \\(known: --seeds\\)");
+}
+
+TEST(Cli, PrefixOfAKnownFlagIsSuggestedNotAccepted) {
+  // "--seed" (a prefix typo of --seeds) must die, not half-match.
+  const char* argv[] = {"prog", "--seed", "7"};
+  EXPECT_EXIT((ArgParser(3, argv, {"seeds", "threads"})), ::testing::ExitedWithCode(2),
+              "did you mean --seeds");
 }
 
 TEST(Require, MacrosThrowWithContext) {

@@ -1,0 +1,463 @@
+// `pte` — the one CLI of the repo: the paper's whole workflow (pick a
+// deployment, prove its PTE rules under the bounded adversary, sample it
+// under realistic loss) as subcommands over the job API, speaking
+// scenario FILES and registry NAMES interchangeably.
+//
+//   pte list                 named scenarios (--json, --names)
+//   pte describe <ref>       one scenario, human-readable (--json)
+//   pte export <name>…       registry entry → scenario .json (--all, --dir D)
+//   pte run <ref>            execute as declared (or --mode) → JobResult JSON
+//   pte verify <ref>         exhaustive proof only → JobResult JSON
+//   pte matrix               every scenario × both modes + cross-validation
+//   pte replay <ref>         prove, then replay the counterexample end to end
+//   pte fuzz                 synthesized random deployments, cross-validated
+//
+// <ref> is a registry name ("laser-tracheotomy") or a path to a scenario
+// file ("deploy/icu.json") — `pte export` writes files that `pte verify`
+// and `pte run` rebuild into the identical deployment.  Machine output
+// (JobResult / MatrixResult JSON) goes to stdout; narration to stderr —
+// `pte run laser-tracheotomy | python3 -m json.tool` round-trips.
+//
+// Exit codes: 0 = job ok (verdict matches any declared expectation,
+// cross-validation consistent), 1 = job concluded against expectation or
+// inconsistently, 2 = usage / input error.
+//
+// This multitool subsumed the bench_matrix, verify_demo and
+// scenario_tour binaries, whose wiring it had triplicated.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/service.hpp"
+#include "scenarios/crossval.hpp"
+#include "scenarios/registry.hpp"
+#include "scenarios/serialize.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/text.hpp"
+
+using namespace ptecps;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: pte <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  list                list the named scenarios (--json | --names)\n"
+    "  describe <ref>      show one scenario (--json for the document)\n"
+    "  export <name>...    write registry entries as scenario files\n"
+    "                      (--all; --dir DIR, else stdout)\n"
+    "  run <ref>           execute as declared or per --mode; JobResult JSON\n"
+    "  verify <ref>        exhaustive proof; JobResult JSON on stdout\n"
+    "  matrix              registry (or --dir of files) x both modes +\n"
+    "                      cross-validation (--smoke, --json)\n"
+    "  replay <ref>        prove and replay the counterexample\n"
+    "  fuzz                synthesized random deployments, cross-validated\n"
+    "\n"
+    "<ref>: a registry name (`pte list`) or a scenario .json file path.\n"
+    "common options: --seeds N --seed-base S --threads N --verify-threads N\n"
+    "  --losses K --injections K --states N (budget caps) --smoke --expect V\n";
+
+int usage_error(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+/// A ref is a file when it points into the filesystem; otherwise it is a
+/// registry name.  (".json" also routes to the filesystem so a missing
+/// file errors as a file problem, not as an unknown registry name.)
+bool looks_like_file(const std::string& ref) {
+  return ref.find('/') != std::string::npos || ref.ends_with(".json") ||
+         std::filesystem::exists(ref);
+}
+
+scenarios::ScenarioDocument load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open scenario file '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return scenarios::document_from_text(buffer.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+    std::exit(2);
+  }
+}
+
+/// Registry name or scenario file → document; exits(2) on neither.
+scenarios::ScenarioDocument load_ref(const std::string& ref) {
+  if (!looks_like_file(ref)) {
+    if (const scenarios::RegistryEntry* entry = scenarios::find_scenario(ref))
+      return scenarios::export_document(*entry);
+    std::fprintf(stderr,
+                 "error: no scenario named '%s' and no such file (try `pte list`)\n",
+                 ref.c_str());
+    std::exit(2);
+  }
+  return load_file(ref);
+}
+
+/// The budget/seed flags shared by run/verify/matrix/replay.
+scenarios::RegistryTuning tuning_from_args(const util::ArgParser& args) {
+  scenarios::RegistryTuning tuning;
+  tuning.seed_count = args.get_u64("seeds", 0);
+  tuning.max_states = args.get_u64("states", 0);
+  tuning.max_losses = args.get_u64("losses", 0);
+  tuning.max_injections = args.get_u64("injections", 0);
+  tuning.max_input_changes = args.get_u64("input-changes", 0);
+  tuning.threads = args.get_u64("verify-threads", 0);
+  return tuning;
+}
+
+api::Job job_from_args(const util::ArgParser& args, scenarios::ScenarioDocument doc) {
+  api::Job job = api::Job::for_document(std::move(doc));
+  job.smoke = args.has_flag("smoke");
+  job.tuning = tuning_from_args(args);
+  job.threads = args.get_u64("threads", 0);
+  if (args.has_flag("seed-base")) job.seed_base = args.get_u64("seed-base", 1);
+  const std::string expect = args.get_string("expect", "");
+  if (!expect.empty()) {
+    job.expected = scenarios::verify_status_from_str(expect);
+    if (!job.expected.has_value())
+      std::exit(usage_error(util::cat("unknown --expect verdict '", expect,
+                                      "' (proved, violation, out-of-budget)")));
+  }
+  return job;
+}
+
+/// JSON to stdout, one verdict line to stderr, exit code from `ok`.
+int emit_result(const api::JobResult& result) {
+  std::fputs(result.to_json().dump(2).c_str(), stdout);
+  std::fprintf(stderr, "%s: %s%s\n", result.scenario.c_str(), result.verdict.c_str(),
+               result.ok ? ""
+               : result.expected.has_value() && !result.expected_match
+                   ? util::cat(" (expected ",
+                               verify::verify_status_str(*result.expected), ")")
+                         .c_str()
+                   : " (FAILED)");
+  for (const std::string& e : result.errors)
+    std::fprintf(stderr, "error: %s\n", e.c_str());
+  return result.ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int cmd_list(const util::ArgParser& args) {
+  if (args.has_flag("names")) {
+    for (const auto& e : scenarios::registry()) std::printf("%s\n", e.name.c_str());
+    return 0;
+  }
+  if (args.has_flag("json")) {
+    util::Json out = util::Json::array();
+    for (const auto& e : scenarios::registry()) {
+      util::Json one = util::Json::object();
+      one.set("name", e.name);
+      one.set("summary", e.summary);
+      one.set("expected", verify::verify_status_str(e.expected));
+      out.push_back(std::move(one));
+    }
+    std::fputs(out.dump(2).c_str(), stdout);
+    return 0;
+  }
+  std::printf("%zu named scenarios:\n", scenarios::registry().size());
+  for (const auto& e : scenarios::registry())
+    std::printf("  %-28s expect %-10s %s\n", e.name.c_str(),
+                verify::verify_status_str(e.expected).c_str(), e.summary.c_str());
+  return 0;
+}
+
+int cmd_describe(const util::ArgParser& args) {
+  if (args.positional().size() != 1)
+    return usage_error("describe needs exactly one <ref>");
+  const scenarios::ScenarioDocument doc = load_ref(args.positional()[0]);
+  if (args.has_flag("json")) {
+    std::fputs(scenarios::to_json(doc).dump(2).c_str(), stdout);
+    return 0;
+  }
+  const scenarios::ScenarioParams& p = doc.params;
+  std::printf("=== %s ===\n", p.name.c_str());
+  if (!doc.summary.empty()) std::printf("%s\n", doc.summary.c_str());
+  for (const std::string& note : doc.notes) std::printf("  %s\n", note.c_str());
+  if (doc.expected.has_value())
+    std::printf("expected prover verdict: %s\n",
+                verify::verify_status_str(*doc.expected).c_str());
+  std::printf("\nmode: %s   horizon: %s s   seeds: %llu + %zu\n",
+              scenarios::run_mode_str(p.mode).c_str(),
+              util::fmt_compact(p.horizon).c_str(),
+              static_cast<unsigned long long>(p.seed_base), p.seed_count);
+  std::printf("topology: %s   loss: %s\n",
+              p.topology == scenarios::Topology::kStar ? "star" : "chained-bridge",
+              p.loss.describe().c_str());
+  std::printf("verify budgets: %zu losses, %zu injections, %zu input changes, "
+              "%zu states\n",
+              p.verify.max_losses, p.verify.max_injections, p.verify.max_input_changes,
+              p.verify.max_states);
+  std::printf("script: period %s s, phase %s s, on for %s s, %zu explicit action(s)\n\n",
+              util::fmt_compact(p.script.period).c_str(),
+              util::fmt_compact(p.script.phase).c_str(),
+              util::fmt_compact(p.script.on_for).c_str(), p.script.actions.size());
+  std::printf("%s", p.config.describe().c_str());
+  return 0;
+}
+
+int cmd_export(const util::ArgParser& args) {
+  std::vector<const scenarios::RegistryEntry*> entries;
+  if (args.has_flag("all")) {
+    for (const auto& e : scenarios::registry()) entries.push_back(&e);
+  } else {
+    if (args.positional().empty())
+      return usage_error("export needs scenario name(s) or --all");
+    for (const std::string& name : args.positional()) {
+      const scenarios::RegistryEntry* entry = scenarios::find_scenario(name);
+      if (!entry) {
+        std::fprintf(stderr, "error: no scenario named '%s' (try `pte list`)\n",
+                     name.c_str());
+        return 2;
+      }
+      entries.push_back(entry);
+    }
+  }
+  const std::string dir = args.get_string("dir", "");
+  if (dir.empty() && entries.size() > 1)
+    return usage_error("exporting several scenarios needs --dir DIR");
+  if (!dir.empty()) std::filesystem::create_directories(dir);
+  for (const auto* entry : entries) {
+    const std::string text = scenarios::to_json(scenarios::export_document(*entry)).dump(2);
+    if (dir.empty()) {
+      std::fputs(text.c_str(), stdout);
+      continue;
+    }
+    const std::string path = util::cat(dir, "/", entry->name, ".json");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+      return 2;
+    }
+    out << text;
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_run(const util::ArgParser& args) {
+  if (args.positional().size() != 1) return usage_error("run needs exactly one <ref>");
+  api::Job job = job_from_args(args, load_ref(args.positional()[0]));
+  const std::string mode = args.get_string("mode", "");
+  if (!mode.empty()) {
+    job.mode = scenarios::run_mode_from_str(mode);
+    if (!job.mode.has_value())
+      return usage_error(
+          util::cat("unknown --mode '", mode, "' (monte-carlo, verify, both)"));
+  }
+  if (args.has_flag("no-crossval")) job.cross_validate = false;
+  return emit_result(api::Service().run(job));
+}
+
+int cmd_verify(const util::ArgParser& args) {
+  if (args.positional().size() != 1)
+    return usage_error("verify needs exactly one <ref>");
+  api::Job job = job_from_args(args, load_ref(args.positional()[0]));
+  job.mode = campaign::RunMode::kVerify;
+  return emit_result(api::Service().run(job));
+}
+
+int cmd_matrix(const util::ArgParser& args) {
+  std::vector<api::Job> jobs;
+  std::vector<std::string> labels;
+  const std::string dir = args.get_string("dir", "");
+  const std::string only = args.get_string("scenario", "");
+  if (!dir.empty()) {
+    // A directory of scenario files — `pte export --all --dir D` output.
+    // Entries that shadow a registry name must agree with the compiled
+    // expectation: a stale export silently flipping a verdict is exactly
+    // the drift the matrix exists to catch.
+    std::vector<std::string> paths;
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+      if (entry.path().extension() == ".json") paths.push_back(entry.path().string());
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty()) return usage_error(util::cat("no .json files under '", dir, "'"));
+    for (const std::string& path : paths) {
+      scenarios::ScenarioDocument doc = load_file(path);
+      if (const scenarios::RegistryEntry* compiled =
+              scenarios::find_scenario(doc.params.name)) {
+        if (!doc.expected.has_value() || *doc.expected != compiled->expected) {
+          std::fprintf(stderr,
+                       "error: %s: expected verdict diverges from the compiled "
+                       "registry entry '%s' — re-export it\n",
+                       path.c_str(), doc.params.name.c_str());
+          return 2;
+        }
+      }
+      labels.push_back(path);
+      jobs.push_back(api::Job::for_document(std::move(doc)));
+    }
+  } else if (!only.empty()) {
+    const scenarios::RegistryEntry* entry = scenarios::find_scenario(only);
+    if (!entry) {
+      std::fprintf(stderr, "error: no scenario named '%s' (try `pte list`)\n",
+                   only.c_str());
+      return 2;
+    }
+    labels.push_back(entry->name);
+    jobs.push_back(api::Job::for_scenario(entry->name));
+  } else {
+    for (const auto& e : scenarios::registry()) {
+      labels.push_back(e.name);
+      jobs.push_back(api::Job::for_scenario(e.name));
+    }
+  }
+  for (api::Job& job : jobs) {
+    job.smoke = args.has_flag("smoke");
+    job.tuning = tuning_from_args(args);
+    job.threads = args.get_u64("threads", 0);
+  }
+
+  const api::MatrixResult result = api::Service().run_matrix(jobs);
+  if (args.has_flag("json")) {
+    std::fputs(result.to_json().dump(2).c_str(), stdout);
+    for (const std::string& e : result.errors)
+      std::fprintf(stderr, "error: %s\n", e.c_str());
+    return result.ok ? 0 : 1;
+  }
+
+  util::TextTable table(
+      {"scenario", "runs", "sampled viol", "verify", "states", "verify s", "replay",
+       "expected", "agree"});
+  for (std::size_t c = 1; c <= 6; ++c) table.set_right_align(c);
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const api::MatrixRow& row = result.rows[i];
+    const campaign::ScenarioOutcome& outcome = result.report->scenarios[i];
+    if (!outcome.verification.has_value()) {
+      table.add_row({row.scenario, util::cat(outcome.runs.size()),
+                     util::cat(outcome.total_violations), "-", "-", "-", "-",
+                     row.expected.has_value() ? verify::verify_status_str(*row.expected)
+                                              : "-",
+                     row.expected_match ? "yes" : "NO"});
+      continue;
+    }
+    const campaign::VerificationOutcome& v = *outcome.verification;
+    table.add_row(
+        {row.scenario, util::cat(outcome.runs.size()), util::cat(outcome.total_violations),
+         verify::verify_status_str(v.status), util::cat(v.states_explored),
+         util::fmt_double(v.wall_seconds, 2),
+         v.replay_attempted ? (v.replay_reproduced ? "yes" : "NO") : "-",
+         row.expected.has_value() ? verify::verify_status_str(*row.expected) : "-",
+         row.consistent && row.expected_match ? "yes" : "NO"});
+  }
+  std::printf("=== scenario matrix: %zu scenario(s), Monte-Carlo + exhaustive proof ===\n\n",
+              jobs.size());
+  std::printf("%s\n", table.render().c_str());
+  if (result.crossval.has_value()) std::printf("%s\n", result.crossval->summary().c_str());
+  if (result.report.has_value()) std::printf("%s\n", result.report->summary().c_str());
+  for (const std::string& e : result.errors) std::fprintf(stderr, "error: %s\n", e.c_str());
+  if (result.report.has_value())
+    for (const std::string& e : result.report->errors)
+      std::fprintf(stderr, "error: %s\n", e.c_str());
+  std::printf("\nSCENARIO MATRIX %s\n", result.ok ? "PASSED" : "FAILED");
+  return result.ok ? 0 : 1;
+}
+
+int cmd_replay(const util::ArgParser& args) {
+  if (args.positional().size() != 1)
+    return usage_error("replay needs exactly one <ref>");
+  api::Job job = job_from_args(args, load_ref(args.positional()[0]));
+  job.mode = campaign::RunMode::kVerify;
+  job.expected.reset();  // we judge on the replay, not on a declared verdict
+  const api::JobResult result = api::Service().run(job);
+  for (const std::string& e : result.errors) std::fprintf(stderr, "error: %s\n", e.c_str());
+  if (!result.report.has_value()) return 1;
+  const auto& verification = result.report->scenarios[0].verification;
+  if (!verification.has_value() || !verification->counterexample.has_value()) {
+    std::printf("%s: %s — no counterexample to replay\n", result.scenario.c_str(),
+                result.verdict.c_str());
+    return 1;
+  }
+  std::printf("%s\n", verification->counterexample->str().c_str());
+  std::printf("replayed through hybrid::Engine + PteMonitor: %s\n",
+              verification->replay_reproduced ? "violation reproduced" : "NOT reproduced");
+  return verification->replay_reproduced ? 0 : 1;
+}
+
+int cmd_fuzz(const util::ArgParser& args) {
+  const std::size_t rounds = args.get_u64("rounds", 4);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const std::size_t remotes = args.get_u64("remotes", 2);
+  if (rounds == 0) return usage_error("--rounds must be positive");
+
+  sim::Rng rng(seed);
+  std::vector<campaign::ScenarioSpec> specs;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    scenarios::SynthesizeOptions options;
+    options.n_remotes = remotes;
+    options.breakable = true;
+    options.mode = campaign::RunMode::kBoth;
+    options.seed_count = args.get_u64("seeds", 2);
+    campaign::ScenarioSpec spec = scenarios::synthesize(rng, options);
+    spec.name += util::cat("-", i);
+    spec.verify.max_losses = args.get_u64("losses", 1);
+    spec.verify.max_injections = args.get_u64("injections", 1);
+    specs.push_back(std::move(spec));
+  }
+
+  const campaign::CampaignReport report = campaign::CampaignRunner().run(specs);
+  const scenarios::CrossValidationReport crossval = scenarios::cross_validate(report);
+  std::printf("%s\n%s", report.summary().c_str(), crossval.summary().c_str());
+  for (const std::string& e : report.errors) std::fprintf(stderr, "error: %s\n", e.c_str());
+  const bool ok = report.ok() && crossval.ok();
+  std::printf("\nFUZZ %s (%zu synthesized deployment(s), seed %llu)\n",
+              ok ? "PASSED" : "FAILED", rounds,
+              static_cast<unsigned long long>(seed));
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage_error("missing command");
+  const std::string command = argv[1];
+  // Each subcommand parses its own flags (argv[1] becomes the "program").
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (command == "list")
+    return cmd_list({sub_argc, sub_argv, {"json", "names"}});
+  if (command == "describe")
+    return cmd_describe({sub_argc, sub_argv, {"json"}});
+  if (command == "export")
+    return cmd_export({sub_argc, sub_argv, {"all", "dir"}});
+  if (command == "run")
+    return cmd_run({sub_argc, sub_argv,
+                    {"seeds", "seed-base", "threads", "verify-threads", "losses",
+                     "injections", "input-changes", "states", "smoke", "mode", "expect",
+                     "no-crossval"}});
+  if (command == "verify")
+    return cmd_verify({sub_argc, sub_argv,
+                       {"seeds", "seed-base", "threads", "verify-threads", "losses",
+                        "injections", "input-changes", "states", "smoke", "expect"}});
+  if (command == "matrix")
+    return cmd_matrix({sub_argc, sub_argv,
+                       {"smoke", "scenario", "dir", "seeds", "threads",
+                        "verify-threads", "losses", "injections", "input-changes",
+                        "states", "json"}});
+  if (command == "replay")
+    return cmd_replay({sub_argc, sub_argv,
+                       {"seeds", "seed-base", "threads", "verify-threads", "losses",
+                        "injections", "input-changes", "states", "smoke"}});
+  if (command == "fuzz")
+    return cmd_fuzz({sub_argc, sub_argv,
+                     {"rounds", "seed", "remotes", "seeds", "losses", "injections"}});
+  if (command == "--help" || command == "help") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  return usage_error(util::cat("unknown command '", command, "'"));
+}
