@@ -9,7 +9,10 @@
 // timed and allocation-counted, swept across thread counts (results must
 // be bit-identical at every count), and the numbers land in
 // BENCH_verify.json next to the PR-2 baseline so regressions are visible
-// in-repo.
+// in-repo.  The JSON additionally records per-kernel throughput (scalar
+// vs SIMD on the proof's DBM dimension) and the partial-order reduction's
+// stored-state shrink on the laser proof and the synthesized three-entity
+// chain — the two effects behind the headline zones/s.
 //
 // Usage: bench_verify [--scenario laser|quickstart] [--losses 2]
 //                     [--injections 2] [--input-changes 1]
@@ -22,17 +25,22 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <new>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "campaign/scenario.hpp"
 #include "core/synthesis.hpp"
+#include "sim/random.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/text.hpp"
 #include "verify/checker.hpp"
 #include "verify/replay.hpp"
+#include "verify/zone.hpp"
+#include "verify/zone_kernels.hpp"
 
 using namespace ptecps;
 
@@ -97,6 +105,98 @@ std::string fingerprint(const verify::VerifyResult& r) {
 constexpr double kPr2Seconds = 1.94;
 constexpr double kPr2States = 44668.0;
 constexpr double kPr2AllocsPerState = 55.3;
+
+/// Per-kernel throughput on `dim`-dimensional packed matrices: the same
+/// four inner loops zone.cpp dispatches through, timed under the scalar
+/// table and (when the CPU has it) the AVX2 table.  Inputs are random
+/// packed bounds; min is idempotent so repeated passes do identical work.
+util::Json kernel_throughput(std::size_t dim) {
+  const std::size_t total = dim * dim;
+  sim::Rng rng(11);
+  std::vector<std::int64_t> a(total), b(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    a[i] = verify::packed_le(1.0 + static_cast<double>(rng.uniform_int(50)));
+    b[i] = verify::packed_le(1.0 + static_cast<double>(rng.uniform_int(50)));
+  }
+  const std::int64_t d_ik = verify::packed_le(3.0);
+  volatile bool bool_sink = false;
+  volatile std::int64_t sum_sink = 0;
+
+  auto ops_per_sec = [](std::size_t iters, auto&& op) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) op();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return static_cast<double>(iters) / secs;
+  };
+
+  struct KernelOp {
+    const char* name;
+    std::size_t iters;
+    std::function<void(const verify::ZoneKernels&)> op;
+  };
+  const KernelOp kernel_ops[] = {
+      {"min_plus_row", 2'000'000,
+       [&](const verify::ZoneKernels& k) { k.min_plus_row(a.data(), b.data(), d_ik, dim); }},
+      {"leq_all", 1'000'000,
+       [&](const verify::ZoneKernels& k) {
+         bool_sink = k.leq_all(a.data(), b.data(), total);
+       }},
+      {"min_inplace", 1'000'000,
+       [&](const verify::ZoneKernels& k) { k.min_inplace(a.data(), b.data(), total); }},
+      {"shift_sum", 1'000'000,
+       [&](const verify::ZoneKernels& k) { sum_sink = k.shift_sum(a.data(), total, 16); }},
+  };
+  (void)bool_sink;
+  (void)sum_sink;
+
+  const verify::ZoneKernels& scalar = verify::scalar_zone_kernels();
+  const verify::ZoneKernels* simd = verify::avx2_zone_kernels();
+  util::Json out = util::Json::object();
+  out.set("dbm_dim", dim);
+  out.set("active", verify::active_zone_kernels().name);
+  util::Json rows = util::Json::array();
+  for (const KernelOp& ko : kernel_ops) {
+    const double s = ops_per_sec(ko.iters, [&] { ko.op(scalar); });
+    util::Json row = util::Json::object();
+    row.set("kernel", ko.name);
+    row.set("scalar_ops_per_sec", s);
+    if (simd) {
+      const double v = ops_per_sec(ko.iters, [&] { ko.op(*simd); });
+      row.set("simd_ops_per_sec", v);
+      row.set("simd_speedup_x", v / s);
+    }
+    rows.push_back(std::move(row));
+  }
+  out.set("per_kernel", std::move(rows));
+  return out;
+}
+
+/// POR on/off on one spec: same verdict required, stored-state shrink
+/// reported.  Returns a row for BENCH_verify.json's "por" table.
+util::Json por_row(const std::string& name, const verify::CompiledModel& model,
+                   verify::VerifyOptions opt, bool* ok) {
+  opt.threads = 1;
+  opt.por = true;
+  const Timed reduced = run_verify(model, opt);
+  opt.por = false;
+  const Timed full = run_verify(model, opt);
+  const bool same = reduced.result.status == full.result.status;
+  *ok = *ok && same;
+  if (!same)
+    std::fprintf(stderr, "bench_verify: POR changed the verdict on %s\n", name.c_str());
+  util::Json row = util::Json::object();
+  row.set("scenario", name);
+  row.set("status", verify::verify_status_str(reduced.result.status));
+  row.set("states_stored_por", reduced.result.states_stored);
+  row.set("states_stored_full", full.result.states_stored);
+  row.set("stored_reduction_x", static_cast<double>(full.result.states_stored) /
+                                    static_cast<double>(reduced.result.states_stored));
+  row.set("seconds_por", reduced.seconds);
+  row.set("seconds_full", full.seconds);
+  row.set("identical_verdict", same);
+  return row;
+}
 
 bool write_verify_json(const campaign::ScenarioSpec& spec,
                        const verify::VerifyInput& input, verify::VerifyOptions opt) {
@@ -165,6 +265,32 @@ bool write_verify_json(const campaign::ScenarioSpec& spec,
                    thread_counts[i]);
   }
   doc.set("scaling", std::move(scaling));
+  if (std::thread::hardware_concurrency() <= 1)
+    doc.set("scaling_note",
+            "host reports 1 hardware thread: the sweep verifies determinism, "
+            "not parallel speedup");
+
+  // Microscopic view: the four dispatched inner loops, scalar vs SIMD,
+  // on this proof's DBM dimension.
+  doc.set("kernels", kernel_throughput(model.clocks.count + 1));
+
+  // Partial-order reduction: stored-state shrink on the reference proof
+  // and on the synthesized three-entity chain (where interleaving blowup
+  // is worst).  The chain runs at tightened budgets to stay a bench, not
+  // a soak test.
+  bool por_ok = true;
+  util::Json por = util::Json::array();
+  por.push_back(por_row(spec.name, model, opt, &por_ok));
+  {
+    campaign::ScenarioSpec chain = make_spec("quickstart");
+    verify::VerifyOptions copt = opt;
+    copt.max_losses = 1;
+    copt.max_injections = 1;
+    const verify::CompiledModel chain_model =
+        verify::compile_model(chain.verify_input());
+    por.push_back(por_row("three-entity-chain", chain_model, copt, &por_ok));
+  }
+  doc.set("por", std::move(por));
 
   std::FILE* f = std::fopen("BENCH_verify.json", "w");
   if (!f) {
@@ -177,7 +303,7 @@ bool write_verify_json(const campaign::ScenarioSpec& spec,
               "%.2f s; %.0f zones/s, %.2f allocs/zone, thread sweep %s)\n",
               single.seconds, kPr2Seconds / single.seconds, kPr2Seconds, zones_per_sec,
               allocs_per_zone, identical ? "bit-identical" : "DIVERGED");
-  return identical && single.result.status == verify::VerifyStatus::kProved;
+  return identical && por_ok && single.result.status == verify::VerifyStatus::kProved;
 }
 
 }  // namespace

@@ -11,9 +11,16 @@
 // steady-state op, so a regression in the pool shows up here before it
 // shows up in BENCH_verify.json.
 //
+// A second table pins the kernel dispatch (set_zone_kernels_for_test) to
+// run the kernel-bound ops under the scalar and the SIMD implementations
+// on the same inputs, reporting ops/s per arm and the speedup — the
+// guard that keeps the AVX2 path from silently rotting into a slowdown.
+//
 // Usage: bench_zone_ops [--clocks 17] [--iters 200000]
-// Exit 0 iff every op ran and the free list kept steady-state zone
-// traffic allocation-free (< 0.01 allocs/op on the pooled ops).
+// Exit 0 iff every op ran, the free list kept steady-state zone traffic
+// allocation-free (< 0.01 allocs/op on the pooled ops), and — when the
+// CPU has AVX2 — no kernel-bound op ran slower under SIMD than scalar
+// (10% noise margin, best of 3 runs per arm).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -25,6 +32,7 @@
 #include "sim/random.hpp"
 #include "util/cli.hpp"
 #include "verify/zone.hpp"
+#include "verify/zone_kernels.hpp"
 
 using namespace ptecps;
 using verify::PackedBound;
@@ -170,6 +178,57 @@ int main(int argc, char** argv) {
     }));
   }
 
+  // Scalar-vs-SIMD kernel table: the same workloads, dispatch pinned to
+  // one arm at a time.  Only the ops whose inner loops live in
+  // zone_kernels.cpp appear here (the rest are dispatch-independent).
+  struct KernelRow {
+    const char* name;
+    double scalar = 0.0;
+    double simd = 0.0;
+  };
+  std::vector<KernelRow> krows;
+  bool kernels_ok = true;
+  const verify::ZoneKernels* simd = verify::avx2_zone_kernels();
+  {
+    Zone scratch = samples[0];
+    Zone other = samples[1];
+    const PackedBound guard = verify::packed_le(7.5);
+    volatile bool ksink = false;
+    volatile std::int64_t ksig = 0;
+    auto pinned = [&](const verify::ZoneKernels& k, std::size_t n, auto&& op) {
+      // Best of 3: these loops finish in tens of milliseconds, where a
+      // single scheduler hiccup would otherwise fake a regression.
+      verify::set_zone_kernels_for_test(&k);
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep)
+        best = std::max(best, bench("", n, true, op).ops_per_sec);
+      verify::set_zone_kernels_for_test(nullptr);
+      return best;
+    };
+    auto compare = [&](const char* name, std::size_t n, auto&& op) {
+      KernelRow kr{name};
+      kr.scalar = pinned(verify::scalar_zone_kernels(), n, op);
+      if (simd) kr.simd = pinned(*simd, n, op);
+      krows.push_back(kr);
+    };
+    compare("constrain (min_plus_row)", iters, [&](std::size_t i) {
+      scratch = samples[i & 255];
+      scratch.constrain(1 + (i % clocks), 0, guard);
+    });
+    compare("intersect/close (min+row)", iters / 4, [&](std::size_t i) {
+      scratch = samples[i & 255];
+      scratch.intersect(other);
+    });
+    compare("subset_of (leq_all)", iters, [&](std::size_t i) {
+      ksink = samples[i & 255].subset_of(samples[(i + 1) & 255]);
+    });
+    compare("signature (shift_sum)", iters, [&](std::size_t i) {
+      ksig = samples[i & 255].signature();
+    });
+    (void)ksink;
+    (void)ksig;
+  }
+
   const Zone::PoolStats pool = Zone::pool_stats();
   std::printf("zone ops, %zu clocks (%zu-dim packed DBM, %zu iters):\n", clocks,
               clocks + 1, iters);
@@ -186,6 +245,30 @@ int main(int argc, char** argv) {
   std::printf("  pool: %llu heap allocs, %llu recycled\n",
               static_cast<unsigned long long>(pool.heap_allocs),
               static_cast<unsigned long long>(pool.pool_hits));
+
+  std::printf("kernel dispatch (%s vs %s, best of 3):\n",
+              verify::scalar_zone_kernels().name, simd ? simd->name : "none");
+  std::printf("  %-32s %14s %14s %9s\n", "op", "scalar ops/s", "simd ops/s",
+              "speedup");
+  for (const KernelRow& kr : krows) {
+    if (simd) {
+      std::printf("  %-32s %14.0f %14.0f %8.2fx\n", kr.name, kr.scalar, kr.simd,
+                  kr.simd / kr.scalar);
+      if (kr.simd < 0.9 * kr.scalar) {
+        std::fprintf(stderr,
+                     "bench_zone_ops: '%s' is slower under SIMD (%.0f vs %.0f "
+                     "ops/s) — AVX2 kernel regressed below scalar\n",
+                     kr.name, kr.simd, kr.scalar);
+        kernels_ok = false;
+      }
+    } else {
+      std::printf("  %-32s %14.0f %14s %9s\n", kr.name, kr.scalar, "-", "-");
+    }
+  }
+  if (!simd)
+    std::printf("  (no AVX2 on this CPU/build — scalar column only, no gate)\n");
+
+  ok = ok && kernels_ok;
   std::printf("%s\n", ok ? "ZONE OPS BENCH PASSED" : "ZONE OPS BENCH FAILED");
   return ok ? 0 : 1;
 }

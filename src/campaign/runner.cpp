@@ -145,7 +145,9 @@ CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) {
       const verify::VerifyResult vr = verify::verify_pte(model, vopt);
       vo.status = vr.status;
       vo.states_explored = vr.states_explored;
+      vo.states_stored = vr.states_stored;
       vo.transitions = vr.transitions;
+      vo.threads_used = vr.threads_used;
       vo.counterexample = vr.counterexample;
       if (vo.counterexample.has_value() && spec.verify.replay) {
         vo.replay_attempted = true;
@@ -254,7 +256,9 @@ util::Json CampaignReport::to_json() const {
       util::Json vj = util::Json::object();
       vj.set("status", verify::verify_status_str(v.status));
       vj.set("states_explored", v.states_explored);
+      vj.set("states_stored", v.states_stored);
       vj.set("transitions", v.transitions);
+      vj.set("threads_used", v.threads_used);
       vj.set("replay_attempted", v.replay_attempted);
       vj.set("replay_reproduced", v.replay_reproduced);
       vj.set("wall_seconds", v.wall_seconds);

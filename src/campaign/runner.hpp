@@ -23,7 +23,11 @@ namespace ptecps::campaign {
 struct VerificationOutcome {
   verify::VerifyStatus status = verify::VerifyStatus::kOutOfBudget;
   std::size_t states_explored = 0;
+  std::size_t states_stored = 0;
   std::size_t transitions = 0;
+  /// Worker threads the prover actually ran with (VerifySpec::threads
+  /// resolved — hardware concurrency when 0).
+  std::size_t threads_used = 0;
   std::optional<verify::Counterexample> counterexample;
   /// A replay was run for the counterexample (VerifySpec::replay and a
   /// counterexample exists) — distinguishes "did not reproduce" from

@@ -41,9 +41,11 @@ struct VerifySpec {
   /// collapse or recovery) the adversary may perform.
   std::size_t max_input_changes = 1;
   std::size_t max_states = 1'000'000;
-  /// Worker shards for the exhaustive check (0 = hardware concurrency).
-  /// The verdict and counterexample are bit-identical at every value.
-  std::size_t threads = 1;
+  /// Worker threads for the exhaustive check; 0 (the default) resolves
+  /// to std::thread::hardware_concurrency().  The verdict and
+  /// counterexample are bit-identical at every value; the resolved count
+  /// is reported back as VerificationOutcome::threads_used.
+  std::size_t threads = 0;
   /// Delivery-delay window the prover assumes for surviving messages.
   /// Each bound resolves independently: delivery_min is explicit when
   /// >= 0 (0 is a legitimate floor — the instant-delivery adversary) and

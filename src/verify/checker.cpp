@@ -1,6 +1,7 @@
 #include "verify/checker.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -307,7 +308,7 @@ class Expander {
     parent_ = n;
     parent_rank_ = n->rank;
     ordinal_ = 0;
-    process(n->d, n->z);
+    process(n->d, n->z, &n->step);
   }
 
   /// Seed the search: Engine::init() mirrored symbolically.
@@ -325,6 +326,7 @@ class Expander {
   // (it is tighter than its extrapolation, so it catches strictly more).
   void emit(Outcome o) {
     if (o.z.is_empty()) return;
+    if (opt_.por) apply_por_frees(o);
     ++transitions_;
     Pending p;
     p.key = o.d.key();
@@ -333,6 +335,34 @@ class Expander {
     p.ordinal = ordinal_++;
     p.o = std::move(o);
     out_[p.key.h1 % shards_].push_back(std::move(p));
+  }
+
+  /// Activity-based clock relaxation — the exact half of the partial-
+  /// order reduction.  Free every clock the compile-time analysis proves
+  /// unread before its next reset in this discrete state: dead dwell
+  /// clocks, dead deadline ages, non-risky entities' risky clocks,
+  /// pre-first-exit safe clocks (safe(1) is never read at all), and
+  /// inactive message ages.  free() keeps the DBM canonical and leaves
+  /// the projection onto every other clock exactly unchanged, so every
+  /// guard, invariant, and PTE-rule read — all provably on non-freed
+  /// clocks — sees the same zone, and verdicts and counterexample
+  /// concretization are exact.  Interleavings that differ only in dead-
+  /// clock ages now produce identical zones and collapse in the store.
+  void apply_por_frees(Outcome& o) {
+    const CompiledModel::PorInfo& por = m_.por;
+    for (std::size_t a = 0; a < m_.automata.size(); ++a)
+      if (por.dwell_free[a][o.d.loc[a]]) o.z.free(m_.clocks.dwell(a));
+    for (std::size_t d = 0; d < m_.deadlines.size(); ++d) {
+      const std::size_t owner = m_.deadlines[d].automaton;
+      if (!por.deadline_live[d][o.d.loc[owner]]) o.z.free(m_.clocks.deadline(d));
+    }
+    for (std::size_t e = 1; e <= m_.monitor.n_entities; ++e) {
+      const std::uint32_t bit = 1u << (e - 1);
+      if (!(o.d.risky & bit)) o.z.free(m_.clocks.risky(e));
+      if (e == 1 || !(o.d.ever_exited & bit)) o.z.free(m_.clocks.safe(e));
+    }
+    for (std::size_t s = 0; s < o.d.slots.size(); ++s)
+      if (!slot_active(o.d.slots[s])) o.z.free(m_.clocks.msg(s));
   }
 
   // -- zone-op helpers ------------------------------------------------------
@@ -690,7 +720,7 @@ class Expander {
     for (Outcome& oc : cur) emit(std::move(oc));
   }
 
-  void process(const DState& d, const Zone& z) {
+  void process(const DState& d, const Zone& z, const Step* incoming) {
     Outcome base;
     base.d = d;
     base.z = z;
@@ -805,9 +835,25 @@ class Expander {
     // the input-change budget.  Engine::set_var settles the written
     // automaton's condition edges at the same instant.
     if (base.d.input_changes < opt_.max_input_changes) {
+      // POR sleep set: when this node was reached by a *pure* toggle tj
+      // (the write settled without firing an edge, constraining the
+      // zone, or sending — its whole effect was the input_val flip), a
+      // smaller-indexed toggle ti on a Definition-2-independent
+      // automaton commutes with it exactly: neither automaton can read
+      // the other's input variable or reach it with an event, so
+      // ti-then-tj and tj-then-ti produce identical states and tj stays
+      // pure after ti.  Every {ti, tj} endpoint is reached through its
+      // ascending order, so only that order is explored.
+      std::size_t sleep_toggle = kNone;
+      if (opt_.por && incoming != nullptr && incoming->kind == Step::Kind::kToggle &&
+          incoming->ops.empty() && incoming->sends.empty() && incoming->trace.size() == 1)
+        sleep_toggle = incoming->slot;
       for (std::size_t ti = 0; ti < m_.toggles.size(); ++ti) {
         const CompiledModel::CompiledToggle& tg = m_.toggles[ti];
         if (base.d.input_val[tg.input] == tg.value_index) continue;
+        if (sleep_toggle != kNone && ti < sleep_toggle &&
+            m_.por.toggle_indep[ti][sleep_toggle])
+          continue;
         const CompiledModel::InputVar& iv = m_.inputs[tg.input];
         Outcome o = base;
         o.step.kind = Step::Kind::kToggle;
@@ -1027,6 +1073,7 @@ class Checker {
   const CompiledModel& m_;
   VerifyOptions opt_;
   std::vector<Shard> shards_;
+  std::vector<Node*> work_;  // expand phase: shared rank-ordered work list
 };
 
 VerifyResult Checker::run() {
@@ -1084,29 +1131,50 @@ VerifyResult Checker::run() {
         }
       }
 
-      // Expand phase: each worker walks its shard's round in rank order.
+      // Expand phase: work stealing over one shared rank-ordered work
+      // list.  Workers claim chunks through an atomic cursor, so a
+      // worker whose nodes expand quickly steals the slack of one whose
+      // nodes branch heavily — no per-shard idle time.  Determinism is
+      // untouched: the *set* of expanded nodes is fixed before the phase
+      // starts, every successor carries its canonical (parent rank,
+      // ordinal) key, the absorb phase re-sorts before any store
+      // mutation, and violation selection takes the round's lowest rank.
+      work_.clear();
+      for (Shard& s : shards_)
+        for (Node* n : s.round)
+          if (!n->stale && n->rank < cutoff) work_.push_back(n);
+      std::sort(work_.begin(), work_.end(),
+                [](const Node* a, const Node* b) { return a->rank < b->rank; });
+      const std::size_t chunk =
+          std::clamp<std::size_t>(work_.size() / (threads * 8), 1, 64);
+      std::atomic<std::size_t> cursor{0};
       gang.run([&](std::size_t w) {
-        Shard& shard = shards_[w];
+        Shard& mine = shards_[w];
         Expander& ex = expanders[w];
-        for (Node* n : shard.round) {
-          if (n->stale || n->rank >= cutoff) continue;
-          ++shard.explored;
-          try {
-            ex.expand(n);
-          } catch (FoundViolation& v) {
-            shard.violations.push_back(RoundViolation{std::move(v), n, n->rank});
-          } catch (...) {
-            shard.error = std::current_exception();
-            return;
+        while (true) {
+          const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+          if (begin >= work_.size()) return;
+          const std::size_t end = std::min(begin + chunk, work_.size());
+          for (std::size_t i = begin; i < end; ++i) {
+            Node* n = work_[i];
+            ++mine.explored;
+            try {
+              ex.expand(n);
+            } catch (FoundViolation& v) {
+              mine.violations.push_back(RoundViolation{std::move(v), n, n->rank});
+            } catch (...) {
+              mine.error = std::current_exception();
+              return;
+            }
+            // An expanded node's matrix is never read again (inclusion
+            // tests use the antichain's widened copy, counterexamples
+            // replay the recorded ops) — retire it to the pool.  The
+            // exact-equality oracle still needs it for deduplication.
+            if (opt_.subsumption) n->z = Zone(0);
           }
-          // An expanded node's matrix is never read again (inclusion
-          // tests use the antichain's widened copy, counterexamples
-          // replay the recorded ops) — retire it to the pool.  The
-          // exact-equality oracle still needs it for deduplication.
-          if (opt_.subsumption) n->z = Zone(0);
         }
-        shard.round.clear();
       });
+      for (Shard& s : shards_) s.round.clear();
       for (Shard& s : shards_)
         if (s.error) std::rethrow_exception(s.error);
       explored = 0;
@@ -1139,6 +1207,7 @@ VerifyResult Checker::run() {
     result.status = leftovers ? VerifyStatus::kOutOfBudget : VerifyStatus::kProved;
   }
   result.states_explored = explored;
+  result.threads_used = threads;
   for (const Shard& s : shards_) result.states_stored += s.nodes.size();
   for (const Expander& e : expanders) result.transitions += e.transitions();
   return result;

@@ -44,12 +44,20 @@ struct VerifyOptions {
   std::size_t max_states = 1'000'000;
   bool check_dwell_bound = true;  // Rule 1 / Theorem 1
   bool check_embedding = true;    // Rule 2 (p1–p3)
-  /// Worker shards for the round-synchronized parallel exploration;
-  /// 0 = hardware concurrency.  The result — verdict, counterexample,
-  /// state counts — is bit-identical for every thread count (successors
-  /// are ordered by a canonical (parent rank, branch ordinal) key before
-  /// any store mutation, and the round's lowest-ranked violation wins).
+  /// Worker threads for the parallel exploration; 0 = hardware
+  /// concurrency.  Workers steal frontier chunks from a shared
+  /// rank-ordered work list, but every store mutation commits through
+  /// the canonical (parent rank, branch ordinal) order and the round's
+  /// lowest-ranked violation wins — the result (verdict, counterexample,
+  /// state counts) is bit-identical for every thread count.
   std::size_t threads = 1;
+  /// Partial-order reduction (exact): free clocks the static analysis
+  /// proves unread before their next reset (collapsing interleavings
+  /// that differ only in dead-clock ages into one stored zone), and
+  /// explore only the ascending order of back-to-back adversary input
+  /// writes on Definition-2-independent automata.  Verdicts and
+  /// counterexamples are unchanged; stored/explored state counts shrink.
+  bool por = true;
   /// Use the antichain passed/waiting store: drop new zones subsumed by a
   /// visited zone of the same discrete state, evict visited zones the new
   /// zone subsumes.  `false` falls back to exact-equality deduplication —
@@ -114,6 +122,9 @@ struct VerifyResult {
   std::size_t states_explored = 0;
   std::size_t states_stored = 0;
   std::size_t transitions = 0;
+  /// Worker threads the exploration actually ran with (the resolved
+  /// value of VerifyOptions::threads — hardware concurrency when 0).
+  std::size_t threads_used = 0;
   std::optional<Counterexample> counterexample;
 
   std::string summary() const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "hybrid/independence.hpp"
 #include "util/require.hpp"
 #include "util/text.hpp"
 
@@ -336,6 +337,79 @@ CompiledModel compile_model(const VerifyInput& input, std::size_t max_in_flight)
                 util::cat("verify: stimulus root '", s.root,
                           "' is received by no automaton edge"));
     model.stimuli.push_back(CompiledModel::CompiledStimulus{s.automaton, id, s.root});
+  }
+
+  // -- partial-order-reduction tables ---------------------------------------
+  // dwell_free: a location's dwell clock is read only through its
+  // outgoing edges (timed-edge urgency, min_dwell guards); where neither
+  // exists the clock is dead until its reset on the next location entry.
+  model.por.dwell_free.resize(n_automata);
+  for (std::size_t a = 0; a < n_automata; ++a) {
+    const CompiledAutomaton& ca = model.automata[a];
+    auto& free_at = model.por.dwell_free[a];
+    free_at.assign(ca.locations.size(), 1);
+    for (std::size_t l = 0; l < ca.locations.size(); ++l) {
+      const CompiledLocation& loc = ca.locations[l];
+      if (!loc.timed_edges.empty()) {
+        free_at[l] = 0;
+        continue;
+      }
+      for (std::size_t ei : loc.condition_edges)
+        if (ca.edges[ei].min_dwell > 0.0) free_at[l] = 0;
+      for (std::size_t ei : loc.event_edges)
+        if (ca.edges[ei].min_dwell > 0.0) free_at[l] = 0;
+    }
+  }
+
+  // deadline_live: guards referencing deadline d are confined to the
+  // automaton owning the variable (guards only mention own variables),
+  // so liveness is a per-automaton backward fixpoint: live at l iff some
+  // outgoing edge reads d, or some outgoing edge not writing d leads to
+  // a live location.  Edge enabledness is ignored — conservative.
+  model.por.deadline_live.resize(model.deadlines.size());
+  for (std::size_t d = 0; d < model.deadlines.size(); ++d) {
+    const CompiledAutomaton& ca = model.automata[model.deadlines[d].automaton];
+    auto& live = model.por.deadline_live[d];
+    live.assign(ca.locations.size(), 0);
+    for (const CompiledEdge& e : ca.edges)
+      for (const ClockAtom& atom : e.atoms)
+        if (atom.deadline == d) live[e.src] = 1;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const CompiledEdge& e : ca.edges) {
+        if (live[e.src] || !live[e.dst]) continue;
+        bool writes = false;
+        for (const auto& [didx, offset] : e.deadline_sets)
+          if (didx == d) writes = true;
+        if (!writes) {
+          live[e.src] = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Definition-2 independence matrix over the source automata, and the
+  // derived commuting-toggle table.
+  model.por.automata_independent.assign(
+      n_automata, std::vector<std::uint8_t>(n_automata, 0));
+  for (std::size_t a = 0; a < n_automata; ++a) {
+    for (std::size_t b = a + 1; b < n_automata; ++b) {
+      const bool indep =
+          static_cast<bool>(hybrid::check_independent(input.automata[a], input.automata[b]));
+      model.por.automata_independent[a][b] = indep;
+      model.por.automata_independent[b][a] = indep;
+    }
+  }
+  const std::size_t n_toggles = model.toggles.size();
+  model.por.toggle_indep.assign(n_toggles, std::vector<std::uint8_t>(n_toggles, 0));
+  for (std::size_t i = 0; i < n_toggles; ++i) {
+    for (std::size_t j = 0; j < n_toggles; ++j) {
+      const std::size_t ai = model.inputs[model.toggles[i].input].automaton;
+      const std::size_t aj = model.inputs[model.toggles[j].input].automaton;
+      model.por.toggle_indep[i][j] = ai != aj && model.por.automata_independent[ai][aj];
+    }
   }
 
   model.max_constant = max_const + 1.0;

@@ -208,6 +208,35 @@ struct CompiledModel {
   double delivery_min = 0.0;
   double delivery_max = 0.5;
 
+  /// Compile-time partial-order-reduction tables (used when
+  /// VerifyOptions::por is on).  All of them are *conservative*: an
+  /// entry only permits a reduction when the static analysis proves it
+  /// cannot change any guard, invariant, or PTE-rule read.
+  struct PorInfo {
+    /// dwell_free[a][l]: automaton a's dwell clock is never read while
+    /// it sits in location l — no timed edges and no min_dwell guard on
+    /// any outgoing edge.  The checker frees the clock there (it is
+    /// reset on the next location entry anyway).
+    std::vector<std::vector<std::uint8_t>> dwell_free;
+    /// deadline_live[d][l]: deadline-age clock d may still be read
+    /// before its next set_now_plus write when its owning automaton is
+    /// at location l.  Backward reachability fixpoint over the owner's
+    /// edge graph (guards referencing a deadline are confined to the
+    /// automaton that owns the variable); where false, the checker
+    /// frees the age clock.
+    std::vector<std::vector<std::uint8_t>> deadline_live;
+    /// automata_independent[a][b]: the source automata satisfy
+    /// Definition 2 (disjoint data variables, locations, and event
+    /// roots — hybrid::check_independent).
+    std::vector<std::vector<std::uint8_t>> automata_independent;
+    /// toggle_indep[i][j]: adversary input writes i and j target
+    /// different, Definition-2-independent automata, so their
+    /// expansions commute; the checker explores only the ascending
+    /// order of back-to-back pure toggle pairs.
+    std::vector<std::vector<std::uint8_t>> toggle_indep;
+  };
+  PorInfo por;
+
   /// Largest constant any zone operation compares against (+1); the
   /// extrapolation parameter that makes the zone lattice finite.
   double max_constant = 0.0;

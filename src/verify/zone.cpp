@@ -7,6 +7,7 @@
 
 #include "util/require.hpp"
 #include "util/text.hpp"
+#include "verify/zone_kernels.hpp"
 
 namespace ptecps::verify {
 
@@ -145,7 +146,9 @@ PackedBound Zone::packed_at(std::size_t i, std::size_t j) const {
 
 void Zone::close() {
   // Floyd–Warshall shortest paths over the packed-bound semiring: the
-  // inner loop is add + clamp + min over contiguous words.
+  // inner loop is add + clamp + min over contiguous words, dispatched to
+  // the active (scalar or SIMD) kernel table.
+  const ZoneKernels& kk = active_zone_kernels();
   const std::size_t n = n_;
   PackedBound* d = dbm_;
   for (std::size_t k = 0; k < n; ++k) {
@@ -153,11 +156,7 @@ void Zone::close() {
     for (std::size_t i = 0; i < n; ++i) {
       const PackedBound d_ik = d[i * n + k];
       if (packed_is_inf(d_ik)) continue;
-      PackedBound* row_i = d + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const PackedBound via = packed_add(d_ik, row_k[j]);
-        if (via < row_i[j]) row_i[j] = via;
-      }
+      kk.min_plus_row(d + i * n, row_k, d_ik, n);
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
@@ -195,6 +194,7 @@ void Zone::constrain(std::size_t i, std::size_t j, PackedBound w) {
   if (w >= m(i, j)) return;  // no tightening
   m(i, j) = w;
   // Incremental closure: only paths through (i, j) can improve.
+  const ZoneKernels& kk = active_zone_kernels();
   const std::size_t n = n_;
   PackedBound* d = dbm_;
   const PackedBound* row_j = d + j * n;
@@ -202,11 +202,7 @@ void Zone::constrain(std::size_t i, std::size_t j, PackedBound w) {
     const PackedBound d_ai = d[a * n + i];
     if (packed_is_inf(d_ai)) continue;
     const PackedBound through = packed_add(d_ai, w);
-    PackedBound* row_a = d + a * n;
-    for (std::size_t c = 0; c < n; ++c) {
-      const PackedBound via = packed_add(through, row_j[c]);
-      if (via < row_a[c]) row_a[c] = via;
-    }
+    kk.min_plus_row(d + a * n, row_j, through, n);
   }
   for (std::size_t a = 0; a < n; ++a) {
     if (d[a * n + a] < kPackedLe0) {
@@ -281,10 +277,7 @@ bool Zone::subset_of(const Zone& other) const {
   if (empty_) return true;
   if (other.empty_) return false;
   const std::size_t total = static_cast<std::size_t>(n_) * n_;
-  for (std::size_t idx = 0; idx < total; ++idx) {
-    if (dbm_[idx] > other.dbm_[idx]) return false;
-  }
-  return true;
+  return active_zone_kernels().leq_all(dbm_, other.dbm_, total);
 }
 
 void Zone::intersect(const Zone& other) {
@@ -295,8 +288,7 @@ void Zone::intersect(const Zone& other) {
     return;
   }
   const std::size_t total = static_cast<std::size_t>(n_) * n_;
-  for (std::size_t idx = 0; idx < total; ++idx)
-    dbm_[idx] = packed_min(dbm_[idx], other.dbm_[idx]);
+  active_zone_kernels().min_inplace(dbm_, other.dbm_, total);
   close();
 }
 
@@ -374,23 +366,20 @@ std::int64_t Zone::signature() const {
   // Entry words are < 2^62; >> 16 keeps the sum of up to 2^16 entries
   // below 2^62.  Arithmetic shift is monotone, so pointwise <= (zone
   // inclusion of non-empty canonical zones) implies signature <=.
-  std::int64_t sig = 0;
   const std::size_t total = static_cast<std::size_t>(n_) * n_;
-  for (std::size_t idx = 0; idx < total; ++idx) sig += dbm_[idx] >> 16;
-  return sig;
+  return active_zone_kernels().shift_sum(dbm_, total, 16);
 }
 
 std::int64_t Zone::lower_signature() const {
-  std::int64_t sig = 0;
-  for (std::size_t j = 0; j < n_; ++j) sig += dbm_[j] >> 8;
-  return sig;
+  return active_zone_kernels().shift_sum(dbm_, n_, 8);
 }
 
 Zone::SigPair Zone::signatures() const {
   SigPair p;
+  const ZoneKernels& kk = active_zone_kernels();
   const std::size_t total = static_cast<std::size_t>(n_) * n_;
-  for (std::size_t idx = 0; idx < total; ++idx) p.sig += dbm_[idx] >> 16;
-  for (std::size_t j = 0; j < n_; ++j) p.lower += dbm_[j] >> 8;
+  p.sig = kk.shift_sum(dbm_, total, 16);
+  p.lower = kk.shift_sum(dbm_, n_, 8);
   return p;
 }
 

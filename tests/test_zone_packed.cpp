@@ -8,10 +8,18 @@
 //    randomized small timed models are cross-checked against the naive
 //    exact-equality store (VerifyOptions::subsumption = false), and both
 //    must agree on the verdict;
-//  * parallel exploration is bit-identical across thread counts.
+//  * the AVX2 kernel table computes bit-identical results to the scalar
+//    reference, both on raw randomized packed matrices and through a full
+//    verification run;
+//  * partial-order reduction preserves verdicts and counterexamples on
+//    randomized models while never storing more states;
+//  * parallel exploration is bit-identical across thread counts, and
+//    threads = 0 resolves to hardware concurrency.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "campaign/scenario.hpp"
 #include "core/config.hpp"
@@ -21,6 +29,7 @@
 #include "verify/model.hpp"
 #include "verify/replay.hpp"
 #include "verify/zone.hpp"
+#include "verify/zone_kernels.hpp"
 
 namespace ptecps::verify {
 namespace {
@@ -154,6 +163,53 @@ TEST(ZoneWiden, RepresentsTheExtrapolatedSet) {
 }
 
 // ---------------------------------------------------------------------------
+// SIMD kernels vs. the scalar reference
+// ---------------------------------------------------------------------------
+
+TEST(ZoneKernels, Avx2MatchesScalarOnRandomMatrices) {
+  const ZoneKernels* simd = avx2_zone_kernels();
+  if (simd == nullptr) GTEST_SKIP() << "no AVX2 on this CPU/build";
+  const ZoneKernels& scalar = scalar_zone_kernels();
+  sim::Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Lengths 1..41 cover every vector/tail split (4 lanes per iteration).
+    const std::size_t n = 1 + rng.uniform_int(41);
+    std::vector<std::int64_t> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = pack(random_bound(rng));
+      b[i] = pack(random_bound(rng));
+    }
+    Bound d;
+    do d = random_bound(rng);
+    while (d.is_inf());  // min_plus_row's contract: d_ik finite
+    const PackedBound d_ik = pack(d);
+
+    std::vector<std::int64_t> s_row = a, v_row = a;
+    scalar.min_plus_row(s_row.data(), b.data(), d_ik, n);
+    simd->min_plus_row(v_row.data(), b.data(), d_ik, n);
+    EXPECT_EQ(s_row, v_row) << "min_plus_row, n=" << n;
+
+    // The aliased call close() makes for row i == row k.
+    std::vector<std::int64_t> s_alias = a, v_alias = a;
+    scalar.min_plus_row(s_alias.data(), s_alias.data(), d_ik, n);
+    simd->min_plus_row(v_alias.data(), v_alias.data(), d_ik, n);
+    EXPECT_EQ(s_alias, v_alias) << "aliased min_plus_row, n=" << n;
+
+    EXPECT_EQ(scalar.leq_all(a.data(), b.data(), n),
+              simd->leq_all(a.data(), b.data(), n));
+    EXPECT_TRUE(simd->leq_all(a.data(), a.data(), n));
+
+    std::vector<std::int64_t> s_min = a, v_min = a;
+    scalar.min_inplace(s_min.data(), b.data(), n);
+    simd->min_inplace(v_min.data(), b.data(), n);
+    EXPECT_EQ(s_min, v_min) << "min_inplace, n=" << n;
+
+    EXPECT_EQ(scalar.shift_sum(a.data(), n, 16), simd->shift_sum(a.data(), n, 16));
+    EXPECT_EQ(scalar.shift_sum(a.data(), n, 8), simd->shift_sum(a.data(), n, 8));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Subsumption store vs. the exact-equality oracle on random timed models
 // ---------------------------------------------------------------------------
 
@@ -221,6 +277,69 @@ std::string fingerprint(const VerifyResult& r) {
   return fp;
 }
 
+TEST(ZoneKernels, FullVerificationIsBitIdenticalAcrossArms) {
+  const ZoneKernels* simd = avx2_zone_kernels();
+  if (simd == nullptr) GTEST_SKIP() << "no AVX2 on this CPU/build";
+  sim::Rng rng(9);
+  for (int trial = 0; trial < 4; ++trial) {
+    const campaign::ScenarioSpec spec = random_model(rng, trial % 2 == 1);
+    const CompiledModel model = compile_model(spec.verify_input());
+    VerifyOptions opt;
+    opt.max_losses = 1;
+    opt.max_injections = 1;
+    opt.max_states = 400'000;
+    set_zone_kernels_for_test(&scalar_zone_kernels());
+    const VerifyResult scalar_run = verify_pte(model, opt);
+    set_zone_kernels_for_test(simd);
+    const VerifyResult simd_run = verify_pte(model, opt);
+    set_zone_kernels_for_test(nullptr);
+    // Same verdict, same counterexample, same state counts — the dispatch
+    // arm must be unobservable in the result.
+    EXPECT_EQ(fingerprint(scalar_run), fingerprint(simd_run)) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partial-order reduction vs. the full interleaving exploration
+// ---------------------------------------------------------------------------
+
+TEST(PartialOrderReduction, PreservesVerdictsOnRandomModels) {
+  sim::Rng rng(8);
+  int violations_seen = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const campaign::ScenarioSpec spec = random_model(rng, trial % 2 == 1);
+    const CompiledModel model = compile_model(spec.verify_input());
+
+    VerifyOptions reduced_opt;
+    reduced_opt.max_losses = 1;
+    reduced_opt.max_injections = 1;
+    reduced_opt.max_states = 400'000;
+    VerifyOptions full_opt = reduced_opt;
+    full_opt.por = false;
+
+    const VerifyResult reduced = verify_pte(model, reduced_opt);
+    const VerifyResult full = verify_pte(model, full_opt);
+    ASSERT_NE(full.status, VerifyStatus::kOutOfBudget) << full.summary();
+    ASSERT_NE(reduced.status, VerifyStatus::kOutOfBudget) << reduced.summary();
+    // The property: the reduction is exact — same verdict with and
+    // without it, and it only ever prunes.
+    EXPECT_EQ(reduced.status, full.status)
+        << "por: " << reduced.summary() << "\nfull: " << full.summary();
+    EXPECT_LE(reduced.states_stored, full.states_stored);
+    if (reduced.status == VerifyStatus::kViolation) {
+      ++violations_seen;
+      ASSERT_TRUE(reduced.counterexample.has_value());
+      EXPECT_EQ(reduced.counterexample->kind, full.counterexample->kind);
+      // The reduced run's counterexample still concretizes to a replayable
+      // concrete schedule (POR must not free a clock the trace reads).
+      const ReplayResult replay =
+          replay_counterexample(spec.verify_input(), *reduced.counterexample);
+      EXPECT_TRUE(replay.reproduced) << reduced.counterexample->str();
+    }
+  }
+  EXPECT_GE(violations_seen, 1);
+}
+
 TEST(ParallelChecker, BitIdenticalAcrossThreadCounts) {
   for (const bool broken : {false, true}) {
     campaign::ScenarioSpec spec;
@@ -267,6 +386,27 @@ TEST(ParallelChecker, BudgetCutoffIsDeterministicAcrossThreads) {
     else
       EXPECT_EQ(fingerprint(r), reference);
   }
+}
+
+TEST(ParallelChecker, ZeroThreadsResolvesToHardwareConcurrency) {
+  campaign::ScenarioSpec spec;
+  spec.name = "laser";
+  spec.config = core::PatternConfig::laser_tracheotomy();
+  spec.mode = campaign::RunMode::kVerify;
+  const CompiledModel model = compile_model(spec.verify_input());
+  VerifyOptions opt;
+  opt.max_losses = 1;
+  opt.max_injections = 1;
+  opt.threads = 0;
+  const VerifyResult r = verify_pte(model, opt);
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  EXPECT_EQ(r.threads_used, hw);
+  // Resolution changes nothing but the worker count: same fingerprint as
+  // an explicit single-thread run.
+  opt.threads = 1;
+  const VerifyResult one = verify_pte(model, opt);
+  EXPECT_EQ(one.threads_used, 1u);
+  EXPECT_EQ(fingerprint(r), fingerprint(one));
 }
 
 }  // namespace

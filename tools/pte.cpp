@@ -61,6 +61,7 @@ constexpr const char* kUsage =
     "\n"
     "<ref>: a registry name (`pte list`) or a scenario .json file path.\n"
     "common options: --seeds N --seed-base S --threads N --verify-threads N\n"
+    "  (prover threads; scenarios default to 0 = hardware concurrency)\n"
     "  --losses K --injections K --states N (budget caps) --smoke --expect V\n";
 
 int usage_error(const std::string& message) {
