@@ -1,0 +1,188 @@
+// Cost model of the content-addressed result cache (api/cache.hpp):
+// the same proof cold, answered from the store, and warm-resumed from
+// an out-of-budget frontier.  Writes BENCH_cache.json recording the
+// three regimes so the speedups are visible in-repo.
+//
+// The acceptance bar (exit status, not just numbers in the JSON):
+//   - the hit reproduces the cold verdict/state-counts/counterexample
+//     bit for bit and lands >= --min-speedup faster (default 100x);
+//   - the warm resume reproduces the cold result bit for bit while
+//     performing strictly less fresh exploration than the cold run
+//     (the frontier's states are not re-expanded).
+//
+// Usage: bench_cache [--scenario laser-tracheotomy] [--small-states 2000]
+//                    [--min-speedup 100] [--skip-json]
+// CI runs the cheap variant:
+//   bench_cache --scenario three-entity-chain --small-states 200 --min-speedup 2
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "api/service.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/text.hpp"
+
+namespace fs = std::filesystem;
+using namespace ptecps;
+
+namespace {
+
+struct TimedResult {
+  api::JobResult result;
+  double seconds = 0.0;
+};
+
+TimedResult timed_run(const api::Service& service, const api::Job& job) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TimedResult t;
+  t.result = service.run(job);
+  t.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return t;
+}
+
+/// Everything that must be bit-identical across cold / hit / resume:
+/// verdict, state counts, and the counterexample's canonical bytes.
+std::string fingerprint(const api::JobResult& r) {
+  std::string out = r.verdict;
+  if (!r.report.has_value()) return out;
+  for (const campaign::ScenarioOutcome& s : r.report->scenarios) {
+    if (!s.verification.has_value()) continue;
+    const campaign::VerificationOutcome& v = *s.verification;
+    out += util::cat(";", s.name, ":", verify::verify_status_str(v.status), ",",
+                     v.states_explored, ",", v.states_stored, ",", v.transitions);
+    if (v.counterexample.has_value())
+      out += ";" + v.counterexample->to_json().dump_canonical();
+  }
+  return out;
+}
+
+const campaign::VerificationOutcome* verification(const api::JobResult& r) {
+  if (!r.report.has_value()) return nullptr;
+  for (const campaign::ScenarioOutcome& s : r.report->scenarios)
+    if (s.verification.has_value()) return &*s.verification;
+  return nullptr;
+}
+
+std::string fresh_dir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / util::cat("ptecps-bench-cache-", name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+api::Service cached_service(const std::string& dir) {
+  api::ServiceOptions options;
+  options.cache_dir = dir;
+  return api::Service(options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv,
+                       {"min-speedup", "scenario", "skip-json", "small-states"});
+  const std::string scenario = args.get_string("scenario", "laser-tracheotomy");
+  const std::size_t small_states =
+      static_cast<std::size_t>(args.get_int("small-states", 2000));
+  const double min_speedup = args.get_double("min-speedup", 100.0);
+
+  api::Job job = api::Job::for_scenario(scenario);
+  job.mode = campaign::RunMode::kVerify;  // prover only: deterministic work
+  job.cross_validate = false;
+
+  std::printf("=== result-cache cost model: %s ===\n\n", scenario.c_str());
+  bool ok = true;
+
+  // 1. Cold vs hit: the full proof, then the same job answered from the
+  //    store (one file read + parse, no exploration).
+  const std::string hit_dir = fresh_dir("hit");
+  const api::Service service = cached_service(hit_dir);
+  const TimedResult cold = timed_run(service, job);
+  const campaign::VerificationOutcome* cold_v = verification(cold.result);
+  if (cold.result.cache.misses != 1 || cold_v == nullptr) {
+    std::fprintf(stderr, "bench_cache: cold run did not verify-and-miss (%s)\n",
+                 cold.result.verdict.c_str());
+    return 2;
+  }
+  const TimedResult hit = timed_run(service, job);
+  const bool hit_identical =
+      hit.result.cache.hits == 1 && fingerprint(hit.result) == fingerprint(cold.result);
+  const double speedup = cold.seconds / hit.seconds;
+  ok = ok && hit_identical && speedup >= min_speedup;
+  std::printf("cold:  %8.4f s  %s, %zu states explored\n", cold.seconds,
+              cold.result.verdict.c_str(), cold_v->states_explored);
+  std::printf("hit:   %8.4f s  %.0fx faster, result %s\n", hit.seconds, speedup,
+              hit_identical ? "bit-identical" : "DIVERGED");
+  if (speedup < min_speedup)
+    std::fprintf(stderr, "bench_cache: hit speedup %.1fx below the %.1fx bar\n", speedup,
+                 min_speedup);
+
+  // 2. Warm resume: a deliberately starved run parks its frontier, and
+  //    the full-budget rerun picks the search up from there instead of
+  //    re-expanding the explored prefix.
+  const std::string resume_dir = fresh_dir("resume");
+  const api::Service resumable = cached_service(resume_dir);
+  api::Job starved = job;
+  starved.tuning.max_states = small_states;
+  const TimedResult oob = timed_run(resumable, starved);
+  const campaign::VerificationOutcome* oob_v = verification(oob.result);
+  if (oob.result.verdict != "out-of-budget" || oob_v == nullptr) {
+    std::fprintf(stderr,
+                 "bench_cache: --small-states %zu did not exhaust the budget (%s); "
+                 "pick a value below the proof's %zu explored states\n",
+                 small_states, oob.result.verdict.c_str(), cold_v->states_explored);
+    return 2;
+  }
+  const TimedResult warm = timed_run(resumable, job);
+  const campaign::VerificationOutcome* warm_v = verification(warm.result);
+  const bool resumed = warm.result.cache.resumes == 1 && warm_v != nullptr;
+  const bool warm_identical =
+      resumed && fingerprint(warm.result) == fingerprint(cold.result);
+  const std::size_t fresh_states =
+      resumed ? warm_v->states_explored - oob_v->states_explored : 0;
+  const bool less_work = resumed && fresh_states < cold_v->states_explored;
+  ok = ok && warm_identical && less_work;
+  std::printf("oob:   %8.4f s  frontier parked at %zu states\n", oob.seconds,
+              oob_v->states_explored);
+  std::printf("warm:  %8.4f s  %zu fresh states (cold explored %zu), result %s\n",
+              warm.seconds, fresh_states, cold_v->states_explored,
+              warm_identical ? "bit-identical" : (resumed ? "DIVERGED" : "NOT RESUMED"));
+
+  fs::remove_all(hit_dir);
+  fs::remove_all(resume_dir);
+
+  if (!args.has_flag("skip-json")) {
+    util::Json doc = util::Json::object();
+    doc.set("scenario", scenario);
+    util::Json cold_j = util::Json::object();
+    cold_j.set("seconds", cold.seconds);
+    cold_j.set("verdict", cold.result.verdict);
+    cold_j.set("states_explored", cold_v->states_explored);
+    doc.set("cold", std::move(cold_j));
+    util::Json hit_j = util::Json::object();
+    hit_j.set("seconds", hit.seconds);
+    hit_j.set("speedup_x", speedup);
+    hit_j.set("min_speedup_x", min_speedup);
+    hit_j.set("identical_result", hit_identical);
+    doc.set("hit", std::move(hit_j));
+    util::Json warm_j = util::Json::object();
+    warm_j.set("checkpoint_states", oob_v->states_explored);
+    warm_j.set("seconds", warm.seconds);
+    warm_j.set("fresh_states", fresh_states);
+    warm_j.set("cold_states", cold_v->states_explored);
+    warm_j.set("identical_result", warm_identical);
+    doc.set("resume", std::move(warm_j));
+    std::FILE* f = std::fopen("BENCH_cache.json", "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write BENCH_cache.json\n");
+      return 2;
+    }
+    std::fputs(doc.dump(2).c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_cache.json (hit %.0fx, resume skipped %zu of %zu states)\n",
+                speedup, oob_v->states_explored, cold_v->states_explored);
+  }
+  return ok ? 0 : 1;
+}

@@ -37,6 +37,14 @@ scenarios::RegistryTuning tuning_from_json(const Json& j, const std::string& con
   return t;
 }
 
+Json cache_to_json(const CacheCounters& c) {
+  Json out = Json::object();
+  out.set("hits", c.hits);
+  out.set("misses", c.misses);
+  out.set("resumes", c.resumes);
+  return out;
+}
+
 }  // namespace
 
 Job Job::for_scenario(std::string registry_name) {
@@ -136,10 +144,65 @@ Json JobResult::to_json() const {
     out.set("cross_validation", std::move(checks));
   }
   if (report.has_value()) out.set("campaign", report->to_json());
+  if (cache.enabled) out.set("cache", cache_to_json(cache));
   Json error_list = Json::array();
   for (const std::string& e : errors) error_list.push_back(e);
   out.set("errors", std::move(error_list));
   return out;
+}
+
+JobResult JobResult::from_json(const Json& j) {
+  JsonReader r(j, "job-result");
+  const std::uint64_t version =
+      r.uinteger("version", static_cast<std::uint64_t>(kApiVersion));
+  if (version != static_cast<std::uint64_t>(kApiVersion))
+    r.fail("version", util::cat("unsupported API version ", version));
+  JobResult result;
+  result.ok = r.boolean("ok", false);
+  result.scenario = r.string("scenario", "");
+  result.verdict = r.string("verdict", "");
+  // to_json folds proof_status into the verdict string; recover it.
+  for (const verify::VerifyStatus s :
+       {verify::VerifyStatus::kProved, verify::VerifyStatus::kViolation,
+        verify::VerifyStatus::kOutOfBudget}) {
+    if (result.verdict == verify::verify_status_str(s)) result.proof_status = s;
+  }
+  const std::string expected = r.string("expected", "");
+  if (!expected.empty()) {
+    result.expected = scenarios::verify_status_from_str(expected);
+    if (!result.expected.has_value())
+      r.fail("expected", util::cat("unknown verdict \"", expected, "\""));
+  }
+  result.expected_match = r.boolean("expected_match", true);
+  if (const Json* checks = r.optional("cross_validation")) {
+    scenarios::CrossValidationReport xval;
+    for (const Json& one : checks->as_array()) {
+      JsonReader cr(one, "job-result.cross_validation");
+      scenarios::CrossCheck check;
+      check.has_verification = true;
+      check.scenario = cr.string("scenario", "");
+      const std::string status = cr.string("status", "");
+      check.status = scenarios::verify_status_from_str(status).value_or(
+          verify::VerifyStatus::kOutOfBudget);
+      check.violating_runs = cr.uinteger("violating_runs", 0);
+      check.sampled_violations = cr.uinteger("sampled_violations", 0);
+      check.consistent = cr.boolean("consistent", true);
+      check.detail = cr.string("detail", "");
+      cr.finish();
+      xval.checks.push_back(std::move(check));
+    }
+    result.crossval = std::move(xval);
+  }
+  if (const Json* campaign = r.optional("campaign"))
+    result.report = campaign::CampaignReport::from_json(*campaign);
+  if (const Json* errs = r.optional("errors")) {
+    for (const Json& e : errs->as_array()) result.errors.push_back(e.as_string());
+  }
+  // Counters describe the call that produced the entry, not this one;
+  // consume and discard.
+  r.optional("cache");
+  r.finish();
+  return result;
 }
 
 Json MatrixResult::to_json() const {
@@ -159,6 +222,7 @@ Json MatrixResult::to_json() const {
   }
   out.set("rows", std::move(row_list));
   if (report.has_value()) out.set("campaign", report->to_json());
+  if (cache.enabled) out.set("cache", cache_to_json(cache));
   Json error_list = Json::array();
   for (const std::string& e : errors) error_list.push_back(e);
   out.set("errors", std::move(error_list));

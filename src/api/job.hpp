@@ -64,6 +64,17 @@ struct Job {
   util::Json to_json() const;
 };
 
+/// Result-cache accounting for one Service call (api/cache.hpp);
+/// serialized under "cache" only when a cache was configured, so
+/// cache-less output is byte-stable across the feature.
+struct CacheCounters {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  /// Verifications that warm-resumed from a stored checkpoint.
+  std::size_t resumes = 0;
+  bool enabled = false;
+};
+
 struct JobResult {
   bool ok = false;
   /// Resolved scenario name ("" when resolution itself failed).
@@ -81,8 +92,14 @@ struct JobResult {
   std::optional<campaign::CampaignReport> report;
   std::optional<scenarios::CrossValidationReport> crossval;
   std::vector<std::string> errors;
+  CacheCounters cache;
 
   util::Json to_json() const;
+  /// Inverse of to_json (strict; util::JsonError on unknown keys) — how
+  /// the result cache rebuilds a stored JobResult.  proof_status rides
+  /// in the verdict string; campaign detail round-trips through
+  /// campaign::CampaignReport::from_json.
+  static JobResult from_json(const util::Json& j);
 };
 
 /// One row of a matrix run: a job's verdict against its expectation.
@@ -102,6 +119,7 @@ struct MatrixResult {
   std::optional<campaign::CampaignReport> report;
   std::optional<scenarios::CrossValidationReport> crossval;
   std::vector<std::string> errors;
+  CacheCounters cache;
 
   util::Json to_json() const;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <utility>
 
 #include "util/require.hpp"
 #include "util/text.hpp"
@@ -36,28 +37,118 @@ scenarios::ScenarioParams resolved_params(const Job& job,
   return params;
 }
 
+/// Re-derive the expectation-dependent half of a JobResult.  The
+/// asserted expectation is deliberately NOT part of the cache key, so a
+/// cache hit recomputes it against the job at hand; the cold path uses
+/// the same function so both agree by construction.  An asserted
+/// expectation is about the PROVER's verdict: when the prover never ran
+/// (Monte-Carlo-only job), the assertion is unmet, not vacuously true.
+void finalize_verdict(JobResult& result, const std::optional<verify::VerifyStatus>& expected) {
+  result.expected = expected;
+  result.expected_match =
+      !expected.has_value() ||
+      (result.proof_status.has_value() && *expected == *result.proof_status);
+  result.ok = result.report.has_value() && result.report->ok() && result.expected_match &&
+              (!result.crossval.has_value() || result.crossval->ok());
+}
+
+/// A job's answer carved out of a matrix campaign, in the exact shape
+/// Service::run would have produced solo — what run_matrix stores per
+/// miss.  Campaign-level wall numbers stand in for the would-be solo
+/// run's: timing is metadata, not part of the cached contract.
+JobResult single_scenario_result(const campaign::ScenarioOutcome& outcome,
+                                 const campaign::CampaignReport& fresh,
+                                 const std::optional<scenarios::CrossCheck>& check) {
+  JobResult single;
+  single.scenario = outcome.name;
+  campaign::CampaignReport sub;
+  sub.threads = fresh.threads;
+  sub.wall_seconds = fresh.wall_seconds;
+  sub.runs_per_second = fresh.runs_per_second;
+  sub.total_runs = outcome.runs.size();
+  sub.total_violations = outcome.total_violations;
+  sub.censored_sessions = outcome.censored_sessions;
+  if (outcome.verification.has_value()) {
+    single.proof_status = outcome.verification->status;
+    single.verdict = verify::verify_status_str(*single.proof_status);
+    if (*single.proof_status == verify::VerifyStatus::kProved) sub.specs_proved = 1;
+    if (outcome.verification->counterexample.has_value()) sub.specs_with_counterexample = 1;
+  } else {
+    single.verdict = outcome.total_violations > 0 ? "sampled-violations" : "sampled-clean";
+  }
+  sub.scenarios.push_back(outcome);
+  single.report = std::move(sub);
+  if (check.has_value()) {
+    scenarios::CrossValidationReport xval;
+    xval.checks.push_back(*check);
+    single.crossval = std::move(xval);
+  }
+  finalize_verdict(single, std::nullopt);
+  return single;
+}
+
 }  // namespace
 
-Service::Service(ServiceOptions options) : options_(options) {}
+Service::Service(ServiceOptions options) : options_(std::move(options)) {
+  if (!options_.cache_dir.empty()) {
+    ResultCache::Options copt;
+    copt.dir = options_.cache_dir;
+    copt.max_bytes = options_.cache_max_bytes;
+    cache_ = std::make_unique<ResultCache>(std::move(copt));
+  }
+}
 
 JobResult Service::run(const Job& job) const {
   JobResult result;
   result.verdict = "error";
+  result.cache.enabled = cache_ != nullptr;
 
   scenarios::ScenarioDocument doc;
+  scenarios::ScenarioParams params;
   campaign::ScenarioSpec spec;
+  std::optional<verify::VerifyStatus> expected;
   try {
     doc = resolve(job);
     result.scenario = doc.params.name;
-    result.expected = job.expected.has_value() ? job.expected : doc.expected;
-    spec = scenarios::build(resolved_params(job, doc));
+    expected = job.expected.has_value() ? job.expected : doc.expected;
+    result.expected = expected;
+    params = resolved_params(job, doc);
+    spec = scenarios::build(params);
   } catch (const std::exception& e) {
     result.errors.push_back(e.what());
     return result;
   }
 
+  std::string result_key;
+  if (cache_ != nullptr) {
+    result_key = cache_->result_key(params, job.cross_validate);
+    if (std::optional<util::Json> stored = cache_->load_result(result_key)) {
+      try {
+        JobResult hit = JobResult::from_json(*stored);
+        hit.cache.enabled = true;
+        hit.cache.hits = 1;
+        finalize_verdict(hit, expected);
+        return hit;
+      } catch (const std::exception&) {
+        // Corrupt entry: fall through to a cold run, which overwrites it.
+      }
+    }
+    result.cache.misses = 1;
+  }
+
   campaign::CampaignOptions options;
   options.threads = job.threads > 0 ? job.threads : options_.default_threads;
+  verify::Checkpoint resume_ck;
+  verify::Checkpoint capture_ck;
+  std::string checkpoint_key;
+  if (cache_ != nullptr && params.mode != campaign::RunMode::kMonteCarlo) {
+    checkpoint_key = cache_->checkpoint_key(params);
+    if (std::optional<verify::Checkpoint> ck = cache_->load_checkpoint(checkpoint_key)) {
+      resume_ck = std::move(*ck);
+      options.resume.push_back(&resume_ck);
+    }
+    options.capture.push_back(&capture_ck);
+  }
   try {
     result.report = campaign::CampaignRunner(options).run(spec);
   } catch (const std::exception& e) {
@@ -70,40 +161,67 @@ JobResult Service::run(const Job& job) const {
   if (outcome.verification.has_value()) {
     result.proof_status = outcome.verification->status;
     result.verdict = verify::verify_status_str(*result.proof_status);
+    if (outcome.verification->resumed) result.cache.resumes = 1;
   } else {
     result.verdict = outcome.total_violations > 0 ? "sampled-violations" : "sampled-clean";
   }
   if (job.cross_validate) result.crossval = scenarios::cross_validate(report);
-  // An asserted expectation is about the PROVER's verdict: when the
-  // prover never ran (Monte-Carlo-only job), the assertion is unmet, not
-  // vacuously true — same rule run_matrix applies per row.
-  if (result.expected.has_value())
-    result.expected_match =
-        result.proof_status.has_value() && *result.expected == *result.proof_status;
+  finalize_verdict(result, expected);
 
-  result.ok = report.ok() && result.expected_match &&
-              (!result.crossval.has_value() || result.crossval->ok());
+  if (cache_ != nullptr) {
+    if (!capture_ck.empty()) cache_->store_checkpoint(checkpoint_key, capture_ck);
+    // Only clean outcomes are worth remembering (an error or a crashed
+    // run is not a deterministic fact about the scenario); kOutOfBudget
+    // IS deterministic and cacheable — with its frontier stored above.
+    if (result.errors.empty() && report.failed_runs == 0 && report.errors.empty()) {
+      JobResult to_store = result;
+      to_store.cache = CacheCounters{};  // no "cache" key in the stored form
+      cache_->store_result(result_key, to_store.scenario, to_store.to_json());
+    }
+  }
   return result;
 }
 
 MatrixResult Service::run_matrix(const std::vector<Job>& jobs) const {
   MatrixResult result;
+  result.cache.enabled = cache_ != nullptr;
   if (jobs.empty()) {
     result.errors.push_back("matrix needs at least one job");
     return result;
   }
 
-  std::vector<campaign::ScenarioSpec> specs;
-  std::vector<std::optional<verify::VerifyStatus>> expectations;
-  std::vector<bool> cross_validated;
+  struct PreparedJob {
+    std::optional<verify::VerifyStatus> expected;
+    bool cross_validate = true;
+    scenarios::ScenarioParams params;
+    campaign::ScenarioSpec spec;
+    std::string result_key;
+    std::optional<JobResult> hit;
+  };
+  std::vector<PreparedJob> prep;
   std::size_t threads = options_.default_threads;
-  specs.reserve(jobs.size());
+  prep.reserve(jobs.size());
   for (const Job& job : jobs) {
     try {
+      PreparedJob p;
       const scenarios::ScenarioDocument doc = resolve(job);
-      expectations.push_back(job.expected.has_value() ? job.expected : doc.expected);
-      cross_validated.push_back(job.cross_validate);
-      specs.push_back(scenarios::build(resolved_params(job, doc)));
+      p.expected = job.expected.has_value() ? job.expected : doc.expected;
+      p.cross_validate = job.cross_validate;
+      p.params = resolved_params(job, doc);
+      p.spec = scenarios::build(p.params);
+      if (cache_ != nullptr) {
+        p.result_key = cache_->result_key(p.params, p.cross_validate);
+        if (std::optional<util::Json> stored = cache_->load_result(p.result_key)) {
+          try {
+            JobResult hit = JobResult::from_json(*stored);
+            if (hit.report.has_value() && !hit.report->scenarios.empty())
+              p.hit = std::move(hit);
+          } catch (const std::exception&) {
+            // Corrupt entry: treat as a miss.
+          }
+        }
+      }
+      prep.push_back(std::move(p));
     } catch (const std::exception& e) {
       result.errors.push_back(e.what());
       return result;
@@ -111,42 +229,132 @@ MatrixResult Service::run_matrix(const std::vector<Job>& jobs) const {
     threads = std::max(threads, job.threads);
   }
 
+  // Hits are answered from storage; the misses run as ONE campaign.
+  // Sound because per-scenario outcomes are independent of how a
+  // campaign is split — each run derives everything from its own seed
+  // and each spec is verified in isolation.
+  std::vector<std::size_t> miss;  // prep index per campaign slot
+  std::vector<campaign::ScenarioSpec> specs;
+  for (std::size_t i = 0; i < prep.size(); ++i) {
+    if (prep[i].hit.has_value()) {
+      ++result.cache.hits;
+      continue;
+    }
+    miss.push_back(i);
+    specs.push_back(prep[i].spec);
+  }
+  result.cache.misses = miss.size();
+
   campaign::CampaignOptions options;
   options.threads = threads;
-  campaign::CampaignReport report;
-  try {
-    report = campaign::CampaignRunner(options).run(specs);
-  } catch (const std::exception& e) {
-    result.errors.push_back(e.what());
-    return result;
+  std::vector<verify::Checkpoint> resumes(miss.size());
+  std::vector<verify::Checkpoint> captures(miss.size());
+  if (cache_ != nullptr && !miss.empty()) {
+    options.resume.assign(miss.size(), nullptr);
+    options.capture.assign(miss.size(), nullptr);
+    for (std::size_t j = 0; j < miss.size(); ++j) {
+      const PreparedJob& p = prep[miss[j]];
+      if (p.params.mode == campaign::RunMode::kMonteCarlo) continue;
+      if (std::optional<verify::Checkpoint> ck =
+              cache_->load_checkpoint(cache_->checkpoint_key(p.params))) {
+        resumes[j] = std::move(*ck);
+        options.resume[j] = &resumes[j];
+      }
+      options.capture[j] = &captures[j];
+    }
   }
-  const scenarios::CrossValidationReport crossval = scenarios::cross_validate(report);
 
-  // crossval.checks lists the verification-bearing scenarios in report
-  // order; walk both with a cursor so duplicate names stay paired.  A
-  // job that opted out of cross-validation keeps its row's consistency
-  // out of the overall verdict (Job::cross_validate is honored on both
-  // Service entry points).
-  std::size_t check_cursor = 0;
+  campaign::CampaignReport fresh;
+  fresh.threads = threads > 0 ? threads : 1;
+  if (!specs.empty()) {
+    try {
+      fresh = campaign::CampaignRunner(options).run(specs);
+    } catch (const std::exception& e) {
+      result.errors.push_back(e.what());
+      return result;
+    }
+  }
+  const scenarios::CrossValidationReport fresh_xval =
+      specs.empty() ? scenarios::CrossValidationReport{} : scenarios::cross_validate(fresh);
+
+  // Merge back into one report + row list in job order.
+  campaign::CampaignReport merged;
+  merged.threads = fresh.threads;
+  merged.wall_seconds = fresh.wall_seconds;
+  merged.runs_per_second = fresh.runs_per_second;
+  merged.errors = fresh.errors;
+  scenarios::CrossValidationReport merged_xval;
+  std::vector<std::optional<scenarios::CrossCheck>> fresh_checks(prep.size());
+  std::size_t miss_cursor = 0;
+  std::size_t fresh_check_cursor = 0;
   bool all_ok = true;
-  for (std::size_t i = 0; i < report.scenarios.size(); ++i) {
-    const campaign::ScenarioOutcome& outcome = report.scenarios[i];
+  for (std::size_t i = 0; i < prep.size(); ++i) {
+    campaign::ScenarioOutcome outcome;
+    bool consistent = true;
+    if (prep[i].hit.has_value()) {
+      JobResult& hit = *prep[i].hit;
+      outcome = std::move(hit.report->scenarios[0]);
+      if (hit.crossval.has_value() && !hit.crossval->checks.empty()) {
+        consistent = hit.crossval->checks[0].consistent;
+        merged_xval.checks.push_back(std::move(hit.crossval->checks[0]));
+      }
+    } else {
+      outcome = std::move(fresh.scenarios[miss_cursor]);
+      ++miss_cursor;
+      if (outcome.verification.has_value()) {
+        const scenarios::CrossCheck& check = fresh_xval.checks[fresh_check_cursor];
+        ++fresh_check_cursor;
+        consistent = check.consistent;
+        fresh_checks[i] = check;
+        merged_xval.checks.push_back(check);
+      }
+      if (outcome.verification.has_value() && outcome.verification->resumed)
+        ++result.cache.resumes;
+    }
+
     MatrixRow row;
     row.scenario = outcome.name;
-    row.expected = expectations[i];
+    row.expected = prep[i].expected;
     if (outcome.verification.has_value()) {
       row.status = outcome.verification->status;
-      row.consistent = crossval.checks[check_cursor].consistent || !cross_validated[i];
-      ++check_cursor;
+      row.consistent = consistent || !prep[i].cross_validate;
     }
     row.expected_match = !row.expected.has_value() ||
                          (row.status.has_value() && *row.status == *row.expected);
     all_ok = all_ok && row.expected_match && row.consistent;
     result.rows.push_back(std::move(row));
+
+    merged.total_runs += outcome.runs.size();
+    merged.total_violations += outcome.total_violations;
+    merged.failed_runs += outcome.failed_runs;
+    merged.censored_sessions += outcome.censored_sessions;
+    if (outcome.verification.has_value()) {
+      if (outcome.verification->status == verify::VerifyStatus::kProved)
+        ++merged.specs_proved;
+      if (outcome.verification->counterexample.has_value())
+        ++merged.specs_with_counterexample;
+    }
+    merged.scenarios.push_back(std::move(outcome));
   }
 
-  result.report = std::move(report);
-  result.crossval = crossval;
+  if (cache_ != nullptr && !miss.empty()) {
+    for (std::size_t j = 0; j < miss.size(); ++j) {
+      if (!captures[j].empty())
+        cache_->store_checkpoint(cache_->checkpoint_key(prep[miss[j]].params), captures[j]);
+    }
+    // Store the misses only out of a fully clean campaign — run/verify
+    // errors are not attributable per scenario with certainty.
+    if (fresh.errors.empty() && fresh.failed_runs == 0) {
+      for (const std::size_t i : miss) {
+        const JobResult single =
+            single_scenario_result(merged.scenarios[i], fresh, fresh_checks[i]);
+        cache_->store_result(prep[i].result_key, single.scenario, single.to_json());
+      }
+    }
+  }
+
+  result.report = std::move(merged);
+  result.crossval = std::move(merged_xval);
   result.ok = result.report->ok() && all_ok;
   return result;
 }

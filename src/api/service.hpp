@@ -9,8 +9,10 @@
 // text in `errors` — a server loop or the CLI can serialize any outcome.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "api/cache.hpp"
 #include "api/job.hpp"
 
 namespace ptecps::api {
@@ -19,22 +21,44 @@ struct ServiceOptions {
   /// Fallback Monte-Carlo thread count for jobs that leave threads == 0
   /// (0 = hardware concurrency).
   std::size_t default_threads = 0;
+  /// Root of the content-addressed result cache (api/cache.hpp); empty
+  /// (the default) disables caching entirely.  Created when missing;
+  /// Service construction throws with a path diagnostic when unusable.
+  std::string cache_dir;
+  /// Cache size cap, enforced by LRU eviction at store time.
+  std::uint64_t cache_max_bytes = ResultCache::kDefaultMaxBytes;
 };
 
 class Service {
  public:
   explicit Service(ServiceOptions options = {});
 
-  /// Execute one job end to end.
+  /// Execute one job end to end.  With a cache configured: a stored
+  /// result for the job's canonical scenario is returned directly (the
+  /// expectation and ok flag re-derived against THIS job, since the
+  /// asserted expectation is not part of the key); on a miss an
+  /// out-of-budget verification's frontier is stored, and a later run
+  /// with a strictly larger state budget warm-resumes it.  Cached and
+  /// resumed verdicts, counterexamples, and state counts are
+  /// bit-identical to a cold run's; JobResult::cache carries the
+  /// hit/miss/resume accounting.
   JobResult run(const Job& job) const;
 
   /// Execute several jobs as ONE campaign: every Monte-Carlo run shares
   /// the thread pool and the report merges deterministically, exactly
-  /// like the scenario matrix.  Row i answers job i.
+  /// like the scenario matrix.  Row i answers job i.  With a cache,
+  /// jobs whose scenarios hit are answered from storage and only the
+  /// misses run (sound: per-scenario outcomes are independent of how a
+  /// campaign is split); the merged report lists every scenario in job
+  /// order either way.
   MatrixResult run_matrix(const std::vector<Job>& jobs) const;
+
+  /// The configured cache, or nullptr (the `pte cache` subcommands).
+  const ResultCache* cache() const { return cache_.get(); }
 
  private:
   ServiceOptions options_;
+  std::unique_ptr<ResultCache> cache_;
 };
 
 }  // namespace ptecps::api

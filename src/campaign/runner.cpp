@@ -142,12 +142,17 @@ CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) {
       vopt.max_input_changes = spec.verify.max_input_changes;
       vopt.max_states = spec.verify.max_states;
       vopt.threads = spec.verify.threads;
-      const verify::VerifyResult vr = verify::verify_pte(model, vopt);
+      const verify::Checkpoint* resume =
+          si < options_.resume.size() ? options_.resume[si] : nullptr;
+      verify::Checkpoint* capture =
+          si < options_.capture.size() ? options_.capture[si] : nullptr;
+      const verify::VerifyResult vr = verify::verify_pte(model, vopt, resume, capture);
       vo.status = vr.status;
       vo.states_explored = vr.states_explored;
       vo.states_stored = vr.states_stored;
       vo.transitions = vr.transitions;
       vo.threads_used = vr.threads_used;
+      vo.resumed = vr.resumed;
       vo.counterexample = vr.counterexample;
       if (vo.counterexample.has_value() && spec.verify.replay) {
         vo.replay_attempted = true;
@@ -261,6 +266,9 @@ util::Json CampaignReport::to_json() const {
       vj.set("threads_used", v.threads_used);
       vj.set("replay_attempted", v.replay_attempted);
       vj.set("replay_reproduced", v.replay_reproduced);
+      // Only when set, so cold-run reports are byte-stable across the
+      // checkpoint feature (and cached JSON written before it).
+      if (v.resumed) vj.set("resumed", true);
       vj.set("wall_seconds", v.wall_seconds);
       if (v.counterexample.has_value())
         vj.set("counterexample", v.counterexample->to_json());
@@ -276,6 +284,85 @@ util::Json CampaignReport::to_json() const {
   for (const std::string& e : errors) error_list.push_back(e);
   out.set("errors", std::move(error_list));
   return out;
+}
+
+namespace {
+
+verify::VerifyStatus status_from_str(util::JsonReader& r, const std::string& s) {
+  for (const verify::VerifyStatus v :
+       {verify::VerifyStatus::kProved, verify::VerifyStatus::kViolation,
+        verify::VerifyStatus::kOutOfBudget}) {
+    if (verify::verify_status_str(v) == s) return v;
+  }
+  r.fail("status", util::cat("unknown verification status \"", s, "\""));
+}
+
+VerificationOutcome verification_from_json(const util::Json& j, const std::string& ctx) {
+  util::JsonReader r(j, ctx);
+  VerificationOutcome v;
+  v.status = status_from_str(r, r.string("status", ""));
+  v.states_explored = r.uinteger("states_explored", 0);
+  v.states_stored = r.uinteger("states_stored", 0);
+  v.transitions = r.uinteger("transitions", 0);
+  v.threads_used = r.uinteger("threads_used", 0);
+  v.replay_attempted = r.boolean("replay_attempted", false);
+  v.replay_reproduced = r.boolean("replay_reproduced", false);
+  v.resumed = r.boolean("resumed", false);
+  v.wall_seconds = r.number("wall_seconds", 0.0);
+  if (const util::Json* cx = r.optional("counterexample"))
+    v.counterexample = verify::Counterexample::from_json(*cx);
+  r.finish();
+  return v;
+}
+
+/// Non-finite aggregates serialize as null; read those back as 0.
+double finite_or_zero(util::JsonReader& r, std::string_view key) {
+  const util::Json* j = r.optional(key);
+  return (j != nullptr && j->is_number()) ? j->as_double() : 0.0;
+}
+
+}  // namespace
+
+CampaignReport CampaignReport::from_json(const util::Json& j) {
+  util::JsonReader r(j, "campaign");
+  CampaignReport report;
+  report.threads = r.uinteger("threads", 1);
+  report.total_runs = r.uinteger("total_runs", 0);
+  report.total_violations = r.uinteger("total_violations", 0);
+  report.failed_runs = r.uinteger("failed_runs", 0);
+  report.censored_sessions = r.uinteger("censored_sessions", 0);
+  report.specs_proved = r.uinteger("specs_proved", 0);
+  report.specs_with_counterexample = r.uinteger("specs_with_counterexample", 0);
+  report.wall_seconds = r.number("wall_seconds", 0.0);
+  report.runs_per_second = finite_or_zero(r, "runs_per_second");
+  if (const util::Json* rows = r.optional("scenarios")) {
+    for (const util::Json& row : rows->as_array()) {
+      util::JsonReader sr(row, "campaign.scenario");
+      ScenarioOutcome out;
+      out.name = sr.string("name", "");
+      // Per-run detail is not serialized; placeholders keep runs.size()
+      // (and thus the re-rendered JSON) identical to the source report.
+      out.runs.resize(sr.uinteger("runs", 0));
+      out.total_violations = sr.uinteger("violations", 0);
+      out.total_sessions = sr.uinteger("sessions", 0);
+      out.censored_sessions = sr.uinteger("censored_sessions", 0);
+      out.failed_runs = sr.uinteger("failed_runs", 0);
+      out.network.sent = sr.uinteger("packets_sent", 0);
+      out.network.delivered = sr.uinteger("packets_delivered", 0);
+      out.wall_mean_s = sr.number("wall_mean_s", 0.0);
+      out.wall_p50_s = sr.number("wall_p50_s", 0.0);
+      out.wall_p99_s = sr.number("wall_p99_s", 0.0);
+      if (const util::Json* v = sr.optional("verification"))
+        out.verification = verification_from_json(*v, "campaign.verification");
+      sr.finish();
+      report.scenarios.push_back(std::move(out));
+    }
+  }
+  if (const util::Json* errs = r.optional("errors")) {
+    for (const util::Json& e : errs->as_array()) report.errors.push_back(e.as_string());
+  }
+  r.finish();
+  return report;
 }
 
 std::string CampaignReport::json() const { return to_json().dump(2); }

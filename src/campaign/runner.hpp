@@ -16,6 +16,7 @@
 #include "campaign/scenario.hpp"
 #include "util/json.hpp"
 #include "verify/checker.hpp"
+#include "verify/checkpoint.hpp"
 
 namespace ptecps::campaign {
 
@@ -35,6 +36,9 @@ struct VerificationOutcome {
   bool replay_attempted = false;
   /// Counterexample replayed through hybrid::Engine and reproduced.
   bool replay_reproduced = false;
+  /// Exploration warm-resumed from a checkpoint (CampaignOptions::resume)
+  /// instead of starting cold; all counts above still equal a cold run's.
+  bool resumed = false;
   double wall_seconds = 0.0;
 };
 
@@ -44,6 +48,15 @@ struct CampaignOptions {
   /// Keep every run's full violation list in the report (the aggregate
   /// counts survive either way).
   bool keep_violations = true;
+  /// Warm-resume checkpoints and capture slots for the verification
+  /// phase, indexed like the specs vector passed to run() (short vectors
+  /// and nullptr entries mean "no resume / no capture for that spec").
+  /// Resume is attempted only when Checkpoint::can_resume holds; any
+  /// mismatch falls back to a cold run.  Capture slots receive the
+  /// exploration state of a kOutOfBudget verification (an empty-state
+  /// header otherwise).  Non-owning; the caller keeps them alive.
+  std::vector<const verify::Checkpoint*> resume;
+  std::vector<verify::Checkpoint*> capture;
 };
 
 /// All runs of one ScenarioSpec, in seed order, plus aggregates.
@@ -86,6 +99,13 @@ struct CampaignReport {
   /// the BENCH_*.json artifacts embed this tree).  Non-finite aggregates
   /// (a zero-wall campaign's runs_per_second) render as null, not "nan".
   util::Json to_json() const;
+  /// Inverse of to_json for the aggregate view (strict; util::JsonError
+  /// on unknown keys or malformed values) — how the result cache rebuilds
+  /// a stored report.  Per-run detail is not serialized, so the parsed
+  /// `runs` vectors hold default-constructed placeholders sized to the
+  /// recorded count; every aggregate, verification outcome, and
+  /// counterexample round-trips bit-for-bit through to_json.
+  static CampaignReport from_json(const util::Json& j);
   /// to_json() pretty-printed — parses back with util::Json::parse.
   std::string json() const;
   /// One-paragraph human summary.

@@ -1,0 +1,23 @@
+#include "scenarios/canonical.hpp"
+
+#include "util/digest.hpp"
+
+namespace ptecps::scenarios {
+
+std::string canonical_text(const ScenarioDocument& doc) {
+  return to_json(doc).dump_canonical();
+}
+
+std::string canonical_text(const ScenarioParams& params) {
+  return to_json(params).dump_canonical();
+}
+
+std::string params_digest(const ScenarioParams& params) {
+  return util::Sha256::hex(canonical_text(params));
+}
+
+std::string text_digest(std::string_view text) {
+  return params_digest(document_from_text(text).params);
+}
+
+}  // namespace ptecps::scenarios

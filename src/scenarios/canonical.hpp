@@ -1,0 +1,40 @@
+// Canonical form + content digest for scenarios — the addressing layer
+// of the result cache (api::ResultCache).
+//
+// A scenario's digest is SHA-256 over the canonical JSON bytes of its
+// ScenarioParams: to_json() emits one fixed structure per params value
+// and Json::dump_canonical() renders it with sorted keys, no
+// insignificant whitespace, and shortest-round-trip doubles.  Any two
+// texts that parse to the same params — differing in key order,
+// whitespace, or float spelling — therefore digest identically, while
+// every semantic field change (a budget, a loss probability, a stimulus
+// action) produces a new digest.  Non-semantic document metadata
+// (summary, expected verdict, notes) is deliberately excluded: editing a
+// comment must not invalidate a cached proof.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "scenarios/serialize.hpp"
+
+namespace ptecps::scenarios {
+
+/// Canonical bytes of the full document (params + metadata), sorted-key
+/// compact form.  Canonicalization is a fixed point:
+/// canonical_text(document_from_text(canonical_text(d))) == canonical_text(d).
+std::string canonical_text(const ScenarioDocument& doc);
+
+/// Canonical bytes of the semantic content only (every ScenarioParams
+/// field, name included; no summary/expected/notes).
+std::string canonical_text(const ScenarioParams& params);
+
+/// SHA-256 hex (64 chars) over canonical_text(params) — the scenario's
+/// cache identity.
+std::string params_digest(const ScenarioParams& params);
+
+/// params_digest over the params parsed from `text` (a scenario file's
+/// contents); util::JsonError on malformed input.
+std::string text_digest(std::string_view text);
+
+}  // namespace ptecps::scenarios

@@ -1,0 +1,118 @@
+// Host-endian flat-binary encoding for the verification checkpoint
+// format: a growing byte vector on the write side, a bounds-checked
+// cursor on the read side.  Every read throws BinError on truncation or
+// a failed expectation, so a corrupt or version-skewed checkpoint file
+// surfaces as one catchable error (the cache layer turns it into a cold
+// run) instead of undefined behavior.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptecps::util {
+
+class BinError : public std::runtime_error {
+ public:
+  explicit BinError(const std::string& message) : std::runtime_error(message) {}
+};
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  /// Doubles travel as their bit pattern — bit-identical round trip.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  void raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + len);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t len = u64();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  void raw(void* dst, std::size_t len) {
+    need(len);
+    std::memcpy(dst, data_ + pos_, len);
+    pos_ += len;
+  }
+
+  /// A length about to drive an allocation; reject anything larger than
+  /// the bytes that remain (a corrupt count cannot OOM the reader).
+  std::uint64_t count(std::size_t element_size = 1) {
+    const std::uint64_t n = u64();
+    if (element_size != 0 && n > remaining() / element_size)
+      throw BinError("binio: element count exceeds remaining input");
+    return n;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+  void expect_done() const {
+    if (!done()) throw BinError("binio: trailing bytes after document");
+  }
+
+ private:
+  void need(std::uint64_t len) const {
+    if (len > size_ - pos_) throw BinError("binio: truncated input");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ptecps::util

@@ -1,0 +1,45 @@
+// SHA-256, self-contained (FIPS 180-4).  The repo's content-addressed
+// result cache keys scenarios by the digest of their canonical JSON
+// bytes; pulling in a crypto library for one hash would be the heavier
+// dependency.  Collision resistance here is an engineering property
+// (distinct scenarios must not alias a cache slot), not a security
+// boundary — but SHA-256 gives both at ~cycles/byte cost that is noise
+// next to a single zone-graph round.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ptecps::util {
+
+/// Incremental SHA-256.  update() any number of times, then finish()
+/// exactly once; hex() below covers the common one-shot case.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalize and return the 32-byte digest.  The object is spent
+  /// afterwards (construct a new one for the next message).
+  std::array<std::uint8_t, 32> finish();
+
+  /// One-shot digest of `data`, lowercase hex (64 chars).
+  static std::string hex(std::string_view data);
+
+  /// Lowercase hex of an arbitrary digest.
+  static std::string to_hex(const std::uint8_t* digest, std::size_t len);
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace ptecps::util

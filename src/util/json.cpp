@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -274,6 +275,53 @@ std::string Json::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
   if (indent >= 0) out += '\n';
+  return out;
+}
+
+void Json::dump_canonical_to(std::string& out, int depth) const {
+  if (depth > kMaxDepth) throw JsonError("document too deeply nested to render");
+  switch (type()) {
+    case Type::kArray: {
+      const Array& a = std::get<Array>(value_);
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) out += ',';
+        a[i].dump_canonical_to(out, depth + 1);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const Object& o = std::get<Object>(value_);
+      // Sort member *indices* by key bytes; ties keep insertion order
+      // (only reachable through as_object() mutation — set() replaces
+      // and the parser rejects duplicate keys).
+      std::vector<std::size_t> order(o.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(),
+                       [&o](std::size_t a, std::size_t b) { return o[a].first < o[b].first; });
+      out += '{';
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"';
+        out += escape(o[order[i]].first);
+        out += "\":";
+        o[order[i]].second.dump_canonical_to(out, depth + 1);
+      }
+      out += '}';
+      break;
+    }
+    default:
+      // Scalars already have one spelling each (shortest-round-trip
+      // doubles included) — reuse the compact writer.
+      dump_to(out, -1, depth);
+      break;
+  }
+}
+
+std::string Json::dump_canonical() const {
+  std::string out;
+  dump_canonical_to(out, 0);
   return out;
 }
 

@@ -124,11 +124,20 @@ class Json {
   /// many spaces per level and a trailing newline at top level.
   std::string dump(int indent = -1) const;
 
+  /// Canonical rendering for content addressing: object keys sorted by
+  /// byte value, no insignificant whitespace (`{"a":1,"b":[2,3]}`), and
+  /// the writer's usual shortest-round-trip doubles.  Two documents that
+  /// are structurally equal (key order, whitespace, and float spelling
+  /// aside) canonicalize to identical bytes — the form the scenario
+  /// digest hashes.
+  std::string dump_canonical() const;
+
   /// JSON string-escape `s` (no surrounding quotes).
   static std::string escape(std::string_view s);
 
  private:
   void dump_to(std::string& out, int indent, int depth) const;
+  void dump_canonical_to(std::string& out, int depth) const;
 
   std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double, std::string,
                Array, Object>

@@ -115,6 +115,11 @@ struct Counterexample {
   /// input toggles, per-send loss/delivery decisions) — everything a
   /// client needs to archive or re-drive the counterexample.
   util::Json to_json() const;
+
+  /// Inverse of to_json (strict; util::JsonError on unknown keys or a
+  /// kind string no violation maps to) — how the result cache rebuilds a
+  /// stored counterexample bit-for-bit.
+  static Counterexample from_json(const util::Json& j);
 };
 
 struct VerifyResult {
@@ -125,6 +130,10 @@ struct VerifyResult {
   /// Worker threads the exploration actually ran with (the resolved
   /// value of VerifyOptions::threads — hardware concurrency when 0).
   std::size_t threads_used = 0;
+  /// Exploration re-entered from a warm checkpoint (verify/checkpoint.hpp)
+  /// instead of the initial state; all counts above still equal a cold
+  /// run's.
+  bool resumed = false;
   std::optional<Counterexample> counterexample;
 
   std::string summary() const;

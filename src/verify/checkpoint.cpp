@@ -1,0 +1,76 @@
+#include "verify/checkpoint.hpp"
+
+#include "util/binio.hpp"
+
+namespace ptecps::verify {
+
+namespace {
+
+// 'P' 'T' 'E' 'C' little-endian; also an endianness sentinel — a file
+// written on a foreign byte order fails the magic check and runs cold.
+constexpr std::uint32_t kMagic = 0x43455450u;
+
+std::uint8_t pack_flags(const Checkpoint& ck) {
+  return static_cast<std::uint8_t>((ck.check_dwell_bound ? 1u : 0u) |
+                                   (ck.check_embedding ? 2u : 0u) | (ck.por ? 4u : 0u) |
+                                   (ck.subsumption ? 8u : 0u));
+}
+
+}  // namespace
+
+bool Checkpoint::can_resume(const VerifyOptions& options, std::size_t model_clocks) const {
+  return format == kCheckpointFormatVersion && !state.empty() &&
+         max_losses == options.max_losses && max_injections == options.max_injections &&
+         max_input_changes == options.max_input_changes &&
+         check_dwell_bound == options.check_dwell_bound &&
+         check_embedding == options.check_embedding && por == options.por &&
+         subsumption == options.subsumption && clocks == model_clocks &&
+         options.max_states > max_states;
+}
+
+std::vector<std::uint8_t> Checkpoint::serialize() const {
+  util::ByteWriter w;
+  w.u32(kMagic);
+  w.u32(format);
+  w.str(kEngineTag);
+  w.u64(max_losses);
+  w.u64(max_injections);
+  w.u64(max_input_changes);
+  w.u64(max_states);
+  w.u8(pack_flags(*this));
+  w.u64(clocks);
+  w.u64(explored);
+  w.u64(transitions);
+  w.u64(state.size());
+  w.raw(state.data(), state.size());
+  return w.take();
+}
+
+Checkpoint Checkpoint::deserialize(const std::uint8_t* data, std::size_t size) {
+  util::ByteReader r(data, size);
+  if (r.u32() != kMagic) throw util::BinError("checkpoint: bad magic");
+  Checkpoint ck;
+  ck.format = r.u32();
+  if (ck.format != kCheckpointFormatVersion)
+    throw util::BinError("checkpoint: unsupported format version");
+  if (r.str() != kEngineTag) throw util::BinError("checkpoint: engine tag mismatch");
+  ck.max_losses = r.u64();
+  ck.max_injections = r.u64();
+  ck.max_input_changes = r.u64();
+  ck.max_states = r.u64();
+  const std::uint8_t flags = r.u8();
+  ck.check_dwell_bound = (flags & 1u) != 0;
+  ck.check_embedding = (flags & 2u) != 0;
+  ck.por = (flags & 4u) != 0;
+  ck.subsumption = (flags & 8u) != 0;
+  ck.clocks = r.u64();
+  ck.explored = r.u64();
+  ck.transitions = r.u64();
+  const std::uint64_t len = r.count();
+  ck.state.resize(len);
+  r.raw(ck.state.data(), len);
+  r.expect_done();
+  return ck;
+}
+
+}  // namespace ptecps::verify

@@ -1,0 +1,87 @@
+// Warm-resume checkpoints for the zone-graph checker.
+//
+// A Checkpoint is the checker's exploration state frozen at a round
+// boundary: the node table (discrete states, zones, steps, parent
+// links, canonical ranks), the passed/waiting antichain store, the
+// frontier still awaiting expansion, and the budget accounting — the
+// CheckpointState that used to live only inside checker.cpp's BFS
+// driver, split out into a versioned flat binary format.
+//
+// Resume soundness rests on the checker's determinism guarantee: the
+// search order is a pure function of (model, options), independent of
+// thread count.  A run that stopped kOutOfBudget at a round boundary
+// and a cold run with a strictly larger state budget pass through the
+// *same* boundary with the same store, frontier and counters, so
+// re-entering from the persisted state and continuing is bit-identical
+// to the cold re-proof — verdict, counterexample, explored/stored
+// counts.  Growing any adversary budget (losses, injections, input
+// writes) is NOT resumable: already-passed states would gain new
+// successors the frontier no longer covers.  can_resume() encodes
+// exactly that dominance rule, and verify_pte falls back to a cold run
+// on any version, option, or structural mismatch — a bad checkpoint can
+// cost time, never an answer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "verify/checker.hpp"
+
+namespace ptecps::verify {
+
+/// Flat-binary checkpoint format version; readers accept exactly this.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// Engine identity baked into checkpoint headers and the result cache's
+/// keys.  Bump on any change that can alter the canonical search order,
+/// verdicts, or state counts — stale artifacts then miss cleanly.
+inline constexpr std::string_view kEngineTag = "zone-engine-v6";
+
+struct Checkpoint {
+  // -- header: the capturing run's semantics -------------------------------
+  std::uint32_t format = kCheckpointFormatVersion;
+  std::uint64_t max_losses = 0;
+  std::uint64_t max_injections = 0;
+  std::uint64_t max_input_changes = 0;
+  std::uint64_t max_states = 0;
+  bool check_dwell_bound = true;
+  bool check_embedding = true;
+  bool por = true;
+  bool subsumption = true;
+  /// Compiled model's clock count — a cheap feasibility check against
+  /// the model being resumed (full identity lives in the cache key).
+  std::uint64_t clocks = 0;
+  /// Budget accounting at the captured round boundary.
+  std::uint64_t explored = 0;
+  std::uint64_t transitions = 0;
+  /// Packed exploration state (node table, antichain store, frontier);
+  /// empty when the run ended with nothing to resume (proved/violation).
+  std::vector<std::uint8_t> state;
+
+  bool empty() const { return state.empty(); }
+
+  /// May a run with `options` on a model with `model_clocks` clocks warm-
+  /// resume from here?  Requires identical adversary budgets and semantic
+  /// flags and a strictly larger state budget (the dominance direction
+  /// under which resumed == cold holds; see file comment).
+  bool can_resume(const VerifyOptions& options, std::size_t model_clocks) const;
+
+  /// Versioned flat binary (magic + engine tag + header + state bytes).
+  std::vector<std::uint8_t> serialize() const;
+  /// Inverse; throws util::BinError on a magic/version/engine-tag
+  /// mismatch or truncation — callers catch and run cold.
+  static Checkpoint deserialize(const std::uint8_t* data, std::size_t size);
+};
+
+/// verify_pte with checkpointing.  When `resume` is non-null and
+/// can_resume() holds, exploration re-enters from its frontier instead
+/// of the initial state (any structural inconsistency in the state bytes
+/// falls back to a cold run).  When `capture` is non-null it receives,
+/// for a kOutOfBudget result, the exploration state at the last round
+/// boundary (an empty-state header otherwise — final verdicts have
+/// nothing to resume).
+VerifyResult verify_pte(const CompiledModel& model, const VerifyOptions& options,
+                        const Checkpoint* resume, Checkpoint* capture);
+
+}  // namespace ptecps::verify

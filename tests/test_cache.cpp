@@ -1,0 +1,229 @@
+// The content-addressed result cache (api/cache.hpp) and its wiring
+// through Service::run / run_matrix: hits reproduce cold verdicts
+// bit-for-bit, expectations are re-derived per job, out-of-budget
+// frontiers warm-resume, and the store degrades (never errors) on
+// corruption and stays under its size cap.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "api/service.hpp"
+#include "scenarios/registry.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::api {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("ptecps-" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+Service cached_service(const std::string& dir, std::uint64_t max_bytes = 0) {
+  ServiceOptions options;
+  options.cache_dir = dir;
+  if (max_bytes > 0) options.cache_max_bytes = max_bytes;
+  return Service(options);
+}
+
+Job smoke_job(const std::string& name) {
+  Job job = Job::for_scenario(name);
+  job.smoke = true;
+  return job;
+}
+
+/// Everything the acceptance bar compares: verdict, state counts, and
+/// the counterexample's canonical bytes (never wall clock or counters).
+std::string fingerprint(const JobResult& r) {
+  std::string out = r.verdict;
+  if (r.report.has_value()) {
+    for (const campaign::ScenarioOutcome& s : r.report->scenarios) {
+      if (!s.verification.has_value()) continue;
+      const campaign::VerificationOutcome& v = *s.verification;
+      out += util::cat(";", s.name, ":", verify::verify_status_str(v.status), ",",
+                       v.states_explored, ",", v.states_stored, ",", v.transitions);
+      if (v.counterexample.has_value())
+        out += ";" + v.counterexample->to_json().dump_canonical();
+    }
+  }
+  if (r.crossval.has_value())
+    for (const scenarios::CrossCheck& c : r.crossval->checks)
+      out += util::cat(";xval:", c.scenario, "=", c.consistent);
+  return out;
+}
+
+/// A deliberately broken registry entry — its cached entry must carry
+/// the counterexample byte-for-byte.
+std::string violating_scenario() {
+  for (const scenarios::RegistryEntry& e : scenarios::registry())
+    if (e.expected == verify::VerifyStatus::kViolation) return e.name;
+  return scenarios::registry().front().name;
+}
+
+TEST(ResultCache, StoreLoadRoundTripAndCorruptionTolerance) {
+  ResultCache::Options options;
+  options.dir = fresh_dir("roundtrip");
+  const ResultCache cache(options);
+
+  util::Json payload = util::Json::object();
+  payload.set("verdict", "proved");
+  cache.store_result("k1", "some-scenario", payload);
+  const auto loaded = cache.load_result("k1");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dump_canonical(), payload.dump_canonical());
+  EXPECT_FALSE(cache.load_result("absent").has_value());
+
+  // A torn / corrupt entry is a miss, never an error.
+  {
+    std::ofstream out(fs::path(options.dir) / "results" / "k1.json", std::ios::trunc);
+    out << "{\"schema\": \"ptecps-cache-result\", \"version\"";
+  }
+  EXPECT_FALSE(cache.load_result("k1").has_value());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.results, 1u);
+  EXPECT_EQ(cache.clear(), 1u);
+  EXPECT_EQ(cache.stats().results, 0u);
+}
+
+TEST(ResultCache, ConstructionFailsLoudlyOnUnusablePath) {
+  const std::string dir = fresh_dir("blocked");
+  fs::create_directories(fs::path(dir).parent_path());
+  {
+    std::ofstream out(dir);  // the cache root exists as a FILE
+    out << "not a directory";
+  }
+  ResultCache::Options options;
+  options.dir = dir;
+  try {
+    const ResultCache cache(options);
+    FAIL() << "expected construction to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(dir), std::string::npos)
+        << "diagnostic must name the path: " << e.what();
+  }
+  fs::remove(dir);
+}
+
+TEST(ResultCache, EvictionKeepsTheStoreUnderItsCap) {
+  ResultCache::Options options;
+  options.dir = fresh_dir("evict");
+  options.max_bytes = 64;  // smaller than any single entry
+  const ResultCache cache(options);
+  util::Json payload = util::Json::object();
+  payload.set("verdict", "proved");
+  cache.store_result("a", "s", payload);
+  cache.store_result("b", "s", payload);
+  EXPECT_LE(cache.stats().bytes, options.max_bytes);
+}
+
+TEST(ServiceCache, SecondRunHitsWithIdenticalVerdict) {
+  const std::string dir = fresh_dir("hit");
+  const std::string name = violating_scenario();
+  const Service service = cached_service(dir);
+
+  const JobResult cold = service.run(smoke_job(name));
+  EXPECT_TRUE(cold.cache.enabled);
+  EXPECT_EQ(cold.cache.hits, 0u);
+  EXPECT_EQ(cold.cache.misses, 1u);
+
+  const JobResult hit = service.run(smoke_job(name));
+  EXPECT_EQ(hit.cache.hits, 1u);
+  EXPECT_EQ(hit.cache.misses, 0u);
+  EXPECT_EQ(fingerprint(hit), fingerprint(cold));
+  EXPECT_EQ(hit.ok, cold.ok);
+
+  // A cache-less service reproduces the same verdict (the cache never
+  // changes answers, only work).
+  const JobResult uncached = Service().run(smoke_job(name));
+  EXPECT_FALSE(uncached.cache.enabled);
+  EXPECT_EQ(fingerprint(uncached), fingerprint(cold));
+}
+
+TEST(ServiceCache, HitRecomputesExpectationForTheJobAtHand) {
+  const std::string dir = fresh_dir("expect");
+  const std::string name = violating_scenario();
+  const Service service = cached_service(dir);
+  const JobResult cold = service.run(smoke_job(name));
+  ASSERT_EQ(cold.cache.misses, 1u);
+
+  // Same scenario, contradictory assertion: still a hit (the expectation
+  // is not part of the key), but judged against THIS job.
+  Job wrong = smoke_job(name);
+  wrong.expected = verify::VerifyStatus::kProved;
+  const JobResult hit = service.run(wrong);
+  EXPECT_EQ(hit.cache.hits, 1u);
+  EXPECT_FALSE(hit.expected_match);
+  EXPECT_FALSE(hit.ok);
+  EXPECT_EQ(fingerprint(hit), fingerprint(cold));
+}
+
+TEST(ServiceCache, OutOfBudgetFrontierWarmResumesLargerBudgets) {
+  const std::string dir = fresh_dir("resume");
+  const std::string name = "three-entity-chain";
+  const Service service = cached_service(dir);
+
+  Job small = smoke_job(name);
+  small.tuning.max_states = 200;
+  const JobResult first = service.run(small);
+  ASSERT_EQ(first.verdict, "out-of-budget");
+
+  const JobResult warm = service.run(smoke_job(name));
+  EXPECT_EQ(warm.cache.misses, 1u);  // different budget → different key
+  EXPECT_EQ(warm.cache.resumes, 1u);
+
+  const JobResult cold = Service().run(smoke_job(name));
+  EXPECT_EQ(fingerprint(warm), fingerprint(cold));
+}
+
+TEST(ServiceCache, MatrixSecondPassIsAllHits) {
+  const std::string dir = fresh_dir("matrix");
+  const std::string violating = violating_scenario();
+  std::vector<Job> jobs = {smoke_job("three-entity-chain"), smoke_job(violating)};
+  const Service service = cached_service(dir);
+
+  const MatrixResult cold = service.run_matrix(jobs);
+  EXPECT_EQ(cold.cache.hits, 0u);
+  EXPECT_EQ(cold.cache.misses, 2u);
+  ASSERT_EQ(cold.rows.size(), 2u);
+
+  const MatrixResult warm = service.run_matrix(jobs);
+  EXPECT_EQ(warm.cache.hits, 2u);
+  EXPECT_EQ(warm.cache.misses, 0u);
+  EXPECT_EQ(warm.ok, cold.ok);
+  ASSERT_EQ(warm.rows.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(warm.rows[i].scenario, cold.rows[i].scenario);
+    EXPECT_EQ(warm.rows[i].status, cold.rows[i].status);
+    EXPECT_EQ(warm.rows[i].expected_match, cold.rows[i].expected_match);
+    EXPECT_EQ(warm.rows[i].consistent, cold.rows[i].consistent);
+  }
+  ASSERT_TRUE(warm.report.has_value());
+  ASSERT_TRUE(cold.report.has_value());
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& wv = warm.report->scenarios[i].verification;
+    const auto& cv = cold.report->scenarios[i].verification;
+    ASSERT_EQ(wv.has_value(), cv.has_value());
+    if (!wv.has_value()) continue;
+    EXPECT_EQ(wv->status, cv->status);
+    EXPECT_EQ(wv->states_explored, cv->states_explored);
+    EXPECT_EQ(wv->states_stored, cv->states_stored);
+    EXPECT_EQ(wv->transitions, cv->transitions);
+    ASSERT_EQ(wv->counterexample.has_value(), cv->counterexample.has_value());
+    if (wv->counterexample.has_value())
+      EXPECT_EQ(wv->counterexample->to_json().dump_canonical(),
+                cv->counterexample->to_json().dump_canonical());
+  }
+
+  // A solo run of a matrix-cached scenario hits the same entry.
+  const JobResult solo = service.run(smoke_job(violating));
+  EXPECT_EQ(solo.cache.hits, 1u);
+}
+
+}  // namespace
+}  // namespace ptecps::api

@@ -1,0 +1,116 @@
+// Canonical scenario form and content digests (scenarios/canonical.hpp),
+// property-tested across the whole registry: canonicalization is a fixed
+// point, the digest is invariant under key reordering / whitespace /
+// float re-rendering / metadata edits, and it moves for ANY semantic
+// field change — the soundness bar for using it as a cache key.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "scenarios/canonical.hpp"
+#include "scenarios/registry.hpp"
+#include "scenarios/serialize.hpp"
+
+namespace ptecps::scenarios {
+namespace {
+
+/// Every object's members in reverse order, recursively — a maximally
+/// shuffled but semantically identical document.
+util::Json reorder_keys(const util::Json& j) {
+  if (j.is_object()) {
+    util::Json out = util::Json::object();
+    const util::Json::Object& members = j.as_object();
+    for (auto it = members.rbegin(); it != members.rend(); ++it)
+      out.set(it->first, reorder_keys(it->second));
+    return out;
+  }
+  if (j.is_array()) {
+    util::Json out = util::Json::array();
+    for (const util::Json& e : j.as_array()) out.push_back(reorder_keys(e));
+    return out;
+  }
+  return j;
+}
+
+TEST(Canonical, CanonicalizationIsAFixedPoint) {
+  for (const RegistryEntry& entry : registry()) {
+    const ScenarioDocument doc = export_document(entry);
+    const std::string once = canonical_text(doc);
+    EXPECT_EQ(canonical_text(document_from_text(once)), once) << entry.name;
+    const std::string params_once = canonical_text(doc.params);
+    EXPECT_EQ(canonical_text(params_from_json(util::Json::parse(params_once))),
+              params_once)
+        << entry.name;
+  }
+}
+
+TEST(Canonical, DigestInvariantUnderRepresentation) {
+  for (const RegistryEntry& entry : registry()) {
+    const ScenarioDocument doc = export_document(entry);
+    const std::string digest = params_digest(doc.params);
+
+    // Whitespace / pretty-printing.
+    const util::Json j = to_json(doc);
+    EXPECT_EQ(text_digest(j.dump(2)), digest) << entry.name;
+    EXPECT_EQ(text_digest(j.dump()), digest) << entry.name;
+    EXPECT_EQ(text_digest(j.dump_canonical()), digest) << entry.name;
+
+    // Key order.
+    EXPECT_EQ(text_digest(reorder_keys(j).dump(2)), digest) << entry.name;
+
+    // Metadata (summary, notes, expected verdict) is not content.
+    ScenarioDocument meta = doc;
+    meta.summary = "rewritten";
+    meta.notes.push_back("an extra note");
+    meta.expected.reset();
+    EXPECT_EQ(text_digest(to_json(meta).dump(2)), digest) << entry.name;
+  }
+}
+
+TEST(Canonical, DigestMovesForEverySemanticChange) {
+  for (const RegistryEntry& entry : registry()) {
+    const ScenarioDocument doc = export_document(entry);
+    const std::string digest = params_digest(doc.params);
+
+    ScenarioParams p = doc.params;
+    p.name += "-renamed";
+    EXPECT_NE(params_digest(p), digest) << entry.name;
+
+    p = doc.params;
+    p.horizon += 1.0;
+    EXPECT_NE(params_digest(p), digest) << entry.name;
+
+    p = doc.params;
+    p.seed_base += 1;
+    EXPECT_NE(params_digest(p), digest) << entry.name;
+
+    p = doc.params;
+    p.seed_count += 1;
+    EXPECT_NE(params_digest(p), digest) << entry.name;
+
+    p = doc.params;
+    p.verify.max_losses += 1;
+    EXPECT_NE(params_digest(p), digest) << entry.name;
+
+    p = doc.params;
+    p.verify.max_states += 1;
+    EXPECT_NE(params_digest(p), digest) << entry.name;
+
+    p = doc.params;
+    p.mode = p.mode == campaign::RunMode::kBoth ? campaign::RunMode::kVerify
+                                                : campaign::RunMode::kBoth;
+    EXPECT_NE(params_digest(p), digest) << entry.name;
+  }
+}
+
+TEST(Canonical, RegistryDigestsAreDistinct) {
+  std::set<std::string> digests;
+  for (const RegistryEntry& entry : registry())
+    EXPECT_TRUE(digests.insert(params_digest(params_for(entry))).second)
+        << "duplicate digest for " << entry.name;
+  EXPECT_EQ(digests.size(), registry().size());
+}
+
+}  // namespace
+}  // namespace ptecps::scenarios

@@ -150,6 +150,44 @@ TEST(Json, PrettyDumpIsStableAndReparses) {
   EXPECT_EQ(Json::parse(obj.dump()), obj);  // compact form too
 }
 
+TEST(Json, CanonicalDumpSortsKeysAndDropsWhitespace) {
+  // Same value entered in two member orders → one canonical byte string.
+  Json a = Json::object();
+  a.set("zeta", 1).set("alpha", Json::array());
+  Json b = Json::object();
+  b.set("alpha", Json::array()).set("zeta", 1);
+  EXPECT_EQ(a.dump_canonical(), b.dump_canonical());
+  EXPECT_EQ(a.dump_canonical(), "{\"alpha\":[],\"zeta\":1}");
+
+  Json nested = Json::object();
+  Json inner = Json::object();
+  inner.set("b", 2).set("a", 1);
+  Json arr = Json::array();
+  arr.push_back(std::move(inner));
+  arr.push_back(true);
+  nested.set("x", std::move(arr));
+  EXPECT_EQ(nested.dump_canonical(), "{\"x\":[{\"a\":1,\"b\":2},true]}");
+
+  // dump() is untouched: insertion order, its own spacing.
+  EXPECT_EQ(a.dump(), "{\"zeta\": 1,\"alpha\": []}");
+}
+
+TEST(Json, CanonicalDumpIsParseStable) {
+  // parse(canonical) re-canonicalizes to the same bytes (fixed point),
+  // including shortest-round-trip doubles and exact big integers.
+  Json obj = Json::object();
+  obj.set("pi", 0.1 + 0.2);
+  obj.set("big", 18446744073709551615ull);
+  obj.set("neg", -7);
+  obj.set("s", std::string("a\"b\n"));
+  obj.set("null", Json());
+  const std::string canon = obj.dump_canonical();
+  EXPECT_EQ(Json::parse(canon).dump_canonical(), canon);
+  // Whitespace and key order of the INPUT never reach the output.
+  EXPECT_EQ(Json::parse("{ \"b\" : 1 ,\n \"a\" : 2 }").dump_canonical(),
+            "{\"a\":2,\"b\":1}");
+}
+
 TEST(Json, SetReplacesExistingKeysInPlace) {
   Json obj = Json::object();
   obj.set("k", 1).set("l", 2).set("k", 3);

@@ -26,6 +26,7 @@
 // scenario_tour binaries, whose wiring it had triplicated.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -58,11 +59,15 @@ constexpr const char* kUsage =
     "                      cross-validation (--smoke, --json)\n"
     "  replay <ref>        prove and replay the counterexample\n"
     "  fuzz                synthesized random deployments, cross-validated\n"
+    "  cache <action>      result-cache maintenance: stats, clear, gc\n"
     "\n"
     "<ref>: a registry name (`pte list`) or a scenario .json file path.\n"
     "common options: --seeds N --seed-base S --threads N --verify-threads N\n"
     "  (prover threads; scenarios default to 0 = hardware concurrency)\n"
-    "  --losses K --injections K --states N (budget caps) --smoke --expect V\n";
+    "  --losses K --injections K --states N (budget caps) --smoke --expect V\n"
+    "caching (run/verify/matrix): --cache-dir DIR (or PTE_CACHE_DIR) enables\n"
+    "  the content-addressed result cache + warm-resume checkpoints;\n"
+    "  --no-cache disables it for one invocation.\n";
 
 int usage_error(const std::string& message) {
   std::fprintf(stderr, "error: %s\n\n%s", message.c_str(), kUsage);
@@ -93,17 +98,58 @@ scenarios::ScenarioDocument load_file(const std::string& path) {
   }
 }
 
+/// Registry entry by name; exits(2) with the `pte list` hint otherwise —
+/// the ONE name lookup behind run/verify/describe/export/replay/matrix
+/// (each used to print its own variant of this diagnostic).
+const scenarios::RegistryEntry& find_entry_or_die(const std::string& name) {
+  if (const scenarios::RegistryEntry* entry = scenarios::find_scenario(name))
+    return *entry;
+  std::fprintf(stderr, "error: no scenario named '%s' and no such file (try `pte list`)\n",
+               name.c_str());
+  std::exit(2);
+}
+
 /// Registry name or scenario file → document; exits(2) on neither.
 scenarios::ScenarioDocument load_ref(const std::string& ref) {
-  if (!looks_like_file(ref)) {
-    if (const scenarios::RegistryEntry* entry = scenarios::find_scenario(ref))
-      return scenarios::export_document(*entry);
-    std::fprintf(stderr,
-                 "error: no scenario named '%s' and no such file (try `pte list`)\n",
-                 ref.c_str());
+  if (!looks_like_file(ref)) return scenarios::export_document(find_entry_or_die(ref));
+  return load_file(ref);
+}
+
+/// Create DIR (recursively) for --dir / --cache-dir; prints a path
+/// diagnostic and returns false when it cannot be a directory (exists
+/// as a file, permission denied, ...).
+bool ensure_directory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (!ec && std::filesystem::is_directory(dir)) return true;
+  std::fprintf(stderr, "error: cannot create directory '%s': %s\n", dir.c_str(),
+               ec ? ec.message().c_str() : "exists but is not a directory");
+  return false;
+}
+
+/// Cache wiring shared by run/verify/matrix: --cache-dir DIR beats the
+/// PTE_CACHE_DIR environment variable; neither set (or --no-cache) means
+/// caching stays off.  Exits(2) when the directory cannot be created.
+api::ServiceOptions service_options_from_args(const util::ArgParser& args) {
+  api::ServiceOptions options;
+  if (args.has_flag("no-cache")) return options;
+  std::string dir = args.get_string("cache-dir", "");
+  if (dir.empty()) {
+    if (const char* env = std::getenv("PTE_CACHE_DIR")) dir = env;
+  }
+  if (dir.empty()) return options;
+  if (!ensure_directory(dir)) std::exit(2);
+  options.cache_dir = std::move(dir);
+  return options;
+}
+
+api::Service make_service(const util::ArgParser& args) {
+  try {
+    return api::Service(service_options_from_args(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     std::exit(2);
   }
-  return load_file(ref);
 }
 
 /// The budget/seed flags shared by run/verify/matrix/replay.
@@ -218,20 +264,13 @@ int cmd_export(const util::ArgParser& args) {
   } else {
     if (args.positional().empty())
       return usage_error("export needs scenario name(s) or --all");
-    for (const std::string& name : args.positional()) {
-      const scenarios::RegistryEntry* entry = scenarios::find_scenario(name);
-      if (!entry) {
-        std::fprintf(stderr, "error: no scenario named '%s' (try `pte list`)\n",
-                     name.c_str());
-        return 2;
-      }
-      entries.push_back(entry);
-    }
+    for (const std::string& name : args.positional())
+      entries.push_back(&find_entry_or_die(name));
   }
   const std::string dir = args.get_string("dir", "");
   if (dir.empty() && entries.size() > 1)
     return usage_error("exporting several scenarios needs --dir DIR");
-  if (!dir.empty()) std::filesystem::create_directories(dir);
+  if (!dir.empty() && !ensure_directory(dir)) return 2;
   for (const auto* entry : entries) {
     const std::string text = scenarios::to_json(scenarios::export_document(*entry)).dump(2);
     if (dir.empty()) {
@@ -261,7 +300,7 @@ int cmd_run(const util::ArgParser& args) {
           util::cat("unknown --mode '", mode, "' (monte-carlo, verify, both)"));
   }
   if (args.has_flag("no-crossval")) job.cross_validate = false;
-  return emit_result(api::Service().run(job));
+  return emit_result(make_service(args).run(job));
 }
 
 int cmd_verify(const util::ArgParser& args) {
@@ -269,7 +308,7 @@ int cmd_verify(const util::ArgParser& args) {
     return usage_error("verify needs exactly one <ref>");
   api::Job job = job_from_args(args, load_ref(args.positional()[0]));
   job.mode = campaign::RunMode::kVerify;
-  return emit_result(api::Service().run(job));
+  return emit_result(make_service(args).run(job));
 }
 
 int cmd_matrix(const util::ArgParser& args) {
@@ -303,14 +342,9 @@ int cmd_matrix(const util::ArgParser& args) {
       jobs.push_back(api::Job::for_document(std::move(doc)));
     }
   } else if (!only.empty()) {
-    const scenarios::RegistryEntry* entry = scenarios::find_scenario(only);
-    if (!entry) {
-      std::fprintf(stderr, "error: no scenario named '%s' (try `pte list`)\n",
-                   only.c_str());
-      return 2;
-    }
-    labels.push_back(entry->name);
-    jobs.push_back(api::Job::for_scenario(entry->name));
+    const scenarios::RegistryEntry& entry = find_entry_or_die(only);
+    labels.push_back(entry.name);
+    jobs.push_back(api::Job::for_scenario(entry.name));
   } else {
     for (const auto& e : scenarios::registry()) {
       labels.push_back(e.name);
@@ -323,7 +357,7 @@ int cmd_matrix(const util::ArgParser& args) {
     job.threads = args.get_u64("threads", 0);
   }
 
-  const api::MatrixResult result = api::Service().run_matrix(jobs);
+  const api::MatrixResult result = make_service(args).run_matrix(jobs);
   if (args.has_flag("json")) {
     std::fputs(result.to_json().dump(2).c_str(), stdout);
     for (const std::string& e : result.errors)
@@ -421,6 +455,52 @@ int cmd_fuzz(const util::ArgParser& args) {
   return ok ? 0 : 1;
 }
 
+int cmd_cache(const util::ArgParser& args) {
+  if (args.positional().size() != 1)
+    return usage_error("cache needs exactly one action: stats, clear, or gc");
+  const std::string action = args.positional()[0];
+  std::string dir = args.get_string("cache-dir", "");
+  if (dir.empty()) {
+    if (const char* env = std::getenv("PTE_CACHE_DIR")) dir = env;
+  }
+  if (dir.empty())
+    return usage_error("cache needs --cache-dir DIR (or PTE_CACHE_DIR set)");
+  if (!ensure_directory(dir)) return 2;
+
+  api::ResultCache::Options options;
+  options.dir = dir;
+  options.max_bytes =
+      args.get_u64("max-bytes", api::ResultCache::kDefaultMaxBytes);
+  try {
+    const api::ResultCache cache(options);
+    if (action == "stats") {
+      const api::CacheStats stats = cache.stats();
+      if (args.has_flag("json")) {
+        std::fputs(stats.to_json().dump(2).c_str(), stdout);
+        return 0;
+      }
+      std::printf("cache %s: %zu result(s), %zu checkpoint(s), %llu / %llu bytes\n",
+                  stats.dir.c_str(), stats.results, stats.checkpoints,
+                  static_cast<unsigned long long>(stats.bytes),
+                  static_cast<unsigned long long>(stats.max_bytes));
+      return 0;
+    }
+    if (action == "clear") {
+      std::printf("removed %zu file(s) from %s\n", cache.clear(), cache.dir().c_str());
+      return 0;
+    }
+    if (action == "gc") {
+      std::printf("evicted %zu file(s) from %s\n", cache.gc(), cache.dir().c_str());
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage_error(util::cat("unknown cache action '", action,
+                               "' (stats, clear, gc)"));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -439,16 +519,19 @@ int main(int argc, char** argv) {
     return cmd_run({sub_argc, sub_argv,
                     {"seeds", "seed-base", "threads", "verify-threads", "losses",
                      "injections", "input-changes", "states", "smoke", "mode", "expect",
-                     "no-crossval"}});
+                     "no-crossval", "cache-dir", "no-cache"}});
   if (command == "verify")
     return cmd_verify({sub_argc, sub_argv,
                        {"seeds", "seed-base", "threads", "verify-threads", "losses",
-                        "injections", "input-changes", "states", "smoke", "expect"}});
+                        "injections", "input-changes", "states", "smoke", "expect",
+                        "cache-dir", "no-cache"}});
   if (command == "matrix")
     return cmd_matrix({sub_argc, sub_argv,
                        {"smoke", "scenario", "dir", "seeds", "threads",
                         "verify-threads", "losses", "injections", "input-changes",
-                        "states", "json"}});
+                        "states", "json", "cache-dir", "no-cache"}});
+  if (command == "cache")
+    return cmd_cache({sub_argc, sub_argv, {"cache-dir", "max-bytes", "json"}});
   if (command == "replay")
     return cmd_replay({sub_argc, sub_argv,
                        {"seeds", "seed-base", "threads", "verify-threads", "losses",
