@@ -125,6 +125,9 @@ Json JobResult::to_json() const {
   out.set("ok", ok);
   out.set("scenario", scenario);
   out.set("verdict", verdict);
+  // Like the cache counters: only when set, so cached entries (which
+  // store 0) and pre-timing JSON render byte-identically.
+  if (wall_ms > 0.0) out.set("wall_ms", wall_ms);
   if (expected.has_value()) {
     out.set("expected", verify::verify_status_str(*expected));
     out.set("expected_match", expected_match);
@@ -161,6 +164,7 @@ JobResult JobResult::from_json(const Json& j) {
   result.ok = r.boolean("ok", false);
   result.scenario = r.string("scenario", "");
   result.verdict = r.string("verdict", "");
+  result.wall_ms = r.number("wall_ms", 0.0);
   // to_json folds proof_status into the verdict string; recover it.
   for (const verify::VerifyStatus s :
        {verify::VerifyStatus::kProved, verify::VerifyStatus::kViolation,
@@ -218,9 +222,12 @@ Json MatrixResult::to_json() const {
     if (row.status.has_value()) one.set("status", verify::verify_status_str(*row.status));
     one.set("expected_match", row.expected_match);
     one.set("consistent", row.consistent);
+    if (row.wall_ms > 0.0) one.set("wall_ms", row.wall_ms);
     row_list.push_back(std::move(one));
   }
   out.set("rows", std::move(row_list));
+  if (wall_ms > 0.0) out.set("wall_ms", wall_ms);
+  if (deduped > 0) out.set("deduped", deduped);
   if (report.has_value()) out.set("campaign", report->to_json());
   if (cache.enabled) out.set("cache", cache_to_json(cache));
   Json error_list = Json::array();

@@ -93,6 +93,11 @@ struct JobResult {
   std::optional<scenarios::CrossValidationReport> crossval;
   std::vector<std::string> errors;
   CacheCounters cache;
+  /// End-to-end wall clock of the Service::run call that produced this
+  /// result — a cache hit reports its own (tiny) wall, not the cold
+  /// run's.  Serialized only when nonzero (cached entries store 0), so
+  /// stored JSON stays byte-stable run to run.
+  double wall_ms = 0.0;
 
   util::Json to_json() const;
   /// Inverse of to_json (strict; util::JsonError on unknown keys) — how
@@ -109,6 +114,10 @@ struct MatrixRow {
   std::optional<verify::VerifyStatus> status;
   bool expected_match = true;
   bool consistent = true;  // cross-validation verdict for this scenario
+  /// This job's compute wall (prover wall + summed Monte-Carlo run
+  /// walls), derived from the outcome's recorded timings — identical
+  /// whether the row was computed fresh or answered from the cache.
+  double wall_ms = 0.0;
 };
 
 /// Result of running several jobs as ONE campaign (shared pool, one
@@ -120,6 +129,12 @@ struct MatrixResult {
   std::optional<scenarios::CrossValidationReport> crossval;
   std::vector<std::string> errors;
   CacheCounters cache;
+  /// Jobs answered by another identical job in the same matrix (same
+  /// canonical params digest): the proof ran once, the result fanned
+  /// out in job order.  Serialized only when nonzero.
+  std::size_t deduped = 0;
+  /// End-to-end wall clock of the run_matrix call.
+  double wall_ms = 0.0;
 
   util::Json to_json() const;
 };

@@ -1,15 +1,32 @@
 #include "api/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <map>
+#include <set>
 #include <utility>
 
+#include "scenarios/canonical.hpp"
 #include "util/require.hpp"
 #include "util/text.hpp"
 
 namespace ptecps::api {
 
 namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// A row's compute wall, derived from the outcome's recorded timings so
+/// fresh and cached answers report the same number.
+double outcome_wall_ms(const campaign::ScenarioOutcome& outcome) {
+  double ms = outcome.wall_mean_s * static_cast<double>(outcome.runs.size()) * 1000.0;
+  if (outcome.verification.has_value()) ms += outcome.verification->wall_seconds * 1000.0;
+  return ms;
+}
 
 /// The job's scenario as a document: registry lookup for a ref, the
 /// inline document otherwise.  Throws on an ill-formed job.
@@ -99,6 +116,14 @@ Service::Service(ServiceOptions options) : options_(std::move(options)) {
 }
 
 JobResult Service::run(const Job& job) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  JobResult result = run_job(job);
+  // Timing is observed here, never stored: a hit reports its own wall.
+  result.wall_ms = ms_since(t0);
+  return result;
+}
+
+JobResult Service::run_job(const Job& job) const {
   JobResult result;
   result.verdict = "error";
   result.cache.enabled = cache_ != nullptr;
@@ -183,6 +208,13 @@ JobResult Service::run(const Job& job) const {
 }
 
 MatrixResult Service::run_matrix(const std::vector<Job>& jobs) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  MatrixResult result = run_matrix_jobs(jobs);
+  result.wall_ms = ms_since(t0);
+  return result;
+}
+
+MatrixResult Service::run_matrix_jobs(const std::vector<Job>& jobs) const {
   MatrixResult result;
   result.cache.enabled = cache_ != nullptr;
   if (jobs.empty()) {
@@ -232,12 +264,25 @@ MatrixResult Service::run_matrix(const std::vector<Job>& jobs) const {
   // Hits are answered from storage; the misses run as ONE campaign.
   // Sound because per-scenario outcomes are independent of how a
   // campaign is split — each run derives everything from its own seed
-  // and each spec is verified in isolation.
-  std::vector<std::size_t> miss;  // prep index per campaign slot
+  // and each spec is verified in isolation.  Identical jobs (same
+  // canonical params digest — name, budgets, seeds, everything
+  // semantic) collapse onto one campaign slot: the proof runs once and
+  // the answer fans out to every duplicate row in job order.
+  constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> miss;  // owning prep index per campaign slot
   std::vector<campaign::ScenarioSpec> specs;
+  std::vector<std::size_t> slot_of(prep.size(), kNoSlot);
+  std::map<std::string, std::size_t> slot_by_digest;
   for (std::size_t i = 0; i < prep.size(); ++i) {
     if (prep[i].hit.has_value()) {
       ++result.cache.hits;
+      continue;
+    }
+    const auto [it, inserted] =
+        slot_by_digest.try_emplace(scenarios::params_digest(prep[i].params), specs.size());
+    slot_of[i] = it->second;
+    if (!inserted) {
+      ++result.deduped;
       continue;
     }
     miss.push_back(i);
@@ -277,6 +322,15 @@ MatrixResult Service::run_matrix(const std::vector<Job>& jobs) const {
   const scenarios::CrossValidationReport fresh_xval =
       specs.empty() ? scenarios::CrossValidationReport{} : scenarios::cross_validate(fresh);
 
+  // Map campaign slot -> cross-validation check index (one check per
+  // verified slot, in campaign order).
+  std::vector<std::size_t> check_of_slot(specs.size(), kNoSlot);
+  {
+    std::size_t next_check = 0;
+    for (std::size_t s = 0; s < fresh.scenarios.size(); ++s)
+      if (fresh.scenarios[s].verification.has_value()) check_of_slot[s] = next_check++;
+  }
+
   // Merge back into one report + row list in job order.
   campaign::CampaignReport merged;
   merged.threads = fresh.threads;
@@ -285,8 +339,6 @@ MatrixResult Service::run_matrix(const std::vector<Job>& jobs) const {
   merged.errors = fresh.errors;
   scenarios::CrossValidationReport merged_xval;
   std::vector<std::optional<scenarios::CrossCheck>> fresh_checks(prep.size());
-  std::size_t miss_cursor = 0;
-  std::size_t fresh_check_cursor = 0;
   bool all_ok = true;
   for (std::size_t i = 0; i < prep.size(); ++i) {
     campaign::ScenarioOutcome outcome;
@@ -299,21 +351,23 @@ MatrixResult Service::run_matrix(const std::vector<Job>& jobs) const {
         merged_xval.checks.push_back(std::move(hit.crossval->checks[0]));
       }
     } else {
-      outcome = std::move(fresh.scenarios[miss_cursor]);
-      ++miss_cursor;
+      const std::size_t slot = slot_of[i];
+      outcome = fresh.scenarios[slot];  // copy: a slot may answer several rows
       if (outcome.verification.has_value()) {
-        const scenarios::CrossCheck& check = fresh_xval.checks[fresh_check_cursor];
-        ++fresh_check_cursor;
+        const scenarios::CrossCheck& check = fresh_xval.checks[check_of_slot[slot]];
         consistent = check.consistent;
         fresh_checks[i] = check;
         merged_xval.checks.push_back(check);
       }
-      if (outcome.verification.has_value() && outcome.verification->resumed)
+      // Resume accounting is per executed verification, not per row.
+      if (miss[slot] == i && outcome.verification.has_value() &&
+          outcome.verification->resumed)
         ++result.cache.resumes;
     }
 
     MatrixRow row;
     row.scenario = outcome.name;
+    row.wall_ms = outcome_wall_ms(outcome);
     row.expected = prep[i].expected;
     if (outcome.verification.has_value()) {
       row.status = outcome.verification->status;
@@ -343,9 +397,15 @@ MatrixResult Service::run_matrix(const std::vector<Job>& jobs) const {
         cache_->store_checkpoint(cache_->checkpoint_key(prep[miss[j]].params), captures[j]);
     }
     // Store the misses only out of a fully clean campaign — run/verify
-    // errors are not attributable per scenario with certainty.
+    // errors are not attributable per scenario with certainty.  Deduped
+    // rows can still carry a distinct result_key (cross_validate is part
+    // of the key but not the campaign digest), so walk every non-hit row
+    // and store each key once.
     if (fresh.errors.empty() && fresh.failed_runs == 0) {
-      for (const std::size_t i : miss) {
+      std::set<std::string> stored_keys;
+      for (std::size_t i = 0; i < prep.size(); ++i) {
+        if (prep[i].hit.has_value()) continue;
+        if (!stored_keys.insert(prep[i].result_key).second) continue;
         const JobResult single =
             single_scenario_result(merged.scenarios[i], fresh, fresh_checks[i]);
         cache_->store_result(prep[i].result_key, single.scenario, single.to_json());

@@ -29,6 +29,10 @@ struct ServiceOptions {
   std::uint64_t cache_max_bytes = ResultCache::kDefaultMaxBytes;
 };
 
+/// Safe for concurrent use: run()/run_matrix() are const, keep all
+/// mutable state on the stack, and the shared ResultCache publishes
+/// atomically (tmp + rename) — the daemon's worker pool calls one
+/// Service instance from many threads.
 class Service {
  public:
   explicit Service(ServiceOptions options = {});
@@ -57,6 +61,9 @@ class Service {
   const ResultCache* cache() const { return cache_.get(); }
 
  private:
+  JobResult run_job(const Job& job) const;
+  MatrixResult run_matrix_jobs(const std::vector<Job>& jobs) const;
+
   ServiceOptions options_;
   std::unique_ptr<ResultCache> cache_;
 };

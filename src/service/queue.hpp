@@ -1,0 +1,116 @@
+// Admission control for the verification daemon: a bounded, three-level
+// priority queue of pending jobs.
+//
+// Admission is explicit — push() answers kAdmitted, kQueueFull, or
+// kDraining, and a full queue REJECTS instead of blocking, so a client
+// always gets a prompt answer and a burst can never wedge every
+// connection thread behind an unbounded backlog.  Priorities exist so a
+// stream of huge proofs cannot starve interactive requests: workers
+// always take the highest non-empty level, FIFO within a level.
+//
+// Lifecycle: drain() flips the queue into reject-new mode (jobs already
+// admitted still come out); stop() additionally wakes blocked poppers
+// once the backlog is empty — pop() returning nullopt is the worker
+// exit signal.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "api/job.hpp"
+
+namespace ptecps::service {
+
+inline constexpr int kPriorityLow = 0;
+inline constexpr int kPriorityNormal = 1;
+inline constexpr int kPriorityHigh = 2;
+inline constexpr int kPriorityLevels = 3;
+
+struct QueuedJob {
+  api::Job job;
+  int priority = kPriorityNormal;
+  /// Client correlation id, echoed back verbatim in the response.
+  std::string id;
+  /// Admission time — latency metrics cover queue wait + execution.
+  std::chrono::steady_clock::time_point enqueued_at;
+  std::promise<api::JobResult> promise;
+};
+
+enum class AdmitStatus { kAdmitted, kQueueFull, kDraining };
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  AdmitStatus push(QueuedJob&& job) {
+    const int level = std::clamp(job.priority, 0, kPriorityLevels - 1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_) return AdmitStatus::kDraining;
+      if (size_ >= capacity_) return AdmitStatus::kQueueFull;
+      levels_[level].push_back(std::move(job));
+      ++size_;
+    }
+    cv_.notify_one();
+    return AdmitStatus::kAdmitted;
+  }
+
+  /// Blocks until a job is available or stop() emptied the queue.
+  std::optional<QueuedJob> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return size_ > 0 || stopping_; });
+    if (size_ == 0) return std::nullopt;
+    for (int level = kPriorityLevels - 1; level >= 0; --level) {
+      if (levels_[level].empty()) continue;
+      QueuedJob job = std::move(levels_[level].front());
+      levels_[level].pop_front();
+      --size_;
+      return job;
+    }
+    return std::nullopt;  // unreachable: size_ > 0 implies a non-empty level
+  }
+
+  /// Reject every future push; already-admitted jobs still drain out.
+  void drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+
+  /// Wake poppers for exit once the backlog is gone (implies drain()).
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      draining_ = true;
+      stopping_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool draining() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return draining_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedJob> levels_[kPriorityLevels];
+  std::size_t size_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace ptecps::service

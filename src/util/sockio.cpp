@@ -1,0 +1,241 @@
+#include "util/sockio.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "util/text.hpp"
+
+namespace ptecps::util {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Header block cap: a request line + headers larger than this is abuse,
+/// not a client.
+constexpr std::size_t kMaxHttpHeaderBytes = 64u << 10;
+constexpr std::size_t kMaxHttpBodyBytes = kMaxFrameBytes;
+
+sockaddr_in make_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw SockError(cat("sockio: not an IPv4 address: '", host, "'"));
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::write_all(const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SockError(cat("sockio: write failed: ", errno_text()));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::read_some(void* buf, std::size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    throw SockError(cat("sockio: read failed: ", errno_text()));
+  }
+}
+
+void Socket::read_exact(void* buf, std::size_t len) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const std::size_t n = read_some(p, len);
+    if (n == 0) throw SockError("sockio: connection closed mid-message");
+    p += n;
+    len -= n;
+  }
+}
+
+Socket tcp_listen(const std::string& host, int port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid())
+    throw SockError(cat("sockio: socket(): ", errno_text()));
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    throw SockError(cat("sockio: cannot bind ", host, ":", port, ": ", errno_text()));
+  if (::listen(sock.fd(), backlog) != 0)
+    throw SockError(cat("sockio: listen on ", host, ":", port, ": ", errno_text()));
+  return sock;
+}
+
+int bound_port(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw SockError(cat("sockio: getsockname: ", errno_text()));
+  return ntohs(addr.sin_port);
+}
+
+Socket tcp_connect(const std::string& host, int port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid())
+    throw SockError(cat("sockio: socket(): ", errno_text()));
+  sockaddr_in addr = make_addr(host, port);
+  while (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno == EINTR) continue;
+    throw SockError(cat("sockio: cannot connect to ", host, ":", port, ": ",
+                        errno_text()));
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+void write_frame_magic(Socket& socket) { socket.write_all(kFrameMagic, sizeof kFrameMagic); }
+
+void write_frame(Socket& socket, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw SockError(cat("sockio: frame of ", payload.size(), " bytes exceeds the ",
+                        kMaxFrameBytes, "-byte cap"));
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<std::uint8_t>(len);
+  header[1] = static_cast<std::uint8_t>(len >> 8);
+  header[2] = static_cast<std::uint8_t>(len >> 16);
+  header[3] = static_cast<std::uint8_t>(len >> 24);
+  socket.write_all(header, sizeof header);
+  socket.write_all(payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(Socket& socket) {
+  std::uint8_t header[4];
+  // EOF exactly at a frame boundary is a clean hang-up; EOF inside the
+  // header or payload is truncation.
+  const std::size_t first = socket.read_some(header, sizeof header);
+  if (first == 0) return std::nullopt;
+  if (first < sizeof header)
+    socket.read_exact(header + first, sizeof header - first);
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes)
+    throw SockError(cat("sockio: incoming frame of ", len, " bytes exceeds the ",
+                        kMaxFrameBytes, "-byte cap"));
+  std::string payload(len, '\0');
+  if (len > 0) socket.read_exact(payload.data(), len);
+  return payload;
+}
+
+std::optional<HttpRequest> read_http_request(Socket& socket, std::string prefix) {
+  std::string buf = std::move(prefix);
+  // Accumulate until the blank line ending the header block.
+  std::size_t header_end;
+  while ((header_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    if (buf.size() > kMaxHttpHeaderBytes)
+      throw SockError("sockio: HTTP header block exceeds 64 KiB");
+    char chunk[4096];
+    const std::size_t n = socket.read_some(chunk, sizeof chunk);
+    if (n == 0) {
+      if (buf.empty()) return std::nullopt;
+      throw SockError("sockio: connection closed inside HTTP headers");
+    }
+    buf.append(chunk, n);
+  }
+
+  HttpRequest req;
+  std::size_t pos = 0;
+  const std::size_t line_end = buf.find("\r\n", pos);
+  const std::string request_line = buf.substr(pos, line_end - pos);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos)
+    throw SockError(cat("sockio: malformed HTTP request line: '", request_line, "'"));
+  req.method = request_line.substr(0, sp1);
+  req.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  pos = line_end + 2;
+  while (pos < header_end) {
+    const std::size_t eol = buf.find("\r\n", pos);
+    const std::string line = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos)
+      throw SockError(cat("sockio: malformed HTTP header: '", line, "'"));
+    std::string key = line.substr(0, colon);
+    for (char& c : key) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    std::size_t v0 = colon + 1;
+    while (v0 < line.size() && line[v0] == ' ') ++v0;
+    req.headers[key] = line.substr(v0);
+  }
+
+  std::size_t content_length = 0;
+  if (const auto it = req.headers.find("content-length"); it != req.headers.end()) {
+    try {
+      content_length = std::stoull(it->second);
+    } catch (const std::exception&) {
+      throw SockError(cat("sockio: bad Content-Length: '", it->second, "'"));
+    }
+  }
+  if (content_length > kMaxHttpBodyBytes)
+    throw SockError(cat("sockio: HTTP body of ", content_length, " bytes exceeds the ",
+                        kMaxHttpBodyBytes, "-byte cap"));
+  req.body = buf.substr(header_end + 4);
+  while (req.body.size() < content_length) {
+    char chunk[4096];
+    const std::size_t want =
+        std::min(sizeof chunk, content_length - req.body.size());
+    const std::size_t n = socket.read_some(chunk, want);
+    if (n == 0) throw SockError("sockio: connection closed inside HTTP body");
+    req.body.append(chunk, n);
+  }
+  req.body.resize(content_length);
+  return req;
+}
+
+void write_http_response(Socket& socket, int status, std::string_view reason,
+                         std::string_view content_type, std::string_view body) {
+  const std::string head =
+      cat("HTTP/1.1 ", status, " ", reason, "\r\nContent-Type: ", content_type,
+          "\r\nContent-Length: ", body.size(), "\r\nConnection: close\r\n\r\n");
+  socket.write_all(head.data(), head.size());
+  socket.write_all(body.data(), body.size());
+}
+
+}  // namespace ptecps::util

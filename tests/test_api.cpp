@@ -326,6 +326,62 @@ TEST(Service, MatrixRunsSeveralJobsAsOneCampaign) {
   EXPECT_EQ(j.at("rows").as_array().size(), 2u);
 }
 
+TEST(Service, MatrixDedupsIdenticalJobs) {
+  // Two identical jobs (same canonical params digest) collapse onto one
+  // campaign slot: the proof runs once, the answer fans out per row —
+  // and the rows are indistinguishable from running without duplicates.
+  api::Job job = api::Job::for_scenario("laser-tracheotomy");
+  job.smoke = true;
+  api::Job other = api::Job::for_scenario("adversarial-drop");
+  other.smoke = true;
+
+  const api::MatrixResult deduped = api::Service().run_matrix({job, other, job, job});
+  EXPECT_EQ(deduped.deduped, 2u);
+  ASSERT_EQ(deduped.rows.size(), 4u);
+  // Only 2 distinct scenarios actually executed.
+  ASSERT_TRUE(deduped.report.has_value());
+  EXPECT_EQ(deduped.report->scenarios.size(), 4u);  // fanned out in job order
+  for (const std::size_t i : {0u, 2u, 3u}) {
+    EXPECT_EQ(deduped.rows[i].scenario, "laser-tracheotomy");
+    EXPECT_EQ(deduped.rows[i].status, deduped.rows[0].status);
+    EXPECT_EQ(deduped.rows[i].wall_ms, deduped.rows[0].wall_ms);
+    EXPECT_EQ(deduped.report->scenarios[i].verification->states_explored,
+              deduped.report->scenarios[0].verification->states_explored);
+  }
+  EXPECT_TRUE(deduped.ok) << deduped.to_json().dump(2);
+
+  // Same verdicts as the duplicate-free matrix.
+  const api::MatrixResult plain = api::Service().run_matrix({job, other});
+  EXPECT_EQ(plain.deduped, 0u);
+  EXPECT_EQ(plain.rows[0].status, deduped.rows[0].status);
+  EXPECT_EQ(plain.rows[1].status, deduped.rows[1].status);
+  EXPECT_EQ(plain.report->scenarios[0].verification->states_explored,
+            deduped.report->scenarios[0].verification->states_explored);
+}
+
+TEST(Service, WallClockIsReportedButNotStored) {
+  api::Job job = api::Job::for_scenario("laser-tracheotomy");
+  job.mode = campaign::RunMode::kVerify;
+  job.smoke = true;
+  const api::JobResult result = api::Service().run(job);
+  EXPECT_GT(result.wall_ms, 0.0);
+  EXPECT_TRUE(result.to_json().find("wall_ms") != nullptr);
+
+  // A result whose wall_ms is zero serializes without the key at all —
+  // what keeps stored cache entries byte-stable across the feature.
+  api::JobResult zeroed = result;
+  zeroed.wall_ms = 0.0;
+  EXPECT_TRUE(zeroed.to_json().find("wall_ms") == nullptr);
+  // And the key round-trips when present.
+  const api::JobResult back = api::JobResult::from_json(result.to_json());
+  EXPECT_EQ(back.wall_ms, result.wall_ms);
+
+  const api::MatrixResult matrix = api::Service().run_matrix({job});
+  EXPECT_GT(matrix.wall_ms, 0.0);
+  ASSERT_EQ(matrix.rows.size(), 1u);
+  EXPECT_GT(matrix.rows[0].wall_ms, 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // CampaignReport::json() dogfood
 // ---------------------------------------------------------------------------

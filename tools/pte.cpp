@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "scenarios/registry.hpp"
 #include "scenarios/serialize.hpp"
 #include "util/cli.hpp"
+#include "util/sockio.hpp"
 #include "util/table.hpp"
 #include "util/text.hpp"
 
@@ -61,13 +63,16 @@ constexpr const char* kUsage =
     "  fuzz                synthesized random deployments, cross-validated\n"
     "  cache <action>      result-cache maintenance: stats, clear, gc\n"
     "\n"
-    "<ref>: a registry name (`pte list`) or a scenario .json file path.\n"
+    "<ref>: a registry name (`pte list`), a scenario .json file path, or\n"
+    "  `-` for a scenario document on stdin (pipe from `pte export`).\n"
     "common options: --seeds N --seed-base S --threads N --verify-threads N\n"
     "  (prover threads; scenarios default to 0 = hardware concurrency)\n"
     "  --losses K --injections K --states N (budget caps) --smoke --expect V\n"
     "caching (run/verify/matrix): --cache-dir DIR (or PTE_CACHE_DIR) enables\n"
     "  the content-addressed result cache + warm-resume checkpoints;\n"
-    "  --no-cache disables it for one invocation.\n";
+    "  --no-cache disables it for one invocation.\n"
+    "remote (run/verify): --connect HOST:PORT sends the job to a running\n"
+    "  `pted` daemon instead of executing in-process.\n";
 
 int usage_error(const std::string& message) {
   std::fprintf(stderr, "error: %s\n\n%s", message.c_str(), kUsage);
@@ -109,8 +114,22 @@ const scenarios::RegistryEntry& find_entry_or_die(const std::string& name) {
   std::exit(2);
 }
 
-/// Registry name or scenario file → document; exits(2) on neither.
+/// Scenario document from stdin — `pte export X | pte verify -`.
+scenarios::ScenarioDocument load_stdin() {
+  std::ostringstream buffer;
+  buffer << std::cin.rdbuf();
+  try {
+    return scenarios::document_from_text(buffer.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: <stdin>: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+/// Registry name, scenario file, or `-` (stdin) → document; exits(2)
+/// on none of the three.
 scenarios::ScenarioDocument load_ref(const std::string& ref) {
+  if (ref == "-") return load_stdin();
   if (!looks_like_file(ref)) return scenarios::export_document(find_entry_or_die(ref));
   return load_file(ref);
 }
@@ -178,6 +197,47 @@ api::Job job_from_args(const util::ArgParser& args, scenarios::ScenarioDocument 
                                       "' (proved, violation, out-of-budget)")));
   }
   return job;
+}
+
+/// Execute one job on a running `pted` daemon (--connect HOST:PORT):
+/// framed protocol, one request, one response.  Exits(2) on transport
+/// or protocol failure; a job the daemon rejected (queue full, drain)
+/// surfaces the server's error text and exits 1.
+api::JobResult run_remote(const std::string& endpoint, const api::Job& job) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 == endpoint.size()) {
+    std::fprintf(stderr, "error: --connect needs HOST:PORT, got '%s'\n", endpoint.c_str());
+    std::exit(2);
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  try {
+    util::Socket sock = util::tcp_connect(host, port);
+    util::write_frame_magic(sock);
+    util::Json envelope = util::Json::object();
+    envelope.set("job", job.to_json());
+    util::write_frame(sock, envelope.dump_canonical());
+    const std::optional<std::string> reply = util::read_frame(sock);
+    if (!reply.has_value())
+      throw util::SockError("server closed the connection without a response");
+    const util::Json resp = util::Json::parse(*reply);
+    if (const util::Json* result = resp.find("result"))
+      return api::JobResult::from_json(*result);
+    const util::Json* error = resp.find("error");
+    std::fprintf(stderr, "error: %s: %s\n", endpoint.c_str(),
+                 error != nullptr ? error->as_string().c_str() : "malformed response");
+    std::exit(1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", endpoint.c_str(), e.what());
+    std::exit(2);
+  }
+}
+
+/// In-process service, or the daemon when --connect is given.
+api::JobResult execute_job(const util::ArgParser& args, const api::Job& job) {
+  const std::string endpoint = args.get_string("connect", "");
+  if (!endpoint.empty()) return run_remote(endpoint, job);
+  return make_service(args).run(job);
 }
 
 /// JSON to stdout, one verdict line to stderr, exit code from `ok`.
@@ -300,7 +360,7 @@ int cmd_run(const util::ArgParser& args) {
           util::cat("unknown --mode '", mode, "' (monte-carlo, verify, both)"));
   }
   if (args.has_flag("no-crossval")) job.cross_validate = false;
-  return emit_result(make_service(args).run(job));
+  return emit_result(execute_job(args, job));
 }
 
 int cmd_verify(const util::ArgParser& args) {
@@ -308,7 +368,7 @@ int cmd_verify(const util::ArgParser& args) {
     return usage_error("verify needs exactly one <ref>");
   api::Job job = job_from_args(args, load_ref(args.positional()[0]));
   job.mode = campaign::RunMode::kVerify;
-  return emit_result(make_service(args).run(job));
+  return emit_result(execute_job(args, job));
 }
 
 int cmd_matrix(const util::ArgParser& args) {
@@ -519,12 +579,12 @@ int main(int argc, char** argv) {
     return cmd_run({sub_argc, sub_argv,
                     {"seeds", "seed-base", "threads", "verify-threads", "losses",
                      "injections", "input-changes", "states", "smoke", "mode", "expect",
-                     "no-crossval", "cache-dir", "no-cache"}});
+                     "no-crossval", "cache-dir", "no-cache", "connect"}});
   if (command == "verify")
     return cmd_verify({sub_argc, sub_argv,
                        {"seeds", "seed-base", "threads", "verify-threads", "losses",
                         "injections", "input-changes", "states", "smoke", "expect",
-                        "cache-dir", "no-cache"}});
+                        "cache-dir", "no-cache", "connect"}});
   if (command == "matrix")
     return cmd_matrix({sub_argc, sub_argv,
                        {"smoke", "scenario", "dir", "seeds", "threads",
