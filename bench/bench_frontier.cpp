@@ -1,0 +1,138 @@
+// Robustness-frontier sweep over the whole registry (api/frontier.hpp):
+// writes BENCH_frontier.json, the committed byte-stable record of every
+// scenario's safe/critical attacker bracket.
+//
+// The acceptance bar (exit status, not just numbers in the JSON):
+//   - the sweep concludes for every scenario, and every critical probe's
+//     counterexample replays through the concrete engine;
+//   - two back-to-back sweeps render byte-identically (the report is
+//     deterministic and wall-clock-free);
+//   - against a fresh store the second sweep answers EVERY probe from
+//     the cache (warm hits == cold misses, zero warm misses) while
+//     reporting the identical margins.
+//
+// Usage: bench_frontier [--smoke] [--budget 4] [--verify-threads N]
+//                       [--skip-json]
+// CI runs `bench_frontier --smoke`; the committed artifact is the full
+// (non-smoke) sweep.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/frontier.hpp"
+#include "api/service.hpp"
+#include "scenarios/registry.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/text.hpp"
+
+namespace fs = std::filesystem;
+using namespace ptecps;
+
+namespace {
+
+std::vector<api::Job> registry_jobs(const util::ArgParser& args) {
+  std::vector<api::Job> jobs;
+  for (const scenarios::RegistryEntry& e : scenarios::registry()) {
+    api::Job job = api::Job::for_scenario(e.name);
+    job.smoke = args.has_flag("smoke");
+    job.tuning.threads = args.get_u64("verify-threads", 0);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+bool margins_match(const api::FrontierReport& a, const api::FrontierReport& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    const api::FrontierResult& x = a.results[i];
+    const api::FrontierResult& y = b.results[i];
+    if (x.scenario != y.scenario || x.margin != y.margin ||
+        x.safe_losses != y.safe_losses || x.critical_losses != y.critical_losses)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv,
+                       {"smoke", "budget", "verify-threads", "skip-json"});
+  api::FrontierOptions options;
+  options.default_budget = args.get_u64("budget", options.default_budget);
+  const std::vector<api::Job> jobs = registry_jobs(args);
+
+  std::printf("=== robustness-frontier sweep: %zu registry scenario(s)%s ===\n\n",
+              jobs.size(), args.has_flag("smoke") ? " (smoke)" : "");
+  bool ok = true;
+
+  // 1. The sweep itself, twice: every search concludes, every critical
+  //    probe replays, and the two renderings are byte-identical.
+  const api::Service service;
+  const api::FrontierReport report = api::compute_frontier(service, jobs, options);
+  ok = ok && report.ok;
+  for (const api::FrontierResult& r : report.results) {
+    std::printf("%-24s budget %zu  safe %-4s critical %-4s margin %.2f  probes %zu\n",
+                r.scenario.c_str(), r.budget,
+                r.safe_losses ? util::cat(*r.safe_losses).c_str() : "-",
+                r.critical_losses ? util::cat(*r.critical_losses).c_str() : "-",
+                r.margin, r.probes.size());
+    if (r.critical_losses.has_value() && !r.counterexample_replayed) {
+      std::fprintf(stderr, "bench_frontier: %s: critical counterexample did not replay\n",
+                   r.scenario.c_str());
+      ok = false;
+    }
+    for (const std::string& e : r.errors)
+      std::fprintf(stderr, "bench_frontier: %s: %s\n", r.scenario.c_str(), e.c_str());
+  }
+  for (const std::string& e : report.errors)
+    std::fprintf(stderr, "bench_frontier: %s\n", e.c_str());
+
+  const api::FrontierReport rerun = api::compute_frontier(service, jobs, options);
+  const bool deterministic =
+      report.to_json().dump_canonical() == rerun.to_json().dump_canonical();
+  ok = ok && deterministic;
+  std::printf("\nrerun: %s\n", deterministic ? "byte-identical" : "DIVERGED");
+
+  // 2. Cache round trip against a fresh store: the warm sweep must not
+  //    explore anything.
+  const fs::path dir = fs::temp_directory_path() / "ptecps-bench-frontier";
+  fs::remove_all(dir);
+  api::ServiceOptions service_options;
+  service_options.cache_dir = dir.string();
+  const api::Service cached(service_options);
+  const api::FrontierReport cold = api::compute_frontier(cached, jobs, options);
+  const api::FrontierReport warm = api::compute_frontier(cached, jobs, options);
+  fs::remove_all(dir);
+  const bool all_hits = cold.cache.misses > 0 && warm.cache.misses == 0 &&
+                        warm.cache.hits == cold.cache.misses;
+  const bool warm_margins = margins_match(cold, warm) && margins_match(report, cold);
+  ok = ok && all_hits && warm_margins;
+  std::printf("cache: cold %zu misses, warm %zu hits / %zu misses — %s\n",
+              cold.cache.misses, warm.cache.hits, warm.cache.misses,
+              all_hits && warm_margins ? "second sweep answered from storage"
+                                       : "CACHE ROUND TRIP FAILED");
+
+  if (!args.has_flag("skip-json")) {
+    util::Json doc = util::Json::object();
+    doc.set("smoke", args.has_flag("smoke"));
+    doc.set("default_budget", options.default_budget);
+    doc.set("frontier", report.to_json());
+    util::Json cache_j = util::Json::object();
+    cache_j.set("cold_misses", cold.cache.misses);
+    cache_j.set("warm_hits", warm.cache.hits);
+    cache_j.set("warm_misses", warm.cache.misses);
+    doc.set("cache_round_trip", std::move(cache_j));
+    std::FILE* f = std::fopen("BENCH_frontier.json", "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write BENCH_frontier.json\n");
+      return 2;
+    }
+    std::fputs(doc.dump(2).c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_frontier.json (%zu scenarios)\n", report.results.size());
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Robustness frontiers: HOW MUCH attacker each deployment provably
+// tolerates, instead of a bare pass/fail at one handpicked budget.
+//
+// For one scenario the frontier planner binary-searches the attacker's
+// ammunition axis: probe k means "prove the deployment with the attacker
+// at intensity k/budget", which build() lowers to a k-loss worst-case
+// adversary.  The search is sound because the lowering is monotone — the
+// bounded adversary may always elect to use fewer losses, so proved at k
+// implies proved at every k' < k, and one proved/violated bracket is the
+// whole story.  The result per scenario is a quantitative safety margin:
+// the largest intensity still proved, the smallest intensity with a
+// concrete counterexample (replayed through the engine), and the probe
+// trail that established both.
+//
+// Execution is batched: every active scenario contributes its next probe
+// and the batch runs as ONE Service::run_matrix campaign, so probes share
+// the worker pool, identical probes dedup, and — with a cache configured
+// — a re-run of the same frontier answers every probe from storage with
+// identical margins (the probe sequence is deterministic, and each probe
+// point is its own canonical-params cache entry via the job's
+// attacker_intensity override).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/service.hpp"
+#include "util/json.hpp"
+
+namespace ptecps::api {
+
+struct FrontierOptions {
+  /// Ammunition at intensity 1.0 for scenarios whose attacker does not
+  /// declare a budget of its own: such deployments (including attacker-
+  /// less ones, which get a sustained jammer grafted for the sweep) are
+  /// probed on a 0..default_budget grid.
+  std::size_t default_budget = 4;
+};
+
+/// One probe point of a scenario's search, in ammunition order.
+struct FrontierProbe {
+  std::size_t losses = 0;
+  double intensity = 0.0;
+  verify::VerifyStatus status = verify::VerifyStatus::kOutOfBudget;
+};
+
+struct FrontierResult {
+  std::string scenario;
+  /// The search concluded (no errors, no out-of-budget probes).
+  bool ok = false;
+  /// Ammunition at intensity 1.0 (the attacker's own budget, or the
+  /// options default).
+  std::size_t budget = 0;
+  /// Largest ammunition still proved; absent when the deployment is
+  /// violated even with ZERO attacker losses.
+  std::optional<std::size_t> safe_losses;
+  /// The reported safety margin: safe_losses / budget in [0,1] (0 when
+  /// violated at zero).
+  double margin = 0.0;
+  /// Smallest ammunition with a violation; absent when the proof holds
+  /// at the full budget.
+  std::optional<std::size_t> critical_losses;
+  double critical_intensity = 0.0;
+  /// The critical probe's counterexample re-executed through the engine
+  /// and reproduced the violation — the above-the-frontier witness.
+  bool counterexample_replayed = false;
+  std::vector<FrontierProbe> probes;
+  std::vector<std::string> errors;
+};
+
+struct FrontierReport {
+  /// Every scenario's search concluded.
+  bool ok = false;
+  std::vector<FrontierResult> results;
+  CacheCounters cache;
+  std::size_t deduped = 0;
+  /// End-to-end wall clock; NOT serialized (to_json() is byte-stable
+  /// across reruns so frontier artifacts can be diffed).
+  double wall_ms = 0.0;
+  std::vector<std::string> errors;
+
+  util::Json to_json() const;
+};
+
+/// Sweep every base job's scenario.  Base jobs carry the usual overrides
+/// (smoke, tuning, seeds, threads); the planner forces verify-only
+/// probes and drives attacker_intensity itself.  Never throws — per-
+/// scenario failures land in that result's errors.
+FrontierReport compute_frontier(const Service& service, const std::vector<Job>& jobs,
+                                const FrontierOptions& options = {});
+
+}  // namespace ptecps::api

@@ -88,6 +88,12 @@ Job Job::from_json(const Json& j) {
     job.tuning = tuning_from_json(*tuning, "job.tuning");
   if (const Json* seed = r.optional("seed_base")) job.seed_base = seed->as_uint();
   job.threads = r.uinteger("threads", job.threads);
+  if (const Json* intensity = r.optional("attacker_intensity")) {
+    const double value = intensity->as_double();
+    if (value < 0.0 || value > 1.0)
+      r.fail("attacker_intensity", util::cat("out of [0,1]: ", value));
+    job.attacker_intensity = value;
+  }
   job.cross_validate = r.boolean("cross_validate", job.cross_validate);
   const std::string expected = r.string("expected", "");
   if (!expected.empty()) {
@@ -114,6 +120,7 @@ Json Job::to_json() const {
   if (!tuning_json.as_object().empty()) out.set("tuning", std::move(tuning_json));
   if (seed_base.has_value()) out.set("seed_base", *seed_base);
   if (threads > 0) out.set("threads", threads);
+  if (attacker_intensity.has_value()) out.set("attacker_intensity", *attacker_intensity);
   if (!cross_validate) out.set("cross_validate", false);
   if (expected.has_value()) out.set("expected", verify::verify_status_str(*expected));
   return out;

@@ -49,6 +49,13 @@ struct Job {
   /// Monte-Carlo worker threads (0 = hardware concurrency).
   std::size_t threads = 0;
 
+  /// Override the scenario attacker's intensity knob (in [0,1]) — the
+  /// lever `pte frontier` sweeps: it scales the stochastic lowering and
+  /// the prover's attacker-budgeted ammunition together.  Part of the
+  /// resolved canonical params, so every probe point gets its own cache
+  /// entry.  Absent = keep the document's own intensity.
+  std::optional<double> attacker_intensity;
+
   /// Cross-validate prover against sampler when both sides ran.
   bool cross_validate = true;
 
@@ -114,9 +121,11 @@ struct MatrixRow {
   std::optional<verify::VerifyStatus> status;
   bool expected_match = true;
   bool consistent = true;  // cross-validation verdict for this scenario
-  /// This job's compute wall (prover wall + summed Monte-Carlo run
-  /// walls), derived from the outcome's recorded timings — identical
-  /// whether the row was computed fresh or answered from the cache.
+  /// Compute wall THIS call spent on the row (prover wall + summed
+  /// Monte-Carlo run walls).  Rows answered from the result cache or by
+  /// dedup fan-out report 0 — only the row that actually executed its
+  /// campaign slot carries the cost, so a frontier-style sweep's hit
+  /// rows never inherit the executed slot's timing.
   double wall_ms = 0.0;
 };
 

@@ -28,32 +28,6 @@ double outcome_wall_ms(const campaign::ScenarioOutcome& outcome) {
   return ms;
 }
 
-/// The job's scenario as a document: registry lookup for a ref, the
-/// inline document otherwise.  Throws on an ill-formed job.
-scenarios::ScenarioDocument resolve(const Job& job) {
-  PTE_REQUIRE(!(job.scenario.has_value() && !job.scenario_ref.empty()),
-              "job carries both a scenario reference and an inline scenario");
-  if (job.scenario.has_value()) return *job.scenario;
-  PTE_REQUIRE(!job.scenario_ref.empty(),
-              "job carries neither a scenario reference nor an inline scenario");
-  const scenarios::RegistryEntry* entry = scenarios::find_scenario(job.scenario_ref);
-  PTE_REQUIRE(entry != nullptr,
-              util::cat("unknown scenario '", job.scenario_ref, "' (try `pte list`)"));
-  return scenarios::export_document(*entry);
-}
-
-/// Overrides applied in order: mode, smoke profile, explicit tuning,
-/// seed base — the one code path both run() and run_matrix() go through.
-scenarios::ScenarioParams resolved_params(const Job& job,
-                                          const scenarios::ScenarioDocument& doc) {
-  scenarios::ScenarioParams params = doc.params;
-  if (job.mode.has_value()) params.mode = *job.mode;
-  if (job.smoke) scenarios::apply_tuning(params, scenarios::RegistryTuning::smoke());
-  scenarios::apply_tuning(params, job.tuning);
-  if (job.seed_base.has_value()) params.seed_base = *job.seed_base;
-  return params;
-}
-
 /// Re-derive the expectation-dependent half of a JobResult.  The
 /// asserted expectation is deliberately NOT part of the cache key, so a
 /// cache hit recomputes it against the job at hand; the cold path uses
@@ -106,6 +80,33 @@ JobResult single_scenario_result(const campaign::ScenarioOutcome& outcome,
 
 }  // namespace
 
+scenarios::ScenarioDocument resolve_scenario(const Job& job) {
+  PTE_REQUIRE(!(job.scenario.has_value() && !job.scenario_ref.empty()),
+              "job carries both a scenario reference and an inline scenario");
+  if (job.scenario.has_value()) return *job.scenario;
+  PTE_REQUIRE(!job.scenario_ref.empty(),
+              "job carries neither a scenario reference nor an inline scenario");
+  const scenarios::RegistryEntry* entry = scenarios::find_scenario(job.scenario_ref);
+  PTE_REQUIRE(entry != nullptr,
+              util::cat("unknown scenario '", job.scenario_ref, "' (try `pte list`)"));
+  return scenarios::export_document(*entry);
+}
+
+scenarios::ScenarioParams resolved_params(const Job& job,
+                                          const scenarios::ScenarioDocument& doc) {
+  scenarios::ScenarioParams params = doc.params;
+  if (job.mode.has_value()) params.mode = *job.mode;
+  if (job.smoke) scenarios::apply_tuning(params, scenarios::RegistryTuning::smoke());
+  scenarios::apply_tuning(params, job.tuning);
+  if (job.seed_base.has_value()) params.seed_base = *job.seed_base;
+  if (job.attacker_intensity.has_value()) {
+    PTE_REQUIRE(*job.attacker_intensity >= 0.0 && *job.attacker_intensity <= 1.0,
+                util::cat("attacker intensity out of [0,1]: ", *job.attacker_intensity));
+    params.attacker.intensity = *job.attacker_intensity;
+  }
+  return params;
+}
+
 Service::Service(ServiceOptions options) : options_(std::move(options)) {
   if (!options_.cache_dir.empty()) {
     ResultCache::Options copt;
@@ -133,7 +134,7 @@ JobResult Service::run_job(const Job& job) const {
   campaign::ScenarioSpec spec;
   std::optional<verify::VerifyStatus> expected;
   try {
-    doc = resolve(job);
+    doc = resolve_scenario(job);
     result.scenario = doc.params.name;
     expected = job.expected.has_value() ? job.expected : doc.expected;
     result.expected = expected;
@@ -236,7 +237,7 @@ MatrixResult Service::run_matrix_jobs(const std::vector<Job>& jobs) const {
   for (const Job& job : jobs) {
     try {
       PreparedJob p;
-      const scenarios::ScenarioDocument doc = resolve(job);
+      const scenarios::ScenarioDocument doc = resolve_scenario(job);
       p.expected = job.expected.has_value() ? job.expected : doc.expected;
       p.cross_validate = job.cross_validate;
       p.params = resolved_params(job, doc);
@@ -367,7 +368,11 @@ MatrixResult Service::run_matrix_jobs(const std::vector<Job>& jobs) const {
 
     MatrixRow row;
     row.scenario = outcome.name;
-    row.wall_ms = outcome_wall_ms(outcome);
+    // Only the row that actually executed its campaign slot reports the
+    // compute wall; cache hits AND dedup copies answered without running
+    // report 0 (see MatrixRow::wall_ms).
+    const bool executed = !prep[i].hit.has_value() && miss[slot_of[i]] == i;
+    row.wall_ms = executed ? outcome_wall_ms(outcome) : 0.0;
     row.expected = prep[i].expected;
     if (outcome.verification.has_value()) {
       row.status = outcome.verification->status;

@@ -17,6 +17,18 @@
 
 namespace ptecps::api {
 
+/// The job's scenario as a document: registry lookup for a ref, the
+/// inline document otherwise.  Throws on an ill-formed job.
+scenarios::ScenarioDocument resolve_scenario(const Job& job);
+
+/// The job's overrides folded into the document's parameters — mode,
+/// smoke profile, explicit tuning, seed base, attacker intensity, in
+/// that order.  The ONE code path run(), run_matrix() and the frontier
+/// planner all go through, so cache keys and campaign lowering agree by
+/// construction.
+scenarios::ScenarioParams resolved_params(const Job& job,
+                                          const scenarios::ScenarioDocument& doc);
+
 struct ServiceOptions {
   /// Fallback Monte-Carlo thread count for jobs that leave threads == 0
   /// (0 = hardware concurrency).

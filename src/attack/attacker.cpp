@@ -1,0 +1,184 @@
+#include "attack/attacker.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::attack {
+
+namespace {
+
+void require_probability(double p, const char* what) {
+  PTE_REQUIRE(p >= 0.0 && p <= 1.0, util::cat(what, " must be in [0,1], got ", p));
+}
+
+}  // namespace
+
+AttackerModel AttackerModel::none() { return AttackerModel{}; }
+
+AttackerModel AttackerModel::bernoulli(double p) {
+  require_probability(p, "bernoulli loss probability");
+  AttackerModel a;
+  a.kind = Kind::kBernoulli;
+  a.p = p;
+  return a;
+}
+
+AttackerModel AttackerModel::gilbert_elliott(double p_gb, double p_bg, double loss_good,
+                                             double loss_bad) {
+  for (double p : {p_gb, p_bg, loss_good, loss_bad})
+    require_probability(p, "Gilbert-Elliott probability");
+  AttackerModel a;
+  a.kind = Kind::kGilbertElliott;
+  a.p_gb = p_gb;
+  a.p_bg = p_bg;
+  a.loss_good = loss_good;
+  a.loss_bad = loss_bad;
+  return a;
+}
+
+AttackerModel AttackerModel::interference(double period, double burst, double loss_burst,
+                                          double loss_idle, double phase) {
+  PTE_REQUIRE(period > 0.0, "interference period must be positive");
+  PTE_REQUIRE(burst >= 0.0 && burst <= period, "burst must fit within the period");
+  require_probability(loss_burst, "interference loss_burst");
+  require_probability(loss_idle, "interference loss_idle");
+  AttackerModel a;
+  a.kind = Kind::kInterference;
+  a.period = period;
+  a.burst = burst;
+  a.loss_burst = loss_burst;
+  a.loss_idle = loss_idle;
+  a.phase = phase;
+  return a;
+}
+
+AttackerModel AttackerModel::scripted(std::vector<bool> verdicts) {
+  AttackerModel a;
+  a.kind = Kind::kScripted;
+  a.script = std::move(verdicts);
+  return a;
+}
+
+AttackerModel AttackerModel::sustained_jammer(double kill_prob) {
+  require_probability(kill_prob, "sustained-jammer kill probability");
+  AttackerModel a;
+  a.kind = Kind::kSustainedJammer;
+  a.kill_prob = kill_prob;
+  return a;
+}
+
+AttackerModel AttackerModel::reactive_jammer(double sense_prob, double jam_len,
+                                             double kill_prob) {
+  require_probability(sense_prob, "reactive-jammer sense probability");
+  require_probability(kill_prob, "reactive-jammer kill probability");
+  PTE_REQUIRE(jam_len >= 0.0, "reactive-jammer jam window must be non-negative");
+  AttackerModel a;
+  a.kind = Kind::kReactiveJammer;
+  a.sense_prob = sense_prob;
+  a.jam_len = jam_len;
+  a.kill_prob = kill_prob;
+  return a;
+}
+
+AttackerModel& AttackerModel::with_intensity(double value) {
+  require_probability(value, "attacker intensity");
+  intensity = value;
+  return *this;
+}
+
+AttackerModel& AttackerModel::with_budget(std::size_t ammo) {
+  budget = ammo;
+  return *this;
+}
+
+std::unique_ptr<net::LossModel> AttackerModel::make() const {
+  require_probability(intensity, "attacker intensity");
+  switch (kind) {
+    case Kind::kNone: return std::make_unique<net::PerfectLink>();
+    case Kind::kBernoulli: return std::make_unique<net::BernoulliLoss>(intensity * p);
+    case Kind::kGilbertElliott:
+      // Intensity scales how LOSSY each channel state is, not how the
+      // chain moves: the burst structure is the environment, the damage
+      // inside it is the attacker.
+      return std::make_unique<net::GilbertElliottLoss>(p_gb, p_bg, intensity * loss_good,
+                                                       intensity * loss_bad);
+    case Kind::kInterference:
+      // Intensity scales the jam DUTY (burst length), the knob the §V
+      // emulation's 802.11g interferer turns; at 1.0 this is bit-identical
+      // to the legacy "interference" loss family.
+      return std::make_unique<net::InterferenceLoss>(period, intensity * burst, loss_burst,
+                                                     loss_idle, phase);
+    case Kind::kScripted: return std::make_unique<net::ScriptedLoss>(script);
+    case Kind::kSustainedJammer:
+      return std::make_unique<net::BernoulliLoss>(intensity * kill_prob);
+    case Kind::kReactiveJammer:
+      return std::make_unique<net::ReactiveJamLoss>(intensity * sense_prob, kill_prob,
+                                                    jam_len);
+  }
+  PTE_CHECK(false, "unhandled AttackerModel kind");
+}
+
+std::size_t AttackerModel::losses() const {
+  require_probability(intensity, "attacker intensity");
+  // +1e-9 keeps exact grid points (k/budget * budget) from rounding down
+  // through floating-point dust; intensities between grid points still
+  // floor, so the lowering stays monotone in intensity.
+  return static_cast<std::size_t>(
+      std::floor(intensity * static_cast<double>(budget) + 1e-9));
+}
+
+std::string AttackerModel::describe() const {
+  if (kind == Kind::kNone) return "none";
+  std::string out = attacker_kind_str(kind) + "(";
+  switch (kind) {
+    case Kind::kNone: break;
+    case Kind::kBernoulli: out += util::cat("p=", util::fmt_compact(p)); break;
+    case Kind::kGilbertElliott:
+      out += util::cat("gb=", util::fmt_compact(p_gb), ", bg=", util::fmt_compact(p_bg),
+                       ", loss_g=", util::fmt_compact(loss_good), ", loss_b=",
+                       util::fmt_compact(loss_bad));
+      break;
+    case Kind::kInterference:
+      out += util::cat("period=", util::fmt_compact(period), "s, burst=",
+                       util::fmt_compact(burst), "s, loss_burst=",
+                       util::fmt_compact(loss_burst), ", loss_idle=",
+                       util::fmt_compact(loss_idle));
+      break;
+    case Kind::kScripted: {
+      std::size_t lost = 0;
+      for (bool v : script) lost += v ? 1 : 0;
+      out += util::cat(lost, "/", script.size(), " lost");
+      break;
+    }
+    case Kind::kSustainedJammer:
+      out += util::cat("kill=", util::fmt_compact(kill_prob));
+      break;
+    case Kind::kReactiveJammer:
+      out += util::cat("sense=", util::fmt_compact(sense_prob), ", jam=",
+                       util::fmt_compact(jam_len), "s, kill=",
+                       util::fmt_compact(kill_prob));
+      break;
+  }
+  out += ")";
+  if (intensity != 1.0) out += util::cat(" @", util::fmt_compact(intensity));
+  if (budget > 0) out += util::cat(" budget=", budget);
+  return out;
+}
+
+std::string attacker_kind_str(AttackerModel::Kind kind) {
+  switch (kind) {
+    case AttackerModel::Kind::kNone: return "none";
+    case AttackerModel::Kind::kBernoulli: return "bernoulli";
+    case AttackerModel::Kind::kGilbertElliott: return "gilbert-elliott";
+    case AttackerModel::Kind::kInterference: return "interference";
+    case AttackerModel::Kind::kScripted: return "scripted";
+    case AttackerModel::Kind::kSustainedJammer: return "sustained-jammer";
+    case AttackerModel::Kind::kReactiveJammer: return "reactive-jammer";
+  }
+  return "?";
+}
+
+}  // namespace ptecps::attack

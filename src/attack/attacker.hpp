@@ -1,0 +1,116 @@
+// The unified attacker model: ONE description of the hostile environment
+// that BOTH execution backends consume.
+//
+// The paper proves PTE safety against an environment that may lose
+// wireless messages arbitrarily (§II-B); the emulation in §V produced
+// that loss with an 802.11g interferer.  Related work (Wang/Nielson/
+// Nielson, "A Framework for Hybrid Systems with DoS Security Attack")
+// treats denial of service as a first-class modeled behavior rather than
+// a channel parameter — this header adopts that framing.  An
+// AttackerModel in the scenario schema lowers two ways:
+//
+//   * to the Monte-Carlo sampler as a stochastic net::LossModel
+//     (make()), one fresh instance per link per run;
+//   * to the exhaustive prover as adversary ammunition (losses()): the
+//     number of messages the worst-case adversary may destroy, wired
+//     into campaign::VerifySpec::max_losses by scenarios::build().
+//
+// Both lowerings are driven by the same `intensity` knob in [0,1] — the
+// sampler's loss probabilities / jam duty and the prover's ammo scale
+// together, so `pte frontier` can binary-search the largest intensity
+// under which the PTE proof still holds and report it as a quantitative
+// safety margin.  Scaling is MONOTONE by construction: a lower intensity
+// never gives the attacker more power (fewer stochastic losses, no more
+// ammo), which is what makes the frontier search sound — proved at ammo
+// k implies proved at every k' < k, because the bounded adversary may
+// always elect to use fewer losses.
+//
+// The five legacy loss families (perfect / Bernoulli / Gilbert-Elliott /
+// interference / scripted) are re-expressed as degenerate attackers: at
+// intensity 1.0 they are bit-identical to the models the scenario schema
+// v1 carried as "loss".
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/loss_model.hpp"
+
+namespace ptecps::attack {
+
+struct AttackerModel {
+  enum class Kind {
+    kNone,             // benign channel (legacy "perfect")
+    kBernoulli,        // i.i.d. loss with probability intensity * p
+    kGilbertElliott,   // Markov bursts; per-state loss scaled by intensity
+    kInterference,     // periodic jammer; burst duty = intensity * burst
+    kScripted,         // explicit per-packet verdicts (intensity ignored)
+    kSustainedJammer,  // always on: every packet dies with intensity * kill_prob
+    kReactiveJammer,   // triggered by observed traffic (net::ReactiveJamLoss)
+  };
+  Kind kind = Kind::kNone;
+
+  /// Master knob in [0,1]: scales the stochastic lowering (loss
+  /// probabilities / jam duty / detection probability, per kind) and the
+  /// prover ammunition together.  1.0 = the attacker at full declared
+  /// strength; 0.0 = fully disarmed.  This is the axis `pte frontier`
+  /// binary-searches.
+  double intensity = 1.0;
+
+  /// Prover ammunition at intensity 1.0: the worst-case adversary may
+  /// destroy floor(intensity * budget) messages.  0 keeps the scenario's
+  /// own hand-set verify.max_losses (the legacy behavior every v1
+  /// document relies on).
+  std::size_t budget = 0;
+
+  // kBernoulli
+  double p = 0.0;
+  // kGilbertElliott
+  double p_gb = 0.05, p_bg = 0.4, loss_good = 0.02, loss_bad = 0.8;
+  // kInterference
+  double period = 2.0, burst = 0.5, loss_burst = 0.9, loss_idle = 0.02, phase = 0.0;
+  // kSustainedJammer / kReactiveJammer: loss probability while jamming
+  double kill_prob = 0.9;
+  // kReactiveJammer: detection probability per observed packet, and the
+  // length of the jam window a detection opens
+  double sense_prob = 1.0;
+  double jam_len = 0.5;
+  // kScripted: per-packet verdicts in send order, per link
+  std::vector<bool> script;
+
+  static AttackerModel none();
+  static AttackerModel bernoulli(double p);
+  static AttackerModel gilbert_elliott(double p_gb, double p_bg, double loss_good,
+                                       double loss_bad);
+  static AttackerModel interference(double period, double burst, double loss_burst,
+                                    double loss_idle, double phase = 0.0);
+  static AttackerModel scripted(std::vector<bool> verdicts);
+  static AttackerModel sustained_jammer(double kill_prob);
+  static AttackerModel reactive_jammer(double sense_prob, double jam_len,
+                                       double kill_prob);
+
+  /// Builder-style tweaks for registry factories and frontier grafting.
+  AttackerModel& with_intensity(double value);
+  AttackerModel& with_budget(std::size_t ammo);
+
+  /// Stochastic lowering: a fresh intensity-scaled net::LossModel for one
+  /// link of one run (stateful models never leak across links or runs).
+  std::unique_ptr<net::LossModel> make() const;
+
+  /// Prover lowering: floor(intensity * budget), the adversary's message
+  /// ammunition.  Meaningful only when budget > 0.
+  std::size_t losses() const;
+
+  /// Human-readable one-liner (kind, key parameters, intensity, budget).
+  std::string describe() const;
+
+  bool operator==(const AttackerModel&) const = default;
+};
+
+/// Serialization spelling of a kind ("none", "bernoulli", …,
+/// "reactive-jammer") — shared by scenarios/serialize.cpp and describe().
+std::string attacker_kind_str(AttackerModel::Kind kind);
+
+}  // namespace ptecps::attack

@@ -80,6 +80,28 @@ std::string InterferenceLoss::describe() const {
                    ", loss_idle=", util::fmt_compact(loss_idle_), ")");
 }
 
+ReactiveJamLoss::ReactiveJamLoss(double sense_prob, double kill_prob, double jam_len)
+    : sense_prob_(sense_prob), kill_prob_(kill_prob), jam_len_(jam_len) {
+  for (double p : {sense_prob_, kill_prob_})
+    PTE_REQUIRE(p >= 0.0 && p <= 1.0, "reactive-jam probabilities must be in [0,1]");
+  PTE_REQUIRE(jam_len >= 0.0, "reactive-jam window must be non-negative");
+}
+
+bool ReactiveJamLoss::lose(sim::SimTime now, sim::Rng& rng) {
+  if (now < jam_until_) return rng.bernoulli(kill_prob_);
+  if (rng.bernoulli(sense_prob_)) {
+    jam_until_ = now + jam_len_;
+    return rng.bernoulli(kill_prob_);
+  }
+  return false;
+}
+
+std::string ReactiveJamLoss::describe() const {
+  return util::cat("reactive-jam(sense=", util::fmt_compact(sense_prob_), ", kill=",
+                   util::fmt_compact(kill_prob_), ", jam=", util::fmt_compact(jam_len_),
+                   "s)");
+}
+
 ScriptedLoss::ScriptedLoss(std::vector<bool> lose_nth) : lose_nth_(std::move(lose_nth)) {}
 
 std::unique_ptr<ScriptedLoss> ScriptedLoss::lose_indices(

@@ -86,6 +86,25 @@ class InterferenceLoss final : public LossModel {
   double period_, burst_, loss_burst_, loss_idle_, phase_;
 };
 
+/// Reactive jammer: sleeps until it OBSERVES a transmission (every call
+/// is one packet on the air), detects it with probability `sense_prob`,
+/// and then jams the channel for `jam_len` seconds — the detected packet
+/// and every packet inside the jam window are lost with `kill_prob`.
+/// Between windows the channel is clean, which is what distinguishes the
+/// model from duty-cycled interference: the attacker spends energy only
+/// when the deployment is actually talking.
+class ReactiveJamLoss final : public LossModel {
+ public:
+  ReactiveJamLoss(double sense_prob, double kill_prob, double jam_len);
+  bool lose(sim::SimTime now, sim::Rng& rng) override;
+  std::string describe() const override;
+  bool jamming(sim::SimTime now) const { return now < jam_until_; }
+
+ private:
+  double sense_prob_, kill_prob_, jam_len_;
+  sim::SimTime jam_until_ = 0.0;
+};
+
 /// Explicit verdict per packet index (in send order); packets beyond the
 /// script are delivered.  `losses()` reports how many verdicts were loss.
 class ScriptedLoss final : public LossModel {

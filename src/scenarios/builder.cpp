@@ -13,65 +13,6 @@
 namespace ptecps::scenarios {
 
 // ---------------------------------------------------------------------------
-// LossSpec
-// ---------------------------------------------------------------------------
-
-LossSpec LossSpec::perfect() { return LossSpec{}; }
-
-LossSpec LossSpec::bernoulli(double p) {
-  LossSpec ls;
-  ls.kind = Kind::kBernoulli;
-  ls.p = p;
-  return ls;
-}
-
-LossSpec LossSpec::gilbert_elliott(double p_gb, double p_bg, double loss_good,
-                                   double loss_bad) {
-  LossSpec ls;
-  ls.kind = Kind::kGilbertElliott;
-  ls.p_gb = p_gb;
-  ls.p_bg = p_bg;
-  ls.loss_good = loss_good;
-  ls.loss_bad = loss_bad;
-  return ls;
-}
-
-LossSpec LossSpec::interference(double period, double burst, double loss_burst,
-                                double loss_idle, double phase) {
-  LossSpec ls;
-  ls.kind = Kind::kInterference;
-  ls.period = period;
-  ls.burst = burst;
-  ls.loss_burst = loss_burst;
-  ls.loss_idle = loss_idle;
-  ls.phase = phase;
-  return ls;
-}
-
-LossSpec LossSpec::scripted(std::vector<bool> verdicts) {
-  LossSpec ls;
-  ls.kind = Kind::kScripted;
-  ls.script = std::move(verdicts);
-  return ls;
-}
-
-std::unique_ptr<net::LossModel> LossSpec::make() const {
-  switch (kind) {
-    case Kind::kPerfect: return std::make_unique<net::PerfectLink>();
-    case Kind::kBernoulli: return std::make_unique<net::BernoulliLoss>(p);
-    case Kind::kGilbertElliott:
-      return std::make_unique<net::GilbertElliottLoss>(p_gb, p_bg, loss_good, loss_bad);
-    case Kind::kInterference:
-      return std::make_unique<net::InterferenceLoss>(period, burst, loss_burst, loss_idle,
-                                                     phase);
-    case Kind::kScripted: return std::make_unique<net::ScriptedLoss>(script);
-  }
-  PTE_CHECK(false, "unhandled LossSpec kind");
-}
-
-std::string LossSpec::describe() const { return make()->describe(); }
-
-// ---------------------------------------------------------------------------
 // Actions
 // ---------------------------------------------------------------------------
 
@@ -154,11 +95,11 @@ void apply(const Action& a, campaign::SimulationContext& ctx) {
 }
 
 /// One link's loss model in a chained-bridge deployment: the end-to-end
-/// channel model plus an independent relay draw per intermediate hop.
-std::unique_ptr<net::LossModel> chained_model(const LossSpec& loss, double relay_loss,
-                                              std::size_t hops) {
+/// attacker model plus an independent relay draw per intermediate hop.
+std::unique_ptr<net::LossModel> chained_model(const attack::AttackerModel& attacker,
+                                              double relay_loss, std::size_t hops) {
   std::vector<std::unique_ptr<net::LossModel>> parts;
-  parts.push_back(loss.make());
+  parts.push_back(attacker.make());
   for (std::size_t h = 1; h < hops; ++h)
     parts.push_back(std::make_unique<net::BernoulliLoss>(relay_loss));
   if (parts.size() == 1) return std::move(parts.front());
@@ -184,13 +125,27 @@ campaign::ScenarioSpec build(const ScenarioParams& params) {
   spec.horizon = params.horizon;
   spec.seed_range(params.seed_base, params.seed_count);
 
+  PTE_REQUIRE(params.attacker.intensity >= 0.0 && params.attacker.intensity <= 1.0,
+              util::cat("scenario '", params.name, "': attacker intensity ",
+                        params.attacker.intensity, " out of [0,1]"));
+  // An attacker that declares its own ammunition owns the prover's loss
+  // budget: floor(intensity * budget) messages, scaling with the same
+  // knob the stochastic lowering uses.  Deliberately applied AFTER any
+  // RegistryTuning caps (which act on params.verify) — sweeping the
+  // intensity must be able to RAISE the budget past the smoke profile,
+  // or every frontier would saturate at the cap.
+  if (params.attacker.kind != attack::AttackerModel::Kind::kNone &&
+      params.attacker.budget > 0) {
+    spec.verify.max_losses = params.attacker.losses();
+  }
+
   // Chained-bridge deployments configure every link individually below,
   // so the global factory would only build 2N models per run to be
   // immediately replaced.
-  if (params.loss.kind != LossSpec::Kind::kPerfect &&
+  if (params.attacker.kind != attack::AttackerModel::Kind::kNone &&
       params.topology == Topology::kStar) {
-    spec.loss = [loss = params.loss](std::uint64_t) {
-      return net::StarNetwork::LossFactory([loss] { return loss.make(); });
+    spec.loss = [attacker = params.attacker](std::uint64_t) {
+      return net::StarNetwork::LossFactory([attacker] { return attacker.make(); });
     };
   }
 
@@ -205,14 +160,14 @@ campaign::ScenarioSpec build(const ScenarioParams& params) {
                 util::cat("scenario '", params.name, "': chained-bridge worst path ",
                           worst_path, " s exceeds the acceptance window ",
                           params.channel.acceptance_window, " s"));
-    spec.configure_links = [channel = params.channel, loss = params.loss,
+    spec.configure_links = [channel = params.channel, attacker = params.attacker,
                             relay = params.relay_loss, n](net::StarNetwork& network,
                                                           std::uint64_t) {
       for (std::size_t r = 1; r <= n; ++r) {
         net::ChannelConfig cfg = channel;
         cfg.delay = channel.delay * static_cast<double>(r);  // r hops from the sink
-        network.configure_uplink(r, chained_model(loss, relay, r), cfg);
-        network.configure_downlink(r, chained_model(loss, relay, r), cfg);
+        network.configure_uplink(r, chained_model(attacker, relay, r), cfg);
+        network.configure_downlink(r, chained_model(attacker, relay, r), cfg);
       }
     };
     // The prover's window: the closest remote is one hop away (explicit
@@ -269,7 +224,33 @@ campaign::ScenarioSpec synthesize(sim::Rng& rng, const SynthesizeOptions& option
     params.name += "-broken";
   }
   if (options.with_traffic && options.mode != campaign::RunMode::kVerify) {
-    params.loss = LossSpec::bernoulli(rng.uniform(0.0, 0.35));
+    // Draw the attacker too — family, parameters and intensity — so the
+    // cross-validation sweeps exercise every stochastic lowering the
+    // schema can express, not just i.i.d. loss.  Rates are kept moderate
+    // enough that sessions still complete within the horizon.
+    switch (rng.uniform_int(5)) {
+      case 0: params.attacker = attack::AttackerModel::bernoulli(rng.uniform(0.0, 0.35)); break;
+      case 1:
+        params.attacker = attack::AttackerModel::gilbert_elliott(
+            rng.uniform(0.02, 0.2), rng.uniform(0.2, 0.6), rng.uniform(0.0, 0.1),
+            rng.uniform(0.3, 0.9));
+        break;
+      case 2: {
+        const double period = 1.0 + rng.uniform(0.0, 3.0);
+        params.attacker = attack::AttackerModel::interference(
+            period, period * rng.uniform(0.1, 0.5), rng.uniform(0.5, 1.0),
+            rng.uniform(0.0, 0.1), rng.uniform(0.0, period));
+        break;
+      }
+      case 3:
+        params.attacker = attack::AttackerModel::sustained_jammer(rng.uniform(0.05, 0.4));
+        break;
+      case 4:
+        params.attacker = attack::AttackerModel::reactive_jammer(
+            rng.uniform(0.2, 1.0), rng.uniform(0.1, 1.5), rng.uniform(0.5, 1.0));
+        break;
+    }
+    params.attacker.with_intensity(rng.uniform(0.25, 1.0));
     // One full session cycle per period: Fall-Back dwell, the lease
     // chain, and slack for retries.
     params.script.period = request.t_fb_min_0 +

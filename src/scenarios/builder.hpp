@@ -1,10 +1,16 @@
 // Declarative scenario construction: one ScenarioParams describes a whole
 // N-entity PTE deployment — timing configuration, network topology and
-// loss model, stimulus script, run mode and adversary budgets — and
+// attacker model, stimulus script, run mode and adversary budgets — and
 // build() lowers it onto the campaign runtime (a campaign::ScenarioSpec
 // with the loss factory, per-link topology wiring, and drive script
 // assembled consistently for BOTH execution modes: the Monte-Carlo
 // sampler and the exhaustive prover see the same deployment).
+//
+// The hostile environment is ONE attack::AttackerModel: build() lowers
+// it to a stochastic net::LossModel factory for the sampler and — when
+// the attacker declares a budget — to the prover's loss ammunition
+// (verify.max_losses = attacker.losses()), so one document drives both
+// backends from the same intensity knob.
 //
 // This replaces the per-bench hand-wiring the repo grew up with: the §V
 // laser tracheotomy and the factory press used to be the only two
@@ -18,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "attack/attacker.hpp"
 #include "campaign/scenario.hpp"
 #include "core/config.hpp"
 #include "core/pattern.hpp"
@@ -37,37 +44,6 @@ namespace ptecps::scenarios {
 ///                    delivery window: an explicit delivery_min (one hop)
 ///                    with the acceptance-window-derived max.
 enum class Topology { kStar, kChainedBridge };
-
-/// Loss-model selection for every link of the deployment, factory-style
-/// (each link of each run gets a fresh instance, so stateful models never
-/// leak state across links or runs).
-struct LossSpec {
-  enum class Kind { kPerfect, kBernoulli, kGilbertElliott, kInterference, kScripted };
-  Kind kind = Kind::kPerfect;
-
-  // kBernoulli
-  double p = 0.0;
-  // kGilbertElliott
-  double p_gb = 0.05, p_bg = 0.4, loss_good = 0.02, loss_bad = 0.8;
-  // kInterference
-  double period = 2.0, burst = 0.5, loss_burst = 0.9, loss_idle = 0.02, phase = 0.0;
-  // kScripted: per-packet verdicts in send order, per link
-  std::vector<bool> script;
-
-  static LossSpec perfect();
-  static LossSpec bernoulli(double p);
-  static LossSpec gilbert_elliott(double p_gb, double p_bg, double loss_good,
-                                  double loss_bad);
-  static LossSpec interference(double period, double burst, double loss_burst,
-                               double loss_idle, double phase = 0.0);
-  static LossSpec scripted(std::vector<bool> verdicts);
-
-  /// Fresh model instance for one link.
-  std::unique_ptr<net::LossModel> make() const;
-  std::string describe() const;
-
-  bool operator==(const LossSpec&) const = default;
-};
 
 /// One scripted action of a run's drive (applied at time `t`, in order).
 struct Action {
@@ -121,7 +97,13 @@ struct ScenarioParams {
   /// hop draws independently).
   double relay_loss = 0.02;
   net::ChannelConfig channel{0.005, 0.0, 0.0, 0.5};
-  LossSpec loss;
+  /// The hostile environment, applied to every link of the deployment
+  /// factory-style (each link of each run gets a fresh stochastic
+  /// instance, so stateful models never leak state across links or
+  /// runs).  When the attacker declares a budget, build() also lowers
+  /// it onto verify.max_losses — the attacker, not the hand-set verify
+  /// block, then owns the prover's loss ammunition.
+  attack::AttackerModel attacker;
 
   // -- execution -----------------------------------------------------------
   double horizon = 200.0;
@@ -156,8 +138,9 @@ struct SynthesizeOptions {
   /// losses (expected verdict: kViolation).
   bool breakable = false;
   campaign::RunMode mode = campaign::RunMode::kVerify;
-  /// For sampling modes: attach a Bernoulli loss and a periodic stimulus
-  /// script sized to the synthesized timing.
+  /// For sampling modes: draw a random attacker (family, parameters and
+  /// intensity — every stochastic lowering the schema can express) and a
+  /// periodic stimulus script sized to the synthesized timing.
   bool with_traffic = true;
   double horizon = 120.0;
   std::size_t seed_count = 4;

@@ -19,7 +19,7 @@ using core::events::cmd_request;
 ScenarioParams laser_tracheotomy() {
   ScenarioParams p;
   p.name = "laser-tracheotomy";
-  p.loss = LossSpec::bernoulli(0.3);
+  p.attacker = attack::AttackerModel::bernoulli(0.3);
   p.script.period = 45.0;
   p.script.phase = 15.0;
   p.script.on_for = 25.0;
@@ -42,7 +42,7 @@ ScenarioParams factory_press() {
   p.name = "factory-press";
   p.config = core::synthesize(request);
   p.channel = net::ChannelConfig{0.002, 0.004, 0.002, 0.25};
-  p.loss = LossSpec::bernoulli(0.15);
+  p.attacker = attack::AttackerModel::bernoulli(0.15);
   p.script.period = 15.0;
   p.script.phase = 5.0;
   p.script.on_for = 4.0;
@@ -70,7 +70,7 @@ ScenarioParams infusion_vent_interlock() {
   ScenarioParams p;
   p.name = "infusion-vent-interlock";
   p.config = core::synthesize(request);
-  p.loss = LossSpec::gilbert_elliott(0.05, 0.4, 0.02, 0.8);
+  p.attacker = attack::AttackerModel::gilbert_elliott(0.05, 0.4, 0.02, 0.8);
   p.script.period = 35.0;
   p.script.phase = 8.0;
   p.script.on_for = 15.0;
@@ -92,7 +92,7 @@ ScenarioParams three_entity_chain() {
   ScenarioParams p;
   p.name = "three-entity-chain";
   p.config = core::synthesize(request);
-  p.loss = LossSpec::bernoulli(0.2);
+  p.attacker = attack::AttackerModel::bernoulli(0.2);
   p.script.period = 25.0;
   p.script.phase = 10.0;
   p.script.on_for = 8.0;
@@ -108,7 +108,7 @@ ScenarioParams three_entity_chain() {
 ScenarioParams laser_bursty_interferer() {
   ScenarioParams p = laser_tracheotomy();
   p.name = "laser-bursty-interferer";
-  p.loss = LossSpec::interference(2.0, 0.5, 0.9, 0.02);
+  p.attacker = attack::AttackerModel::interference(2.0, 0.5, 0.9, 0.02);
   return p;
 }
 
@@ -122,7 +122,7 @@ ScenarioParams chained_bridge_laser() {
   p.name = "chained-bridge-laser";
   p.topology = Topology::kChainedBridge;
   p.relay_loss = 0.05;
-  p.loss = LossSpec::bernoulli(0.1);
+  p.attacker = attack::AttackerModel::bernoulli(0.1);
   p.channel.delay = 0.01;
   return p;
 }
@@ -137,7 +137,7 @@ ScenarioParams adversarial_drop() {
   ScenarioParams p;
   p.name = "adversarial-drop";
   p.dwell_bound = 17.5;  // ξ1's lease is 35 s
-  p.loss = LossSpec::bernoulli(0.05);
+  p.attacker = attack::AttackerModel::bernoulli(0.05);
   p.script.actions = {
       Action::inject(15.0, 2, cmd_request(2)),
       Action::kill_uplink(27.0, 2),             // cancel/exit confirmations lost
@@ -146,6 +146,34 @@ ScenarioParams adversarial_drop() {
   p.horizon = 120.0;
   p.verify.max_losses = 1;
   p.verify.max_injections = 1;
+  return p;
+}
+
+/// The laser deployment under a sustained broadband jammer with bounded
+/// ammunition: while the jammer transmits, every packet dies with 80 %,
+/// and at full intensity the prover's adversary may destroy up to 4
+/// messages (the attacker's budget).  At the registry's intensity 0.5
+/// that lowers to a 2-loss proof — the same ammunition the plain laser
+/// entry hand-sets — and `pte frontier` sweeps the intensity to find how
+/// far the margin really extends.
+ScenarioParams laser_sustained_jammer() {
+  ScenarioParams p = laser_tracheotomy();
+  p.name = "laser-sustained-jammer";
+  p.attacker = attack::AttackerModel::sustained_jammer(0.8).with_budget(4).with_intensity(0.5);
+  return p;
+}
+
+/// The laser deployment under a REACTIVE jammer: the attacker sleeps
+/// until it senses a transmission (80 % per packet at full intensity),
+/// then jams the channel for a second, killing 90 % of packets inside
+/// the window.  Energy-proportional DoS — the attacker only spends power
+/// when the deployment talks.  Budget 4 at intensity 0.75 lowers to a
+/// 3-loss exhaustive proof.
+ScenarioParams laser_reactive_jammer() {
+  ScenarioParams p = laser_tracheotomy();
+  p.name = "laser-reactive-jammer";
+  p.attacker =
+      attack::AttackerModel::reactive_jammer(0.8, 1.0, 0.9).with_budget(4).with_intensity(0.75);
   return p;
 }
 
@@ -167,6 +195,52 @@ ScenarioParams impatient_supervisor() {
   p.horizon = 150.0;
   p.verify.max_losses = 1;
   p.verify.max_injections = 1;
+  return p;
+}
+
+/// The frontier's proof-holds-below / counterexample-above showcase: the
+/// three-entity chain with an impatient supervisor (deadline_wait off)
+/// under a budgeted duty-cycled interferer whose burst opens in the 5 ms
+/// seam between Exit(ξ3)'s transmission (t = 18.500 + 25k: the surgeon
+/// cancels at `script.phase + on_for`, plus the 0.5 s exit dwell) and the
+/// supervisor's Cancel(ξ2) that answers it — so the exit confirmation
+/// gets through and the cancel reliably dies, session after session,
+/// while the lease handshake at t = 10+25k sits in the quiet gap.  With
+/// the interferer disarmed the deployment is PROVED; give it a single
+/// loss and it kills Cancel(ξ2) mid-unwind — the supervisor gives up
+/// after T^max_wait and cancels ξ1, which exits risky while ξ2 is still
+/// inside its lease (a Rule 2 order-embedding break whose counterexample
+/// replays through the engine, and which the sampler observes on every
+/// ordinary seed thanks to the aligned burst).  `pte frontier` therefore
+/// brackets this deployment at safe=0 / critical=1.  The tight 0.15 s
+/// acceptance window matters: a wider window lets the prover park the
+/// cancel delivery exactly on ξ2's lease expiry, a measure-zero corner
+/// the concrete engine tie-breaks the other way.
+ScenarioParams chain_impatient_unwind() {
+  core::SynthesisRequest request;
+  request.n_remotes = 3;
+  request.t_risky_min = {2.0, 2.0};
+  request.t_safe_min = {1.0, 1.0};
+  request.initializer_lease = 12.0;
+  request.t_wait_max = 1.5;
+  request.t_fb_min_0 = 4.0;
+
+  ScenarioParams p;
+  p.name = "chain-impatient-unwind";
+  p.config = core::synthesize(request);
+  p.deadline_wait = false;
+  p.channel.acceptance_window = 0.15;
+  p.attacker = attack::AttackerModel::interference(25.0, 1.0, 1.0, 0.0, 6.4975)
+                   .with_budget(4)
+                   .with_intensity(0.5);
+  p.script.period = 25.0;
+  p.script.phase = 10.0;
+  p.script.on_for = 8.0;
+  p.horizon = 150.0;
+  p.verify.max_injections = 1;
+  // One toggle lets the adversary fake an approval collapse, which owns
+  // the violation regardless of losses and would flatten the frontier.
+  p.verify.max_input_changes = 0;
   return p;
 }
 
@@ -199,12 +273,21 @@ const std::vector<RegistryEntry>& registry() {
       {"chained-bridge-laser",
        "laser deployment over a chained-bridge backhaul (hop-scaled delay + relay loss)",
        verify::VerifyStatus::kProved, &chained_bridge_laser},
+      {"laser-sustained-jammer",
+       "laser deployment under a budgeted sustained jammer (4 messages at full intensity)",
+       verify::VerifyStatus::kProved, &laser_sustained_jammer},
+      {"laser-reactive-jammer",
+       "laser deployment under a traffic-triggered reactive jammer (1 s jam windows)",
+       verify::VerifyStatus::kProved, &laser_reactive_jammer},
       {"adversarial-drop",
        "halved dwell ceiling + dropped cancel path: sampler and prover must both object",
        verify::VerifyStatus::kViolation, &adversarial_drop},
       {"impatient-supervisor",
        "deadline-wait ablation: lost Abort breaks the reverse exit order",
        verify::VerifyStatus::kViolation, &impatient_supervisor},
+      {"chain-impatient-unwind",
+       "proved with the jammer disarmed, violated the moment it may spend one loss",
+       verify::VerifyStatus::kViolation, &chain_impatient_unwind},
   };
   return entries;
 }

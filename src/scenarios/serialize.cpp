@@ -28,17 +28,6 @@ std::string topology_str(Topology t) {
   return t == Topology::kStar ? "star" : "chained-bridge";
 }
 
-std::string loss_kind_str(LossSpec::Kind k) {
-  switch (k) {
-    case LossSpec::Kind::kPerfect: return "perfect";
-    case LossSpec::Kind::kBernoulli: return "bernoulli";
-    case LossSpec::Kind::kGilbertElliott: return "gilbert-elliott";
-    case LossSpec::Kind::kInterference: return "interference";
-    case LossSpec::Kind::kScripted: return "scripted";
-  }
-  return "?";
-}
-
 std::string action_kind_str(Action::Kind k) {
   switch (k) {
     case Action::Kind::kInject: return "inject";
@@ -78,31 +67,41 @@ Json config_to_json(const core::PatternConfig& c) {
   return out;
 }
 
-Json loss_to_json(const LossSpec& l) {
+Json attacker_to_json(const attack::AttackerModel& a) {
+  using Kind = attack::AttackerModel::Kind;
   Json out = Json::object();
-  out.set("kind", loss_kind_str(l.kind));
-  switch (l.kind) {
-    case LossSpec::Kind::kPerfect: break;
-    case LossSpec::Kind::kBernoulli: out.set("p", l.p); break;
-    case LossSpec::Kind::kGilbertElliott:
-      out.set("p_gb", l.p_gb);
-      out.set("p_bg", l.p_bg);
-      out.set("loss_good", l.loss_good);
-      out.set("loss_bad", l.loss_bad);
+  out.set("kind", attack::attacker_kind_str(a.kind));
+  if (a.kind == Kind::kNone) return out;  // nothing to parameterize
+  out.set("intensity", a.intensity);
+  if (a.budget > 0) out.set("budget", a.budget);
+  switch (a.kind) {
+    case Kind::kNone: break;
+    case Kind::kBernoulli: out.set("p", a.p); break;
+    case Kind::kGilbertElliott:
+      out.set("p_gb", a.p_gb);
+      out.set("p_bg", a.p_bg);
+      out.set("loss_good", a.loss_good);
+      out.set("loss_bad", a.loss_bad);
       break;
-    case LossSpec::Kind::kInterference:
-      out.set("period", l.period);
-      out.set("burst", l.burst);
-      out.set("loss_burst", l.loss_burst);
-      out.set("loss_idle", l.loss_idle);
-      out.set("phase", l.phase);
+    case Kind::kInterference:
+      out.set("period", a.period);
+      out.set("burst", a.burst);
+      out.set("loss_burst", a.loss_burst);
+      out.set("loss_idle", a.loss_idle);
+      out.set("phase", a.phase);
       break;
-    case LossSpec::Kind::kScripted: {
+    case Kind::kScripted: {
       Json verdicts = Json::array();
-      for (bool lost : l.script) verdicts.push_back(lost);
+      for (bool lost : a.script) verdicts.push_back(lost);
       out.set("script", std::move(verdicts));
       break;
     }
+    case Kind::kSustainedJammer: out.set("kill_prob", a.kill_prob); break;
+    case Kind::kReactiveJammer:
+      out.set("sense_prob", a.sense_prob);
+      out.set("jam_len", a.jam_len);
+      out.set("kill_prob", a.kill_prob);
+      break;
   }
   return out;
 }
@@ -176,39 +175,66 @@ core::PatternConfig config_from_json(const Json& j, const std::string& context) 
   return c;
 }
 
-LossSpec loss_from_json(const Json& j, const std::string& context) {
-  Reader r(j, context);
-  const std::string kind = r.string("kind", "perfect");
-  LossSpec l;
-  if (kind == "perfect") {
-    l = LossSpec::perfect();
+/// The shared per-family parameter block of v2 "attacker" objects and
+/// (minus intensity/budget) legacy v1 "loss" objects.
+attack::AttackerModel attacker_family_from(Reader& r, const std::string& kind) {
+  using attack::AttackerModel;
+  AttackerModel a;
+  const AttackerModel defaults;
+  if (kind == "none" || kind == "perfect") {  // "perfect" is the v1 spelling
+    a = AttackerModel::none();
   } else if (kind == "bernoulli") {
-    l = LossSpec::bernoulli(probability(r, "p", 0.0));
+    a = AttackerModel::bernoulli(probability(r, "p", 0.0));
   } else if (kind == "gilbert-elliott") {
-    LossSpec defaults;
-    l = LossSpec::gilbert_elliott(
+    a = AttackerModel::gilbert_elliott(
         probability(r, "p_gb", defaults.p_gb), probability(r, "p_bg", defaults.p_bg),
         probability(r, "loss_good", defaults.loss_good),
         probability(r, "loss_bad", defaults.loss_bad));
   } else if (kind == "interference") {
-    LossSpec defaults;
-    l = LossSpec::interference(r.number("period", defaults.period),
-                               r.number("burst", defaults.burst),
-                               probability(r, "loss_burst", defaults.loss_burst),
-                               probability(r, "loss_idle", defaults.loss_idle),
-                               r.number("phase", defaults.phase));
+    a = AttackerModel::interference(r.number("period", defaults.period),
+                                    r.number("burst", defaults.burst),
+                                    probability(r, "loss_burst", defaults.loss_burst),
+                                    probability(r, "loss_idle", defaults.loss_idle),
+                                    r.number("phase", defaults.phase));
   } else if (kind == "scripted") {
     std::vector<bool> verdicts;
     if (const Json* script = r.optional("script"))
       for (const Json& v : script->as_array()) verdicts.push_back(v.as_bool());
-    l = LossSpec::scripted(std::move(verdicts));
+    a = AttackerModel::scripted(std::move(verdicts));
+  } else if (kind == "sustained-jammer") {
+    a = AttackerModel::sustained_jammer(probability(r, "kill_prob", defaults.kill_prob));
+  } else if (kind == "reactive-jammer") {
+    a = AttackerModel::reactive_jammer(probability(r, "sense_prob", defaults.sense_prob),
+                                       r.number("jam_len", defaults.jam_len),
+                                       probability(r, "kill_prob", defaults.kill_prob));
   } else {
-    r.fail("kind", util::cat("unknown loss model \"", kind,
-                             "\" (perfect, bernoulli, gilbert-elliott, "
-                             "interference, scripted)"));
+    r.fail("kind", util::cat("unknown attacker \"", kind,
+                             "\" (none, bernoulli, gilbert-elliott, interference, "
+                             "scripted, sustained-jammer, reactive-jammer)"));
+  }
+  return a;
+}
+
+attack::AttackerModel attacker_from_json(const Json& j, const std::string& context) {
+  Reader r(j, context);
+  const std::string kind = r.string("kind", "none");
+  attack::AttackerModel a = attacker_family_from(r, kind);
+  if (a.kind != attack::AttackerModel::Kind::kNone) {
+    a.with_intensity(probability(r, "intensity", 1.0));
+    a.with_budget(r.uinteger("budget", 0));
   }
   r.finish();
-  return l;
+  return a;
+}
+
+/// Legacy v1 "loss" object → the equivalent degenerate attacker (full
+/// intensity, no ammunition budget of its own).
+attack::AttackerModel legacy_loss_from_json(const Json& j, const std::string& context) {
+  Reader r(j, context);
+  const std::string kind = r.string("kind", "perfect");
+  attack::AttackerModel a = attacker_family_from(r, kind);
+  r.finish();
+  return a;
 }
 
 net::EntityId entity_from(Reader& r) {
@@ -330,7 +356,7 @@ Json to_json(const ScenarioDocument& doc) {
   channel.set("duplicate_prob", p.channel.duplicate_prob);
   channel.set("duplicate_lag", p.channel.duplicate_lag);
   out.set("channel", std::move(channel));
-  out.set("loss", loss_to_json(p.loss));
+  out.set("attacker", attacker_to_json(p.attacker));
   out.set("horizon", p.horizon);
   out.set("script", script_to_json(p.script));
   out.set("seed_base", p.seed_base);
@@ -351,7 +377,9 @@ ScenarioDocument document_from_json(const Json& j) {
     r.fail("schema", util::cat("not a scenario file: \"", schema, "\""));
   const std::uint64_t version =
       r.uinteger("version", static_cast<std::uint64_t>(kScenarioSchemaVersion));
-  if (version != static_cast<std::uint64_t>(kScenarioSchemaVersion))
+  // Version 1 is still readable: its "loss" object becomes the
+  // equivalent degenerate attacker below.
+  if (version != static_cast<std::uint64_t>(kScenarioSchemaVersion) && version != 1)
     r.fail("version", util::cat("unsupported schema version ", version, " (reader is ",
                                 kScenarioSchemaVersion, ")"));
 
@@ -400,7 +428,15 @@ ScenarioDocument document_from_json(const Json& j) {
     p.channel.duplicate_lag = cr.number("duplicate_lag", p.channel.duplicate_lag);
     cr.finish();
   }
-  if (const Json* loss = r.optional("loss")) p.loss = loss_from_json(*loss, "scenario.loss");
+  if (version == 1) {
+    // The strict reader still rejects an "attacker" key here: a v1
+    // document carrying v2 vocabulary is a versioning mistake, not a
+    // deployment.
+    if (const Json* loss = r.optional("loss"))
+      p.attacker = legacy_loss_from_json(*loss, "scenario.loss");
+  } else if (const Json* attacker = r.optional("attacker")) {
+    p.attacker = attacker_from_json(*attacker, "scenario.attacker");
+  }
   p.horizon = r.number("horizon", p.horizon);
   if (const Json* script = r.optional("script"))
     p.script = script_from_json(*script, "scenario.script");

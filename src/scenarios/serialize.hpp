@@ -5,15 +5,15 @@
 // rebuilt from it — `from_json(to_json(p)) == p` holds field-for-field
 // (the JSON writer renders doubles shortest-round-trip), so a file on
 // disk carries exactly the deployment the compiled factory produced:
-// timing configuration, topology, loss model, stimulus script, run mode
-// and verify budgets.  This is the same externalize-the-model move
+// timing configuration, topology, attacker model, stimulus script, run
+// mode and verify budgets.  This is the same externalize-the-model move
 // KeYmaera X and the UPPAAL toolchains make: clients describe a
 // deployment in a document instead of linking against the library.
 //
 // Reading is STRICT: an unknown key, a wrong type, or an out-of-range
-// value raises util::JsonError naming the offending path ("scenario.loss:
-// unknown key \"pp\"") — a typo'd scenario file fails loudly instead of
-// silently verifying a default deployment.  Omitted keys keep their
+// value raises util::JsonError naming the offending path
+// ("scenario.attacker: unknown key \"pp\"") — a typo'd scenario file
+// fails loudly instead of silently verifying a default deployment.  Omitted keys keep their
 // ScenarioParams defaults, so hand-written files only state what differs.
 #pragma once
 
@@ -29,8 +29,13 @@
 namespace ptecps::scenarios {
 
 /// Scenario-file schema version ("version" key); bumped on incompatible
-/// shape changes.  Readers accept exactly this version.
-inline constexpr std::int64_t kScenarioSchemaVersion = 1;
+/// shape changes.  Version 2 replaced the "loss" object with the richer
+/// "attacker" object (attack::AttackerModel: the five legacy loss
+/// families as degenerate attackers, plus sustained/reactive jammers,
+/// an intensity knob, and a prover ammunition budget).  The reader still
+/// accepts version-1 documents, translating their "loss" into the
+/// equivalent degenerate attacker; the writer always emits version 2.
+inline constexpr std::int64_t kScenarioSchemaVersion = 2;
 
 /// A scenario file: the deployment parameters plus the registry-style
 /// metadata that travels with an exported entry (summary line, expected

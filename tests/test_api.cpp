@@ -69,11 +69,11 @@ TEST(ScenarioSerialization, EveryRegistryEntryRoundTripsExactly) {
 TEST(ScenarioSerialization, DefaultsOnlyFileBuildsTheDefaultDeployment) {
   // A hand-written file states only what differs from the defaults.
   const scenarios::ScenarioDocument doc = scenarios::document_from_text(
-      R"({"name": "mini", "horizon": 50, "loss": {"kind": "bernoulli", "p": 0.25}})");
+      R"({"name": "mini", "horizon": 50, "attacker": {"kind": "bernoulli", "p": 0.25}})");
   scenarios::ScenarioParams reference;
   reference.name = "mini";
   reference.horizon = 50.0;
-  reference.loss = scenarios::LossSpec::bernoulli(0.25);
+  reference.attacker = attack::AttackerModel::bernoulli(0.25);
   EXPECT_EQ(doc.params, reference);
   EXPECT_FALSE(doc.expected.has_value());
 }
@@ -107,10 +107,16 @@ TEST(ScenarioSerialization, WrongTypesAreNamedErrors) {
   };
   expect_error(R"({"horizon": "fast"})", "scenario.horizon");
   expect_error(R"({"with_lease": 1})", "scenario.with_lease");
-  expect_error(R"({"loss": {"kind": "bernoulli", "p": 2.0}})", "probability");
+  expect_error(R"({"attacker": {"kind": "bernoulli", "p": 2.0}})", "probability");
+  expect_error(R"({"attacker": {"kind": "bernoulli", "intensity": 1.5}})", "probability");
   expect_error(R"({"relay_loss": 7})", "probability");
-  expect_error(R"({"loss": {"kind": "fancy"}})", "unknown loss model");
-  expect_error(R"({"loss": []})", "expected object");
+  expect_error(R"({"attacker": {"kind": "fancy"}})", "unknown attacker");
+  expect_error(R"({"attacker": []})", "expected object");
+  // v2 rejects the legacy vocabulary (and vice versa): a mixed-version
+  // document is a mistake, not something to half-honor.
+  expect_error(R"({"loss": {"kind": "bernoulli", "p": 0.1}})", "unknown key");
+  expect_error(R"({"version": 1, "attacker": {"kind": "bernoulli"}})", "unknown key");
+  expect_error(R"({"version": 1, "loss": {"kind": "fancy"}})", "unknown attacker");
   expect_error(R"({"topology": "ring"})", "unknown topology");
   expect_error(R"({"mode": "sometimes"})", "unknown mode");
   expect_error(R"({"expected": "maybe"})", "unknown verdict");
@@ -136,7 +142,10 @@ TEST(ScenarioSerialization, UnknownKeysAreRejectedAtEveryLevel) {
   };
   expect_unknown(R"({"horzon": 100})", "horzon");                       // top level
   expect_unknown(R"({"config": {"n_remote": 2}})", "n_remote");         // nested
-  expect_unknown(R"({"loss": {"kind": "bernoulli", "pp": 0.1}})", "pp");
+  expect_unknown(R"({"attacker": {"kind": "bernoulli", "pp": 0.1}})", "pp");
+  // v1 attacker objects have no intensity knob — strict there too.
+  expect_unknown(R"({"version": 1, "loss": {"kind": "bernoulli", "intensity": 0.5}})",
+                 "intensity");
   expect_unknown(R"({"verify": {"max_loss": 1}})", "max_loss");
   expect_unknown(R"({"script": {"actions": [{"kind": "inject", "t": 1, "name": "x",
                     "value": 3}]}})", "value");  // inject takes no value
@@ -206,6 +215,31 @@ TEST(Job, ToJsonRoundTrips) {
 // Service dispatch
 // ---------------------------------------------------------------------------
 
+TEST(Job, AttackerIntensityOverrideRoundTripsAndValidates) {
+  api::Job job = api::Job::for_scenario("laser-sustained-jammer");
+  job.attacker_intensity = 0.25;
+  const api::Job back = api::Job::from_json(Json::parse(job.to_json().dump()));
+  ASSERT_TRUE(back.attacker_intensity.has_value());
+  EXPECT_EQ(*back.attacker_intensity, 0.25);
+  // Absent stays absent (the scenario's own intensity rules).
+  const api::Job plain = api::Job::from_json(Json::parse(R"({"scenario": "x"})"));
+  EXPECT_FALSE(plain.attacker_intensity.has_value());
+  EXPECT_THROW(api::Job::from_json(
+                   Json::parse(R"({"scenario": "x", "attacker_intensity": 1.5})")),
+               JsonError);
+}
+
+TEST(Job, AttackerIntensityDrivesTheProverBudget) {
+  // intensity 0.25 * budget 4 -> a 1-loss adversary; the override reaches
+  // the resolved params and therefore the canonical digest / cache key.
+  api::Job job = api::Job::for_scenario("laser-sustained-jammer");
+  job.attacker_intensity = 0.25;
+  const scenarios::ScenarioParams resolved =
+      api::resolved_params(job, api::resolve_scenario(job));
+  EXPECT_EQ(resolved.attacker.intensity, 0.25);
+  EXPECT_EQ(scenarios::build(resolved).verify.max_losses, 1u);
+}
+
 TEST(Service, VerifiesARegistryScenarioAgainstItsExpectation) {
   api::Job job = api::Job::for_scenario("adversarial-drop");
   job.mode = campaign::RunMode::kVerify;
@@ -227,7 +261,7 @@ TEST(Service, VerifiesARegistryScenarioAgainstItsExpectation) {
 TEST(Service, RunsAnInlineDocumentBothModes) {
   scenarios::ScenarioDocument doc;
   doc.params.name = "inline-laser";
-  doc.params.loss = scenarios::LossSpec::bernoulli(0.3);
+  doc.params.attacker = attack::AttackerModel::bernoulli(0.3);
   doc.params.script.period = 45.0;
   doc.params.script.phase = 15.0;
   doc.params.script.on_for = 25.0;
@@ -344,10 +378,15 @@ TEST(Service, MatrixDedupsIdenticalJobs) {
   for (const std::size_t i : {0u, 2u, 3u}) {
     EXPECT_EQ(deduped.rows[i].scenario, "laser-tracheotomy");
     EXPECT_EQ(deduped.rows[i].status, deduped.rows[0].status);
-    EXPECT_EQ(deduped.rows[i].wall_ms, deduped.rows[0].wall_ms);
     EXPECT_EQ(deduped.report->scenarios[i].verification->states_explored,
               deduped.report->scenarios[0].verification->states_explored);
   }
+  // Compute wall belongs to the ONE row that executed the slot; the
+  // fan-out copies answered for free and must say so (a frontier sweep
+  // reads these as per-probe cost).
+  EXPECT_GT(deduped.rows[0].wall_ms, 0.0);
+  EXPECT_EQ(deduped.rows[2].wall_ms, 0.0);
+  EXPECT_EQ(deduped.rows[3].wall_ms, 0.0);
   EXPECT_TRUE(deduped.ok) << deduped.to_json().dump(2);
 
   // Same verdicts as the duplicate-free matrix.

@@ -8,6 +8,7 @@
 #include <set>
 #include <string>
 
+#include "attack/attacker.hpp"
 #include "scenarios/canonical.hpp"
 #include "scenarios/registry.hpp"
 #include "scenarios/serialize.hpp"
@@ -101,6 +102,74 @@ TEST(Canonical, DigestMovesForEverySemanticChange) {
     p.mode = p.mode == campaign::RunMode::kBoth ? campaign::RunMode::kVerify
                                                 : campaign::RunMode::kBoth;
     EXPECT_NE(params_digest(p), digest) << entry.name;
+  }
+}
+
+TEST(Canonical, DigestMovesForEveryAttackerField) {
+  // The attacker model is a cache-key ingredient: any field that changes
+  // either lowering (sampler loss model or prover ammunition) must move
+  // the digest, for EVERY family.  A field the canonical form dropped
+  // would alias two different attacks onto one cached verdict.
+  const attack::AttackerModel families[] = {
+      attack::AttackerModel::bernoulli(0.3),
+      attack::AttackerModel::gilbert_elliott(0.05, 0.4, 0.02, 0.8),
+      attack::AttackerModel::interference(2.0, 0.5, 0.9, 0.02, 0.25),
+      attack::AttackerModel::scripted({true, false, true}),
+      attack::AttackerModel::sustained_jammer(0.8),
+      attack::AttackerModel::reactive_jammer(0.8, 1.0, 0.9),
+  };
+  for (const attack::AttackerModel& family : families) {
+    ScenarioParams base;
+    base.name = "digest-probe";
+    base.attacker = family;
+    base.attacker.with_intensity(0.5).with_budget(4);
+    const std::string digest = params_digest(base);
+    const std::string kind = attack::attacker_kind_str(family.kind);
+
+    auto expect_moves = [&](const char* field, auto&& mutate) {
+      ScenarioParams p = base;
+      mutate(p.attacker);
+      EXPECT_NE(params_digest(p), digest) << kind << ": " << field;
+    };
+    using attack::AttackerModel;
+    expect_moves("kind", [](AttackerModel& a) {
+      a.kind = a.kind == AttackerModel::Kind::kBernoulli
+                   ? AttackerModel::Kind::kSustainedJammer
+                   : AttackerModel::Kind::kBernoulli;
+    });
+    expect_moves("intensity", [](AttackerModel& a) { a.intensity = 0.75; });
+    expect_moves("budget", [](AttackerModel& a) { a.budget += 1; });
+    switch (family.kind) {
+      case AttackerModel::Kind::kBernoulli:
+        expect_moves("p", [](AttackerModel& a) { a.p += 0.1; });
+        break;
+      case AttackerModel::Kind::kGilbertElliott:
+        expect_moves("p_gb", [](AttackerModel& a) { a.p_gb += 0.01; });
+        expect_moves("p_bg", [](AttackerModel& a) { a.p_bg += 0.01; });
+        expect_moves("loss_good", [](AttackerModel& a) { a.loss_good += 0.01; });
+        expect_moves("loss_bad", [](AttackerModel& a) { a.loss_bad += 0.01; });
+        break;
+      case AttackerModel::Kind::kInterference:
+        expect_moves("period", [](AttackerModel& a) { a.period += 1.0; });
+        expect_moves("burst", [](AttackerModel& a) { a.burst += 0.1; });
+        expect_moves("loss_burst", [](AttackerModel& a) { a.loss_burst += 0.05; });
+        expect_moves("loss_idle", [](AttackerModel& a) { a.loss_idle += 0.01; });
+        expect_moves("phase", [](AttackerModel& a) { a.phase += 0.5; });
+        break;
+      case AttackerModel::Kind::kScripted:
+        expect_moves("script", [](AttackerModel& a) { a.script.push_back(true); });
+        break;
+      case AttackerModel::Kind::kSustainedJammer:
+        expect_moves("kill_prob", [](AttackerModel& a) { a.kill_prob += 0.05; });
+        break;
+      case AttackerModel::Kind::kReactiveJammer:
+        expect_moves("kill_prob", [](AttackerModel& a) { a.kill_prob += 0.05; });
+        expect_moves("sense_prob", [](AttackerModel& a) { a.sense_prob -= 0.1; });
+        expect_moves("jam_len", [](AttackerModel& a) { a.jam_len += 0.25; });
+        break;
+      case AttackerModel::Kind::kNone:
+        break;
+    }
   }
 }
 

@@ -173,6 +173,35 @@ TEST(Interference, DutyCycleRespected) {
   EXPECT_FALSE(model.lose(3.0, rng));
 }
 
+TEST(ReactiveJam, SensingOpensAJamWindowThatExpires) {
+  // sense_prob 1, kill_prob 1: the first packet is sensed (and dies), the
+  // window then kills everything for jam_len seconds and nothing after.
+  ReactiveJamLoss model(1.0, 1.0, 2.0);
+  sim::Rng rng(7);
+  EXPECT_FALSE(model.jamming(0.0));
+  EXPECT_TRUE(model.lose(1.0, rng));   // sensed, window [1, 3)
+  EXPECT_TRUE(model.jamming(2.9));
+  EXPECT_TRUE(model.lose(2.5, rng));   // inside the window
+  EXPECT_FALSE(model.jamming(3.0));    // window closed...
+  EXPECT_TRUE(model.lose(4.0, rng));   // ...but this packet re-triggers
+}
+
+TEST(ReactiveJam, SilentAttackerNeverLoses) {
+  ReactiveJamLoss model(0.0, 1.0, 10.0);  // never senses: kill_prob moot
+  sim::Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(model.lose(0.1 * i, rng));
+}
+
+TEST(ReactiveJam, KillProbabilityAppliesInsideTheWindow) {
+  // Certain sensing, coin-flip kills: roughly half the packets inside a
+  // permanently refreshed window should die.
+  ReactiveJamLoss model(1.0, 0.5, 100.0);
+  sim::Rng rng(13);
+  int losses = 0;
+  for (int i = 0; i < 100000; ++i) losses += model.lose(0.0, rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(losses) / 100000.0, 0.5, 0.02);
+}
+
 TEST(Scripted, VerdictsFollowScript) {
   auto model = ScriptedLoss::lose_indices({1, 3}, 5);
   sim::Rng rng(1);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "attack/attacker.hpp"
 #include "campaign/context.hpp"
 #include "campaign/runner.hpp"
 #include "core/constraints.hpp"
@@ -130,7 +131,7 @@ TEST(ScenarioBuilder, ChainedBridgeCompoundsLossAndDelayPerHop) {
   params.mode = campaign::RunMode::kMonteCarlo;
   params.topology = Topology::kChainedBridge;
   params.relay_loss = 0.05;
-  params.loss = LossSpec::bernoulli(0.1);
+  params.attacker = attack::AttackerModel::bernoulli(0.1);
   params.channel.delay = 0.01;
   params.seed_count = 1;
   const campaign::ScenarioSpec spec = build(params);
@@ -316,6 +317,53 @@ TEST(CrossValidation, MonteCarloOnlyScenariosAreSkipped) {
 // scenarios::synthesize — the randomized-model generator, promoted from
 // the zone-engine property tests into the reusable fuzz entry point
 // ---------------------------------------------------------------------------
+
+TEST(CrossValidation, EveryAttackerFamilyAgreesAcrossBothLowerings) {
+  // One deployment, every attacker family: the stochastic lowering (what
+  // the sampler draws losses from) and the prover lowering (ammunition)
+  // must never produce contradictory verdicts.  The base deployment is
+  // the laser case study, proved even under a 4-loss adversary, so the
+  // sampler observing a violation under ANY family would be a lowering
+  // bug, not an attack.
+  const attack::AttackerModel families[] = {
+      attack::AttackerModel::none(),
+      attack::AttackerModel::bernoulli(0.3),
+      attack::AttackerModel::gilbert_elliott(0.05, 0.4, 0.02, 0.8),
+      attack::AttackerModel::interference(2.0, 0.5, 0.9, 0.02),
+      attack::AttackerModel::scripted({false, true, false, true}),
+      attack::AttackerModel::sustained_jammer(0.8),
+      attack::AttackerModel::reactive_jammer(0.8, 1.0, 0.9),
+  };
+  std::vector<campaign::ScenarioSpec> specs;
+  for (const attack::AttackerModel& family : families) {
+    const RegistryEntry* entry = find_scenario("laser-tracheotomy");
+    ASSERT_NE(entry, nullptr);
+    ScenarioParams p = params_for(*entry);
+    p.name = util::cat("laser-", attack::attacker_kind_str(family.kind));
+    p.attacker = family;
+    p.attacker.with_intensity(0.5).with_budget(4);
+    p.seed_count = 2;
+    p.horizon = 100.0;
+    apply_tuning(p, RegistryTuning::smoke());
+    specs.push_back(build(p));
+    // A budgeted attacker owns the prover's ammunition: floor(0.5*4).
+    // The benign kind keeps the scenario's own (smoke-capped) bound.
+    if (family.kind != attack::AttackerModel::Kind::kNone)
+      EXPECT_EQ(specs.back().verify.max_losses, 2u) << p.name;
+  }
+
+  const campaign::CampaignReport report = campaign::CampaignRunner().run(specs);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  const CrossValidationReport crossval = cross_validate(report);
+  ASSERT_EQ(crossval.checks.size(), specs.size());
+  EXPECT_TRUE(crossval.ok()) << crossval.summary();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(report.scenarios[i].verification.has_value()) << specs[i].name;
+    EXPECT_EQ(report.scenarios[i].verification->status, verify::VerifyStatus::kProved)
+        << specs[i].name;
+    EXPECT_EQ(report.scenarios[i].total_violations, 0u) << specs[i].name;
+  }
+}
 
 TEST(Synthesize, ConfigsAreAlwaysTheorem1Consistent) {
   sim::Rng rng(11);

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "api/frontier.hpp"
 #include "api/service.hpp"
 #include "scenarios/crossval.hpp"
 #include "scenarios/registry.hpp"
@@ -60,6 +61,10 @@ constexpr const char* kUsage =
     "  matrix              registry (or --dir of files) x both modes +\n"
     "                      cross-validation (--smoke, --json)\n"
     "  replay <ref>        prove and replay the counterexample\n"
+    "  frontier [<ref>...] robustness frontier: binary-search the attacker\n"
+    "                      intensity each scenario provably tolerates\n"
+    "                      (whole registry when no refs; --budget K --smoke\n"
+    "                      --json)\n"
     "  fuzz                synthesized random deployments, cross-validated\n"
     "  cache <action>      result-cache maintenance: stats, clear, gc\n"
     "\n"
@@ -68,8 +73,8 @@ constexpr const char* kUsage =
     "common options: --seeds N --seed-base S --threads N --verify-threads N\n"
     "  (prover threads; scenarios default to 0 = hardware concurrency)\n"
     "  --losses K --injections K --states N (budget caps) --smoke --expect V\n"
-    "caching (run/verify/matrix): --cache-dir DIR (or PTE_CACHE_DIR) enables\n"
-    "  the content-addressed result cache + warm-resume checkpoints;\n"
+    "caching (run/verify/matrix/frontier): --cache-dir DIR (or PTE_CACHE_DIR)\n"
+    "  enables the content-addressed result cache + warm-resume checkpoints;\n"
     "  --no-cache disables it for one invocation.\n"
     "remote (run/verify): --connect HOST:PORT sends the job to a running\n"
     "  `pted` daemon instead of executing in-process.\n";
@@ -302,9 +307,9 @@ int cmd_describe(const util::ArgParser& args) {
               scenarios::run_mode_str(p.mode).c_str(),
               util::fmt_compact(p.horizon).c_str(),
               static_cast<unsigned long long>(p.seed_base), p.seed_count);
-  std::printf("topology: %s   loss: %s\n",
+  std::printf("topology: %s   attacker: %s\n",
               p.topology == scenarios::Topology::kStar ? "star" : "chained-bridge",
-              p.loss.describe().c_str());
+              p.attacker.describe().c_str());
   std::printf("verify budgets: %zu losses, %zu injections, %zu input changes, "
               "%zu states\n",
               p.verify.max_losses, p.verify.max_injections, p.verify.max_input_changes,
@@ -489,9 +494,13 @@ int cmd_fuzz(const util::ArgParser& args) {
   const std::size_t remotes = args.get_u64("remotes", 2);
   if (rounds == 0) return usage_error("--rounds must be positive");
 
-  sim::Rng rng(seed);
+  // One rng per round, seeded seed + i: any single deployment — attacker
+  // draw included — reproduces with --seed <seed+i> --rounds 1, without
+  // replaying the rounds before it.
   std::vector<campaign::ScenarioSpec> specs;
+  std::vector<std::uint64_t> round_seed;
   for (std::size_t i = 0; i < rounds; ++i) {
+    sim::Rng rng(seed + i);
     scenarios::SynthesizeOptions options;
     options.n_remotes = remotes;
     options.breakable = true;
@@ -501,6 +510,7 @@ int cmd_fuzz(const util::ArgParser& args) {
     spec.name += util::cat("-", i);
     spec.verify.max_losses = args.get_u64("losses", 1);
     spec.verify.max_injections = args.get_u64("injections", 1);
+    round_seed.push_back(seed + i);
     specs.push_back(std::move(spec));
   }
 
@@ -508,11 +518,92 @@ int cmd_fuzz(const util::ArgParser& args) {
   const scenarios::CrossValidationReport crossval = scenarios::cross_validate(report);
   std::printf("%s\n%s", report.summary().c_str(), crossval.summary().c_str());
   for (const std::string& e : report.errors) std::fprintf(stderr, "error: %s\n", e.c_str());
+  for (const scenarios::CrossCheck& check : crossval.checks) {
+    if (check.consistent) continue;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].name != check.scenario) continue;
+      std::fprintf(stderr,
+                   "reproduce: pte fuzz --seed %llu --rounds 1 --remotes %zu "
+                   "--seeds %llu --losses %llu --injections %llu\n",
+                   static_cast<unsigned long long>(round_seed[i]), remotes,
+                   static_cast<unsigned long long>(args.get_u64("seeds", 2)),
+                   static_cast<unsigned long long>(args.get_u64("losses", 1)),
+                   static_cast<unsigned long long>(args.get_u64("injections", 1)));
+    }
+  }
   const bool ok = report.ok() && crossval.ok();
   std::printf("\nFUZZ %s (%zu synthesized deployment(s), seed %llu)\n",
               ok ? "PASSED" : "FAILED", rounds,
               static_cast<unsigned long long>(seed));
   return ok ? 0 : 1;
+}
+
+int cmd_frontier(const util::ArgParser& args) {
+  std::vector<api::Job> jobs;
+  if (args.positional().empty()) {
+    for (const auto& e : scenarios::registry())
+      jobs.push_back(api::Job::for_scenario(e.name));
+  } else {
+    for (const std::string& ref : args.positional())
+      jobs.push_back(api::Job::for_document(load_ref(ref)));
+  }
+  for (api::Job& job : jobs) {
+    job.smoke = args.has_flag("smoke");
+    job.tuning = tuning_from_args(args);
+    job.threads = args.get_u64("threads", 0);
+  }
+  api::FrontierOptions options;
+  options.default_budget = args.get_u64("budget", options.default_budget);
+  if (options.default_budget == 0) return usage_error("--budget must be positive");
+
+  const api::FrontierReport report =
+      api::compute_frontier(make_service(args), jobs, options);
+  if (args.has_flag("json")) {
+    std::fputs(report.to_json().dump(2).c_str(), stdout);
+    for (const api::FrontierResult& r : report.results)
+      for (const std::string& e : r.errors)
+        std::fprintf(stderr, "error: %s: %s\n", r.scenario.c_str(), e.c_str());
+    for (const std::string& e : report.errors)
+      std::fprintf(stderr, "error: %s\n", e.c_str());
+    return report.ok ? 0 : 1;
+  }
+
+  util::TextTable table(
+      {"scenario", "budget", "safe", "critical", "margin", "replay", "probes"});
+  for (std::size_t c = 1; c <= 4; ++c) table.set_right_align(c);
+  for (const api::FrontierResult& r : report.results) {
+    std::string probes;
+    for (const api::FrontierProbe& p : r.probes) {
+      if (!probes.empty()) probes += " ";
+      probes += util::cat(p.losses, ":",
+                          p.status == verify::VerifyStatus::kProved ? "proved"
+                          : p.status == verify::VerifyStatus::kViolation
+                              ? "violated"
+                              : "out-of-budget");
+    }
+    table.add_row(
+        {r.scenario, util::cat(r.budget),
+         r.safe_losses.has_value() ? util::cat(*r.safe_losses) : "-",
+         r.critical_losses.has_value() ? util::cat(*r.critical_losses) : "-",
+         r.ok ? util::fmt_double(r.margin, 2) : "ERROR",
+         r.critical_losses.has_value() ? (r.counterexample_replayed ? "yes" : "NO") : "-",
+         probes});
+  }
+  std::printf("=== robustness frontier: %zu scenario(s), attacker-intensity "
+              "binary search ===\n\n%s\n",
+              jobs.size(), table.render().c_str());
+  std::printf("safe/critical are attacker losses; margin = safe/budget — the\n"
+              "proof holds at every intensity <= margin, and the critical probe's\n"
+              "counterexample replays through the engine above it.\n");
+  for (const api::FrontierResult& r : report.results)
+    for (const std::string& e : r.errors)
+      std::fprintf(stderr, "error: %s: %s\n", r.scenario.c_str(), e.c_str());
+  for (const std::string& e : report.errors) std::fprintf(stderr, "error: %s\n", e.c_str());
+  if (report.cache.enabled)
+    std::printf("\ncache: %zu hit(s), %zu miss(es), %zu resume(s)\n",
+                report.cache.hits, report.cache.misses, report.cache.resumes);
+  std::printf("\nFRONTIER %s\n", report.ok ? "PASSED" : "FAILED");
+  return report.ok ? 0 : 1;
 }
 
 int cmd_cache(const util::ArgParser& args) {
@@ -590,6 +681,11 @@ int main(int argc, char** argv) {
                        {"smoke", "scenario", "dir", "seeds", "threads",
                         "verify-threads", "losses", "injections", "input-changes",
                         "states", "json", "cache-dir", "no-cache"}});
+  if (command == "frontier")
+    return cmd_frontier({sub_argc, sub_argv,
+                         {"budget", "smoke", "seeds", "seed-base", "threads",
+                          "verify-threads", "losses", "injections", "input-changes",
+                          "states", "json", "cache-dir", "no-cache"}});
   if (command == "cache")
     return cmd_cache({sub_argc, sub_argv, {"cache-dir", "max-bytes", "json"}});
   if (command == "replay")
