@@ -1,0 +1,166 @@
+// Cost/benefit model of the scenario-space fuzzer (src/fuzz/): raw
+// throughput (execs/sec through api::Service::run_matrix), how hard the
+// dedup layers work (content digests + prover projections rejected per
+// candidate drawn), the coverage-growth curve, and the headline
+// guided-vs-blind comparison at the anchor configuration the regression
+// test (tests/test_fuzz.cpp, GuidedBeatsBlindAtEqualBudgetAndSeed) pins.
+// Writes BENCH_fuzz.json.
+//
+// The acceptance bar (exit status, not just numbers in the JSON): at the
+// anchor seed with identical exec budgets, guided mode reaches strictly
+// more distinct fingerprint sketches AND at least one more verdict-flip
+// region than --blind.  The multi-seed aggregate is reported as data
+// (guided wins most seeds, not all — small grids saturate).
+//
+// Usage: bench_fuzz [--seed 5] [--max-execs 96] [--batch 8]
+//                   [--aggregate-seeds 5] [--threads 2] [--skip-json]
+// CI runs the cheap variant: bench_fuzz --aggregate-seeds 0
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/service.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+using namespace ptecps;
+
+namespace {
+
+fuzz::FuzzOptions anchor_options(std::uint64_t seed, std::size_t execs,
+                                 std::size_t batch, std::size_t threads,
+                                 bool guided) {
+  fuzz::FuzzOptions o;
+  o.seed = seed;
+  o.max_execs = execs;
+  o.batch = batch;
+  o.threads = threads;
+  o.guided = guided;
+  o.minimize = false;
+  // The reduced grid the comparison is measured on: small enough that a
+  // fixed exec budget is a meaningful fraction of the scenario space, so
+  // blind generation pays real birthday-collision costs.
+  o.grammar.max_remotes = 2;
+  o.grammar.config_pool = 1;
+  return o;
+}
+
+util::Json campaign_json(const fuzz::FuzzReport& r) {
+  util::Json j = util::Json::object();
+  j.set("execs", r.stats.execs);
+  j.set("distinct_sketches", r.stats.distinct_sketches);
+  j.set("coverage_bits", r.stats.coverage_bits);
+  j.set("flip_regions", r.stats.flip_regions);
+  j.set("near_misses", r.stats.near_misses);
+  j.set("dedup_skipped", r.stats.dedup_skipped);
+  const double drawn =
+      static_cast<double>(r.stats.execs + r.stats.dedup_skipped);
+  j.set("dedup_rate", drawn > 0.0 ? static_cast<double>(r.stats.dedup_skipped) / drawn : 0.0);
+  j.set("corpus_size", r.stats.corpus_size);
+  j.set("proved", r.stats.proved);
+  j.set("violated", r.stats.violated);
+  j.set("out_of_budget", r.stats.out_of_budget);
+  j.set("wall_s", r.stats.wall_s);
+  j.set("execs_per_s", r.stats.execs_per_s);
+  util::Json curve = util::Json::array();
+  for (const fuzz::CoveragePoint& p : r.stats.coverage_curve) {
+    util::Json pt = util::Json::object();
+    pt.set("execs", p.execs);
+    pt.set("coverage_bits", p.coverage_bits);
+    pt.set("distinct_sketches", p.distinct_sketches);
+    pt.set("flip_regions", p.flip_regions);
+    curve.push_back(std::move(pt));
+  }
+  j.set("coverage_curve", std::move(curve));
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv,
+                             {"seed", "max-execs", "batch", "aggregate-seeds",
+                              "threads", "skip-json"});
+  const std::uint64_t seed = args.get_u64("seed", 5);
+  const std::size_t execs = args.get_u64("max-execs", 96);
+  const std::size_t batch = args.get_u64("batch", 8);
+  const std::size_t threads = args.get_u64("threads", 2);
+  const std::size_t aggregate_seeds = args.get_u64("aggregate-seeds", 5);
+
+  const api::Service service;
+
+  std::printf("anchor: seed=%llu execs=%zu batch=%zu (reduced grid: n<=2, pool=1)\n",
+              static_cast<unsigned long long>(seed), execs, batch);
+  const fuzz::FuzzReport guided =
+      fuzz::Fuzzer(service, anchor_options(seed, execs, batch, threads, true)).run();
+  const fuzz::FuzzReport blind =
+      fuzz::Fuzzer(service, anchor_options(seed, execs, batch, threads, false)).run();
+  std::printf("guided: %zu sketches, %zu flip regions, %zu dedup rejects, %.1f execs/s\n",
+              guided.stats.distinct_sketches, guided.stats.flip_regions,
+              guided.stats.dedup_skipped, guided.stats.execs_per_s);
+  std::printf("blind:  %zu sketches, %zu flip regions, %zu dedup rejects, %.1f execs/s\n",
+              blind.stats.distinct_sketches, blind.stats.flip_regions,
+              blind.stats.dedup_skipped, blind.stats.execs_per_s);
+
+  const bool more_sketches =
+      guided.stats.distinct_sketches > blind.stats.distinct_sketches;
+  const bool more_flips =
+      guided.stats.flip_regions >= blind.stats.flip_regions + 1;
+  const bool ok = more_sketches && more_flips;
+  std::printf("guided beats blind at the anchor: %s (sketches %s, flips %s)\n",
+              ok ? "yes" : "NO", more_sketches ? "+" : "-", more_flips ? "+" : "-");
+
+  // Multi-seed picture: same budget, seeds 1..N — data, not a gate.
+  util::Json sweep = util::Json::array();
+  std::size_t wins = 0;
+  for (std::size_t s = 1; s <= aggregate_seeds; ++s) {
+    const fuzz::FuzzReport g =
+        fuzz::Fuzzer(service, anchor_options(s, execs, batch, threads, true)).run();
+    const fuzz::FuzzReport b =
+        fuzz::Fuzzer(service, anchor_options(s, execs, batch, threads, false)).run();
+    const bool win = g.stats.distinct_sketches > b.stats.distinct_sketches &&
+                     g.stats.flip_regions >= b.stats.flip_regions;
+    wins += win ? 1 : 0;
+    util::Json row = util::Json::object();
+    row.set("seed", s);
+    row.set("guided_sketches", g.stats.distinct_sketches);
+    row.set("blind_sketches", b.stats.distinct_sketches);
+    row.set("guided_flips", g.stats.flip_regions);
+    row.set("blind_flips", b.stats.flip_regions);
+    row.set("guided_win", win);
+    sweep.push_back(std::move(row));
+    std::printf("seed %zu: guided %zu/%zu vs blind %zu/%zu %s\n", s,
+                g.stats.distinct_sketches, g.stats.flip_regions,
+                b.stats.distinct_sketches, b.stats.flip_regions, win ? "WIN" : "");
+  }
+  if (aggregate_seeds > 0)
+    std::printf("aggregate: guided wins %zu of %zu seeds\n", wins, aggregate_seeds);
+
+  if (!args.has_flag("skip-json")) {
+    util::Json doc = util::Json::object();
+    util::Json anchor = util::Json::object();
+    anchor.set("seed", seed);
+    anchor.set("max_execs", execs);
+    anchor.set("batch", batch);
+    anchor.set("max_remotes", 2);
+    anchor.set("config_pool", 1);
+    doc.set("anchor", std::move(anchor));
+    doc.set("guided", campaign_json(guided));
+    doc.set("blind", campaign_json(blind));
+    doc.set("guided_beats_blind", ok);
+    if (aggregate_seeds > 0) {
+      doc.set("seed_sweep", std::move(sweep));
+      doc.set("seed_sweep_wins", wins);
+    }
+    std::FILE* f = std::fopen("BENCH_fuzz.json", "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write BENCH_fuzz.json\n");
+      return 2;
+    }
+    std::fputs(doc.dump(2).c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_fuzz.json\n");
+  }
+  return ok ? 0 : 1;
+}

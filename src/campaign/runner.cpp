@@ -153,11 +153,14 @@ CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) {
       vo.transitions = vr.transitions;
       vo.threads_used = vr.threads_used;
       vo.resumed = vr.resumed;
+      vo.sketch = vr.sketch;
       vo.counterexample = vr.counterexample;
       if (vo.counterexample.has_value() && spec.verify.replay) {
         vo.replay_attempted = true;
-        vo.replay_reproduced =
-            verify::replay_counterexample(input, *vo.counterexample).reproduced;
+        const verify::ReplayResult rr =
+            verify::replay_counterexample(input, *vo.counterexample);
+        vo.replay_reproduced = rr.reproduced;
+        vo.replay_detail = rr.summary();
       }
     } catch (const std::exception& e) {
       verify_errors.push_back(util::cat(spec.name, "[verify]: ", e.what()));
@@ -266,9 +269,21 @@ util::Json CampaignReport::to_json() const {
       vj.set("threads_used", v.threads_used);
       vj.set("replay_attempted", v.replay_attempted);
       vj.set("replay_reproduced", v.replay_reproduced);
+      // Only when present, so pre-existing cached reports re-render
+      // byte-identically.
+      if (!v.replay_detail.empty()) vj.set("replay_detail", v.replay_detail);
       // Only when set, so cold-run reports are byte-stable across the
       // checkpoint feature (and cached JSON written before it).
       if (v.resumed) vj.set("resumed", true);
+      // Only when the exploration stored anything, so reports (and
+      // cached JSON) written before the sketch feature re-render
+      // byte-identically.
+      if (v.sketch.distinct > 0) {
+        util::Json sk = util::Json::object();
+        sk.set("distinct", v.sketch.distinct);
+        sk.set("bits", v.sketch.bits_hex());
+        vj.set("sketch", std::move(sk));
+      }
       vj.set("wall_seconds", v.wall_seconds);
       if (v.counterexample.has_value())
         vj.set("counterexample", v.counterexample->to_json());
@@ -307,7 +322,15 @@ VerificationOutcome verification_from_json(const util::Json& j, const std::strin
   v.threads_used = r.uinteger("threads_used", 0);
   v.replay_attempted = r.boolean("replay_attempted", false);
   v.replay_reproduced = r.boolean("replay_reproduced", false);
+  v.replay_detail = r.string("replay_detail", "");
   v.resumed = r.boolean("resumed", false);
+  if (const util::Json* sk = r.optional("sketch")) {
+    util::JsonReader kr(*sk, util::cat(ctx, ".sketch"));
+    v.sketch.distinct = kr.uinteger("distinct", 0);
+    if (!v.sketch.set_bits_hex(kr.string("bits", "")))
+      kr.fail("bits", "malformed fingerprint bitmap hex");
+    kr.finish();
+  }
   v.wall_seconds = r.number("wall_seconds", 0.0);
   if (const util::Json* cx = r.optional("counterexample"))
     v.counterexample = verify::Counterexample::from_json(*cx);

@@ -36,9 +36,16 @@ struct VerificationOutcome {
   bool replay_attempted = false;
   /// Counterexample replayed through hybrid::Engine and reproduced.
   bool replay_reproduced = false;
+  /// Human-readable replay outcome (violations the engine DID observe,
+  /// unmatched sends) — what "NOT reproduced" actually looked like.
+  std::string replay_detail;
   /// Exploration warm-resumed from a checkpoint (CampaignOptions::resume)
   /// instead of starting cold; all counts above still equal a cold run's.
   bool resumed = false;
+  /// Discrete-state fingerprint summary of the exploration — the
+  /// coverage signal the scenario-space fuzzer feeds on.  Serialized
+  /// through the report JSON, so cache hits still carry coverage.
+  verify::StateSketch sketch;
   double wall_seconds = 0.0;
 };
 

@@ -1,0 +1,385 @@
+#include "fuzz/grammar.hpp"
+
+#include <cmath>
+#include <exception>
+#include <iterator>
+
+#include "scenarios/canonical.hpp"
+#include "util/require.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::fuzz {
+
+namespace {
+
+using attack::AttackerModel;
+using scenarios::ScenarioDocument;
+using scenarios::ScenarioParams;
+using scenarios::Topology;
+
+// ---------------------------------------------------------------------------
+// Quantized knob sets (see the header: the grid is the point)
+// ---------------------------------------------------------------------------
+
+constexpr double kIntensities[] = {0.25, 0.5, 0.75, 1.0};
+constexpr double kBernoulliP[] = {0.05, 0.15, 0.3};
+constexpr double kGePgb[] = {0.05, 0.1};
+constexpr double kGePbg[] = {0.3, 0.5};
+constexpr double kGeLossBad[] = {0.6, 0.8};
+constexpr double kIntfPeriod[] = {1.5, 2.5};
+constexpr double kIntfLossBurst[] = {0.7, 0.9};
+constexpr double kSustainedKill[] = {0.1, 0.25};
+constexpr double kReactiveSense[] = {0.4, 0.8};
+constexpr double kReactiveJam[] = {0.5, 1.0};
+constexpr double kReactiveKill[] = {0.7, 0.9};
+constexpr double kDelays[] = {0.005, 0.02};
+constexpr double kJitters[] = {0.0, 0.01};
+constexpr double kWindows[] = {0.25, 0.5};
+constexpr double kDupProbs[] = {0.0, 0.05};
+/// Dwell ceilings as fractions of ξ1's lease, by tier: broken tiers have
+/// a violation reachable with zero losses, edge tiers straddle the
+/// boundary the flip-region metric hunts.
+constexpr double kBrokenFrac[] = {0.35, 0.5, 0.65};
+constexpr double kEdgeFrac[] = {0.9, 1.0, 1.1};
+constexpr double kHighFrac = 1.3;
+constexpr double kHorizons[] = {60.0, 120.0};
+constexpr std::uint64_t kSeedBases[] = {1, 101};
+constexpr std::size_t kSeedCounts[] = {2, 3};
+
+template <typename T, std::size_t N>
+const T& pick(sim::Rng& rng, const T (&set)[N]) {
+  return set[rng.uniform_int(N)];
+}
+
+/// Fixed Rng stream of pool slot `slot` for an N-remote deployment —
+/// the same PatternConfig in every campaign that ever draws it.
+std::uint64_t pool_stream(std::size_t n, std::size_t slot) {
+  return 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(slot) * 0x10001ULL +
+         static_cast<std::uint64_t>(n);
+}
+
+AttackerModel draw_attacker(sim::Rng& rng) {
+  switch (rng.uniform_int(7)) {
+    case 0: return AttackerModel::none();
+    case 1: return AttackerModel::bernoulli(pick(rng, kBernoulliP));
+    case 2:
+      return AttackerModel::gilbert_elliott(pick(rng, kGePgb), pick(rng, kGePbg), 0.02,
+                                            pick(rng, kGeLossBad));
+    case 3: {
+      const double period = pick(rng, kIntfPeriod);
+      return AttackerModel::interference(period, 0.4 * period, pick(rng, kIntfLossBurst),
+                                         0.02, rng.uniform_int(2) == 0 ? 0.0 : 0.5);
+    }
+    case 4: {
+      // Deterministic loss scripts: alternating / front-loaded patterns
+      // of two quantized lengths.
+      const std::size_t len = rng.uniform_int(2) == 0 ? 4 : 8;
+      const bool front = rng.uniform_int(2) == 0;
+      std::vector<bool> verdicts;
+      for (std::size_t i = 0; i < len; ++i)
+        verdicts.push_back(front ? i < len / 2 : i % 2 == 0);
+      return AttackerModel::scripted(std::move(verdicts));
+    }
+    case 5: return AttackerModel::sustained_jammer(pick(rng, kSustainedKill));
+    default:
+      return AttackerModel::reactive_jammer(pick(rng, kReactiveSense),
+                                            pick(rng, kReactiveJam),
+                                            pick(rng, kReactiveKill));
+  }
+}
+
+void draw_intensity_budget(sim::Rng& rng, AttackerModel& a, const GrammarOptions& opts) {
+  if (a.kind == AttackerModel::Kind::kNone) return;
+  a.with_intensity(pick(rng, kIntensities));
+  a.with_budget(rng.uniform_int(opts.max_budget + 1));
+}
+
+void draw_channel(sim::Rng& rng, ScenarioParams& p) {
+  p.channel.delay = pick(rng, kDelays);
+  p.channel.delay_jitter = pick(rng, kJitters);
+  p.channel.acceptance_window = pick(rng, kWindows);
+  p.channel.duplicate_prob = pick(rng, kDupProbs);
+  p.channel.duplicate_lag = p.channel.duplicate_prob > 0.0 ? 0.01 : 0.0;
+}
+
+void draw_dwell(sim::Rng& rng, ScenarioParams& p) {
+  const double lease = p.config.entity(1).t_run_max;
+  switch (rng.uniform_int(4)) {
+    case 0: p.dwell_bound = 0.0; break;
+    case 1: p.dwell_bound = lease * pick(rng, kBrokenFrac); break;
+    case 2: p.dwell_bound = lease * pick(rng, kEdgeFrac); break;
+    default: p.dwell_bound = lease * kHighFrac; break;
+  }
+}
+
+void draw_script(sim::Rng& rng, ScenarioParams& p) {
+  const std::size_t n = p.config.n_remotes;
+  p.script = scenarios::StimulusScript{};
+  const std::uint64_t shape = rng.uniform_int(3);
+  if (shape == 0) return;  // run straight to the horizon
+  // One full session cycle per period, derived from the (pool-slot
+  // deterministic) timing configuration.
+  p.script.period = p.config.t_fb_min_0 + p.config.entity(n).occupancy() +
+                    2.0 * p.config.t_wait_max + 2.0;
+  p.script.phase = 2.0;
+  p.script.on_for =
+      rng.uniform_int(2) == 0 ? 0.0 : 0.6 * p.config.entity(n).t_run_max;
+  if (shape == 2) {
+    // A mid-session uplink kill on ξ1 — the adversarial stimulus the
+    // replay layer exercises.
+    p.script.actions.push_back(scenarios::Action::kill_uplink(
+        p.script.phase + 0.5 * p.script.period, 1));
+  }
+}
+
+void draw_topology(sim::Rng& rng, ScenarioParams& p, const GrammarOptions& opts) {
+  p.topology = (opts.allow_chained && rng.uniform_int(3) == 0)
+                   ? Topology::kChainedBridge
+                   : Topology::kStar;
+}
+
+void draw_verify(sim::Rng& rng, ScenarioParams& p, const GrammarOptions& opts) {
+  p.verify = campaign::VerifySpec{};
+  p.verify.max_losses = 1 + rng.uniform_int(2);
+  p.verify.max_injections = 1 + rng.uniform_int(2);
+  p.verify.max_input_changes = rng.uniform_int(2);
+  p.verify.max_states = opts.max_states;
+}
+
+void draw_config(sim::Rng& rng, ScenarioParams& p, const GrammarOptions& opts) {
+  const std::size_t n = 2 + rng.uniform_int(opts.max_remotes >= 2 ? opts.max_remotes - 1 : 1);
+  const std::size_t slot = rng.uniform_int(opts.config_pool ? opts.config_pool : 1);
+  // Preserve the dwell tier across a configuration change: the ceiling
+  // is a fraction of ξ1's lease, and the lease just moved.
+  const double old_lease = p.config.entity(1).t_run_max;
+  const double ratio = old_lease > 0.0 ? p.dwell_bound / old_lease : 0.0;
+  sim::Rng config_rng(pool_stream(n, slot));
+  scenarios::SynthesizeOptions so;
+  so.n_remotes = n;
+  so.breakable = false;
+  so.with_traffic = false;
+  const ScenarioParams drawn = scenarios::synthesize_params(config_rng, so);
+  p.config = drawn.config;
+  p.dwell_bound = ratio > 0.0 ? p.config.entity(1).t_run_max * ratio : p.dwell_bound;
+}
+
+ScenarioParams draw_params(sim::Rng& rng, const GrammarOptions& opts) {
+  ScenarioParams p;
+  draw_config(rng, p, opts);
+  draw_dwell(rng, p);
+  p.attacker = draw_attacker(rng);
+  draw_intensity_budget(rng, p.attacker, opts);
+  draw_channel(rng, p);
+  draw_topology(rng, p, opts);
+  draw_script(rng, p);
+  draw_verify(rng, p, opts);
+  p.mode = campaign::RunMode::kBoth;
+  p.horizon = pick(rng, kHorizons);
+  p.seed_base = pick(rng, kSeedBases);
+  p.seed_count = pick(rng, kSeedCounts);
+  p.with_lease = rng.uniform_int(4) != 0;
+  p.deadline_wait = rng.uniform_int(4) != 0;
+  return p;
+}
+
+/// Validity gate: a candidate leaves the grammar only if build()
+/// accepts it end to end (script within horizon, chained worst path
+/// inside the acceptance window, non-empty delivery window, …).
+bool builds(const ScenarioParams& p) {
+  try {
+    (void)scenarios::build(p);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+ScenarioDocument finish(ScenarioParams p) {
+  normalize_name(p);
+  ScenarioDocument doc;
+  doc.params = std::move(p);
+  return doc;
+}
+
+}  // namespace
+
+void normalize_name(ScenarioParams& params) {
+  params.name = "fuzz";
+  const std::string digest = scenarios::params_digest(params);
+  params.name = util::cat("fuzz-", digest.substr(0, 12));
+}
+
+ScenarioDocument generate(sim::Rng& rng, const GrammarOptions& options) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    ScenarioParams p = draw_params(rng, options);
+    if (builds(p)) return finish(std::move(p));
+  }
+  // The quantized sets are chosen to always compose (worst chained path
+  // 3 * 0.02 + 0.01 = 0.07 s < the tightest 0.25 s window), so running
+  // dry is a grammar bug, not an input condition.
+  PTE_REQUIRE(false, "fuzz grammar failed to draw a valid scenario in 64 attempts");
+  return {};
+}
+
+ScenarioDocument mutate(sim::Rng& rng, const ScenarioDocument& seed,
+                        const GrammarOptions& options) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    ScenarioParams p = seed.params;
+    switch (rng.uniform_int(12)) {
+      case 0:
+        p.attacker = draw_attacker(rng);
+        draw_intensity_budget(rng, p.attacker, options);
+        break;
+      case 1:
+        if (p.attacker.kind != AttackerModel::Kind::kNone)
+          p.attacker.with_intensity(pick(rng, kIntensities));
+        break;
+      case 2:
+        if (p.attacker.kind != AttackerModel::Kind::kNone)
+          p.attacker.with_budget(rng.uniform_int(options.max_budget + 1));
+        break;
+      case 3: draw_channel(rng, p); break;
+      case 4: draw_dwell(rng, p); break;
+      case 5: draw_script(rng, p); break;
+      case 6: draw_topology(rng, p, options); break;
+      case 7: draw_config(rng, p, options); break;
+      case 8: p.horizon = pick(rng, kHorizons); break;
+      case 9:
+        p.seed_base = pick(rng, kSeedBases);
+        p.seed_count = pick(rng, kSeedCounts);
+        break;
+      case 10: draw_verify(rng, p, options); break;
+      default:
+        if (rng.uniform_int(2) == 0) {
+          p.with_lease = !p.with_lease;
+        } else {
+          p.deadline_wait = !p.deadline_wait;
+        }
+        break;
+    }
+    if (builds(p)) return finish(std::move(p));
+  }
+  // Every mutation failed validation (e.g. a seed already at the edge of
+  // the chained-path constraint kept drawing incompatible channels) —
+  // fall back to the seed itself, renamed canonically.
+  ScenarioParams p = seed.params;
+  return finish(std::move(p));
+}
+
+ScenarioDocument flip_probe(sim::Rng& rng, const ScenarioDocument& seed,
+                            const GrammarOptions& options) {
+  ScenarioParams p = seed.params;
+  const double lease = p.config.entity(1).t_run_max;
+  const double ratio = lease > 0.0 && p.dwell_bound > 0.0 ? p.dwell_bound / lease : 0.0;
+  const auto redraw_within = [&](const double* fracs, std::size_t n) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const double f = fracs[rng.uniform_int(n)];
+      if (std::abs(f - ratio) > 1e-9) {
+        p.dwell_bound = lease * f;
+        return true;
+      }
+    }
+    return false;
+  };
+  bool moved = false;
+  // Tier boundaries mirror structure_bucket: re-draw the fraction WITHIN
+  // the seed's tier so the candidate lands in the same structural bucket
+  // with a different verdict boundary — the directed move that pairs a
+  // proved with a violated execution.
+  if (ratio >= 0.85 && ratio <= 1.15) {
+    moved = redraw_within(kEdgeFrac, std::size(kEdgeFrac));
+  } else if (ratio > 0.0 && ratio < 0.85) {
+    moved = redraw_within(kBrokenFrac, std::size(kBrokenFrac));
+  }
+  if (!moved && p.attacker.kind != AttackerModel::Kind::kNone &&
+      p.attacker.losses() > 0) {
+    // Armed bucket outside a probe-able dwell tier: the verdict boundary
+    // runs along prover-visible ammunition instead.  Re-draw
+    // intensity × budget to a DIFFERENT positive loss count — the bucket
+    // stays "attacked", the projection moves.
+    const std::size_t old_losses = p.attacker.losses();
+    for (int attempt = 0; attempt < 8 && !moved; ++attempt) {
+      const double intensity = pick(rng, kIntensities);
+      const std::size_t budget = 1 + rng.uniform_int(options.max_budget);
+      p.attacker.with_intensity(intensity).with_budget(budget);
+      moved = p.attacker.losses() > 0 && p.attacker.losses() != old_losses;
+    }
+    if (!moved) p.attacker = seed.params.attacker;
+  }
+  if (moved && builds(p)) return finish(std::move(p));
+  // Nothing tier- or ammunition-probe-able (calm solid/high seeds) —
+  // fall back to an ordinary structure-aware mutation.
+  return mutate(rng, seed, options);
+}
+
+std::string structure_bucket(const ScenarioParams& params) {
+  const double lease = params.config.entity(1).t_run_max;
+  const double ratio = lease > 0.0 ? params.dwell_bound / lease : 0.0;
+  const char* tier = "solid";
+  if (params.dwell_bound > 0.0) {
+    if (ratio < 0.85) {
+      tier = "broken";
+    } else if (ratio <= 1.15) {
+      tier = "edge";
+    } else {
+      tier = "high";
+    }
+  }
+  // "attacked" means the PROVER sees ammunition (an attacker with a
+  // positive loss budget) — a budget-0 attacker is prover-equivalent to
+  // calm, and splitting on mere presence would carve regions the
+  // exhaustive checker cannot distinguish.
+  const bool armed = params.attacker.kind != AttackerModel::Kind::kNone &&
+                     params.attacker.losses() > 0;
+  return util::cat(params.topology == Topology::kStar ? "star" : "chained-bridge", "|",
+                   armed ? "attacked" : "calm", "|n", params.config.n_remotes, "|",
+                   tier);
+}
+
+std::string prover_projection(const ScenarioParams& params) {
+  // Start from defaults and copy ONLY what moves the exhaustive
+  // checker's DISCRETE-state fingerprint set: sampler-only knobs must
+  // digest identically or the guided scheduler would mistake stochastic
+  // variety for coverage potential.  Channel timing is deliberately
+  // excluded too — it reshapes zones (clock regions), not the discrete
+  // key set the StateSketch fingerprints, so two candidates differing
+  // only in delay/jitter would buy a duplicate sketch.  The dwell
+  // ceiling enters as its QUANTIZED RATIO to ξ1's lease rather than the
+  // absolute value: the ratio is what decides the verdict, and keeping
+  // distinct ratios distinct is what lets the scheduler probe both
+  // sides of a flip boundary (0.9 vs 1.1 of the lease are different
+  // cells; the same ratio over two configs of different absolute
+  // timing is not).
+  ScenarioParams q;
+  q.name = "projection";
+  q.config = params.config;
+  q.approval = params.approval;
+  q.with_lease = params.with_lease;
+  q.deadline_wait = params.deadline_wait;
+  const double lease = params.config.entity(1).t_run_max;
+  const double ratio = params.dwell_bound > 0.0 && lease > 0.0
+                           ? std::round(params.dwell_bound / lease * 100.0) / 100.0
+                           : 0.0;
+  if (ratio > 1.15) {
+    // A ceiling above the lease never trips: prover-equivalent to none.
+    q.dwell_bound = 0.0;
+  } else if (ratio > 0.0 && ratio < 0.85) {
+    // Comfortably-broken ceilings all truncate the exploration at the
+    // same first dwell exceedance — one sketch class regardless of the
+    // exact fraction.
+    q.dwell_bound = 0.5;
+  } else {
+    // Edge ratios stay distinct: this is where the exact value decides
+    // the verdict, and where the flip probe needs fresh cells.
+    q.dwell_bound = ratio;
+  }
+  q.topology = params.topology;
+  q.verify = params.verify;
+  q.verify.max_states = 0;  // a cap, not a deployment property
+  q.verify.replay = true;
+  if (params.attacker.kind != AttackerModel::Kind::kNone && params.attacker.budget > 0)
+    q.verify.max_losses = params.attacker.losses();
+  return scenarios::params_digest(q);
+}
+
+}  // namespace ptecps::fuzz

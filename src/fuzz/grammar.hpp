@@ -1,0 +1,106 @@
+// Structure-aware scenario grammar: generation and mutation over the
+// full schema-v2 ScenarioDocument space — topology, channel timing,
+// every attacker family, intensity and ammunition budget, stimulus
+// scripts, verify budgets — emitting only canonically-valid documents
+// (every candidate passes scenarios::build() before it leaves).
+//
+// The grammar draws from QUANTIZED knob sets rather than continuous
+// ranges.  Continuous draws would make every candidate's prover-visible
+// deployment unique, which destroys the corpus: no two executions could
+// ever share a discrete-state fingerprint, so "coverage" would grow by
+// exactly one sketch per execution regardless of strategy.  Quantization
+// makes the scenario space a large-but-finite grid the fuzzer can
+// actually cover, collide on, and measure progress against — the same
+// reason AFL buckets hit counts into powers of two.
+#pragma once
+
+#include <string>
+
+#include "scenarios/builder.hpp"
+#include "scenarios/serialize.hpp"
+#include "sim/random.hpp"
+
+namespace ptecps::fuzz {
+
+struct GrammarOptions {
+  /// Deployment sizes drawn from {2, …, max_remotes}.  (N == 1 is
+  /// outside the PTE pattern's domain — Rule 2 quantifies over entity
+  /// pairs — and synthesize_params rejects it.)
+  std::size_t max_remotes = 3;
+  /// Distinct synthesized timing configurations per deployment size.
+  /// Each pool slot is a fixed Rng stream, so slot k of size N is the
+  /// same PatternConfig in every campaign — the grid the coverage
+  /// metric is defined over.
+  std::size_t config_pool = 6;
+  /// Attacker ammunition budgets drawn from {0, …, max_budget}; the
+  /// budget lowers onto the prover's loss ammunition (build()), so this
+  /// bounds per-execution proof cost.
+  std::size_t max_budget = 3;
+  /// Exhaustive-exploration state cap per execution (keeps one fuzz
+  /// execution bounded; out-of-budget is a fine fuzzing outcome).
+  std::size_t max_states = 200'000;
+  /// Permit the chained-bridge topology (star always allowed).
+  bool allow_chained = true;
+};
+
+/// A fresh document drawn uniformly from the quantized scenario grid.
+/// Always canonically valid; named "fuzz-<digest12>" from its content.
+scenarios::ScenarioDocument generate(sim::Rng& rng, const GrammarOptions& options = {});
+
+/// One structure-aware mutation of `seed`: a single knob group is
+/// re-drawn (attacker family, intensity/budget, channel timing, dwell
+/// tier, stimulus script, topology, timing configuration, seeds, verify
+/// budgets, lease/deadline toggles).  Candidates that fail build() are
+/// re-drawn a bounded number of times; the result is always valid.
+scenarios::ScenarioDocument mutate(sim::Rng& rng, const scenarios::ScenarioDocument& seed,
+                                   const GrammarOptions& options = {});
+
+/// Directed flip probe: re-draws ONLY the dwell fraction, constrained to
+/// the seed's own tier, so the candidate stays in the seed's structural
+/// bucket while straddling the verdict boundary (0.9 vs 1.1 of the
+/// lease).  The guided scheduler aims this at edge-tier corpus entries
+/// whose bucket has seen a single verdict so far — the cheapest way to
+/// turn a near-miss into a verdict-flip region.  Falls back to an
+/// ordinary mutation when the seed's tier has no alternative fraction
+/// (solid/high).
+scenarios::ScenarioDocument flip_probe(sim::Rng& rng, const scenarios::ScenarioDocument& seed,
+                                       const GrammarOptions& options = {});
+
+/// Structural bucket "<topology>|<calm-or-attacked>|n<N>|<dwell-tier>"
+/// — the granularity at which verdict-flip regions are counted.  The
+/// dwell tier classifies dwell_bound against ξ1's lease t_run_max:
+/// "solid" (no explicit ceiling), "broken" (comfortably below the lease
+/// — a violation is reachable without a single loss), "edge"
+/// (straddling the lease boundary, where the verdict genuinely depends
+/// on the exact ratio), "high" (above it).  A bucket holding both a
+/// proved and a violated execution is one flip region — interesting
+/// because inside that region, nearby parameter values separate safe
+/// deployments from unsafe ones.  (Attacker identity is deliberately
+/// coarsened to prover-visible ammunition — "attacked" iff the loss
+/// budget the checker receives is positive: the flip boundary is a
+/// timing property, per-family buckets would need far larger exec
+/// budgets to pair verdicts, and a budget-0 attacker is
+/// prover-equivalent to calm.)
+std::string structure_bucket(const scenarios::ScenarioParams& params);
+
+/// Content digest of the SKETCH-relevant projection of `params`: timing
+/// configuration, approval, lease/deadline toggles, the dwell ceiling
+/// as a quantized ratio of ξ1's lease, topology, and verify budgets
+/// (including the attacker-budget lowering).  Everything that cannot
+/// move the exhaustive checker's discrete-state fingerprint set is
+/// projected out: sampler-only knobs (attacker family and stochastic
+/// parameters without a budget, seeds, horizon, stimulus script), but
+/// also channel timing — delay and jitter reshape clock zones, not the
+/// discrete key set the sketch fingerprints — and pure caps like
+/// verify.max_states.  The guided scheduler dedups on this key:
+/// re-executing an already-fingerprinted cell cannot yield new
+/// coverage, so the exec goes to a fresh cell instead.
+std::string prover_projection(const scenarios::ScenarioParams& params);
+
+/// Canonical fuzz naming: `params.name` becomes "fuzz-<digest12>" where
+/// the digest is computed content-first (with the name pinned to
+/// "fuzz"), so identical content always carries an identical name and
+/// therefore an identical final params_digest.
+void normalize_name(scenarios::ScenarioParams& params);
+
+}  // namespace ptecps::fuzz

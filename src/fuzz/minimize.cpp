@@ -1,0 +1,171 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <vector>
+
+#include "fuzz/grammar.hpp"
+#include "util/text.hpp"
+
+namespace ptecps::fuzz {
+
+namespace {
+
+using scenarios::ScenarioDocument;
+using scenarios::ScenarioParams;
+
+/// A candidate may leave the minimizer only if it still lowers cleanly
+/// AND survives the sparse writer round trip — the reproducer file must
+/// parse back to exactly the document the predicate approved.
+bool safe(const ScenarioDocument& doc) {
+  try {
+    (void)scenarios::build(doc.params);
+    return scenarios::document_from_json(scenarios::to_json_sparse(doc)) == doc;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+struct Reducer {
+  const Predicate& pred;
+  std::size_t evals = 0;
+
+  bool accept(ScenarioDocument& current, ScenarioDocument candidate) {
+    if (candidate == current) return false;
+    if (!safe(candidate)) return false;
+    ++evals;
+    if (!pred(candidate)) return false;
+    current = std::move(candidate);
+    return true;
+  }
+};
+
+/// One deterministic simplification; mutates the candidate in place.
+using Transform = void (*)(ScenarioDocument&);
+
+attack::AttackerModel default_params_attacker(const attack::AttackerModel& a) {
+  using attack::AttackerModel;
+  AttackerModel out;
+  switch (a.kind) {
+    case AttackerModel::Kind::kNone: return a;
+    case AttackerModel::Kind::kBernoulli: out = AttackerModel::bernoulli(0.0); break;
+    case AttackerModel::Kind::kGilbertElliott: {
+      const AttackerModel d;
+      out = AttackerModel::gilbert_elliott(d.p_gb, d.p_bg, d.loss_good, d.loss_bad);
+      break;
+    }
+    case AttackerModel::Kind::kInterference: {
+      const AttackerModel d;
+      out = AttackerModel::interference(d.period, d.burst, d.loss_burst, d.loss_idle,
+                                        d.phase);
+      break;
+    }
+    case AttackerModel::Kind::kScripted: out = AttackerModel::scripted({}); break;
+    case AttackerModel::Kind::kSustainedJammer: {
+      const AttackerModel d;
+      out = AttackerModel::sustained_jammer(d.kill_prob);
+      break;
+    }
+    case AttackerModel::Kind::kReactiveJammer: {
+      const AttackerModel d;
+      out = AttackerModel::reactive_jammer(d.sense_prob, d.jam_len, d.kill_prob);
+      break;
+    }
+  }
+  out.with_intensity(a.intensity);
+  out.with_budget(a.budget);
+  return out;
+}
+
+/// Whole-field resets first (each one deletes a whole sparse block —
+/// the biggest line wins), then per-field refinements.  The order is
+/// FIXED: determinism is what makes the fixed point idempotent.
+const std::vector<Transform>& transforms() {
+  static const std::vector<Transform> kPasses = {
+      [](ScenarioDocument& d) { d.notes.clear(); },
+      [](ScenarioDocument& d) { d.summary.clear(); },
+      [](ScenarioDocument& d) { d.params.config = ScenarioParams{}.config; },
+      [](ScenarioDocument& d) { d.params.attacker = attack::AttackerModel{}; },
+      [](ScenarioDocument& d) { d.params.script = scenarios::StimulusScript{}; },
+      [](ScenarioDocument& d) { d.params.channel = ScenarioParams{}.channel; },
+      [](ScenarioDocument& d) { d.params.verify = campaign::VerifySpec{}; },
+      [](ScenarioDocument& d) { d.params.approval = core::ApprovalSpec{}; },
+      [](ScenarioDocument& d) {
+        d.params.topology = scenarios::Topology::kStar;
+        d.params.relay_loss = ScenarioParams{}.relay_loss;
+      },
+      [](ScenarioDocument& d) { d.params.with_lease = true; },
+      [](ScenarioDocument& d) { d.params.deadline_wait = true; },
+      [](ScenarioDocument& d) { d.params.dwell_bound = 0.0; },
+      [](ScenarioDocument& d) { d.params.dwell_bound = std::round(d.params.dwell_bound); },
+      [](ScenarioDocument& d) {
+        d.params.dwell_bound = std::round(d.params.dwell_bound * 10.0) / 10.0;
+      },
+      [](ScenarioDocument& d) { d.params.horizon = ScenarioParams{}.horizon; },
+      [](ScenarioDocument& d) { d.params.seed_base = ScenarioParams{}.seed_base; },
+      [](ScenarioDocument& d) { d.params.seed_count = ScenarioParams{}.seed_count; },
+      [](ScenarioDocument& d) { d.params.mode = campaign::RunMode::kBoth; },
+      [](ScenarioDocument& d) {
+        if (d.params.attacker.kind != attack::AttackerModel::Kind::kNone)
+          d.params.attacker.with_intensity(1.0);
+      },
+      [](ScenarioDocument& d) { d.params.attacker.with_budget(0); },
+      [](ScenarioDocument& d) {
+        d.params.attacker = default_params_attacker(d.params.attacker);
+      },
+  };
+  return kPasses;
+}
+
+}  // namespace
+
+MinimizeResult minimize(const ScenarioDocument& doc, const Predicate& pred) {
+  if (!safe(doc) || !pred(doc))
+    throw std::invalid_argument(
+        "minimize(): the input document does not satisfy the predicate");
+  Reducer r{pred};
+  r.evals = 1;  // the admission check above
+  MinimizeResult out;
+  out.doc = doc;
+  bool changed = true;
+  while (changed) {
+    ++out.passes;
+    changed = false;
+    for (Transform t : transforms()) {
+      ScenarioDocument candidate = out.doc;
+      t(candidate);
+      if (r.accept(out.doc, std::move(candidate))) changed = true;
+    }
+    // Drop-one ddmin over the remaining scripted actions.
+    for (std::size_t i = 0; i < out.doc.params.script.actions.size();) {
+      ScenarioDocument candidate = out.doc;
+      candidate.params.script.actions.erase(candidate.params.script.actions.begin() +
+                                            static_cast<std::ptrdiff_t>(i));
+      if (r.accept(out.doc, std::move(candidate))) {
+        changed = true;  // indices shifted; retry the same slot
+      } else {
+        ++i;
+      }
+    }
+  }
+  // Rename to match the reduced content.  The name never reaches the
+  // engines (it is identity, not behavior), so the predicate verdict is
+  // unaffected — and re-normalizing an already-normal name is a no-op,
+  // preserving idempotence.
+  normalize_name(out.doc.params);
+  out.evals = r.evals;
+  return out;
+}
+
+std::string rendered_text(const ScenarioDocument& doc) {
+  return scenarios::to_json_sparse(doc).dump(2) + "\n";
+}
+
+std::size_t rendered_lines(const ScenarioDocument& doc) {
+  const std::string text = rendered_text(doc);
+  return static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+}
+
+}  // namespace ptecps::fuzz

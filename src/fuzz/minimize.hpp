@@ -1,0 +1,50 @@
+// Delta-debugging minimizer for fuzzing findings: shrink a scenario
+// document to the smallest form that still satisfies a caller-supplied
+// predicate ("still disagrees", "still crashes", "still flips"), so the
+// checked-in reproducer in tests/corpus/ is a handful of lines a human
+// can actually read.
+//
+// The reduction is a FIXED pass order run to a fixed point: each pass
+// proposes one deterministic simplification (reset a whole field group
+// to its ScenarioParams default, drop one scripted action, round a
+// bound), keeps it iff the candidate still builds, still round-trips
+// through the sparse writer, and still satisfies the predicate.  A
+// deterministic pass order to a fixed point makes the minimizer
+// idempotent by construction: minimize(minimize(d)) == minimize(d) —
+// asserted in tests/test_fuzz.cpp.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "scenarios/serialize.hpp"
+
+namespace ptecps::fuzz {
+
+/// "Is this candidate still interesting?"  Called on canonically-valid
+/// candidates only; typically re-runs the document through the service
+/// and checks for the original disagreement.
+using Predicate = std::function<bool(const scenarios::ScenarioDocument&)>;
+
+struct MinimizeResult {
+  scenarios::ScenarioDocument doc;
+  /// Fixed-point iterations (>= 1) and predicate evaluations spent.
+  std::size_t passes = 0;
+  std::size_t evals = 0;
+};
+
+/// Shrink `doc` under `pred`.  `doc` itself must satisfy the predicate
+/// (std::invalid_argument otherwise — a minimizer fed a non-reproducing
+/// finding would "minimize" it to garbage).  The result's name is
+/// re-normalized ("fuzz-<digest12>") to match its reduced content.
+MinimizeResult minimize(const scenarios::ScenarioDocument& doc, const Predicate& pred);
+
+/// The reproducer text a finding is persisted as: sparse JSON,
+/// pretty-printed at indent 2, trailing newline.
+std::string rendered_text(const scenarios::ScenarioDocument& doc);
+
+/// Line count of rendered_text — the "<= 25 lines" acceptance metric.
+std::size_t rendered_lines(const scenarios::ScenarioDocument& doc);
+
+}  // namespace ptecps::fuzz

@@ -200,7 +200,13 @@ campaign::ScenarioSpec build(const ScenarioParams& params) {
 // ---------------------------------------------------------------------------
 
 campaign::ScenarioSpec synthesize(sim::Rng& rng, const SynthesizeOptions& options) {
-  PTE_REQUIRE(options.n_remotes >= 2, "synthesized deployments need N >= 2");
+  return build(synthesize_params(rng, options));
+}
+
+ScenarioParams synthesize_params(sim::Rng& rng, const SynthesizeOptions& options) {
+  PTE_REQUIRE(options.n_remotes >= 2,
+              "synthesized deployments need N >= 2 (the PTE embedding order is "
+              "over entity pairs)");
   core::SynthesisRequest request;
   request.n_remotes = options.n_remotes;
   for (std::size_t i = 0; i + 1 < options.n_remotes; ++i) {
@@ -260,7 +266,7 @@ campaign::ScenarioSpec synthesize(sim::Rng& rng, const SynthesizeOptions& option
     params.script.on_for =
         rng.bernoulli(0.5) ? 0.6 * params.config.entity(options.n_remotes).t_run_max : 0.0;
   }
-  return build(params);
+  return params;
 }
 
 }  // namespace ptecps::scenarios

@@ -148,4 +148,13 @@ struct SynthesizeOptions {
 
 campaign::ScenarioSpec synthesize(sim::Rng& rng, const SynthesizeOptions& options = {});
 
+/// The document form of the same draw: every field synthesize() would
+/// lower is visible (and serializable) as a ScenarioParams — the raw
+/// material of the fuzzing grammar (fuzz/grammar.hpp), which mutates
+/// documents, not compiled specs.  synthesize() ≡ build(synthesize_params()).
+/// Throws (PTE_REQUIRE) on n_remotes < 2: single-remote deployments are
+/// outside the PTE pattern's domain — Rule 2 quantifies over entity
+/// pairs, and core::PteMonitor rejects them for the same reason.
+ScenarioParams synthesize_params(sim::Rng& rng, const SynthesizeOptions& options = {});
+
 }  // namespace ptecps::scenarios

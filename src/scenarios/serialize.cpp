@@ -106,9 +106,57 @@ Json attacker_to_json(const attack::AttackerModel& a) {
   return out;
 }
 
-Json script_to_json(const StimulusScript& s) {
+/// Like attacker_to_json, but family parameters equal to the reader's
+/// fallback values are omitted — the strict reader re-derives them.
+Json attacker_to_json_sparse(const attack::AttackerModel& a) {
+  using Kind = attack::AttackerModel::Kind;
+  const attack::AttackerModel defaults;
+  Json out = Json::object();
+  out.set("kind", attack::attacker_kind_str(a.kind));
+  if (a.kind == Kind::kNone) return out;
+  if (a.intensity != 1.0) out.set("intensity", a.intensity);
+  if (a.budget > 0) out.set("budget", a.budget);
+  switch (a.kind) {
+    case Kind::kNone: break;
+    case Kind::kBernoulli:
+      if (a.p != 0.0) out.set("p", a.p);
+      break;
+    case Kind::kGilbertElliott:
+      if (a.p_gb != defaults.p_gb) out.set("p_gb", a.p_gb);
+      if (a.p_bg != defaults.p_bg) out.set("p_bg", a.p_bg);
+      if (a.loss_good != defaults.loss_good) out.set("loss_good", a.loss_good);
+      if (a.loss_bad != defaults.loss_bad) out.set("loss_bad", a.loss_bad);
+      break;
+    case Kind::kInterference:
+      if (a.period != defaults.period) out.set("period", a.period);
+      if (a.burst != defaults.burst) out.set("burst", a.burst);
+      if (a.loss_burst != defaults.loss_burst) out.set("loss_burst", a.loss_burst);
+      if (a.loss_idle != defaults.loss_idle) out.set("loss_idle", a.loss_idle);
+      if (a.phase != defaults.phase) out.set("phase", a.phase);
+      break;
+    case Kind::kScripted: {
+      if (!a.script.empty()) {
+        Json verdicts = Json::array();
+        for (bool lost : a.script) verdicts.push_back(lost);
+        out.set("script", std::move(verdicts));
+      }
+      break;
+    }
+    case Kind::kSustainedJammer:
+      if (a.kill_prob != defaults.kill_prob) out.set("kill_prob", a.kill_prob);
+      break;
+    case Kind::kReactiveJammer:
+      if (a.sense_prob != defaults.sense_prob) out.set("sense_prob", a.sense_prob);
+      if (a.jam_len != defaults.jam_len) out.set("jam_len", a.jam_len);
+      if (a.kill_prob != defaults.kill_prob) out.set("kill_prob", a.kill_prob);
+      break;
+  }
+  return out;
+}
+
+Json actions_to_json(const std::vector<Action>& list) {
   Json actions = Json::array();
-  for (const Action& a : s.actions) {
+  for (const Action& a : list) {
     Json one = Json::object();
     one.set("kind", action_kind_str(a.kind));
     one.set("t", a.t);
@@ -118,6 +166,11 @@ Json script_to_json(const StimulusScript& s) {
     if (a.kind == Action::Kind::kSetVar) one.set("value", a.value);
     actions.push_back(std::move(one));
   }
+  return actions;
+}
+
+Json script_to_json(const StimulusScript& s) {
+  Json actions = actions_to_json(s.actions);
   Json out = Json::object();
   out.set("period", s.period);
   out.set("phase", s.phase);
@@ -368,6 +421,80 @@ Json to_json(const ScenarioDocument& doc) {
 
 Json to_json(const ScenarioParams& params) {
   return to_json(ScenarioDocument{params, "", std::nullopt});
+}
+
+Json to_json_sparse(const ScenarioDocument& doc) {
+  const ScenarioParams defaults;
+  const ScenarioParams& p = doc.params;
+  Json out = Json::object();
+  out.set("name", p.name);
+  if (!doc.summary.empty()) out.set("summary", doc.summary);
+  if (doc.expected.has_value())
+    out.set("expected", verify::verify_status_str(*doc.expected));
+  if (!doc.notes.empty()) {
+    Json notes = Json::array();
+    for (const std::string& n : doc.notes) notes.push_back(n);
+    out.set("notes", std::move(notes));
+  }
+  if (!(p.config == defaults.config)) out.set("config", config_to_json(p.config));
+  Json approval = Json::object();
+  if (p.approval.var_name != defaults.approval.var_name)
+    approval.set("var_name", p.approval.var_name);
+  if (p.approval.init != defaults.approval.init) approval.set("init", p.approval.init);
+  if (p.approval.threshold != defaults.approval.threshold)
+    approval.set("threshold", p.approval.threshold);
+  if (!approval.as_object().empty()) out.set("approval", std::move(approval));
+  if (p.with_lease != defaults.with_lease) out.set("with_lease", p.with_lease);
+  if (p.deadline_wait != defaults.deadline_wait)
+    out.set("deadline_wait", p.deadline_wait);
+  if (p.dwell_bound != defaults.dwell_bound) out.set("dwell_bound", p.dwell_bound);
+  if (p.topology != defaults.topology) out.set("topology", topology_str(p.topology));
+  if (p.relay_loss != defaults.relay_loss) out.set("relay_loss", p.relay_loss);
+  Json channel = Json::object();
+  if (p.channel.delay != defaults.channel.delay) channel.set("delay", p.channel.delay);
+  if (p.channel.delay_jitter != defaults.channel.delay_jitter)
+    channel.set("delay_jitter", p.channel.delay_jitter);
+  if (p.channel.bit_error_prob != defaults.channel.bit_error_prob)
+    channel.set("bit_error_prob", p.channel.bit_error_prob);
+  if (p.channel.acceptance_window != defaults.channel.acceptance_window)
+    channel.set("acceptance_window", p.channel.acceptance_window);
+  if (p.channel.duplicate_prob != defaults.channel.duplicate_prob)
+    channel.set("duplicate_prob", p.channel.duplicate_prob);
+  if (p.channel.duplicate_lag != defaults.channel.duplicate_lag)
+    channel.set("duplicate_lag", p.channel.duplicate_lag);
+  if (!channel.as_object().empty()) out.set("channel", std::move(channel));
+  if (!(p.attacker == defaults.attacker))
+    out.set("attacker", attacker_to_json_sparse(p.attacker));
+  if (p.horizon != defaults.horizon) out.set("horizon", p.horizon);
+  Json script = Json::object();
+  if (p.script.period != defaults.script.period) script.set("period", p.script.period);
+  if (p.script.phase != defaults.script.phase) script.set("phase", p.script.phase);
+  if (p.script.on_for != defaults.script.on_for) script.set("on_for", p.script.on_for);
+  if (!p.script.actions.empty()) script.set("actions", actions_to_json(p.script.actions));
+  if (!script.as_object().empty()) out.set("script", std::move(script));
+  if (p.seed_base != defaults.seed_base) out.set("seed_base", p.seed_base);
+  if (p.seed_count != defaults.seed_count) out.set("seed_count", p.seed_count);
+  if (p.mode != defaults.mode) out.set("mode", run_mode_str(p.mode));
+  Json verify = Json::object();
+  const campaign::VerifySpec& v = p.verify;
+  const campaign::VerifySpec& dv = defaults.verify;
+  if (v.max_losses != dv.max_losses) verify.set("max_losses", v.max_losses);
+  if (v.max_injections != dv.max_injections)
+    verify.set("max_injections", v.max_injections);
+  if (v.max_input_changes != dv.max_input_changes)
+    verify.set("max_input_changes", v.max_input_changes);
+  if (v.max_states != dv.max_states) verify.set("max_states", v.max_states);
+  if (v.threads != dv.threads) verify.set("threads", v.threads);
+  if (v.delivery_min != dv.delivery_min) verify.set("delivery_min", v.delivery_min);
+  if (v.delivery_max != dv.delivery_max) verify.set("delivery_max", v.delivery_max);
+  if (!v.stimuli_roots.empty()) {
+    Json roots = Json::array();
+    for (const std::string& root : v.stimuli_roots) roots.push_back(root);
+    verify.set("stimuli_roots", std::move(roots));
+  }
+  if (v.replay != dv.replay) verify.set("replay", v.replay);
+  if (!verify.as_object().empty()) out.set("verify", std::move(verify));
+  return out;
 }
 
 ScenarioDocument document_from_json(const Json& j) {

@@ -59,6 +59,18 @@ struct ScenarioDocument {
 util::Json to_json(const ScenarioDocument& doc);
 util::Json to_json(const ScenarioParams& params);
 
+/// Minimal document: only what differs from a default-constructed
+/// ScenarioParams is written (no "schema"/"version" headers — the strict
+/// reader defaults both), so `document_from_json(to_json_sparse(d)) == d`
+/// while the file stays a handful of lines.  The "config" block is
+/// all-or-nothing: the reader builds a fresh PatternConfig from a present
+/// block instead of patching the laser preset, so a non-default config is
+/// written in full.  approval / channel / script / verify are per-field
+/// patches; attacker family parameters equal to the reader's fallbacks
+/// are omitted.  This is the shape the fuzzing minimizer
+/// (fuzz/minimize.hpp) renders its checked-in reproducers in.
+util::Json to_json_sparse(const ScenarioDocument& doc);
+
 /// Strict readers (util::JsonError on unknown keys / wrong types).
 ScenarioDocument document_from_json(const util::Json& j);
 ScenarioParams params_from_json(const util::Json& j);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -20,6 +21,81 @@
 #include "verify/zone.hpp"
 
 namespace ptecps::verify {
+
+// -- StateSketch ------------------------------------------------------------
+
+void StateSketch::add(std::uint64_t h1, std::uint64_t h2) {
+  // Two bits per key (Bloom k=2) over 4096 positions; the two hash
+  // halves are independently mixed already (FNV-1a / splitmix64).
+  constexpr std::uint64_t kBitsTotal = kWords * 64;
+  const std::uint64_t b1 = h1 % kBitsTotal;
+  const std::uint64_t b2 = h2 % kBitsTotal;
+  bits[b1 / 64] |= 1ULL << (b1 % 64);
+  bits[b2 / 64] |= 1ULL << (b2 % 64);
+  ++distinct;
+}
+
+std::size_t StateSketch::popcount() const {
+  std::size_t count = 0;
+  for (std::uint64_t w : bits) count += static_cast<std::size_t>(std::popcount(w));
+  return count;
+}
+
+std::size_t StateSketch::novel_bits(const StateSketch& seen) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < kWords; ++i)
+    count += static_cast<std::size_t>(std::popcount(bits[i] & ~seen.bits[i]));
+  return count;
+}
+
+std::size_t StateSketch::merge(const StateSketch& other) {
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < kWords; ++i) {
+    fresh += static_cast<std::size_t>(std::popcount(other.bits[i] & ~bits[i]));
+    bits[i] |= other.bits[i];
+  }
+  return fresh;
+}
+
+std::uint64_t StateSketch::signature() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ distinct;
+  for (std::uint64_t w : bits) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string StateSketch::bits_hex() const {
+  std::size_t last = kWords;
+  while (last > 0 && bits[last - 1] == 0) --last;
+  std::string out;
+  out.reserve(last * 16);
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (std::size_t i = 0; i < last; ++i)
+    for (std::size_t nib = 16; nib-- > 0;)
+      out.push_back(kHex[(bits[i] >> (nib * 4)) & 0xF]);
+  return out;
+}
+
+bool StateSketch::set_bits_hex(std::string_view hex) {
+  if (hex.size() % 16 != 0 || hex.size() > kWords * 16) return false;
+  std::array<std::uint64_t, kWords> parsed{};
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    const char c = hex[i];
+    std::uint64_t v = 0;
+    if (c >= '0' && c <= '9') {
+      v = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    parsed[i / 16] |= v << ((15 - i % 16) * 4);
+  }
+  bits = parsed;
+  return true;
+}
 
 namespace {
 
@@ -1509,6 +1585,14 @@ VerifyResult Checker::run() {
   result.states_explored = explored;
   result.threads_used = threads;
   for (const Shard& s : shards_) result.states_stored += s.nodes.size();
+  // Fingerprint sketch over the visited KEYS (not the antichain entries):
+  // a key stays in the map even when subsumption empties its chain, and
+  // the key set is shard-count-independent (absorb order is canonical),
+  // so the sketch is deterministic at every thread count.  Keys are
+  // unique within a shard's map and shards partition by h1, so each
+  // fingerprint is added exactly once.
+  for (const Shard& s : shards_)
+    for (const auto& kv : s.visited) result.sketch.add(kv.first.h1, kv.first.h2);
   result.transitions = base_transitions_;
   for (const Expander& e : expanders) result.transitions += e.transitions();
 

@@ -21,8 +21,11 @@
 // hybrid::Engine + PteMonitor to confirm the violation end to end.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/monitor.hpp"
@@ -122,6 +125,44 @@ struct Counterexample {
   static Counterexample from_json(const util::Json& j);
 };
 
+/// Compact summary of the discrete-state fingerprints a run visited: the
+/// exact count of distinct 128-bit keys the store held, plus a 4096-bit
+/// presence bitmap (each key sets two bits, Bloom-style).  The visited
+/// key SET is part of the checker's determinism contract — canonical
+/// absorb ordering makes it identical at every thread count — so the
+/// sketch is too, and the coverage-guided fuzzer (src/fuzz/) uses it as
+/// its novelty signal: a scenario whose sketch sets bits no earlier
+/// scenario set reached genuinely new discrete behavior.
+struct StateSketch {
+  static constexpr std::size_t kWords = 64;  // 64 × u64 = 4096 bits
+  std::array<std::uint64_t, kWords> bits{};
+  /// Exact number of distinct fingerprints added (not a bitmap estimate).
+  std::uint64_t distinct = 0;
+
+  /// Record one 128-bit fingerprint (callers must add each key once).
+  void add(std::uint64_t h1, std::uint64_t h2);
+  /// Population count of the presence bitmap.
+  std::size_t popcount() const;
+  /// Bits set here that `seen` does not have — the novelty of this run
+  /// against an accumulated coverage map.
+  std::size_t novel_bits(const StateSketch& seen) const;
+  /// OR `other`'s presence bits into this sketch, returning how many bits
+  /// were newly set.  Union sketches track campaign-wide coverage; their
+  /// `distinct` stays untouched (it only counts keys added directly).
+  std::size_t merge(const StateSketch& other);
+  /// Order-independent 64-bit identity of (bits, distinct) — two runs
+  /// with equal signatures visited indistinguishable state sets at this
+  /// sketch's resolution.
+  std::uint64_t signature() const;
+  /// Bitmap as lowercase hex, trailing zero words trimmed ("" when no
+  /// bit is set) — the serialization form.
+  std::string bits_hex() const;
+  /// Inverse of bits_hex; false on a malformed string (sketch untouched).
+  bool set_bits_hex(std::string_view hex);
+
+  bool operator==(const StateSketch&) const = default;
+};
+
 struct VerifyResult {
   VerifyStatus status = VerifyStatus::kOutOfBudget;
   std::size_t states_explored = 0;
@@ -135,6 +176,9 @@ struct VerifyResult {
   /// run's.
   bool resumed = false;
   std::optional<Counterexample> counterexample;
+  /// Fingerprint summary of the stored discrete states (empty when the
+  /// run found a violation before storing anything).
+  StateSketch sketch;
 
   std::string summary() const;
 };

@@ -419,5 +419,56 @@ TEST(Synthesize, FuzzCampaignCrossValidates) {
   EXPECT_LT(violations_proved, specs.size());
 }
 
+TEST(Synthesize, SingleRemoteDeploymentsAreRejected) {
+  // Rule 2's embedding order quantifies over entity pairs, so an N == 1
+  // "deployment" has no PTE property to state — the generator refuses
+  // rather than emitting a vacuous model the fuzzer would waste execs on.
+  sim::Rng rng(31);
+  SynthesizeOptions options;
+  options.n_remotes = 1;
+  EXPECT_THROW((void)synthesize_params(rng, options), std::invalid_argument);
+  try {
+    (void)synthesize_params(rng, options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("N >= 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Synthesize, UnbreakableDrawsNeverCarryADwellCeiling) {
+  // breakable == false must be a hard guarantee, not a probability: the
+  // fuzz smoke lane in CI relies on it to get a finding-free campaign.
+  sim::Rng rng(37);
+  for (int i = 0; i < 50; ++i) {
+    SynthesizeOptions options;
+    options.n_remotes = 2 + rng.uniform_int(2);
+    options.breakable = false;
+    const ScenarioParams p = synthesize_params(rng, options);
+    EXPECT_EQ(p.dwell_bound, 0.0) << p.name;
+    EXPECT_EQ(p.name.find("-broken"), std::string::npos) << p.name;
+  }
+}
+
+TEST(Synthesize, TrafficDrawsReachEveryStochasticAttackerFamily) {
+  // with_traffic draws the attacker from the five stochastic lowerings
+  // (scripted verdict lists and the benign channel are deliberate
+  // non-draws — they carry no randomness worth sweeping).  All five must
+  // actually come up, or a whole lowering silently drops out of the
+  // cross-validation sweeps and the fuzzing grammar's seed distribution.
+  sim::Rng rng(41);
+  std::set<attack::AttackerModel::Kind> seen;
+  for (int i = 0; i < 200 && seen.size() < 5; ++i) {
+    SynthesizeOptions options;
+    options.mode = campaign::RunMode::kBoth;  // kVerify skips traffic
+    options.with_traffic = true;
+    const ScenarioParams p = synthesize_params(rng, options);
+    EXPECT_NE(p.attacker.kind, attack::AttackerModel::Kind::kNone);
+    EXPECT_NE(p.attacker.kind, attack::AttackerModel::Kind::kScripted);
+    EXPECT_FALSE(p.script.empty()) << "traffic draws carry a stimulus script";
+    seen.insert(p.attacker.kind);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
 }  // namespace
 }  // namespace ptecps::scenarios

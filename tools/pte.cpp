@@ -10,7 +10,7 @@
 //   pte verify <ref>         exhaustive proof only → JobResult JSON
 //   pte matrix               every scenario × both modes + cross-validation
 //   pte replay <ref>         prove, then replay the counterexample end to end
-//   pte fuzz                 synthesized random deployments, cross-validated
+//   pte fuzz                 coverage-guided scenario-space fuzzing
 //
 // <ref> is a registry name ("laser-tracheotomy") or a path to a scenario
 // file ("deploy/icu.json") — `pte export` writes files that `pte verify`
@@ -36,6 +36,7 @@
 
 #include "api/frontier.hpp"
 #include "api/service.hpp"
+#include "fuzz/fuzzer.hpp"
 #include "scenarios/crossval.hpp"
 #include "scenarios/registry.hpp"
 #include "scenarios/serialize.hpp"
@@ -65,7 +66,12 @@ constexpr const char* kUsage =
     "                      intensity each scenario provably tolerates\n"
     "                      (whole registry when no refs; --budget K --smoke\n"
     "                      --json)\n"
-    "  fuzz                synthesized random deployments, cross-validated\n"
+    "  fuzz                coverage-guided scenario-space fuzzing: hunt\n"
+    "                      prover/sampler disagreement over generated and\n"
+    "                      mutated deployments (--max-execs N --batch N\n"
+    "                      --seed S --time-budget SECS --corpus-dir DIR\n"
+    "                      --artifact-dir DIR --max-remotes N\n"
+    "                      --config-pool N --blind --no-minimize --json)\n"
     "  cache <action>      result-cache maintenance: stats, clear, gc\n"
     "\n"
     "<ref>: a registry name (`pte list`), a scenario .json file path, or\n"
@@ -73,7 +79,7 @@ constexpr const char* kUsage =
     "common options: --seeds N --seed-base S --threads N --verify-threads N\n"
     "  (prover threads; scenarios default to 0 = hardware concurrency)\n"
     "  --losses K --injections K --states N (budget caps) --smoke --expect V\n"
-    "caching (run/verify/matrix/frontier): --cache-dir DIR (or PTE_CACHE_DIR)\n"
+    "caching (run/verify/matrix/frontier/fuzz): --cache-dir DIR (or PTE_CACHE_DIR)\n"
     "  enables the content-addressed result cache + warm-resume checkpoints;\n"
     "  --no-cache disables it for one invocation.\n"
     "remote (run/verify): --connect HOST:PORT sends the job to a running\n"
@@ -485,57 +491,98 @@ int cmd_replay(const util::ArgParser& args) {
   std::printf("%s\n", verification->counterexample->str().c_str());
   std::printf("replayed through hybrid::Engine + PteMonitor: %s\n",
               verification->replay_reproduced ? "violation reproduced" : "NOT reproduced");
+  if (!verification->replay_detail.empty())
+    std::printf("%s\n", verification->replay_detail.c_str());
   return verification->replay_reproduced ? 0 : 1;
 }
 
 int cmd_fuzz(const util::ArgParser& args) {
-  const std::size_t rounds = args.get_u64("rounds", 4);
-  const std::uint64_t seed = args.get_u64("seed", 1);
-  const std::size_t remotes = args.get_u64("remotes", 2);
-  if (rounds == 0) return usage_error("--rounds must be positive");
+  fuzz::FuzzOptions options;
+  options.seed = args.get_u64("seed", 1);
+  options.max_execs = args.get_u64("max-execs", 256);
+  options.time_budget_s = args.get_double("time-budget", 0.0);
+  options.batch = args.get_u64("batch", 16);
+  options.guided = !args.has_flag("blind");
+  options.corpus_dir = args.get_string("corpus-dir", "");
+  options.artifact_dir = args.get_string("artifact-dir", "");
+  options.minimize = !args.has_flag("no-minimize");
+  options.threads = args.get_u64("threads", 0);
+  options.grammar.max_remotes = args.get_u64("max-remotes", options.grammar.max_remotes);
+  options.grammar.config_pool = args.get_u64("config-pool", options.grammar.config_pool);
+  if (options.max_execs == 0) return usage_error("--max-execs must be positive");
+  if (options.batch == 0) return usage_error("--batch must be positive");
+  if (options.grammar.max_remotes < 2)
+    return usage_error("--max-remotes must be >= 2 (the PTE pattern is pairwise)");
+  if (options.grammar.config_pool == 0)
+    return usage_error("--config-pool must be positive");
+  if (!options.corpus_dir.empty() && !ensure_directory(options.corpus_dir)) return 2;
+  if (!options.artifact_dir.empty() && !ensure_directory(options.artifact_dir)) return 2;
 
-  // One rng per round, seeded seed + i: any single deployment — attacker
-  // draw included — reproduces with --seed <seed+i> --rounds 1, without
-  // replaying the rounds before it.
-  std::vector<campaign::ScenarioSpec> specs;
-  std::vector<std::uint64_t> round_seed;
-  for (std::size_t i = 0; i < rounds; ++i) {
-    sim::Rng rng(seed + i);
-    scenarios::SynthesizeOptions options;
-    options.n_remotes = remotes;
-    options.breakable = true;
-    options.mode = campaign::RunMode::kBoth;
-    options.seed_count = args.get_u64("seeds", 2);
-    campaign::ScenarioSpec spec = scenarios::synthesize(rng, options);
-    spec.name += util::cat("-", i);
-    spec.verify.max_losses = args.get_u64("losses", 1);
-    spec.verify.max_injections = args.get_u64("injections", 1);
-    round_seed.push_back(seed + i);
-    specs.push_back(std::move(spec));
+  // Through the service, not the raw CampaignRunner: every execution
+  // gets the result cache, content dedup, and JobResult semantics —
+  // the same path `pte run` and the daemon use.
+  const fuzz::FuzzReport report = fuzz::Fuzzer(make_service(args), options).run();
+
+  if (args.has_flag("json")) {
+    std::fputs(report.to_json().dump(2).c_str(), stdout);
+  } else {
+    const fuzz::FuzzStats& s = report.stats;
+    std::printf("=== scenario-space fuzzing: %zu execution(s), %s mode, seed %llu ===\n",
+                s.execs, options.guided ? "guided" : "blind",
+                static_cast<unsigned long long>(options.seed));
+    std::printf("coverage: %llu fingerprint bits, %zu distinct sketches, "
+                "%zu verdict-flip region(s), %zu near-miss(es)\n",
+                static_cast<unsigned long long>(s.coverage_bits), s.distinct_sketches,
+                s.flip_regions, s.near_misses);
+    std::printf("verdicts: %zu proved, %zu violated, %zu out-of-budget, %zu error(s)\n",
+                s.proved, s.violated, s.out_of_budget, s.row_errors);
+    std::printf("corpus: %zu entr(ies), %zu dedup-skipped candidate(s)",
+                s.corpus_size, s.dedup_skipped);
+    if (s.matrix_deduped > 0) std::printf(", %zu matrix-deduped", s.matrix_deduped);
+    std::printf("\n");
+    if (s.cache.enabled)
+      std::printf("cache: %zu hit(s), %zu miss(es), %zu resume(s)\n", s.cache.hits,
+                  s.cache.misses, s.cache.resumes);
+    std::printf("wall: %.2f s (%.1f exec/s)\n", s.wall_s, s.execs_per_s);
   }
-
-  const campaign::CampaignReport report = campaign::CampaignRunner().run(specs);
-  const scenarios::CrossValidationReport crossval = scenarios::cross_validate(report);
-  std::printf("%s\n%s", report.summary().c_str(), crossval.summary().c_str());
   for (const std::string& e : report.errors) std::fprintf(stderr, "error: %s\n", e.c_str());
-  for (const scenarios::CrossCheck& check : crossval.checks) {
-    if (check.consistent) continue;
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      if (specs[i].name != check.scenario) continue;
-      std::fprintf(stderr,
-                   "reproduce: pte fuzz --seed %llu --rounds 1 --remotes %zu "
-                   "--seeds %llu --losses %llu --injections %llu\n",
-                   static_cast<unsigned long long>(round_seed[i]), remotes,
-                   static_cast<unsigned long long>(args.get_u64("seeds", 2)),
-                   static_cast<unsigned long long>(args.get_u64("losses", 1)),
-                   static_cast<unsigned long long>(args.get_u64("injections", 1)));
-    }
+  for (const fuzz::FuzzFinding& f : report.findings) {
+    std::fprintf(stderr, "finding [%s] %s: %s (%zu-line reproducer%s)\n",
+                 f.kind == fuzz::FuzzFinding::Kind::kDisagreement ? "disagreement"
+                                                                  : "error",
+                 f.digest.substr(0, 16).c_str(), f.description.c_str(), f.doc_lines,
+                 f.minimized ? ", minimized" : "");
+    if (!options.artifact_dir.empty())
+      std::fprintf(stderr, "reproduce: pte matrix --dir %s  (or pte run %s/%s.json)\n",
+                   options.artifact_dir.c_str(), options.artifact_dir.c_str(),
+                   f.digest.substr(0, 16).c_str());
   }
-  const bool ok = report.ok() && crossval.ok();
-  std::printf("\nFUZZ %s (%zu synthesized deployment(s), seed %llu)\n",
-              ok ? "PASSED" : "FAILED", rounds,
-              static_cast<unsigned long long>(seed));
-  return ok ? 0 : 1;
+  if (!report.findings.empty()) {
+    // Environment-complete reproduction line: every knob that shaped the
+    // candidate stream, spelled with its actual (u64-safe) values.
+    std::fprintf(stderr,
+                 "reproduce campaign: pte fuzz --seed %llu --max-execs %llu "
+                 "--batch %llu --max-remotes %llu --config-pool %llu "
+                 "--threads %llu%s%s%s%s\n",
+                 static_cast<unsigned long long>(options.seed),
+                 static_cast<unsigned long long>(options.max_execs),
+                 static_cast<unsigned long long>(options.batch),
+                 static_cast<unsigned long long>(options.grammar.max_remotes),
+                 static_cast<unsigned long long>(options.grammar.config_pool),
+                 static_cast<unsigned long long>(options.threads),
+                 options.guided ? "" : " --blind",
+                 options.minimize ? "" : " --no-minimize",
+                 options.corpus_dir.empty()
+                     ? ""
+                     : util::cat(" --corpus-dir ", options.corpus_dir).c_str(),
+                 options.artifact_dir.empty()
+                     ? ""
+                     : util::cat(" --artifact-dir ", options.artifact_dir).c_str());
+  }
+  if (!args.has_flag("json"))
+    std::printf("\nFUZZ %s (%zu finding(s))\n", report.ok() ? "PASSED" : "FAILED",
+                report.findings.size());
+  return report.ok() ? 0 : 1;
 }
 
 int cmd_frontier(const util::ArgParser& args) {
@@ -694,7 +741,9 @@ int main(int argc, char** argv) {
                         "injections", "input-changes", "states", "smoke"}});
   if (command == "fuzz")
     return cmd_fuzz({sub_argc, sub_argv,
-                     {"rounds", "seed", "remotes", "seeds", "losses", "injections"}});
+                     {"seed", "max-execs", "time-budget", "batch", "blind",
+                      "corpus-dir", "artifact-dir", "no-minimize", "max-remotes",
+                      "config-pool", "threads", "json", "cache-dir", "no-cache"}});
   if (command == "--help" || command == "help") {
     std::fputs(kUsage, stdout);
     return 0;
